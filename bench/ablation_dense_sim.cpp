@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Validation study: the dense-update kernel simulated on the
+ * discrete-event model versus the analytical node model, across the
+ * embedding sweep. Shows the two regimes the paper's Dense-MM
+ * discussion rests on — bandwidth-bound at small K, scalar-pipeline
+ * (issue) bound at large K — and that the analytical model tracks
+ * the simulator, justifying its use for the node-scale Figs. 9/10.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "piuma/dense_programs.hpp"
+#include "piuma/node_model.hpp"
+
+using namespace pgcn;
+
+int
+main(int argc, char **argv)
+{
+    const std::string csv = bench::csvPathFromArgs(argc, argv);
+
+    Table table("Dense MM: DES vs node model (4 cores, |V|=2^13)",
+                {"K", "sim GF/s", "model GF/s", "sim/model",
+                 "mem util", "issue util"});
+    piuma::PiumaConfig cfg;
+    cfg.numCores = 4;
+    const uint64_t v = 1u << 13;
+    for (uint64_t k : {2u, 8u, 32u, 128u, 256u}) {
+        const auto sim = piuma::simulateDenseMm(v, k, k, cfg);
+        const double model_ns = piuma::denseMmTimeNs(cfg, v, k, k);
+        const double model_gflops = sim.flop / model_ns;
+        table.row()
+            .cell(static_cast<uint64_t>(k))
+            .cell(sim.gflops, 2)
+            .cell(model_gflops, 2)
+            .cell(sim.gflops / model_gflops, 2)
+            .cell(sim.memUtilization, 2)
+            .cell(sim.issueUtilization, 2);
+    }
+    bench::emit(table, csv);
+    std::cout << "Reading: at K>=32 the scalar pipelines saturate "
+                 "(issue util -> 1) while the memory system idles — "
+                 "the paper's explanation for PIUMA losing ground to "
+                 "SIMD machines as the embedding dimension grows.\n";
+    return 0;
+}

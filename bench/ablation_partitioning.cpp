@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Discussion study (paper Section VI, "Graph Partitioning"):
+ * distributed GNN systems cut the graph across nodes and pay
+ * ghost-vertex exchange every layer; PIUMA's DGAS needs none of it.
+ * This bench partitions proxy graphs 2..64 ways with the two standard
+ * 1D strategies and prices the per-layer ghost exchange at a typical
+ * cluster interconnect bandwidth, next to the PIUMA node-model SpMM
+ * time for the same (proxy-scaled) workload.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/partition.hpp"
+
+using namespace pgcn;
+
+int
+main(int argc, char **argv)
+{
+    const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const graph::Csr csr = bench::desProxy(14);
+    constexpr uint64_t kDim = 128;
+    // 200 Gb/s InfiniBand-class per-node injection bandwidth.
+    constexpr double kNetBytesPerNs = 25.0;
+
+    std::cout << "proxy: |V|=" << csr.numVertices()
+              << " |E|=" << csr.numEdges() << ", K=" << kDim << "\n\n";
+
+    const double feature_matrix_bytes =
+        static_cast<double>(csr.numVertices()) * kDim * 4.0;
+
+    Table table("Partitioned distributed SpMM vs DGAS",
+                {"strategy", "parts", "cut %", "replication",
+                 "imbalance", "ghost MiB/layer", "ghost / |H|",
+                 "exchange (us)"});
+    for (const char *strategy : {"hash", "range"}) {
+        for (unsigned parts : {2u, 4u, 8u, 16u, 32u, 64u}) {
+            const auto assignment =
+                std::string(strategy) == "hash"
+                    ? graph::hashPartition(csr.numVertices(), parts)
+                    : graph::rangePartitionByEdges(csr, parts);
+            const auto stats =
+                graph::evaluatePartition(csr, assignment, parts);
+            const double ghost_bytes = graph::ghostExchangeBytes(
+                stats, csr.numVertices(), kDim);
+            // All-to-all exchange limited by the busiest node's
+            // injection bandwidth (ghost bytes / parts per node).
+            const double exchange_ns =
+                ghost_bytes / parts / kNetBytesPerNs;
+            table.row()
+                .cell(strategy)
+                .cell(static_cast<uint64_t>(parts))
+                .cell(100.0 * stats.cutFraction, 1)
+                .cell(stats.replicationFactor, 2)
+                .cell(stats.maxLoadImbalance, 2)
+                .cell(ghost_bytes / (1024.0 * 1024.0), 1)
+                .cell(ghost_bytes / feature_matrix_bytes, 2)
+                .cell(exchange_ns / 1e3, 1);
+        }
+    }
+    bench::emit(table, csv);
+    std::cout << "Reading: by 16 parts >90% of edges are cut on the "
+                 "skewed proxy and every layer ships >5x the entire "
+                 "feature matrix between nodes as ghost copies — "
+                 "traffic (and partitioning cost) PIUMA's shared "
+                 "address space avoids entirely (Section VI).\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: proxy-graph
+ * construction at DES-friendly scale, sweep-model construction, and
+ * optional CSV output (pass an output path as argv[1]).
+ */
+#ifndef PGCN_BENCH_BENCH_UTIL_HPP
+#define PGCN_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/gcn_config.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+
+namespace pgcn::bench {
+
+/**
+ * Emit a finished table: aligned text to stdout, and CSV to
+ * @p csv_path when non-empty.
+ */
+inline void
+emit(const Table &table, const std::string &csv_path)
+{
+    table.print(std::cout);
+    if (!csv_path.empty()) {
+        table.writeCsv(csv_path);
+        std::cout << "(csv written to " << csv_path << ")\n\n";
+    }
+}
+
+/** argv[1] as CSV path, or empty. */
+inline std::string
+csvPathFromArgs(int argc, char **argv)
+{
+    return argc > 1 ? argv[1] : std::string{};
+}
+
+/**
+ * A DES-friendly RMAT proxy with average degree ~16, the paper's
+ * down-scaled-simulation methodology [18].
+ *
+ * @param scale log2 vertex count.
+ * @param avg_degree Pre-normalisation average degree.
+ */
+inline graph::Csr
+desProxy(uint32_t scale, uint32_t avg_degree = 16, uint64_t seed = 42)
+{
+    const auto edges =
+        (graph::EdgeId{1} << scale) * avg_degree;
+    return graph::normalizedAdjacency(
+        graph::generateRmat(scale, edges, graph::rmatSkewed(), seed));
+}
+
+/** The paper's 3-layer GCN with hidden dimension @p hidden. */
+inline core::GcnModelConfig
+sweepModel(const graph::DatasetInfo &dataset, uint64_t hidden)
+{
+    core::GcnModelConfig cfg;
+    cfg.inputDim = dataset.inputDim;
+    cfg.hiddenDim = hidden;
+    cfg.outputDim = dataset.numClasses;
+    cfg.numLayers = 3;
+    return cfg;
+}
+
+} // namespace pgcn::bench
+
+#endif // PGCN_BENCH_BENCH_UTIL_HPP

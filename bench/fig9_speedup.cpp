@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 9: single-node GCN performance of PIUMA and the A100 GPU
+ * against the dual-socket Xeon baseline, across the embedding sweep.
+ * Bars in the paper = whole-GCN speedup; diamonds = SpMM-kernel
+ * speedup. Includes the synthetic low-locality power-16/power-22
+ * graphs.
+ *
+ * Expected shape: PIUMA > 1x vs CPU everywhere, with the margin
+ * shrinking as K grows (dense pressure); the GPU beats the CPU only
+ * at higher K and collapses on papers (sampling); PIUMA's SpMM
+ * advantage over the GPU is largest on the low-locality power
+ * graphs, while the GPU wins small cached graphs (ddi, proteins).
+ *
+ * The PIUMA node model's SpMM efficiency is calibrated against the
+ * discrete-event simulator before the sweep (printed below).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platforms.hpp"
+
+using namespace pgcn;
+
+int
+main(int argc, char **argv)
+{
+    const std::string csv = bench::csvPathFromArgs(argc, argv);
+
+    // Calibrate the node model against the DES on an 8-core die.
+    piuma::PiumaConfig calib_cfg = piuma::PiumaConfig::singleDie();
+    piuma::NodeModelParams params;
+    params.spmmEfficiency = std::min(
+        1.0, piuma::calibrateSpmmEfficiency(calib_cfg, 64, 1u << 18));
+    std::cout << "calibrated PIUMA SpMM efficiency (DES, 8 cores, "
+                 "K=64): "
+              << params.spmmEfficiency << "\n\n";
+
+    core::XeonPlatform cpu;
+    core::GpuPlatform gpu;
+    core::PiumaPlatform piuma_node(piuma::PiumaConfig::node(), params);
+
+    Table table("Fig 9: speedup vs dual-socket Xeon "
+                "(GCN bars / SpMM diamonds)",
+                {"dataset", "K", "piuma GCN x", "gpu GCN x",
+                 "piuma SpMM x", "gpu SpMM x", "gpu fits"});
+    for (const auto &d : graph::allDatasets()) {
+        for (uint64_t k : core::GcnModelConfig::embeddingSweep()) {
+            const auto model = bench::sweepModel(d, k);
+            const double cpu_total = cpu.timeGcn(d, model).totalNs();
+            const double cpu_spmm = cpu.spmmOnlyNs(d, model);
+            table.row()
+                .cell(d.name)
+                .cell(static_cast<uint64_t>(k))
+                .cell(cpu_total / piuma_node.timeGcn(d, model).totalNs(),
+                      2)
+                .cell(cpu_total / gpu.timeGcn(d, model).totalNs(), 2)
+                .cell(cpu_spmm / piuma_node.spmmOnlyNs(d, model), 2)
+                .cell(cpu_spmm / gpu.spmmOnlyNs(d, model), 2)
+                .cell(gpu.fits(d, model) ? "yes" : "NO");
+        }
+    }
+    bench::emit(table, csv);
+    return 0;
+}

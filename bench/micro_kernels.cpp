@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the functional host kernels:
+ * SpMM variants, dense GEMM, graph generation and normalisation.
+ * These measure real wall-clock throughput of the library's
+ * executable kernels on this machine (as opposed to the modelled
+ * platforms of the figure benches).
+ */
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/tiled_spmm.hpp"
+#include "tensor/dense_mm.hpp"
+
+namespace {
+
+using namespace pgcn;
+
+graph::Csr
+benchGraph(uint32_t scale)
+{
+    return graph::normalizedAdjacency(graph::generateRmat(
+        scale, (graph::EdgeId{1} << scale) * 8, graph::rmatSkewed(), 3));
+}
+
+void
+BM_SpmmReference(benchmark::State &state)
+{
+    const auto csr = benchGraph(static_cast<uint32_t>(state.range(0)));
+    const auto k = static_cast<uint64_t>(state.range(1));
+    tensor::DenseMatrix h(csr.numVertices(), k);
+    h.fillRandom(1);
+    tensor::DenseMatrix out;
+    for (auto _ : state) {
+        kernels::spmmReference(csr, h, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(csr.numEdges()));
+}
+BENCHMARK(BM_SpmmReference)->Args({12, 32})->Args({14, 32});
+
+void
+BM_SpmmVertexParallel(benchmark::State &state)
+{
+    const auto csr = benchGraph(static_cast<uint32_t>(state.range(0)));
+    const auto k = static_cast<uint64_t>(state.range(1));
+    tensor::DenseMatrix h(csr.numVertices(), k);
+    h.fillRandom(1);
+    tensor::DenseMatrix out;
+    parallel::ThreadPool pool;
+    for (auto _ : state) {
+        kernels::spmmVertexParallel(csr, h, out, pool);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(csr.numEdges()));
+}
+BENCHMARK(BM_SpmmVertexParallel)
+    ->Args({12, 32})
+    ->Args({14, 32})
+    ->Args({14, 128});
+
+void
+BM_SpmmEdgeParallel(benchmark::State &state)
+{
+    const auto csr = benchGraph(static_cast<uint32_t>(state.range(0)));
+    const auto k = static_cast<uint64_t>(state.range(1));
+    tensor::DenseMatrix h(csr.numVertices(), k);
+    h.fillRandom(1);
+    tensor::DenseMatrix out;
+    parallel::ThreadPool pool;
+    for (auto _ : state) {
+        kernels::spmmEdgeParallel(csr, h, out, pool);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(csr.numEdges()));
+}
+BENCHMARK(BM_SpmmEdgeParallel)->Args({12, 32})->Args({14, 32});
+
+void
+BM_SpmmTiled(benchmark::State &state)
+{
+    const auto csr = benchGraph(static_cast<uint32_t>(state.range(0)));
+    const auto k = static_cast<uint64_t>(state.range(1));
+    const auto budget_kib = static_cast<double>(state.range(2));
+    tensor::DenseMatrix h(csr.numVertices(), k);
+    h.fillRandom(1);
+    tensor::DenseMatrix out;
+    parallel::ThreadPool pool;
+    kernels::TiledSpmm tiled(csr, k, budget_kib * 1024.0);
+    for (auto _ : state) {
+        tiled.apply(h, out, pool);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(csr.numEdges()));
+    state.counters["tiles"] =
+        static_cast<double>(tiled.numTiles());
+}
+BENCHMARK(BM_SpmmTiled)
+    ->Args({14, 128, 1 << 20}) // one tile
+    ->Args({14, 128, 256});    // many small tiles
+
+void
+BM_DenseMmBlocked(benchmark::State &state)
+{
+    const auto n = static_cast<uint64_t>(state.range(0));
+    tensor::DenseMatrix a(n, n), b(n, n), out;
+    a.fillRandom(1);
+    b.fillRandom(2);
+    for (auto _ : state) {
+        tensor::denseMmBlocked(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_DenseMmBlocked)->Arg(64)->Arg(256);
+
+void
+BM_RmatGeneration(benchmark::State &state)
+{
+    const auto scale = static_cast<uint32_t>(state.range(0));
+    const graph::EdgeId edges = (graph::EdgeId{1} << scale) * 8;
+    for (auto _ : state) {
+        auto coo =
+            graph::generateRmat(scale, edges, graph::rmatSkewed(), 5);
+        benchmark::DoNotOptimize(coo.numEdges());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_RmatGeneration)->Arg(12)->Arg(16);
+
+void
+BM_Normalization(benchmark::State &state)
+{
+    const auto scale = static_cast<uint32_t>(state.range(0));
+    auto coo = graph::generateRmat(
+        scale, (graph::EdgeId{1} << scale) * 8, graph::rmatSkewed(), 5);
+    for (auto _ : state) {
+        auto csr = graph::normalizedAdjacency(coo);
+        benchmark::DoNotOptimize(csr.numEdges());
+    }
+}
+BENCHMARK(BM_Normalization)->Arg(12)->Arg(14);
+
+} // namespace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Embedding-dimension sweep example: the architectural experiment at
+ * the heart of the paper, run end-to-end on a real (proxy) graph with
+ * the functional CPU kernels, then projected onto the three platform
+ * models. Shows how the sparse/dense balance shifts as the hidden
+ * dimension grows — measured, not just modelled.
+ *
+ * Build & run:  ./build/examples/embedding_sweep [dataset]
+ */
+#include <iostream>
+
+#include "core/gcn.hpp"
+#include "core/platforms.hpp"
+#include "graph/datasets.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pgcn;
+
+    const std::string name = argc > 1 ? argv[1] : "arxiv";
+    const auto &dataset = graph::datasetByName(name);
+
+    // Down-scaled proxy for functional execution on this machine.
+    const auto proxy = graph::buildProxy(dataset, 1u << 17);
+    std::cout << "dataset " << dataset.name << ", proxy |V|="
+              << proxy.adjacency.numVertices() << " |E|="
+              << proxy.adjacency.numEdges() << " (scale factor "
+              << proxy.scaleFactor << ")\n\n";
+
+    parallel::ThreadPool pool;
+    std::cout << "measured on this machine (functional kernels):\n";
+    std::cout << "K      %SpMM   %Dense  %Glue   total(ms)\n";
+    for (uint64_t k : {8u, 32u, 128u}) {
+        core::GcnModelConfig cfg;
+        cfg.inputDim = dataset.inputDim;
+        cfg.hiddenDim = k;
+        cfg.outputDim = dataset.numClasses;
+        core::GcnModel model(cfg);
+        tensor::DenseMatrix features(proxy.adjacency.numVertices(),
+                                     cfg.inputDim);
+        features.fillRandom(3, 0.5f);
+        core::KernelBreakdown bd;
+        model.infer(proxy.adjacency, features, pool,
+                    core::CpuSpmmKind::VertexParallel, &bd);
+        std::printf("%-6lu %-7.1f %-7.1f %-7.1f %.2f\n",
+                    static_cast<unsigned long>(k),
+                    100.0 * bd.spmmFraction(),
+                    100.0 * bd.denseFraction(),
+                    100.0 * bd.glueFraction(), bd.totalNs() / 1e6);
+    }
+
+    std::cout << "\nprojected at published scale (platform models):\n";
+    core::XeonPlatform cpu;
+    core::PiumaPlatform piuma_node;
+    std::cout << "K      xeon %SpMM   piuma %Dense   piuma speedup\n";
+    for (uint64_t k : core::GcnModelConfig::embeddingSweep()) {
+        core::GcnModelConfig cfg;
+        cfg.inputDim = dataset.inputDim;
+        cfg.hiddenDim = k;
+        cfg.outputDim = dataset.numClasses;
+        const auto cpu_bd = cpu.timeGcn(dataset, cfg);
+        const auto piuma_bd = piuma_node.timeGcn(dataset, cfg);
+        std::printf("%-6lu %-11.1f %-14.1f %.2fx\n",
+                    static_cast<unsigned long>(k),
+                    100.0 * cpu_bd.spmmFraction(),
+                    100.0 * piuma_bd.denseFraction(),
+                    cpu_bd.totalNs() / piuma_bd.totalNs());
+    }
+    std::cout << "\nreading: the update (dense) share on PIUMA grows "
+                 "with K while its advantage over the CPU shrinks — "
+                 "the paper's key takeaway 2 of Section V.\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+#include "logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pgcn {
+
+void
+panic(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", message.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warn(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+inform(const std::string &message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace pgcn

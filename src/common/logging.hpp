@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting and status-message primitives.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors
+ * (bad configuration, impossible parameters). Both terminate;
+ * warn()/inform() never do.
+ */
+#ifndef PGCN_COMMON_LOGGING_HPP
+#define PGCN_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace pgcn {
+
+/**
+ * Terminate with an internal-bug diagnostic. Call when an invariant
+ * that no user input should be able to violate has been violated.
+ * Calls std::abort() so a core dump / debugger trap is possible.
+ *
+ * @param file Source file of the failure (use __FILE__).
+ * @param line Source line of the failure (use __LINE__).
+ * @param message Human-readable description of the violated invariant.
+ */
+[[noreturn]] void panic(const char *file, int line, const std::string &message);
+
+/**
+ * Terminate with a user-error diagnostic. Call when the simulation
+ * cannot continue due to a configuration or argument error that is
+ * the caller's fault. Exits with status 1 (no core dump).
+ *
+ * @param message Human-readable description of the user error.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Print a non-fatal warning to stderr. Use when behaviour may be
+ * surprising but execution can continue.
+ *
+ * @param message The warning text.
+ */
+void warn(const std::string &message);
+
+/**
+ * Print an informational status message to stderr.
+ *
+ * @param message The status text.
+ */
+void inform(const std::string &message);
+
+} // namespace pgcn
+
+/**
+ * Assert an internal invariant; on failure, panic with the stringified
+ * condition and an optional message. Active in all build types because
+ * simulator correctness bugs silently corrupt results otherwise.
+ */
+#define PGCN_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream pgcn_assert_oss_;                            \
+            pgcn_assert_oss_ << "assertion `" #cond "` failed: " << msg;    \
+            ::pgcn::panic(__FILE__, __LINE__, pgcn_assert_oss_.str());      \
+        }                                                                   \
+    } while (0)
+
+/** Panic unconditionally with a streamed message. */
+#define PGCN_PANIC(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream pgcn_panic_oss_;                                 \
+        pgcn_panic_oss_ << msg;                                             \
+        ::pgcn::panic(__FILE__, __LINE__, pgcn_panic_oss_.str());           \
+    } while (0)
+
+/** Fatal user error with a streamed message. */
+#define PGCN_FATAL(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream pgcn_fatal_oss_;                                 \
+        pgcn_fatal_oss_ << msg;                                             \
+        ::pgcn::fatal(pgcn_fatal_oss_.str());                               \
+    } while (0)
+
+#endif // PGCN_COMMON_LOGGING_HPP

@@ -1,0 +1,63 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace pgcn {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    PGCN_ASSERT(!samples.empty(), "percentile of empty sample set");
+    PGCN_ASSERT(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    PGCN_ASSERT(!samples.empty(), "geomean of empty sample set");
+    double log_sum = 0.0;
+    for (double s : samples) {
+        PGCN_ASSERT(s > 0.0, "geomean requires positive samples, got " << s);
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+} // namespace pgcn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics helpers used by benches and tests: running
+ * mean/variance (Welford), min/max tracking, and percentile extraction.
+ */
+#ifndef PGCN_COMMON_STATS_HPP
+#define PGCN_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace pgcn {
+
+/**
+ * Streaming scalar statistics using Welford's online algorithm.
+ * Numerically stable for long accumulation runs.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added so far. */
+    size_t count() const { return count_; }
+
+    /** Mean of the samples; 0 if empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 if fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf if empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf if empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Return the p-th percentile (0..100) of @p samples using linear
+ * interpolation between closest ranks. The input is copied and sorted.
+ *
+ * @param samples Sample set; must be non-empty.
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * Geometric mean of @p samples; all samples must be positive.
+ *
+ * @param samples Non-empty set of positive values.
+ */
+double geomean(const std::vector<double> &samples);
+
+} // namespace pgcn
+
+#endif // PGCN_COMMON_STATS_HPP

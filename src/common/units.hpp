@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Physical-unit constants and conversions used by the timing models.
+ *
+ * All simulator time is kept in double-precision nanoseconds; all
+ * data volumes in double-precision bytes. Helper constants make call
+ * sites read like the paper's equations (GB/s, TB, ns).
+ */
+#ifndef PGCN_COMMON_UNITS_HPP
+#define PGCN_COMMON_UNITS_HPP
+
+#include <cstdint>
+
+namespace pgcn::units {
+
+/** Bytes per kibibyte/mebibyte/gibibyte (binary). */
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+constexpr double kTiB = 1024.0 * kGiB;
+
+/** Bytes per decimal KB/MB/GB/TB (used for bandwidth specs). */
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+constexpr double kTB = 1e12;
+
+/** Nanoseconds per microsecond/millisecond/second. */
+constexpr double kUs = 1e3;
+constexpr double kMs = 1e6;
+constexpr double kSec = 1e9;
+
+/**
+ * Convert a bandwidth in GB/s to bytes-per-nanosecond, the unit the
+ * discrete-event simulator uses internally.
+ *
+ * @param gbps Bandwidth in decimal gigabytes per second.
+ * @return The same bandwidth in bytes per nanosecond.
+ */
+constexpr double
+gbPerSecToBytesPerNs(double gbps)
+{
+    return gbps; // 1 GB/s == 1e9 B / 1e9 ns == 1 B/ns
+}
+
+/**
+ * Convert seconds to nanoseconds.
+ */
+constexpr double
+secondsToNs(double seconds)
+{
+    return seconds * kSec;
+}
+
+/**
+ * Convert nanoseconds to seconds.
+ */
+constexpr double
+nsToSeconds(double ns)
+{
+    return ns / kSec;
+}
+
+/**
+ * Compute GFLOP/s from a FLOP count and a duration in nanoseconds.
+ *
+ * @param flops Total floating-point operations.
+ * @param ns Duration in nanoseconds; must be positive.
+ */
+constexpr double
+gflops(double flops, double ns)
+{
+    return flops / ns; // FLOP/ns == GFLOP/s
+}
+
+} // namespace pgcn::units
+
+#endif // PGCN_COMMON_UNITS_HPP

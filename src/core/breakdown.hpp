@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Execution-time breakdown of a GCN inference, using the categories
+ * of the paper's Figs. 3, 4 and 10: SpMM (sparse aggregation), Dense
+ * MM (update), Glue (activations + framework), plus the GPU-specific
+ * Offload (PCIe) and Sampling (host-side neighbourhood expansion).
+ */
+#ifndef PGCN_CORE_BREAKDOWN_HPP
+#define PGCN_CORE_BREAKDOWN_HPP
+
+#include <string>
+
+namespace pgcn::core {
+
+/** Nanoseconds attributed to each execution category. */
+struct KernelBreakdown
+{
+    double spmmNs = 0.0;
+    double denseNs = 0.0;
+    double glueNs = 0.0;
+    double offloadNs = 0.0;
+    double samplingNs = 0.0;
+
+    /** Total execution time. */
+    double
+    totalNs() const
+    {
+        return spmmNs + denseNs + glueNs + offloadNs + samplingNs;
+    }
+
+    /** Fraction of total spent in SpMM (0 if total is 0). */
+    double
+    spmmFraction() const
+    {
+        const double t = totalNs();
+        return t > 0 ? spmmNs / t : 0.0;
+    }
+
+    /** Fraction of total spent in Dense MM. */
+    double
+    denseFraction() const
+    {
+        const double t = totalNs();
+        return t > 0 ? denseNs / t : 0.0;
+    }
+
+    /** Fraction of total spent in Glue. */
+    double
+    glueFraction() const
+    {
+        const double t = totalNs();
+        return t > 0 ? glueNs / t : 0.0;
+    }
+
+    /** Fraction of total spent offloading over PCIe. */
+    double
+    offloadFraction() const
+    {
+        const double t = totalNs();
+        return t > 0 ? offloadNs / t : 0.0;
+    }
+
+    /** Fraction of total spent sampling on the host. */
+    double
+    samplingFraction() const
+    {
+        const double t = totalNs();
+        return t > 0 ? samplingNs / t : 0.0;
+    }
+
+    KernelBreakdown &
+    operator+=(const KernelBreakdown &other)
+    {
+        spmmNs += other.spmmNs;
+        denseNs += other.denseNs;
+        glueNs += other.glueNs;
+        offloadNs += other.offloadNs;
+        samplingNs += other.samplingNs;
+        return *this;
+    }
+
+    friend KernelBreakdown
+    operator+(KernelBreakdown a, const KernelBreakdown &b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+} // namespace pgcn::core
+
+#endif // PGCN_CORE_BREAKDOWN_HPP

@@ -1,0 +1,107 @@
+#include "core/gcn.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "kernels/spmm.hpp"
+#include "tensor/dense_mm.hpp"
+
+namespace pgcn::core {
+
+using tensor::DenseMatrix;
+
+namespace {
+
+double
+nowNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+GcnModel::GcnModel(const GcnModelConfig &config, uint64_t seed)
+    : config_(config)
+{
+    const auto dims = config_.layerDims();
+    weights_.reserve(dims.size());
+    for (size_t l = 0; l < dims.size(); ++l) {
+        DenseMatrix w(dims[l].inDim, dims[l].outDim);
+        // Glorot-style scale keeps activations bounded through layers.
+        const float scale =
+            1.0f / std::sqrt(static_cast<float>(dims[l].inDim));
+        w.fillRandom(seed + l, scale);
+        weights_.push_back(std::move(w));
+    }
+}
+
+const DenseMatrix &
+GcnModel::weights(unsigned layer) const
+{
+    PGCN_ASSERT(layer < weights_.size(),
+                "layer " << layer << " out of " << weights_.size());
+    return weights_[layer];
+}
+
+DenseMatrix
+GcnModel::infer(const graph::Csr &adjacency, const DenseMatrix &features,
+                parallel::ThreadPool &pool, CpuSpmmKind spmm_kind,
+                KernelBreakdown *breakdown_out) const
+{
+    PGCN_ASSERT(features.rows() == adjacency.numVertices(),
+                "feature rows " << features.rows() << " != |V| = "
+                                << adjacency.numVertices());
+    PGCN_ASSERT(features.cols() == config_.inputDim,
+                "feature dim " << features.cols() << " != input dim "
+                               << config_.inputDim);
+
+    KernelBreakdown breakdown;
+    DenseMatrix h = features;
+    auto run_spmm = [&](const DenseMatrix &in, DenseMatrix &out) {
+        const double t0 = nowNs();
+        if (spmm_kind == CpuSpmmKind::VertexParallel) {
+            kernels::spmmVertexParallel(adjacency, in, out, pool);
+        } else {
+            kernels::spmmEdgeParallel(adjacency, in, out, pool);
+        }
+        breakdown.spmmNs += nowNs() - t0;
+    };
+    auto run_dense = [&](const DenseMatrix &in, const DenseMatrix &w,
+                         DenseMatrix &out) {
+        const double t0 = nowNs();
+        tensor::denseMmBlocked(in, w, out);
+        breakdown.denseNs += nowNs() - t0;
+    };
+
+    for (size_t l = 0; l < weights_.size(); ++l) {
+        DenseMatrix result;
+        if (config_.order == LayerOrder::TransformThenAggregate) {
+            // A (H W): update first, aggregate at K_out.
+            DenseMatrix hw;
+            run_dense(h, weights_[l], hw);
+            run_spmm(hw, result);
+        } else {
+            // (A H) W: the paper's Eq. 1 order, aggregate at K_in.
+            DenseMatrix ah;
+            run_spmm(h, ah);
+            run_dense(ah, weights_[l], result);
+        }
+
+        // Glue: activation between layers.
+        const double t0 = nowNs();
+        if (l + 1 < weights_.size())
+            tensor::reluInPlace(result);
+        breakdown.glueNs += nowNs() - t0;
+
+        h = std::move(result);
+    }
+
+    if (breakdown_out != nullptr)
+        *breakdown_out = breakdown;
+    return h;
+}
+
+} // namespace pgcn::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The functional GCN inference engine: real computation on the CPU
+ * kernels (SpMM + blocked GEMM + ReLU), with a measured wall-clock
+ * breakdown in the paper's categories. This is the executable heart
+ * of the library — what a downstream user runs on their own graph —
+ * while the platform models in platforms.hpp project the same
+ * workload onto the paper's three systems.
+ *
+ * Layer semantics follow the PyTorch-Geometric GCNConv the paper
+ * profiles: transform-then-aggregate, H' = A~ (H W), with a ReLU
+ * between layers (none after the last).
+ */
+#ifndef PGCN_CORE_GCN_HPP
+#define PGCN_CORE_GCN_HPP
+
+#include <vector>
+
+#include "core/breakdown.hpp"
+#include "core/gcn_config.hpp"
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace pgcn::core {
+
+/** Which functional SpMM implementation the executor uses. */
+enum class CpuSpmmKind
+{
+    VertexParallel, ///< the paper's optimized CPU baseline
+    EdgeParallel,   ///< Algorithm 2 (atomics; slower on CPU)
+};
+
+/**
+ * A GCN with materialised weights, runnable on any graph whose
+ * adjacency is given as a (normalised) CSR.
+ */
+class GcnModel
+{
+  public:
+    /**
+     * Create a model with deterministic random weights.
+     *
+     * @param config Layer dimensions.
+     * @param seed Weight-initialisation seed.
+     */
+    GcnModel(const GcnModelConfig &config, uint64_t seed = 7);
+
+    /** The model configuration. */
+    const GcnModelConfig &config() const { return config_; }
+
+    /** Weight matrix of layer @p layer (inDim x outDim). */
+    const tensor::DenseMatrix &weights(unsigned layer) const;
+
+    /**
+     * Run inference: features -> logits.
+     *
+     * @param adjacency Normalised adjacency A~ (|V| x |V|).
+     * @param features Input features (|V| x inputDim).
+     * @param pool Thread pool for the parallel kernels.
+     * @param spmm_kind Which SpMM implementation to use.
+     * @param breakdown_out If non-null, receives the measured
+     *        wall-clock breakdown (SpMM / Dense MM / Glue).
+     * @return Output logits (|V| x outputDim).
+     */
+    tensor::DenseMatrix infer(const graph::Csr &adjacency,
+                              const tensor::DenseMatrix &features,
+                              parallel::ThreadPool &pool,
+                              CpuSpmmKind spmm_kind =
+                                  CpuSpmmKind::VertexParallel,
+                              KernelBreakdown *breakdown_out =
+                                  nullptr) const;
+
+  private:
+    GcnModelConfig config_;
+    std::vector<tensor::DenseMatrix> weights_;
+};
+
+} // namespace pgcn::core
+
+#endif // PGCN_CORE_GCN_HPP

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GCN model description: layer count and feature dimensions. The
+ * paper's characterization uses a three-layer GCN whose hidden
+ * dimension is swept from 8 to 256 in powers of two.
+ */
+#ifndef PGCN_CORE_GCN_CONFIG_HPP
+#define PGCN_CORE_GCN_CONFIG_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace pgcn::core {
+
+/** Input/output feature dimensions of one GCN layer. */
+struct LayerDims
+{
+    uint64_t inDim;
+    uint64_t outDim;
+};
+
+/**
+ * Order of the two matrix products inside one layer. The paper's
+ * Eq. (1) writes sigma(A H W); evaluating (A H) W aggregates at the
+ * *input* dimension, while the PyTorch-Geometric GCNConv the paper
+ * profiles computes A (H W), aggregating at the *output* dimension.
+ * Numerically identical (associativity); architecturally different —
+ * the SpMM runs at a different K.
+ */
+enum class LayerOrder
+{
+    TransformThenAggregate, ///< A (H W): SpMM at K_out (PyG default)
+    AggregateThenTransform, ///< (A H) W: SpMM at K_in (paper Eq. 1)
+};
+
+/** A GCN model: input -> (numLayers - 1) hidden layers -> output. */
+struct GcnModelConfig
+{
+    uint64_t inputDim = 128;
+    uint64_t hiddenDim = 64;
+    uint64_t outputDim = 40;
+    unsigned numLayers = 3;
+    LayerOrder order = LayerOrder::TransformThenAggregate;
+
+    /** Feature dimension the SpMM of layer @p dims runs at. */
+    uint64_t
+    spmmDim(const LayerDims &dims) const
+    {
+        return order == LayerOrder::TransformThenAggregate
+                   ? dims.outDim
+                   : dims.inDim;
+    }
+
+    /**
+     * Per-layer dimensions: layer 1 maps input -> hidden, middle
+     * layers hidden -> hidden, the last layer hidden -> output.
+     */
+    std::vector<LayerDims>
+    layerDims() const
+    {
+        PGCN_ASSERT(numLayers >= 1, "GCN needs at least one layer");
+        std::vector<LayerDims> dims;
+        dims.reserve(numLayers);
+        for (unsigned l = 0; l < numLayers; ++l) {
+            const uint64_t in = l == 0 ? inputDim : hiddenDim;
+            const uint64_t out =
+                l + 1 == numLayers ? outputDim : hiddenDim;
+            dims.push_back(LayerDims{in, out});
+        }
+        return dims;
+    }
+
+    /** Widest feature dimension across all layers. */
+    uint64_t
+    maxDim() const
+    {
+        uint64_t widest = 0;
+        for (const auto &d : layerDims()) {
+            widest = std::max({widest, d.inDim, d.outDim});
+        }
+        return widest;
+    }
+
+    /** The paper's sweep values for the hidden dimension. */
+    static const std::vector<uint64_t> &
+    embeddingSweep()
+    {
+        static const std::vector<uint64_t> sweep{8, 16, 32, 64, 128, 256};
+        return sweep;
+    }
+};
+
+} // namespace pgcn::core
+
+#endif // PGCN_CORE_GCN_CONFIG_HPP

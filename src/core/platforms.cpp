@@ -1,0 +1,190 @@
+#include "core/platforms.hpp"
+
+#include <algorithm>
+
+#include "gpu/timing.hpp"
+#include "model/spmm_model.hpp"
+#include "xeon/timing.hpp"
+
+namespace pgcn::core {
+
+using graph::DatasetInfo;
+using model::SpmmWorkload;
+
+namespace {
+
+/**
+ * Per-layer SpMM workload: the aggregation dimension depends on the
+ * model's layer order (A (H W) aggregates at K_out, (A H) W at K_in).
+ */
+SpmmWorkload
+layerSpmm(const DatasetInfo &dataset, const GcnModelConfig &model,
+          const LayerDims &dims)
+{
+    return SpmmWorkload{dataset.numVertices, dataset.numEdges,
+                        model.spmmDim(dims)};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Xeon
+
+XeonPlatform::XeonPlatform(xeon::XeonConfig cfg, unsigned threads)
+    : cfg_(cfg),
+      threads_(threads == 0 ? cfg.physicalCores() : threads)
+{
+    cfg_.validate();
+}
+
+KernelBreakdown
+XeonPlatform::timeGcn(const DatasetInfo &dataset,
+                      const GcnModelConfig &model) const
+{
+    KernelBreakdown bd;
+    const auto layers = model.layerDims();
+    for (size_t l = 0; l < layers.size(); ++l) {
+        bd.denseNs += xeon::denseMmTimeNs(cfg_, dataset.numVertices,
+                                          layers[l].inDim,
+                                          layers[l].outDim, threads_);
+        bd.spmmNs += xeon::spmmTimeNs(
+            cfg_, layerSpmm(dataset, model, layers[l]), threads_,
+            dataset.profile == graph::DegreeProfile::Skewed);
+        if (l + 1 < layers.size()) {
+            bd.glueNs += xeon::glueTimeNs(cfg_, dataset.numVertices,
+                                          layers[l].outDim, threads_);
+        }
+    }
+    return bd;
+}
+
+double
+XeonPlatform::spmmOnlyNs(const DatasetInfo &dataset,
+                         const GcnModelConfig &model) const
+{
+    double total = 0.0;
+    for (const auto &dims : model.layerDims()) {
+        total += xeon::spmmTimeNs(
+            cfg_, layerSpmm(dataset, model, dims), threads_,
+            dataset.profile == graph::DegreeProfile::Skewed);
+    }
+    return total;
+}
+
+// ----------------------------------------------------------------- GPU
+
+GpuPlatform::GpuPlatform(gpu::GpuConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+bool
+GpuPlatform::fits(const DatasetInfo &dataset,
+                  const GcnModelConfig &model) const
+{
+    return gpu::fitsInMemory(cfg_, dataset.numVertices, dataset.numEdges,
+                             model.maxDim());
+}
+
+KernelBreakdown
+GpuPlatform::timeGcn(const DatasetInfo &dataset,
+                     const GcnModelConfig &model) const
+{
+    KernelBreakdown bd;
+    const auto layers = model.layerDims();
+    const bool resident = fits(dataset, model);
+
+    if (resident) {
+        // One-time offload of adjacency + input features (Fig. 4:
+        // the dominant cost for small K).
+        bd.offloadNs += gpu::offloadTimeNs(cfg_, dataset.numVertices,
+                                           dataset.numEdges,
+                                           model.inputDim);
+    }
+
+    for (size_t l = 0; l < layers.size(); ++l) {
+        if (!resident) {
+            // Layer-wise full-neighbourhood sampling on the host,
+            // then staging the gathered batch over PCIe.
+            bd.samplingNs += gpu::samplingTimeNs(cfg_, dataset.numEdges,
+                                                 layers[l].inDim);
+            bd.offloadNs += static_cast<double>(dataset.numVertices) *
+                                static_cast<double>(layers[l].inDim) *
+                                4.0 / cfg_.pcieBandwidthGBps +
+                            cfg_.transferOverheadNs;
+        }
+        bd.denseNs += gpu::denseMmTimeNs(cfg_, dataset.numVertices,
+                                         layers[l].inDim,
+                                         layers[l].outDim);
+        bd.spmmNs += gpu::spmmTimeNs(cfg_, layerSpmm(dataset, model, layers[l]));
+        if (l + 1 < layers.size()) {
+            bd.glueNs += gpu::glueTimeNs(cfg_, dataset.numVertices,
+                                         layers[l].outDim);
+        }
+    }
+    return bd;
+}
+
+double
+GpuPlatform::spmmOnlyNs(const DatasetInfo &dataset,
+                        const GcnModelConfig &model) const
+{
+    double total = 0.0;
+    for (const auto &dims : model.layerDims())
+        total += gpu::spmmTimeNs(cfg_, layerSpmm(dataset, model, dims));
+    return total;
+}
+
+// --------------------------------------------------------------- PIUMA
+
+PiumaPlatform::PiumaPlatform(piuma::PiumaConfig cfg,
+                             piuma::NodeModelParams params)
+    : cfg_(cfg), params_(params)
+{
+    cfg_.validate();
+}
+
+KernelBreakdown
+PiumaPlatform::timeGcn(const DatasetInfo &dataset,
+                       const GcnModelConfig &model) const
+{
+    KernelBreakdown bd;
+    const auto layers = model.layerDims();
+    for (size_t l = 0; l < layers.size(); ++l) {
+        double dense = piuma::denseMmTimeNs(cfg_, dataset.numVertices,
+                                            layers[l].inDim,
+                                            layers[l].outDim, params_);
+        double spmm = piuma::spmmTimeNs(
+            cfg_, layerSpmm(dataset, model, layers[l]), params_);
+        if (params_.fuseAggregationUpdate) {
+            // Graphite-style fusion: the intermediate H*W never
+            // round-trips DRAM. Half the saved traffic was the dense
+            // kernel's write, half the SpMM's read.
+            const double saved = piuma::fusionSavingsNs(
+                cfg_, dataset.numVertices, layers[l].outDim, params_);
+            dense = std::max(params_.kernelLaunchOverheadNs,
+                             dense - saved / 2.0);
+            spmm = std::max(params_.kernelLaunchOverheadNs,
+                            spmm - saved / 2.0);
+        }
+        bd.denseNs += dense;
+        bd.spmmNs += spmm;
+        if (l + 1 < layers.size()) {
+            bd.glueNs += piuma::glueTimeNs(cfg_, dataset.numVertices,
+                                           layers[l].outDim, params_);
+        }
+    }
+    return bd;
+}
+
+double
+PiumaPlatform::spmmOnlyNs(const DatasetInfo &dataset,
+                          const GcnModelConfig &model) const
+{
+    double total = 0.0;
+    for (const auto &dims : model.layerDims())
+        total += piuma::spmmTimeNs(cfg_, layerSpmm(dataset, model, dims),
+                                   params_);
+    return total;
+}
+
+} // namespace pgcn::core

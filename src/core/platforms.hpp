@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Platform models: project a GCN workload (dataset metadata + model
+ * config) onto the paper's three systems and return the Figs. 3/4/10
+ * execution-time breakdown. These run at full Table-I scale — no
+ * proxy graphs needed — because each platform module provides an
+ * analytical timing model (the PIUMA one calibrated against the
+ * discrete-event simulator).
+ */
+#ifndef PGCN_CORE_PLATFORMS_HPP
+#define PGCN_CORE_PLATFORMS_HPP
+
+#include <string>
+
+#include "core/breakdown.hpp"
+#include "core/gcn_config.hpp"
+#include "gpu/config.hpp"
+#include "graph/datasets.hpp"
+#include "piuma/config.hpp"
+#include "piuma/node_model.hpp"
+#include "xeon/config.hpp"
+
+namespace pgcn::core {
+
+/** Abstract platform: names itself and times a GCN inference. */
+class Platform
+{
+  public:
+    virtual ~Platform() = default;
+
+    /** Human-readable platform name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Time one full GCN inference over @p dataset.
+     *
+     * @param dataset Graph metadata (published |V|/|E|).
+     * @param model Layer dimensions.
+     */
+    virtual KernelBreakdown timeGcn(const graph::DatasetInfo &dataset,
+                                    const GcnModelConfig &model) const = 0;
+
+    /**
+     * Time only the SpMM kernels of the inference (the Fig. 9
+     * diamonds).
+     */
+    virtual double spmmOnlyNs(const graph::DatasetInfo &dataset,
+                              const GcnModelConfig &model) const = 0;
+};
+
+/** The dual-socket Xeon baseline (Fig. 3). */
+class XeonPlatform : public Platform
+{
+  public:
+    /**
+     * @param cfg Machine description.
+     * @param threads Worker threads; defaults to all physical cores,
+     *        where the bandwidth curve peaks.
+     */
+    explicit XeonPlatform(xeon::XeonConfig cfg =
+                              xeon::XeonConfig::platinum8380(),
+                          unsigned threads = 0);
+
+    std::string name() const override { return "xeon"; }
+    KernelBreakdown timeGcn(const graph::DatasetInfo &dataset,
+                            const GcnModelConfig &model) const override;
+    double spmmOnlyNs(const graph::DatasetInfo &dataset,
+                      const GcnModelConfig &model) const override;
+
+    /** The configuration in use. */
+    const xeon::XeonConfig &config() const { return cfg_; }
+
+  private:
+    xeon::XeonConfig cfg_;
+    unsigned threads_;
+};
+
+/** The A100 GPU comparison system (Fig. 4). */
+class GpuPlatform : public Platform
+{
+  public:
+    explicit GpuPlatform(gpu::GpuConfig cfg = gpu::GpuConfig::a100_40gb());
+
+    std::string name() const override { return "a100"; }
+    KernelBreakdown timeGcn(const graph::DatasetInfo &dataset,
+                            const GcnModelConfig &model) const override;
+    double spmmOnlyNs(const graph::DatasetInfo &dataset,
+                      const GcnModelConfig &model) const override;
+
+    /** Whether @p dataset fits in device memory for @p model. */
+    bool fits(const graph::DatasetInfo &dataset,
+              const GcnModelConfig &model) const;
+
+    /** The configuration in use. */
+    const gpu::GpuConfig &config() const { return cfg_; }
+
+  private:
+    gpu::GpuConfig cfg_;
+};
+
+/** A PIUMA node (Fig. 10). */
+class PiumaPlatform : public Platform
+{
+  public:
+    explicit PiumaPlatform(piuma::PiumaConfig cfg =
+                               piuma::PiumaConfig::node(),
+                           piuma::NodeModelParams params = {});
+
+    std::string name() const override { return "piuma"; }
+    KernelBreakdown timeGcn(const graph::DatasetInfo &dataset,
+                            const GcnModelConfig &model) const override;
+    double spmmOnlyNs(const graph::DatasetInfo &dataset,
+                      const GcnModelConfig &model) const override;
+
+    /** The configuration in use. */
+    const piuma::PiumaConfig &config() const { return cfg_; }
+
+  private:
+    piuma::PiumaConfig cfg_;
+    piuma::NodeModelParams params_;
+};
+
+} // namespace pgcn::core
+
+#endif // PGCN_CORE_PLATFORMS_HPP

@@ -1,0 +1,97 @@
+#include "gpu/timing.hpp"
+
+#include <algorithm>
+
+namespace pgcn::gpu {
+
+double
+deviceFootprintBytes(uint64_t num_vertices, uint64_t num_edges,
+                     uint64_t max_dim)
+{
+    const double v = static_cast<double>(num_vertices);
+    const double e = static_cast<double>(num_edges);
+    const double k = static_cast<double>(max_dim);
+    const double csr = (v + 1.0) * 8.0 + e * 8.0; // offsets + col/val
+    const double activations = 2.0 * v * k * 4.0; // in + out of a layer
+    return csr + activations;
+}
+
+bool
+fitsInMemory(const GpuConfig &cfg, uint64_t num_vertices,
+             uint64_t num_edges, uint64_t max_dim)
+{
+    cfg.validate();
+    return deviceFootprintBytes(num_vertices, num_edges, max_dim) <=
+           cfg.memoryBytes;
+}
+
+double
+offloadTimeNs(const GpuConfig &cfg, uint64_t num_vertices,
+              uint64_t num_edges, uint64_t input_dim)
+{
+    const double v = static_cast<double>(num_vertices);
+    const double e = static_cast<double>(num_edges);
+    const double csr = (v + 1.0) * 8.0 + e * 8.0;
+    const double features = v * static_cast<double>(input_dim) * 4.0;
+    return (csr + features) / cfg.pcieBandwidthGBps +
+           2.0 * cfg.transferOverheadNs;
+}
+
+double
+spmmTimeNs(const GpuConfig &cfg, const model::SpmmWorkload &w)
+{
+    const model::ElementSizes sizes;
+    const double v = static_cast<double>(w.numVertices);
+    const double e = static_cast<double>(w.numEdges);
+    const double k = static_cast<double>(w.embeddingDim);
+
+    const double working_set = v * k * sizes.feature;
+    const double hit =
+        (working_set > 0 ? std::min(1.0, cfg.l2CacheBytes / working_set)
+                         : 1.0) *
+        cfg.l2ReuseFactor;
+    const double csr = (v + 1.0) * sizes.rowIndex + e * sizes.colIndex +
+                       e * sizes.nonZero;
+    const double feature =
+        v * k * sizes.feature +
+        std::max(0.0, e - v) * k * sizes.feature * (1.0 - hit);
+    const double write = v * k * sizes.feature;
+    const double bytes = csr + feature + write;
+    return bytes / (cfg.hbmBandwidthGBps * cfg.spmmEfficiency) +
+           cfg.kernelLaunchOverheadNs;
+}
+
+double
+denseMmTimeNs(const GpuConfig &cfg, uint64_t num_vertices, uint64_t k_in,
+              uint64_t k_out)
+{
+    const double v = static_cast<double>(num_vertices);
+    const double flop =
+        2.0 * v * static_cast<double>(k_in) * static_cast<double>(k_out);
+    const double bytes =
+        v * (static_cast<double>(k_in) + static_cast<double>(k_out)) * 4.0;
+    return model::rooflineTimeNs(flop, bytes, cfg.denseGflops,
+                                 cfg.hbmBandwidthGBps) +
+           cfg.kernelLaunchOverheadNs;
+}
+
+double
+glueTimeNs(const GpuConfig &cfg, uint64_t num_vertices, uint64_t k)
+{
+    const double bytes = 2.0 * static_cast<double>(num_vertices) *
+                         static_cast<double>(k) * 4.0;
+    return bytes / cfg.hbmBandwidthGBps + cfg.kernelLaunchOverheadNs;
+}
+
+double
+samplingTimeNs(const GpuConfig &cfg, uint64_t num_edges, uint64_t k)
+{
+    const double traversal =
+        static_cast<double>(num_edges) / cfg.hostSamplingEdgesPerNs;
+    const double gather = static_cast<double>(num_edges) *
+                          static_cast<double>(k) * 4.0 /
+                          cfg.hostGatherBandwidthGBps;
+    return traversal + gather;
+}
+
+} // namespace pgcn::gpu

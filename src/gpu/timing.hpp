@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytical A100 timing for GCN inference: PCIe offload, device
+ * SpMM/Dense-MM rooflines, and host-side full-neighbourhood sampling
+ * for graphs that exceed device memory (the *papers* regime of
+ * Fig. 4 where sampling+offload consume >99% of execution time).
+ */
+#ifndef PGCN_GPU_TIMING_HPP
+#define PGCN_GPU_TIMING_HPP
+
+#include "gpu/config.hpp"
+#include "model/spmm_model.hpp"
+
+namespace pgcn::gpu {
+
+/**
+ * Device-resident footprint (bytes) of a GCN over a graph: CSR plus
+ * the widest pair of activation matrices.
+ *
+ * @param num_vertices |V|.
+ * @param num_edges |E|.
+ * @param max_dim Widest feature dimension across layers.
+ */
+double deviceFootprintBytes(uint64_t num_vertices, uint64_t num_edges,
+                            uint64_t max_dim);
+
+/**
+ * Whether the whole graph (and activations) fits in device memory —
+ * the Fig. 4 / Fig. 9 threshold separating offload-bound from
+ * sampling-bound execution.
+ */
+bool fitsInMemory(const GpuConfig &cfg, uint64_t num_vertices,
+                  uint64_t num_edges, uint64_t max_dim);
+
+/**
+ * One-time offload of the adjacency + input features over PCIe (ns).
+ * Inductive inference cannot avoid this transfer (Section III-C).
+ */
+double offloadTimeNs(const GpuConfig &cfg, uint64_t num_vertices,
+                     uint64_t num_edges, uint64_t input_dim);
+
+/** Device SpMM time (ns): HBM roofline with L2-reuse correction. */
+double spmmTimeNs(const GpuConfig &cfg, const model::SpmmWorkload &w);
+
+/** Device dense-update time (ns): tensor-core roofline. */
+double denseMmTimeNs(const GpuConfig &cfg, uint64_t num_vertices,
+                     uint64_t k_in, uint64_t k_out);
+
+/** Element-wise glue time (ns) at HBM bandwidth. */
+double glueTimeNs(const GpuConfig &cfg, uint64_t num_vertices, uint64_t k);
+
+/**
+ * Host-side full-neighbourhood layer-wise sampling time (ns) for one
+ * layer over the whole edge set — the dominant cost when the graph
+ * does not fit on the device. Covers the CSR traversal plus the
+ * random gather of each neighbour's K-float feature vector into the
+ * mini-batch staging buffer.
+ *
+ * @param num_edges Edges expanded by the layer (full neighbourhood).
+ * @param k Feature dimension gathered per edge.
+ */
+double samplingTimeNs(const GpuConfig &cfg, uint64_t num_edges, uint64_t k);
+
+} // namespace pgcn::gpu
+
+#endif // PGCN_GPU_TIMING_HPP

@@ -1,0 +1,72 @@
+#include "graph/coo.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace pgcn::graph {
+
+void
+Coo::addEdge(VertexId src, VertexId dst, Value weight)
+{
+    PGCN_ASSERT(src < numVertices_,
+                "edge src " << src << " >= |V| = " << numVertices_);
+    PGCN_ASSERT(dst < numVertices_,
+                "edge dst " << dst << " >= |V| = " << numVertices_);
+    edges_.push_back(Edge{src, dst, weight});
+}
+
+void
+Coo::sortAndCombineDuplicates()
+{
+    std::sort(edges_.begin(), edges_.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    size_t out = 0;
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        if (out > 0 && edges_[out - 1].src == edges_[i].src &&
+            edges_[out - 1].dst == edges_[i].dst) {
+            edges_[out - 1].weight += edges_[i].weight;
+        } else {
+            edges_[out++] = edges_[i];
+        }
+    }
+    edges_.resize(out);
+}
+
+void
+Coo::symmetrize()
+{
+    const size_t original = edges_.size();
+    edges_.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+        const Edge e = edges_[i];
+        if (e.src != e.dst)
+            edges_.push_back(Edge{e.dst, e.src, e.weight});
+    }
+    sortAndCombineDuplicates();
+}
+
+void
+Coo::removeSelfLoops()
+{
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const Edge &e) { return e.src == e.dst; }),
+                 edges_.end());
+}
+
+void
+Coo::addSelfLoops(Value weight)
+{
+    for (const Edge &e : edges_) {
+        PGCN_ASSERT(e.src != e.dst,
+                    "addSelfLoops on a graph that already has loop at "
+                        << e.src);
+    }
+    edges_.reserve(edges_.size() + numVertices_);
+    for (VertexId v = 0; v < numVertices_; ++v)
+        edges_.push_back(Edge{v, v, weight});
+}
+
+} // namespace pgcn::graph

@@ -1,0 +1,93 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace pgcn::graph {
+
+Csr::Csr(const Coo &coo) : numVertices_(coo.numVertices())
+{
+    // Work on a sorted copy so duplicate edges collapse deterministically.
+    Coo sorted = coo;
+    sorted.sortAndCombineDuplicates();
+    const auto &edges = sorted.edges();
+
+    rowOffsets_.assign(static_cast<size_t>(numVertices_) + 1, 0);
+    cols_.resize(edges.size());
+    vals_.resize(edges.size());
+
+    for (const Edge &e : edges)
+        ++rowOffsets_[e.src + 1];
+    for (size_t v = 0; v < numVertices_; ++v)
+        rowOffsets_[v + 1] += rowOffsets_[v];
+
+    for (size_t i = 0; i < edges.size(); ++i) {
+        cols_[i] = edges[i].dst;
+        vals_[i] = edges[i].weight;
+    }
+    validate();
+}
+
+Csr::Csr(VertexId num_vertices, std::vector<EdgeId> row_offsets,
+         std::vector<VertexId> cols, std::vector<Value> vals)
+    : numVertices_(num_vertices), rowOffsets_(std::move(row_offsets)),
+      cols_(std::move(cols)), vals_(std::move(vals))
+{
+    validate();
+}
+
+void
+Csr::validate() const
+{
+    PGCN_ASSERT(rowOffsets_.size() ==
+                    static_cast<size_t>(numVertices_) + 1,
+                "row-offset array size " << rowOffsets_.size()
+                                         << " != |V|+1 = "
+                                         << numVertices_ + 1);
+    PGCN_ASSERT(rowOffsets_.front() == 0, "row offsets must start at 0");
+    PGCN_ASSERT(rowOffsets_.back() == cols_.size(),
+                "row offsets end " << rowOffsets_.back() << " != nnz "
+                                   << cols_.size());
+    PGCN_ASSERT(cols_.size() == vals_.size(),
+                "cols/vals size mismatch: " << cols_.size() << " vs "
+                                            << vals_.size());
+    for (size_t v = 0; v < numVertices_; ++v) {
+        PGCN_ASSERT(rowOffsets_[v] <= rowOffsets_[v + 1],
+                    "row offsets not monotone at row " << v);
+    }
+    for (VertexId c : cols_) {
+        PGCN_ASSERT(c < numVertices_,
+                    "column index " << c << " >= |V| = " << numVertices_);
+    }
+}
+
+double
+Csr::density() const
+{
+    if (numVertices_ == 0)
+        return 0.0;
+    const double v = static_cast<double>(numVertices_);
+    return static_cast<double>(numEdges()) / (v * v);
+}
+
+double
+Csr::averageDegree() const
+{
+    if (numVertices_ == 0)
+        return 0.0;
+    return static_cast<double>(numEdges()) /
+           static_cast<double>(numVertices_);
+}
+
+VertexId
+Csr::rowOfEdge(EdgeId e) const
+{
+    PGCN_ASSERT(e < numEdges(), "edge index " << e << " out of range");
+    // upper_bound finds the first offset strictly greater than e; the
+    // row owning e is one before it.
+    auto it = std::upper_bound(rowOffsets_.begin(), rowOffsets_.end(), e);
+    return static_cast<VertexId>(std::distance(rowOffsets_.begin(), it) - 1);
+}
+
+} // namespace pgcn::graph

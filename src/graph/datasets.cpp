@@ -1,0 +1,107 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+
+namespace pgcn::graph {
+
+const std::vector<DatasetInfo> &
+ogbDatasets()
+{
+    // Published |V| / |E| are Table I of the paper; feature dims and
+    // class counts are the standard OGB task dimensions (approximate
+    // for link-prediction tasks, where an embedding dim stands in for
+    // the input features).
+    static const std::vector<DatasetInfo> datasets = {
+        {"ddi", 4267, 1334889, 128, 1, DegreeProfile::Uniform},
+        {"proteins", 132534, 39561252, 8, 112, DegreeProfile::Uniform},
+        {"arxiv", 169343, 1166243, 128, 40, DegreeProfile::Skewed},
+        {"collab", 235868, 1285465, 128, 1, DegreeProfile::Uniform},
+        {"ppa", 576289, 30326273, 58, 37, DegreeProfile::Uniform},
+        {"mag", 1939743, 21111007, 128, 349, DegreeProfile::Skewed},
+        {"products", 2449029, 61859140, 100, 47, DegreeProfile::Skewed},
+        {"citation2", 2927963, 30561187, 128, 1, DegreeProfile::Skewed},
+        {"papers", 111059956, 1615685872, 128, 172, DegreeProfile::Skewed},
+    };
+    return datasets;
+}
+
+const std::vector<DatasetInfo> &
+powerDatasets()
+{
+    static const std::vector<DatasetInfo> datasets = {
+        {"power-16", uint64_t{1} << 16, (uint64_t{1} << 16) * 16, 128, 16,
+         DegreeProfile::Skewed},
+        {"power-22", uint64_t{1} << 22, (uint64_t{1} << 22) * 16, 128, 16,
+         DegreeProfile::Skewed},
+    };
+    return datasets;
+}
+
+const std::vector<DatasetInfo> &
+allDatasets()
+{
+    static const std::vector<DatasetInfo> datasets = [] {
+        std::vector<DatasetInfo> all = ogbDatasets();
+        const auto &power = powerDatasets();
+        all.insert(all.end(), power.begin(), power.end());
+        return all;
+    }();
+    return datasets;
+}
+
+const DatasetInfo &
+datasetByName(const std::string &name)
+{
+    const auto &all = allDatasets();
+    auto it = std::find_if(all.begin(), all.end(),
+                           [&](const DatasetInfo &d) {
+                               return d.name == name;
+                           });
+    if (it == all.end())
+        PGCN_FATAL("unknown dataset: " << name);
+    return *it;
+}
+
+ProxyGraph
+buildProxy(const DatasetInfo &info, EdgeId max_edges, uint64_t seed)
+{
+    PGCN_ASSERT(max_edges > 0, "proxy edge budget must be positive");
+
+    // Shrink vertices and edges by the same factor: average degree,
+    // which drives cache reuse and NNZ-read ratios, is preserved.
+    const double shrink =
+        std::max(1.0, static_cast<double>(info.numEdges) /
+                          static_cast<double>(max_edges));
+    const auto proxy_edges = static_cast<EdgeId>(
+        static_cast<double>(info.numEdges) / shrink);
+    auto proxy_vertices = static_cast<uint64_t>(
+        std::max(2.0, static_cast<double>(info.numVertices) / shrink));
+
+    Coo coo(0);
+    if (info.profile == DegreeProfile::Skewed) {
+        // RMAT needs a power-of-two vertex count; round up so density
+        // stays at or below the target.
+        uint32_t scale = 1;
+        while ((uint64_t{1} << scale) < proxy_vertices)
+            ++scale;
+        coo = generateRmat(scale, proxy_edges, rmatSkewed(), seed);
+        proxy_vertices = uint64_t{1} << scale;
+    } else {
+        coo = generateUniform(static_cast<VertexId>(proxy_vertices),
+                              proxy_edges, seed);
+    }
+
+    Csr adjacency = normalizedAdjacency(coo);
+    const double scale_factor =
+        static_cast<double>(info.numEdges) /
+        static_cast<double>(std::max<EdgeId>(1, adjacency.numEdges()));
+    return ProxyGraph{info, std::move(adjacency),
+                      std::max(1.0, scale_factor)};
+}
+
+} // namespace pgcn::graph

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Open Graph Benchmark dataset catalog (paper Table I) and the
+ * proxy-graph builder.
+ *
+ * Real OGB downloads are unavailable offline, so each dataset carries
+ * its published |V|/|E| metadata (used at full scale by the analytical
+ * platform models) plus a recipe for a degree-distribution-matched
+ * RMAT proxy that the functional kernels and the discrete-event PIUMA
+ * simulator execute, optionally down-scaled (the paper's own PIUMA
+ * numbers come from down-scaled simulation [18]).
+ */
+#ifndef PGCN_GRAPH_DATASETS_HPP
+#define PGCN_GRAPH_DATASETS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pgcn::graph {
+
+/** Degree-skew class of a dataset, selecting the proxy generator. */
+enum class DegreeProfile
+{
+    Uniform,  ///< near-uniform degrees (RMAT a=b=c=d)
+    Skewed,   ///< heavy-tailed (Graph500-style RMAT)
+};
+
+/** Static description of one benchmark graph. */
+struct DatasetInfo
+{
+    std::string name;      ///< short OGB name, e.g. "products"
+    uint64_t numVertices;  ///< published |V|
+    uint64_t numEdges;     ///< published |E|
+    uint32_t inputDim;     ///< input feature dimension
+    uint32_t numClasses;   ///< output dimension (classes / link score)
+    DegreeProfile profile; ///< proxy degree profile
+};
+
+/**
+ * The nine OGB datasets of Table I, in the paper's order
+ * (ddi, proteins, arxiv, collab, ppa, mag, products, citation2,
+ * papers).
+ */
+const std::vector<DatasetInfo> &ogbDatasets();
+
+/**
+ * Look up a dataset by name; fatal if unknown (user error).
+ *
+ * @param name One of the Table-I names, or "power-16" / "power-22".
+ */
+const DatasetInfo &datasetByName(const std::string &name);
+
+/**
+ * The two synthetic skewed RMAT datasets of Fig. 9: power-16
+ * (2^16 vertices) and power-22 (2^22 vertices), average degree 16.
+ */
+const std::vector<DatasetInfo> &powerDatasets();
+
+/** Concatenation of ogbDatasets() and powerDatasets(). */
+const std::vector<DatasetInfo> &allDatasets();
+
+/**
+ * A realised proxy graph: the normalised adjacency a GCN layer
+ * multiplies by, together with the scale factor that maps measured
+ * proxy traffic back to the published graph size.
+ */
+struct ProxyGraph
+{
+    DatasetInfo info;   ///< the dataset this proxies
+    Csr adjacency;      ///< normalised A~ of the proxy
+    double scaleFactor; ///< published |E| / proxy |E| (>= 1)
+};
+
+/**
+ * Build a proxy for @p info whose edge count does not exceed
+ * @p max_edges (pre-normalisation target; self loops and
+ * symmetrization change the final count slightly). Vertex and edge
+ * counts shrink by the same factor so average degree is preserved.
+ *
+ * @param info Dataset to proxy.
+ * @param max_edges Edge budget for the proxy (default 1M).
+ * @param seed RNG seed.
+ */
+ProxyGraph buildProxy(const DatasetInfo &info, EdgeId max_edges = 1u << 20,
+                      uint64_t seed = 42);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_DATASETS_HPP

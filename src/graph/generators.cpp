@@ -1,0 +1,88 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace pgcn::graph {
+
+RmatParams
+rmatSkewed()
+{
+    return RmatParams{0.57, 0.19, 0.19, 0.05, 0.1};
+}
+
+RmatParams
+rmatUniform()
+{
+    return RmatParams{0.25, 0.25, 0.25, 0.25, 0.0};
+}
+
+Coo
+generateRmat(uint32_t scale, EdgeId num_edges, const RmatParams &params,
+             uint64_t seed)
+{
+    PGCN_ASSERT(scale > 0 && scale < 32, "rmat scale out of range: " << scale);
+    const double sum = params.a + params.b + params.c + params.d;
+    PGCN_ASSERT(std::abs(sum - 1.0) < 1e-9,
+                "rmat probabilities sum to " << sum << ", expected 1");
+
+    const VertexId n = VertexId{1} << scale;
+    Coo coo(n);
+    Rng rng(seed);
+
+    for (EdgeId i = 0; i < num_edges; ++i) {
+        VertexId row = 0;
+        VertexId col = 0;
+        double a = params.a, b = params.b, c = params.c, d = params.d;
+        for (uint32_t level = 0; level < scale; ++level) {
+            const double r = rng.uniform();
+            if (r < a) {
+                // top-left quadrant: no bit set
+            } else if (r < a + b) {
+                col |= VertexId{1} << (scale - 1 - level);
+            } else if (r < a + b + c) {
+                row |= VertexId{1} << (scale - 1 - level);
+            } else {
+                row |= VertexId{1} << (scale - 1 - level);
+                col |= VertexId{1} << (scale - 1 - level);
+            }
+            if (params.noise > 0.0) {
+                // Multiplicative noise, renormalised, as in SNAP's
+                // smoothed RMAT to break the staircase artefact.
+                auto jitter = [&](double p) {
+                    return p * (1.0 - params.noise +
+                                2.0 * params.noise * rng.uniform());
+                };
+                a = jitter(a);
+                b = jitter(b);
+                c = jitter(c);
+                d = jitter(d);
+                const double s = a + b + c + d;
+                a /= s;
+                b /= s;
+                c /= s;
+                d /= s;
+            }
+        }
+        coo.addEdge(row, col);
+    }
+    return coo;
+}
+
+Coo
+generateUniform(VertexId num_vertices, EdgeId num_edges, uint64_t seed)
+{
+    PGCN_ASSERT(num_vertices > 0, "uniform graph needs vertices");
+    Coo coo(num_vertices);
+    Rng rng(seed);
+    for (EdgeId i = 0; i < num_edges; ++i) {
+        const auto src = static_cast<VertexId>(rng.uniformInt(num_vertices));
+        const auto dst = static_cast<VertexId>(rng.uniformInt(num_vertices));
+        coo.addEdge(src, dst);
+    }
+    return coo;
+}
+
+} // namespace pgcn::graph

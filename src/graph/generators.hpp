@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * The paper uses an RMAT generator from SNAP [7] for the linear
+ * function sweeps of Fig. 2, and "power-16"/"power-22" RMAT graphs
+ * with strong degree skew in Fig. 9. We implement the classic
+ * Chakrabarti et al. recursive-matrix generator with the standard
+ * (a, b, c, d) partition probabilities, plus a uniform (Erdos-Renyi
+ * style) generator for the uniform-degree sweeps.
+ */
+#ifndef PGCN_GRAPH_GENERATORS_HPP
+#define PGCN_GRAPH_GENERATORS_HPP
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace pgcn::graph {
+
+/** RMAT quadrant probabilities; must sum to 1. */
+struct RmatParams
+{
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    double d = 0.05;
+
+    /**
+     * Per-level multiplicative noise applied to the probabilities to
+     * avoid the artificial "staircase" degree distribution of pure
+     * RMAT; 0 disables noise.
+     */
+    double noise = 0.1;
+};
+
+/** Standard Graph500-style skewed parameters. */
+RmatParams rmatSkewed();
+
+/** Near-uniform parameters (a=b=c=d=0.25) for uniform-degree sweeps. */
+RmatParams rmatUniform();
+
+/**
+ * Generate a directed RMAT edge list over 2^scale vertices.
+ *
+ * @param scale  log2 of the vertex count.
+ * @param num_edges Number of edge samples to draw (before dedup).
+ * @param params Quadrant probabilities.
+ * @param seed   RNG seed; equal seeds give identical graphs.
+ * @return COO with exactly @p num_edges entries (duplicates possible).
+ */
+Coo generateRmat(uint32_t scale, EdgeId num_edges, const RmatParams &params,
+                 uint64_t seed);
+
+/**
+ * Generate a uniform random directed graph: @p num_edges independent
+ * (src, dst) pairs drawn uniformly. Duplicates and self loops possible
+ * until cleaned.
+ *
+ * @param num_vertices Vertex count (need not be a power of two).
+ * @param num_edges Edge samples to draw.
+ * @param seed RNG seed.
+ */
+Coo generateUniform(VertexId num_vertices, EdgeId num_edges, uint64_t seed);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_GENERATORS_HPP

@@ -1,0 +1,49 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace pgcn::graph {
+
+DegreeStats
+degreeStats(const Csr &csr)
+{
+    DegreeStats out;
+    const VertexId n = csr.numVertices();
+    if (n == 0)
+        return out;
+
+    RunningStat rs;
+    std::vector<double> degrees(n);
+    size_t isolated = 0;
+    for (VertexId u = 0; u < n; ++u) {
+        const auto d = static_cast<double>(csr.degree(u));
+        degrees[u] = d;
+        rs.add(d);
+        if (d == 0.0)
+            ++isolated;
+    }
+    out.mean = rs.mean();
+    out.maxDegree = rs.max();
+    out.coefficientOfVariation = rs.mean() > 0 ? rs.stddev() / rs.mean() : 0;
+    out.fracIsolated = static_cast<double>(isolated) / n;
+
+    // Gini: 1-based rank formula over sorted degrees.
+    std::sort(degrees.begin(), degrees.end());
+    double weighted = 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < degrees.size(); ++i) {
+        weighted += static_cast<double>(i + 1) * degrees[i];
+        total += degrees[i];
+    }
+    if (total > 0.0) {
+        const double nn = static_cast<double>(n);
+        out.gini = (2.0 * weighted) / (nn * total) - (nn + 1.0) / nn;
+    }
+    return out;
+}
+
+} // namespace pgcn::graph

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Degree-distribution statistics for characterising generated graphs
+ * (used to sanity-check that proxies preserve the skew of the graphs
+ * they stand in for).
+ */
+#ifndef PGCN_GRAPH_GRAPH_STATS_HPP
+#define PGCN_GRAPH_GRAPH_STATS_HPP
+
+#include "graph/csr.hpp"
+
+namespace pgcn::graph {
+
+/** Summary of a graph's degree distribution. */
+struct DegreeStats
+{
+    double mean = 0.0;          ///< average degree
+    double maxDegree = 0.0;     ///< largest row
+    double coefficientOfVariation = 0.0; ///< stddev / mean
+    double gini = 0.0;          ///< Gini coefficient of degrees [0,1)
+    double fracIsolated = 0.0;  ///< fraction of zero-degree vertices
+};
+
+/**
+ * Compute degree statistics over the rows of @p csr.
+ */
+DegreeStats degreeStats(const Csr &csr);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_GRAPH_STATS_HPP

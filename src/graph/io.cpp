@@ -1,0 +1,158 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace pgcn::graph {
+
+namespace {
+
+constexpr uint64_t kCsrMagic = 0x5047434e43535231ULL; // "PGCNCSR1"
+constexpr uint32_t kCsrVersion = 1;
+
+} // namespace
+
+void
+saveEdgeListText(const Coo &coo, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        PGCN_FATAL("cannot open for writing: " << path);
+    out << "# vertices " << coo.numVertices() << "\n";
+    for (const Edge &e : coo.edges())
+        out << e.src << " " << e.dst << " " << e.weight << "\n";
+    if (!out)
+        PGCN_FATAL("I/O error writing: " << path);
+}
+
+Coo
+loadEdgeListText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PGCN_FATAL("cannot open for reading: " << path);
+
+    std::vector<Edge> edges;
+    uint64_t declared_vertices = 0;
+    VertexId max_id = 0;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream header(line.substr(1));
+            std::string word;
+            if (header >> word && word == "vertices")
+                header >> declared_vertices;
+            continue;
+        }
+        std::istringstream fields(line);
+        uint64_t src = 0;
+        uint64_t dst = 0;
+        double weight = 1.0;
+        if (!(fields >> src >> dst)) {
+            PGCN_FATAL("malformed edge at " << path << ":" << line_no
+                                            << ": '" << line << "'");
+        }
+        fields >> weight; // optional
+        edges.push_back(Edge{static_cast<VertexId>(src),
+                             static_cast<VertexId>(dst),
+                             static_cast<Value>(weight)});
+        max_id = std::max({max_id, static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst)});
+    }
+
+    const uint64_t vertices =
+        declared_vertices > 0
+            ? declared_vertices
+            : (edges.empty() ? 0 : static_cast<uint64_t>(max_id) + 1);
+    if (!edges.empty() && max_id >= vertices) {
+        PGCN_FATAL("edge endpoint " << max_id
+                                    << " exceeds declared vertex count "
+                                    << vertices << " in " << path);
+    }
+    Coo coo(static_cast<VertexId>(vertices));
+    for (const Edge &e : edges)
+        coo.addEdge(e.src, e.dst, e.weight);
+    return coo;
+}
+
+void
+saveCsrBinary(const Csr &csr, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        PGCN_FATAL("cannot open for writing: " << path);
+
+    auto write_pod = [&](const auto &value) {
+        out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+    };
+    write_pod(kCsrMagic);
+    write_pod(kCsrVersion);
+    const uint64_t v = csr.numVertices();
+    const uint64_t e = csr.numEdges();
+    write_pod(v);
+    write_pod(e);
+    out.write(reinterpret_cast<const char *>(csr.rowOffsets().data()),
+              static_cast<std::streamsize>((v + 1) * sizeof(EdgeId)));
+    out.write(reinterpret_cast<const char *>(csr.cols().data()),
+              static_cast<std::streamsize>(e * sizeof(VertexId)));
+    out.write(reinterpret_cast<const char *>(csr.vals().data()),
+              static_cast<std::streamsize>(e * sizeof(Value)));
+    if (!out)
+        PGCN_FATAL("I/O error writing: " << path);
+}
+
+Csr
+loadCsrBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        PGCN_FATAL("cannot open for reading: " << path);
+
+    auto read_pod = [&](auto &value) {
+        in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    };
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    read_pod(magic);
+    read_pod(version);
+    if (!in || magic != kCsrMagic)
+        PGCN_FATAL("not a PGCN CSR file: " << path);
+    if (version != kCsrVersion) {
+        PGCN_FATAL("unsupported CSR file version " << version << " in "
+                                                   << path);
+    }
+    uint64_t v = 0;
+    uint64_t e = 0;
+    read_pod(v);
+    read_pod(e);
+    if (!in)
+        PGCN_FATAL("truncated CSR header in " << path);
+
+    std::vector<EdgeId> offsets(v + 1);
+    std::vector<VertexId> cols(e);
+    std::vector<Value> vals(e);
+    in.read(reinterpret_cast<char *>(offsets.data()),
+            static_cast<std::streamsize>((v + 1) * sizeof(EdgeId)));
+    in.read(reinterpret_cast<char *>(cols.data()),
+            static_cast<std::streamsize>(e * sizeof(VertexId)));
+    in.read(reinterpret_cast<char *>(vals.data()),
+            static_cast<std::streamsize>(e * sizeof(Value)));
+    if (!in)
+        PGCN_FATAL("truncated CSR payload in " << path);
+
+    // Csr's constructor re-validates the structural invariants, so a
+    // corrupted-but-well-sized file still fails loudly.
+    return Csr(static_cast<VertexId>(v), std::move(offsets),
+               std::move(cols), std::move(vals));
+}
+
+} // namespace pgcn::graph

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Graph persistence: a whitespace edge-list text format (what OGB
+ * distributions and SNAP dumps look like) and a fast binary CSR
+ * container, so downstream users can run the library on their own
+ * graphs without regenerating them.
+ */
+#ifndef PGCN_GRAPH_IO_HPP
+#define PGCN_GRAPH_IO_HPP
+
+#include <string>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace pgcn::graph {
+
+/**
+ * Write @p coo as text: a header line "# vertices N", then one
+ * "src dst weight" triple per line. Fatal on I/O errors.
+ */
+void saveEdgeListText(const Coo &coo, const std::string &path);
+
+/**
+ * Load an edge-list text file written by saveEdgeListText(), or any
+ * whitespace-separated "src dst [weight]" file with an optional
+ * "# vertices N" header (otherwise |V| = max id + 1). Lines starting
+ * with '#' are comments. Fatal on parse or I/O errors (user input).
+ */
+Coo loadEdgeListText(const std::string &path);
+
+/**
+ * Write @p csr to a binary container (magic, version, counts, then
+ * the three arrays). Fatal on I/O errors.
+ */
+void saveCsrBinary(const Csr &csr, const std::string &path);
+
+/**
+ * Load a binary CSR written by saveCsrBinary(). Validates magic,
+ * version and structural invariants. Fatal on mismatch.
+ */
+Csr loadCsrBinary(const std::string &path);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_IO_HPP

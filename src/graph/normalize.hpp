@@ -1,0 +1,37 @@
+/**
+ * @file
+ * GCN adjacency normalisation (the Kipf & Welling renormalisation
+ * trick): A~ = D^-1/2 (A + I) D^-1/2, where D is the degree matrix of
+ * A + I. The paper's SpMM operates on this normalised matrix.
+ */
+#ifndef PGCN_GRAPH_NORMALIZE_HPP
+#define PGCN_GRAPH_NORMALIZE_HPP
+
+#include "graph/csr.hpp"
+
+namespace pgcn::graph {
+
+/**
+ * Build the symmetric-normalised adjacency matrix used by GCN layers.
+ *
+ * Pipeline: drop existing self loops, symmetrize, add unit self loops,
+ * then scale every non-zero (u, v) by 1/sqrt(deg(u) * deg(v)).
+ *
+ * @param coo Raw (possibly directed, possibly multi-) edge list.
+ * @return CSR of A~ with row sums' spectral radius <= 1.
+ */
+Csr normalizedAdjacency(const Coo &coo);
+
+/**
+ * Scale the non-zeros of an existing CSR in the same way, without the
+ * symmetrize/self-loop pipeline. Degree here means row length, i.e.
+ * the matrix is assumed already structurally symmetric with loops.
+ *
+ * @param csr Structurally prepared adjacency.
+ * @return CSR with values replaced by 1/sqrt(deg(u) deg(v)).
+ */
+Csr symNormalizeValues(const Csr &csr);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_NORMALIZE_HPP

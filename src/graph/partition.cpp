@@ -1,0 +1,111 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace pgcn::graph {
+
+PartitionAssignment
+hashPartition(VertexId num_vertices, unsigned parts)
+{
+    PGCN_ASSERT(parts >= 1, "partition needs at least one part");
+    PartitionAssignment assignment(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        uint64_t h = v;
+        assignment[v] = static_cast<unsigned>(splitMix64(h) % parts);
+    }
+    return assignment;
+}
+
+PartitionAssignment
+rangePartitionByEdges(const Csr &csr, unsigned parts)
+{
+    PGCN_ASSERT(parts >= 1, "partition needs at least one part");
+    const VertexId n = csr.numVertices();
+    PartitionAssignment assignment(n, parts - 1);
+    const EdgeId total = csr.numEdges();
+    const auto &offsets = csr.rowOffsets();
+
+    VertexId v = 0;
+    for (unsigned p = 0; p < parts && v < n; ++p) {
+        // This part ends at the first vertex whose prefix edge count
+        // reaches the p+1-th share.
+        const EdgeId target = total * (p + 1) / parts;
+        while (v < n && offsets[v + 1] <= target)
+            assignment[v++] = p;
+        if (v < n && p + 1 == parts)
+            break; // remainder already initialised to the last part
+    }
+    return assignment;
+}
+
+PartitionStats
+evaluatePartition(const Csr &csr, const PartitionAssignment &assignment,
+                  unsigned parts)
+{
+    PGCN_ASSERT(assignment.size() == csr.numVertices(),
+                "assignment size " << assignment.size() << " != |V| = "
+                                   << csr.numVertices());
+    for (unsigned p : assignment)
+        PGCN_ASSERT(p < parts, "part id " << p << " >= " << parts);
+
+    PartitionStats stats;
+    stats.numParts = parts;
+
+    std::vector<EdgeId> part_edges(parts, 0);
+    // Ghost sets: distinct remote vertices each part reads.
+    std::vector<std::unordered_set<VertexId>> ghosts(parts);
+
+    const auto &offsets = csr.rowOffsets();
+    const auto &cols = csr.cols();
+    for (VertexId u = 0; u < csr.numVertices(); ++u) {
+        const unsigned pu = assignment[u];
+        for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
+            ++part_edges[pu];
+            const VertexId v = cols[e];
+            if (assignment[v] != pu) {
+                ++stats.cutEdges;
+                ghosts[pu].insert(v);
+            }
+        }
+    }
+
+    const auto total_edges = csr.numEdges();
+    stats.cutFraction =
+        total_edges ? static_cast<double>(stats.cutEdges) /
+                          static_cast<double>(total_edges)
+                    : 0.0;
+
+    uint64_t ghost_total = 0;
+    for (const auto &g : ghosts)
+        ghost_total += g.size();
+    stats.replicationFactor =
+        csr.numVertices()
+            ? 1.0 + static_cast<double>(ghost_total) /
+                        static_cast<double>(csr.numVertices())
+            : 0.0;
+
+    const double avg =
+        static_cast<double>(total_edges) / std::max(1u, parts);
+    EdgeId worst = 0;
+    for (EdgeId pe : part_edges)
+        worst = std::max(worst, pe);
+    stats.maxLoadImbalance =
+        avg > 0 ? static_cast<double>(worst) / avg : 0.0;
+    return stats;
+}
+
+double
+ghostExchangeBytes(const PartitionStats &stats, uint64_t num_vertices,
+                   uint64_t embedding_dim)
+{
+    const double ghost_vertices =
+        (stats.replicationFactor - 1.0) *
+        static_cast<double>(num_vertices);
+    return ghost_vertices * static_cast<double>(embedding_dim) * 4.0;
+}
+
+} // namespace pgcn::graph

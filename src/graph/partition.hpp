@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Graph partitioning analysis (paper Section VI, "Graph
+ * Partitioning"): distributed GNN systems must cut the graph so each
+ * piece fits one node's memory, paying edge-cut communication and
+ * ghost-vertex replication; PIUMA's DGAS sidesteps this entirely.
+ * This module quantifies what a cut costs so the ablation bench can
+ * put numbers behind that argument.
+ */
+#ifndef PGCN_GRAPH_PARTITION_HPP
+#define PGCN_GRAPH_PARTITION_HPP
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pgcn::graph {
+
+/** Quality metrics of a vertex partition. */
+struct PartitionStats
+{
+    unsigned numParts = 0;
+    EdgeId cutEdges = 0;        ///< edges whose endpoints differ
+    double cutFraction = 0.0;   ///< cutEdges / |E|
+    /**
+     * Average copies of each vertex's feature vector across parts
+     * (1.0 = no replication): a part needs a ghost copy of every
+     * remote neighbour it reads.
+     */
+    double replicationFactor = 0.0;
+    double maxLoadImbalance = 0.0; ///< max part edges / average
+};
+
+/** Assignment of each vertex to a part. */
+using PartitionAssignment = std::vector<unsigned>;
+
+/**
+ * Hash-based 1D vertex partition (the cheap baseline real systems
+ * start from).
+ *
+ * @param num_vertices Vertices to assign.
+ * @param parts Number of parts (>= 1).
+ */
+PartitionAssignment hashPartition(VertexId num_vertices, unsigned parts);
+
+/**
+ * Contiguous-range 1D partition balancing edge counts (what a
+ * CSR-aware system does to fix load imbalance).
+ */
+PartitionAssignment rangePartitionByEdges(const Csr &csr, unsigned parts);
+
+/**
+ * Evaluate a partition's cut/replication/balance over @p csr.
+ *
+ * @param csr Graph.
+ * @param assignment Part id per vertex (size |V|, values < parts).
+ * @param parts Number of parts.
+ */
+PartitionStats evaluatePartition(const Csr &csr,
+                                 const PartitionAssignment &assignment,
+                                 unsigned parts);
+
+/**
+ * Per-layer ghost-exchange volume (bytes) of a distributed SpMM: each
+ * part receives the K-float feature vector of every remote neighbour
+ * it reads (counted once per (part, vertex) pair).
+ *
+ * @param stats Partition metrics.
+ * @param num_vertices |V| of the partitioned graph.
+ * @param embedding_dim K.
+ */
+double ghostExchangeBytes(const PartitionStats &stats,
+                          uint64_t num_vertices, uint64_t embedding_dim);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_PARTITION_HPP

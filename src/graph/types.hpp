@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fundamental integer types for graph indices.
+ *
+ * Vertex ids are 32-bit (the largest OGB graph, papers100M, has 111M
+ * vertices); edge counts are 64-bit (papers100M has 1.6B edges).
+ */
+#ifndef PGCN_GRAPH_TYPES_HPP
+#define PGCN_GRAPH_TYPES_HPP
+
+#include <cstdint>
+
+namespace pgcn::graph {
+
+/** Vertex identifier / row index. */
+using VertexId = uint32_t;
+
+/** Edge identifier / CSR offset. */
+using EdgeId = uint64_t;
+
+/** Non-zero (edge weight) value type; GCN uses float32 features. */
+using Value = float;
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_TYPES_HPP

@@ -1,0 +1,125 @@
+#include "kernels/spmm.hpp"
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "parallel/atomic_float.hpp"
+
+namespace pgcn::kernels {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::VertexId;
+using tensor::DenseMatrix;
+
+namespace {
+
+void
+checkShapes(const Csr &a, const DenseMatrix &h_in)
+{
+    PGCN_ASSERT(h_in.rows() == a.numVertices(),
+                "SpMM input rows " << h_in.rows() << " != |V| = "
+                                   << a.numVertices());
+}
+
+} // namespace
+
+void
+spmmReference(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out)
+{
+    checkShapes(a, h_in);
+    const uint64_t k = h_in.cols();
+    h_out = DenseMatrix(a.numVertices(), k);
+    const auto &offsets = a.rowOffsets();
+    const auto &cols = a.cols();
+    const auto &vals = a.vals();
+    for (VertexId u = 0; u < a.numVertices(); ++u) {
+        auto out = h_out.row(u);
+        for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const auto in = h_in.row(cols[e]);
+            const float w = vals[e];
+            for (uint64_t j = 0; j < k; ++j)
+                out[j] += w * in[j];
+        }
+    }
+}
+
+void
+spmmVertexParallel(const Csr &a, const DenseMatrix &h_in,
+                   DenseMatrix &h_out, parallel::ThreadPool &pool,
+                   uint64_t chunk_rows)
+{
+    checkShapes(a, h_in);
+    const uint64_t k = h_in.cols();
+    h_out = DenseMatrix(a.numVertices(), k);
+    const auto &offsets = a.rowOffsets();
+    const auto &cols = a.cols();
+    const auto &vals = a.vals();
+
+    pool.parallelFor(
+        a.numVertices(), parallel::Schedule::Dynamic, chunk_rows,
+        [&](unsigned, uint64_t begin, uint64_t end) {
+            for (uint64_t u = begin; u < end; ++u) {
+                auto out = h_out.row(u);
+                for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
+                    const auto in = h_in.row(cols[e]);
+                    const float w = vals[e];
+                    for (uint64_t j = 0; j < k; ++j)
+                        out[j] += w * in[j];
+                }
+            }
+        });
+}
+
+void
+spmmEdgeParallel(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out,
+                 parallel::ThreadPool &pool)
+{
+    checkShapes(a, h_in);
+    const uint64_t k = h_in.cols();
+    h_out = DenseMatrix(a.numVertices(), k);
+    const EdgeId nnz = a.numEdges();
+    if (nnz == 0)
+        return;
+
+    const auto &offsets = a.rowOffsets();
+    const auto &cols = a.cols();
+    const auto &vals = a.vals();
+    const unsigned num_threads = pool.numThreads();
+
+    pool.parallelRegion([&](unsigned t) {
+        const EdgeId start = nnz * t / num_threads;
+        const EdgeId stop = nnz * (t + 1) / num_threads;
+        if (start >= stop)
+            return;
+
+        // Algorithm 2 line 4: binary search for the row owning the
+        // first non-zero of this thread's span.
+        VertexId u = a.rowOfEdge(start);
+
+        std::vector<float> buffer(k, 0.0f); // Algorithm 2 line 5
+        auto flush = [&](VertexId row) {
+            float *out = h_out.data() + static_cast<uint64_t>(row) * k;
+            for (uint64_t j = 0; j < k; ++j) {
+                if (buffer[j] != 0.0f) {
+                    parallel::atomicAddFloat(out + j, buffer[j]);
+                    buffer[j] = 0.0f;
+                }
+            }
+        };
+
+        for (EdgeId e = start; e < stop; ++e) {
+            while (e >= offsets[u + 1]) { // row boundary (line 7)
+                flush(u);
+                ++u; // skip over empty rows too
+            }
+            const auto in = h_in.row(cols[e]);
+            const float w = vals[e];
+            for (uint64_t j = 0; j < k; ++j) // line 11
+                buffer[j] += w * in[j];
+        }
+        flush(u);
+    });
+}
+
+} // namespace pgcn::kernels

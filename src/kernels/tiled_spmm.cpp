@@ -1,0 +1,91 @@
+#include "kernels/tiled_spmm.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace pgcn::kernels {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::VertexId;
+using tensor::DenseMatrix;
+
+TiledSpmm::TiledSpmm(const Csr &a, uint64_t embedding_dim,
+                     double cache_budget)
+    : numVertices_(a.numVertices()), embeddingDim_(embedding_dim)
+{
+    PGCN_ASSERT(embedding_dim > 0, "embedding dim must be positive");
+    PGCN_ASSERT(cache_budget > 0, "cache budget must be positive");
+
+    const double row_bytes = 4.0 * static_cast<double>(embedding_dim);
+    const auto tile_width = static_cast<VertexId>(std::max<double>(
+        1.0, cache_budget / std::max(row_bytes, 1.0)));
+    const size_t num_tiles =
+        numVertices_ == 0
+            ? 0
+            : (numVertices_ + tile_width - 1) / tile_width;
+    tiles_.resize(num_tiles);
+    for (size_t t = 0; t < num_tiles; ++t) {
+        tiles_[t].colBegin = static_cast<VertexId>(t * tile_width);
+        tiles_[t].colEnd = static_cast<VertexId>(
+            std::min<uint64_t>(numVertices_, (t + 1) * tile_width));
+    }
+
+    // Single structural pass: bucket each non-zero into its column
+    // tile, tracking row boundaries as we go (rows arrive in order).
+    const auto &offsets = a.rowOffsets();
+    const auto &cols = a.cols();
+    const auto &vals = a.vals();
+    for (VertexId u = 0; u < numVertices_; ++u) {
+        for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
+            Tile &tile = tiles_[cols[e] / tile_width];
+            if (tile.rowIds.empty() || tile.rowIds.back() != u) {
+                tile.rowIds.push_back(u);
+                tile.rowOffsets.push_back(tile.cols.size());
+            }
+            tile.cols.push_back(cols[e]);
+            tile.vals.push_back(vals[e]);
+        }
+    }
+    for (Tile &tile : tiles_)
+        tile.rowOffsets.push_back(tile.cols.size());
+}
+
+void
+TiledSpmm::apply(const DenseMatrix &h_in, DenseMatrix &h_out,
+                 parallel::ThreadPool &pool) const
+{
+    PGCN_ASSERT(h_in.rows() == numVertices_,
+                "input rows " << h_in.rows() << " != |V| = "
+                              << numVertices_);
+    PGCN_ASSERT(h_in.cols() == embeddingDim_,
+                "input width " << h_in.cols()
+                               << " != configured embedding dim "
+                               << embeddingDim_);
+    const uint64_t k = embeddingDim_;
+    h_out = DenseMatrix(numVertices_, k);
+
+    // Tiles run sequentially so no two passes write the same row
+    // concurrently; rows within a tile are independent.
+    for (const Tile &tile : tiles_) {
+        if (tile.rowIds.empty())
+            continue;
+        pool.parallelFor(
+            tile.rowIds.size(), parallel::Schedule::Dynamic, 32,
+            [&](unsigned, uint64_t begin, uint64_t end) {
+                for (uint64_t i = begin; i < end; ++i) {
+                    auto out = h_out.row(tile.rowIds[i]);
+                    for (EdgeId e = tile.rowOffsets[i];
+                         e < tile.rowOffsets[i + 1]; ++e) {
+                        const auto in = h_in.row(tile.cols[e]);
+                        const float w = tile.vals[e];
+                        for (uint64_t j = 0; j < k; ++j)
+                            out[j] += w * in[j];
+                    }
+                }
+            });
+    }
+}
+
+} // namespace pgcn::kernels

@@ -1,0 +1,44 @@
+#include "model/spmm_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace pgcn::model {
+
+SpmmEstimate
+estimateSpmm(const SpmmWorkload &w, double read_bw_bytes_per_ns,
+             double write_bw_bytes_per_ns, const ElementSizes &sizes)
+{
+    PGCN_ASSERT(read_bw_bytes_per_ns > 0, "read bandwidth must be positive");
+    PGCN_ASSERT(write_bw_bytes_per_ns > 0,
+                "write bandwidth must be positive");
+
+    SpmmEstimate est{};
+    const auto v = static_cast<double>(w.numVertices);
+    const auto e = static_cast<double>(w.numEdges);
+    const auto k = static_cast<double>(w.embeddingDim);
+
+    est.bytesCsr = (v + 1.0) * sizes.rowIndex + e * sizes.colIndex +
+                   e * sizes.nonZero;                          // Eq. 1
+    est.bytesFeature = k * e * sizes.feature;                  // Eq. 2
+    est.bytesWrite = k * v * sizes.feature;                    // Eq. 3
+    est.flop = 2.0 * e * k;                                    // Eq. 4
+    est.timeNs = (est.bytesCsr + est.bytesFeature) / read_bw_bytes_per_ns +
+                 est.bytesWrite / write_bw_bytes_per_ns;       // Eq. 5
+    est.gflops = est.timeNs > 0 ? est.flop / est.timeNs : 0.0;
+    return est;
+}
+
+double
+rooflineTimeNs(double flop, double bytes, double peak_gflops,
+               double bw_bytes_per_ns)
+{
+    PGCN_ASSERT(peak_gflops > 0, "peak GFLOPS must be positive");
+    PGCN_ASSERT(bw_bytes_per_ns > 0, "bandwidth must be positive");
+    const double compute_ns = flop / peak_gflops;
+    const double memory_ns = bytes / bw_bytes_per_ns;
+    return std::max(compute_ns, memory_ns);
+}
+
+} // namespace pgcn::model

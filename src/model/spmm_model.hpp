@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The paper's bandwidth-bound analytical model for SpMM
+ * (Section IV-A, Equations 1-5).
+ *
+ * The model assumes no reuse of input feature vectors — fair for
+ * PIUMA, which has no L2/L3 cache — and computes the total read and
+ * write traffic of one SpMM, divides by the respective bandwidths,
+ * and derives the achievable FLOP/s.
+ */
+#ifndef PGCN_MODEL_SPMM_MODEL_HPP
+#define PGCN_MODEL_SPMM_MODEL_HPP
+
+#include <cstdint>
+
+namespace pgcn::model {
+
+/** Element sizes (bytes) of the CSR and feature arrays. */
+struct ElementSizes
+{
+    double rowIndex = 8.0;  ///< B_R: CSR row-offset entry
+    double colIndex = 4.0;  ///< B_C: CSR column entry
+    double nonZero = 4.0;   ///< B_N: non-zero value
+    double feature = 4.0;   ///< B_F: feature element (float32)
+};
+
+/** Workload description for one SpMM. */
+struct SpmmWorkload
+{
+    uint64_t numVertices; ///< |V|
+    uint64_t numEdges;    ///< |E| (non-zeros of A~)
+    uint64_t embeddingDim;///< K
+};
+
+/** Traffic and time estimates produced by the model. */
+struct SpmmEstimate
+{
+    double bytesCsr;     ///< Eq. 1: (|V|+1) B_R + |E| B_C + |E| B_N
+    double bytesFeature; ///< Eq. 2: K |E| B_F
+    double bytesWrite;   ///< Eq. 3: K |V| B_F
+    double flop;         ///< Eq. 4: 2 |E| K
+    double timeNs;       ///< Eq. 5: reads / BW_read + writes / BW_write
+    double gflops;       ///< flop / timeNs (FLOP per ns == GFLOP/s)
+
+    /** Total bytes moved (reads + writes). */
+    double totalBytes() const { return bytesCsr + bytesFeature + bytesWrite; }
+
+    /** Arithmetic intensity in FLOP per byte. */
+    double
+    arithmeticIntensity() const
+    {
+        return totalBytes() > 0 ? flop / totalBytes() : 0.0;
+    }
+};
+
+/**
+ * Evaluate the bandwidth-bound model.
+ *
+ * @param w Workload (|V|, |E|, K).
+ * @param read_bw_bytes_per_ns Aggregate read bandwidth (B/ns == GB/s).
+ * @param write_bw_bytes_per_ns Aggregate write bandwidth.
+ * @param sizes Element byte sizes (defaults match the CSR layout of
+ *        this library: 8-byte offsets, 4-byte columns/values/features).
+ */
+SpmmEstimate estimateSpmm(const SpmmWorkload &w, double read_bw_bytes_per_ns,
+                          double write_bw_bytes_per_ns,
+                          const ElementSizes &sizes = {});
+
+/**
+ * Roofline execution time: max(compute time, memory time).
+ *
+ * @param flop Total floating-point operations.
+ * @param bytes Total bytes moved.
+ * @param peak_gflops Peak compute throughput (GFLOP/s).
+ * @param bw_bytes_per_ns Memory bandwidth (B/ns == GB/s).
+ * @return Time in nanoseconds.
+ */
+double rooflineTimeNs(double flop, double bytes, double peak_gflops,
+                      double bw_bytes_per_ns);
+
+} // namespace pgcn::model
+
+#endif // PGCN_MODEL_SPMM_MODEL_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Lock-free atomic float accumulation, the CPU analogue of PIUMA's
+ * remote-atomic writeback in the edge-parallel SpMM (Algorithm 2,
+ * line 8). Implemented as a compare-exchange loop on the bit pattern.
+ */
+#ifndef PGCN_PARALLEL_ATOMIC_FLOAT_HPP
+#define PGCN_PARALLEL_ATOMIC_FLOAT_HPP
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace pgcn::parallel {
+
+/**
+ * Atomically perform *addr += value for a float that other threads may
+ * be updating concurrently. The address must be 4-byte aligned and not
+ * simultaneously accessed non-atomically.
+ *
+ * @param addr Target float.
+ * @param value Increment.
+ */
+inline void
+atomicAddFloat(float *addr, float value)
+{
+    auto *as_atomic = reinterpret_cast<std::atomic<uint32_t> *>(addr);
+    uint32_t expected = as_atomic->load(std::memory_order_relaxed);
+    for (;;) {
+        const float current = std::bit_cast<float>(expected);
+        const uint32_t desired = std::bit_cast<uint32_t>(current + value);
+        if (as_atomic->compare_exchange_weak(expected, desired,
+                                             std::memory_order_relaxed)) {
+            return;
+        }
+    }
+}
+
+} // namespace pgcn::parallel
+
+#endif // PGCN_PARALLEL_ATOMIC_FLOAT_HPP

@@ -1,0 +1,112 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace pgcn::parallel {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    numThreads_ = num_threads;
+    // Thread 0 is the caller; spawn the rest.
+    workers_.reserve(numThreads_ - 1);
+    for (unsigned id = 1; id < numThreads_; ++id)
+        workers_.emplace_back([this, id] { workerLoop(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        std::function<void(unsigned)> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cvStart_.wait(lock, [&] {
+                return stopping_ || generation_ != seen_generation;
+            });
+            if (stopping_)
+                return;
+            seen_generation = generation_;
+            task = task_;
+        }
+        task(id);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--remaining_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelRegion(const std::function<void(unsigned)> &fn)
+{
+    PGCN_ASSERT(fn, "parallelRegion with empty callable");
+    if (numThreads_ == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = fn;
+        remaining_ = numThreads_ - 1;
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cvDone_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+}
+
+void
+ThreadPool::parallelFor(
+    uint64_t count, Schedule schedule, uint64_t chunk,
+    const std::function<void(unsigned, uint64_t, uint64_t)> &body)
+{
+    PGCN_ASSERT(chunk > 0, "parallelFor chunk must be positive");
+    if (count == 0)
+        return;
+
+    if (schedule == Schedule::Static) {
+        const uint64_t per =
+            (count + numThreads_ - 1) / numThreads_;
+        parallelRegion([&](unsigned id) {
+            const uint64_t begin = std::min<uint64_t>(id * per, count);
+            const uint64_t end = std::min<uint64_t>(begin + per, count);
+            if (begin < end)
+                body(id, begin, end);
+        });
+    } else {
+        std::atomic<uint64_t> next{0};
+        parallelRegion([&](unsigned id) {
+            for (;;) {
+                const uint64_t begin =
+                    next.fetch_add(chunk, std::memory_order_relaxed);
+                if (begin >= count)
+                    break;
+                const uint64_t end = std::min(begin + chunk, count);
+                body(id, begin, end);
+            }
+        });
+    }
+}
+
+} // namespace pgcn::parallel

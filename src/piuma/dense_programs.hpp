@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dense matrix-multiplication on the PIUMA discrete-event model:
+ * H' = H W with H of shape |V| x K_in streamed from DRAM, W resident
+ * in the per-core scratchpads, and the MACs issued on the scalar MTP
+ * pipelines (PIUMA has no SIMD unit — the paper's core limitation at
+ * large embedding dimensions).
+ *
+ * Validates the node model's dense roofline: at large K the simulated
+ * throughput converges to the scalar-pipeline peak; at tiny K it is
+ * bandwidth-bound on the H stream.
+ */
+#ifndef PGCN_PIUMA_DENSE_PROGRAMS_HPP
+#define PGCN_PIUMA_DENSE_PROGRAMS_HPP
+
+#include <cstdint>
+
+#include "piuma/config.hpp"
+
+namespace pgcn::piuma {
+
+/** Outcome of one simulated dense update. */
+struct DenseRunStats
+{
+    double makespanNs = 0.0;     ///< simulated end-to-end time
+    double flop = 0.0;           ///< 2 |V| K_in K_out
+    double gflops = 0.0;         ///< achieved throughput
+    double memUtilization = 0.0; ///< slice-controller utilisation
+    double issueUtilization = 0.0; ///< mean MTP issue-slot occupancy
+    uint64_t simEvents = 0;      ///< DES events executed
+};
+
+/**
+ * Simulate the dense update (|V| x k_in) * (k_in x k_out) with rows
+ * distributed over all hardware threads. Weights are assumed
+ * broadcast to scratchpads beforehand (their footprint is K_in x
+ * K_out x 4 bytes, kilobytes at GCN scale).
+ *
+ * @param num_vertices Rows of H.
+ * @param k_in Input feature dimension.
+ * @param k_out Output feature dimension.
+ * @param cfg PIUMA system description.
+ */
+DenseRunStats simulateDenseMm(uint64_t num_vertices, uint64_t k_in,
+                              uint64_t k_out, const PiumaConfig &cfg);
+
+} // namespace pgcn::piuma
+
+#endif // PGCN_PIUMA_DENSE_PROGRAMS_HPP

@@ -1,0 +1,30 @@
+#include "piuma/gcn_sim.hpp"
+
+#include "common/logging.hpp"
+
+namespace pgcn::piuma {
+
+GcnSimResult
+simulateGcn(const graph::Csr &csr, const std::vector<GcnSimLayer> &layers,
+            const PiumaConfig &cfg, SpmmAlgorithm alg)
+{
+    PGCN_ASSERT(!layers.empty(), "GCN needs at least one layer");
+    GcnSimResult result;
+    result.spmmLayers.reserve(layers.size());
+    result.denseLayers.reserve(layers.size());
+
+    for (const GcnSimLayer &layer : layers) {
+        const DenseRunStats dense = simulateDenseMm(
+            csr.numVertices(), layer.kIn, layer.kOut, cfg);
+        const SpmmRunStats spmm = simulateSpmm(
+            csr, static_cast<unsigned>(layer.kOut), cfg, alg);
+        result.denseNs += dense.makespanNs;
+        result.spmmNs += spmm.makespanNs;
+        result.denseLayers.push_back(dense);
+        result.spmmLayers.push_back(spmm);
+    }
+    result.totalNs = result.spmmNs + result.denseNs;
+    return result;
+}
+
+} // namespace pgcn::piuma

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * End-to-end GCN inference on the PIUMA discrete-event model: each
+ * layer's aggregation (SpMM program) and update (dense program) run
+ * on the simulator back to back, yielding a fully simulated
+ * per-kernel breakdown — the DES counterpart of the analytical
+ * PiumaPlatform used for node-scale projections.
+ */
+#ifndef PGCN_PIUMA_GCN_SIM_HPP
+#define PGCN_PIUMA_GCN_SIM_HPP
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "piuma/config.hpp"
+#include "piuma/dense_programs.hpp"
+#include "piuma/spmm_programs.hpp"
+
+namespace pgcn::piuma {
+
+/** One layer's feature dimensions. */
+struct GcnSimLayer
+{
+    uint64_t kIn;
+    uint64_t kOut;
+};
+
+/** Simulated timing of one full GCN inference. */
+struct GcnSimResult
+{
+    double totalNs = 0.0;  ///< sum over layers and kernels
+    double spmmNs = 0.0;   ///< aggregation time
+    double denseNs = 0.0;  ///< update time
+    std::vector<SpmmRunStats> spmmLayers;   ///< per-layer SpMM detail
+    std::vector<DenseRunStats> denseLayers; ///< per-layer dense detail
+
+    /** Fraction of total time in the sparse aggregation. */
+    double
+    spmmFraction() const
+    {
+        return totalNs > 0 ? spmmNs / totalNs : 0.0;
+    }
+
+    /** Fraction of total time in the dense update. */
+    double
+    denseFraction() const
+    {
+        return totalNs > 0 ? denseNs / totalNs : 0.0;
+    }
+};
+
+/**
+ * Simulate a whole GCN: for each layer, the dense update H W at
+ * (kIn -> kOut) followed by the aggregation A (H W) at kOut (the
+ * transform-then-aggregate order the paper profiles). Kernels run
+ * sequentially, as a bulk-synchronous runtime schedules them.
+ *
+ * @param csr Normalised adjacency (a down-scaled proxy at DES cost).
+ * @param layers Per-layer dimensions (e.g. from
+ *        core::GcnModelConfig::layerDims()).
+ * @param cfg PIUMA system description.
+ * @param alg SpMM implementation for the aggregation phase.
+ */
+GcnSimResult simulateGcn(const graph::Csr &csr,
+                         const std::vector<GcnSimLayer> &layers,
+                         const PiumaConfig &cfg,
+                         SpmmAlgorithm alg = SpmmAlgorithm::Dma);
+
+} // namespace pgcn::piuma
+
+#endif // PGCN_PIUMA_GCN_SIM_HPP

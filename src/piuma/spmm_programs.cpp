@@ -1,0 +1,385 @@
+#include "piuma/spmm_programs.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "piuma/dma.hpp"
+#include "piuma/memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace pgcn::piuma {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::VertexId;
+
+const char *
+spmmAlgorithmName(SpmmAlgorithm alg)
+{
+    switch (alg) {
+      case SpmmAlgorithm::LoopUnrolled:
+        return "loop-unrolled";
+      case SpmmAlgorithm::Dma:
+        return "dma";
+    }
+    PGCN_PANIC("unknown SpMM algorithm");
+}
+
+namespace {
+
+/** Bytes of CSR (col + val) covered by one cache line. */
+constexpr double kNnzBytesPerEdge = 8.0; // 4B column + 4B value
+
+/**
+ * Everything one simulated SpMM run shares: the engine, the memory
+ * system, per-MTP issue resources, per-core DMA engines and the stat
+ * accumulators the thread coroutines write into.
+ */
+struct RunContext
+{
+    RunContext(const Csr &csr_in, unsigned k_in, const PiumaConfig &cfg_in)
+        : csr(csr_in), k(k_in), cfg(cfg_in), memory(engine, cfg_in)
+    {
+        const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
+        mtpIssue.reserve(total_mtps);
+        for (unsigned m = 0; m < total_mtps; ++m) {
+            mtpIssue.push_back(std::make_unique<sim::BandwidthResource>(
+                engine, cfg.clockGhz));
+        }
+        liveThreadsPerCore.assign(cfg.numCores,
+                                  cfg.mtpsPerCore * cfg.threadsPerMtp);
+    }
+
+    sim::Engine engine;
+    const Csr &csr;
+    unsigned k;
+    const PiumaConfig &cfg;
+    MemorySystem memory;
+    std::vector<std::unique_ptr<sim::BandwidthResource>> mtpIssue;
+    std::vector<std::unique_ptr<DmaEngine>> dmaEngines;
+    std::vector<unsigned> liveThreadsPerCore;
+
+    // Stall attribution, summed over threads.
+    double nnzStallNs = 0.0;
+    double rowOffsetStallNs = 0.0;
+    double featureStallNs = 0.0;
+    double dmaQueueStallNs = 0.0;
+    double issueNs = 0.0;
+    double nnzLatencySum = 0.0;
+    uint64_t nnzReads = 0;
+
+    unsigned
+    coreOfThread(unsigned tid) const
+    {
+        return tid / (cfg.mtpsPerCore * cfg.threadsPerMtp);
+    }
+
+    unsigned
+    mtpOfThread(unsigned tid) const
+    {
+        return tid / cfg.threadsPerMtp;
+    }
+
+    /// Slice owning cache line @p line of an interleaved array.
+    unsigned
+    lineSlice(uint64_t line) const
+    {
+        return static_cast<unsigned>(line % cfg.numCores);
+    }
+
+    /// First slice of the (8-byte-interleaved) feature/output row of
+    /// vertex @p v; hashed so structure in vertex ids cannot align
+    /// hot rows onto the same slice.
+    unsigned
+    rowSlice(VertexId v) const
+    {
+        uint64_t h = v;
+        return static_cast<unsigned>(pgcn::splitMix64(h) % cfg.numCores);
+    }
+
+    uint64_t
+    edgesPerNnzLine() const
+    {
+        return static_cast<uint64_t>(cfg.cacheLineBytes /
+                                     kNnzBytesPerEdge);
+    }
+
+    uint64_t
+    rowsPerOffsetLine() const
+    {
+        return cfg.cacheLineBytes / 8; // 8-byte offsets
+    }
+};
+
+/**
+ * The DMA-based SpMM thread (Section IV-B, "DMA implementation").
+ */
+sim::Process
+dmaThreadProc(RunContext &ctx, unsigned tid)
+{
+    const unsigned total_threads = ctx.cfg.totalThreads();
+    const EdgeId nnz = ctx.csr.numEdges();
+    const EdgeId start = nnz * tid / total_threads;
+    const EdgeId stop = nnz * (tid + 1) / total_threads;
+    const unsigned core = ctx.coreOfThread(tid);
+    auto &issue = *ctx.mtpIssue[ctx.mtpOfThread(tid)];
+    auto &queue = ctx.dmaEngines[core]->queue();
+    const double row_bytes = 4.0 * ctx.k;
+    const auto &offsets = ctx.csr.rowOffsets();
+    const auto &cols = ctx.csr.cols();
+
+    if (start < stop) {
+        // Binary search for the starting row (Algorithm 2 line 4):
+        // ~log2(|V|) dependent row-offset line reads.
+        const unsigned steps = static_cast<unsigned>(std::ceil(
+            std::log2(std::max<double>(2.0, ctx.csr.numVertices()))));
+        uint64_t probe_seed = 0x5eed00 + tid;
+        const uint64_t row_lines =
+            ctx.csr.numVertices() / ctx.rowsPerOffsetLine() + 1;
+        for (unsigned s = 0; s < steps; ++s) {
+            co_await issue.transfer(2.0); // compare + load
+            const uint64_t line =
+                pgcn::splitMix64(probe_seed) % row_lines;
+            const sim::SimTime t0 = ctx.engine.now();
+            const MemoryAccess acc = ctx.memory.read(
+                core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+            co_await ctx.engine.delayUntil(acc.responseAt);
+            ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+        }
+
+        VertexId u = ctx.csr.rowOfEdge(start);
+        uint64_t cur_nnz_line = ~uint64_t{0};
+        uint64_t cur_row_line = (u + 1) / ctx.rowsPerOffsetLine();
+
+        for (EdgeId e = start; e < stop; ++e) {
+            // NNZ (column + value) read, one line per 8 edges.
+            const uint64_t line = e / ctx.edgesPerNnzLine();
+            if (line != cur_nnz_line) {
+                cur_nnz_line = line;
+                co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
+                const sim::SimTime t0 = ctx.engine.now();
+                const MemoryAccess acc = ctx.memory.read(
+                    core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+                co_await ctx.engine.delayUntil(acc.responseAt);
+                const double waited = ctx.engine.now() - t0;
+                ctx.nnzStallNs += waited;
+                ctx.nnzLatencySum += waited;
+                ++ctx.nnzReads;
+            }
+
+            // Row boundary: flush the accumulation buffer (atomic
+            // writeback descriptor), advance the row cursor.
+            while (e >= offsets[u + 1]) {
+                co_await issue.transfer(ctx.cfg.issueCostPerDescriptor);
+                sim::SimTime t0 = ctx.engine.now();
+                co_await queue.push(DmaDescriptor{
+                    DmaDescriptor::Op::WriteRow, ctx.rowSlice(u),
+                    row_bytes});
+                ctx.dmaQueueStallNs += ctx.engine.now() - t0;
+                ++u;
+                const uint64_t rl = (u + 1) / ctx.rowsPerOffsetLine();
+                if (rl != cur_row_line) {
+                    cur_row_line = rl;
+                    co_await issue.transfer(
+                        ctx.cfg.issueCostPerLineLoad);
+                    t0 = ctx.engine.now();
+                    const MemoryAccess acc = ctx.memory.read(
+                        core, ctx.lineSlice(rl),
+                        ctx.cfg.cacheLineBytes);
+                    co_await ctx.engine.delayUntil(acc.responseAt);
+                    ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+                }
+            }
+
+            // Emit the read-multiply-accumulate descriptor.
+            co_await issue.transfer(ctx.cfg.issueCostPerEdge +
+                                    ctx.cfg.issueCostPerDescriptor);
+            const sim::SimTime t0 = ctx.engine.now();
+            co_await queue.push(DmaDescriptor{
+                DmaDescriptor::Op::ReadMulAcc, ctx.rowSlice(cols[e]),
+                row_bytes});
+            ctx.dmaQueueStallNs += ctx.engine.now() - t0;
+        }
+
+        // Final flush of the last (possibly shared) row.
+        co_await issue.transfer(ctx.cfg.issueCostPerDescriptor);
+        co_await queue.push(DmaDescriptor{DmaDescriptor::Op::WriteRow,
+                                          ctx.rowSlice(u), row_bytes});
+    }
+
+    if (--ctx.liveThreadsPerCore[core] == 0) {
+        co_await queue.push(
+            DmaDescriptor{DmaDescriptor::Op::Terminate, 0, 0.0});
+    }
+}
+
+/**
+ * The loop-unrolled SpMM thread: everything happens on the MTP
+ * pipeline itself with stall-on-use cache-line loads.
+ */
+sim::Process
+loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
+{
+    const unsigned total_threads = ctx.cfg.totalThreads();
+    const EdgeId nnz = ctx.csr.numEdges();
+    const EdgeId start = nnz * tid / total_threads;
+    const EdgeId stop = nnz * (tid + 1) / total_threads;
+    const unsigned core = ctx.coreOfThread(tid);
+    auto &issue = *ctx.mtpIssue[ctx.mtpOfThread(tid)];
+    const double row_bytes = 4.0 * ctx.k;
+    const auto lines_per_row = static_cast<unsigned>(
+        std::ceil(row_bytes / ctx.cfg.cacheLineBytes));
+    const auto &offsets = ctx.csr.rowOffsets();
+    const auto &cols = ctx.csr.cols();
+
+    if (start < stop) {
+        const unsigned steps = static_cast<unsigned>(std::ceil(
+            std::log2(std::max<double>(2.0, ctx.csr.numVertices()))));
+        uint64_t probe_seed = 0x5eed00 + tid;
+        const uint64_t row_lines =
+            ctx.csr.numVertices() / ctx.rowsPerOffsetLine() + 1;
+        for (unsigned s = 0; s < steps; ++s) {
+            co_await issue.transfer(2.0);
+            const uint64_t line =
+                pgcn::splitMix64(probe_seed) % row_lines;
+            const sim::SimTime t0 = ctx.engine.now();
+            const MemoryAccess acc = ctx.memory.read(
+                core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+            co_await ctx.engine.delayUntil(acc.responseAt);
+            ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+        }
+
+        VertexId u = ctx.csr.rowOfEdge(start);
+        uint64_t cur_nnz_line = ~uint64_t{0};
+        uint64_t cur_row_line = (u + 1) / ctx.rowsPerOffsetLine();
+
+        for (EdgeId e = start; e < stop; ++e) {
+            const uint64_t line = e / ctx.edgesPerNnzLine();
+            if (line != cur_nnz_line) {
+                cur_nnz_line = line;
+                co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
+                const sim::SimTime t0 = ctx.engine.now();
+                const MemoryAccess acc = ctx.memory.read(
+                    core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+                co_await ctx.engine.delayUntil(acc.responseAt);
+                const double waited = ctx.engine.now() - t0;
+                ctx.nnzStallNs += waited;
+                ctx.nnzLatencySum += waited;
+                ++ctx.nnzReads;
+            }
+
+            while (e >= offsets[u + 1]) {
+                // Atomic row writeback with posted remote stores.
+                co_await issue.transfer(
+                    static_cast<double>(lines_per_row));
+                ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
+                ++u;
+                const uint64_t rl = (u + 1) / ctx.rowsPerOffsetLine();
+                if (rl != cur_row_line) {
+                    cur_row_line = rl;
+                    co_await issue.transfer(
+                        ctx.cfg.issueCostPerLineLoad);
+                    const sim::SimTime t0 = ctx.engine.now();
+                    const MemoryAccess acc = ctx.memory.read(
+                        core, ctx.lineSlice(rl),
+                        ctx.cfg.cacheLineBytes);
+                    co_await ctx.engine.delayUntil(acc.responseAt);
+                    ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+                }
+            }
+
+            // Stall-on-use feature-vector line loads: the unrolled
+            // loop requests one full cache line at a time, and the
+            // single in-flight instruction per thread serialises
+            // them.
+            for (unsigned l = 0; l < lines_per_row; ++l) {
+                co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
+                const sim::SimTime t0 = ctx.engine.now();
+                const double chunk =
+                    std::min<double>(ctx.cfg.cacheLineBytes,
+                                     row_bytes -
+                                         l * ctx.cfg.cacheLineBytes);
+                // Consecutive lines of the row live on consecutive
+                // slices (8-byte DGAS interleave rounds to lines at
+                // this access size).
+                const MemoryAccess acc = ctx.memory.readStriped(
+                    core, (ctx.rowSlice(cols[e]) + l) % ctx.cfg.numCores,
+                    chunk);
+                co_await ctx.engine.delayUntil(acc.responseAt);
+                ctx.featureStallNs += ctx.engine.now() - t0;
+            }
+
+            // Scale-and-accumulate on the scalar pipeline.
+            const sim::SimTime t0 = ctx.engine.now();
+            co_await issue.transfer(ctx.cfg.issueCostPerEdge +
+                                    ctx.cfg.issueCostPerMac * ctx.k);
+            ctx.issueNs += ctx.engine.now() - t0;
+        }
+
+        // Final row flush.
+        co_await issue.transfer(static_cast<double>(lines_per_row));
+        ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
+    }
+
+    --ctx.liveThreadsPerCore[core];
+    co_return;
+}
+
+} // namespace
+
+SpmmRunStats
+simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
+             SpmmAlgorithm alg)
+{
+    cfg.validate();
+    PGCN_ASSERT(embedding_dim > 0, "embedding dimension must be positive");
+    if (csr.numVertices() == 0)
+        PGCN_FATAL("cannot simulate SpMM on an empty matrix");
+
+    RunContext ctx(csr, embedding_dim, cfg);
+
+    if (alg == SpmmAlgorithm::Dma) {
+        ctx.dmaEngines.reserve(cfg.numCores);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            ctx.dmaEngines.push_back(std::make_unique<DmaEngine>(
+                ctx.engine, ctx.memory, cfg, c));
+        }
+        for (auto &engine : ctx.dmaEngines)
+            engine->run();
+        for (unsigned tid = 0; tid < cfg.totalThreads(); ++tid)
+            dmaThreadProc(ctx, tid);
+    } else {
+        for (unsigned tid = 0; tid < cfg.totalThreads(); ++tid)
+            loopUnrolledThreadProc(ctx, tid);
+    }
+
+    const sim::SimTime makespan = ctx.engine.run();
+
+    SpmmRunStats stats;
+    stats.makespanNs = makespan;
+    stats.flop = 2.0 * static_cast<double>(csr.numEdges()) * embedding_dim;
+    stats.gflops = makespan > 0 ? stats.flop / makespan : 0.0;
+    stats.bytesRead = ctx.memory.bytesRead();
+    stats.bytesWritten = ctx.memory.bytesWritten();
+    stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
+    stats.maxMemUtilization = ctx.memory.maxSliceUtilization(makespan);
+    stats.netUtilization = ctx.memory.averageNetworkUtilization(makespan);
+    stats.nnzStallNs = ctx.nnzStallNs;
+    stats.rowOffsetStallNs = ctx.rowOffsetStallNs;
+    stats.featureStallNs = ctx.featureStallNs;
+    stats.dmaQueueStallNs = ctx.dmaQueueStallNs;
+    stats.issueNs = ctx.issueNs;
+    stats.nnzReads = ctx.nnzReads;
+    stats.avgNnzLatencyNs =
+        ctx.nnzReads ? ctx.nnzLatencySum / static_cast<double>(ctx.nnzReads)
+                     : 0.0;
+    for (const auto &engine : ctx.dmaEngines)
+        stats.dmaDescriptors += engine->stats().descriptors;
+    stats.simEvents = ctx.engine.eventsProcessed();
+    return stats;
+}
+
+} // namespace pgcn::piuma

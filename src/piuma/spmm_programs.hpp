@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The two PIUMA SpMM implementations of Section IV-B, executed on the
+ * discrete-event timing model:
+ *
+ *  - Loop-unrolled: MTP threads perform the aggregation themselves.
+ *    Feature vectors are fetched as stall-on-use 64-byte cache-line
+ *    loads (the compiler unrolls eight embedding values per group)
+ *    and MACs occupy the scalar issue pipeline. NNZ reads and feature
+ *    lines serialize per thread because each MTP thread has a single
+ *    in-flight instruction.
+ *
+ *  - DMA: threads only read NNZs and emit DMA descriptors; the
+ *    per-core DMA engine performs vectorised read-multiply-accumulate
+ *    against the scratchpad buffer and atomically writes finished
+ *    rows, freeing the pipelines and pipelining memory latency away.
+ *
+ * Both follow the edge-parallel work division of Algorithm 2: the
+ * |E| non-zeros are split evenly over all hardware threads, each
+ * thread binary-searches its starting row, and row results are
+ * written back with (remote) atomics at row boundaries.
+ */
+#ifndef PGCN_PIUMA_SPMM_PROGRAMS_HPP
+#define PGCN_PIUMA_SPMM_PROGRAMS_HPP
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "piuma/config.hpp"
+
+namespace pgcn::piuma {
+
+/** Which SpMM implementation to simulate. */
+enum class SpmmAlgorithm
+{
+    LoopUnrolled,
+    Dma,
+};
+
+/** Name string for reports. */
+const char *spmmAlgorithmName(SpmmAlgorithm alg);
+
+/** Timing/traffic outcome of one simulated SpMM. */
+struct SpmmRunStats
+{
+    double makespanNs = 0.0;     ///< simulated end-to-end time
+    double flop = 0.0;           ///< 2 * |E| * K
+    double gflops = 0.0;         ///< achieved throughput
+    double bytesRead = 0.0;      ///< DRAM read traffic
+    double bytesWritten = 0.0;   ///< DRAM write traffic
+    double memUtilization = 0.0; ///< mean slice-controller utilisation
+    double maxMemUtilization = 0.0; ///< hottest slice utilisation
+    double netUtilization = 0.0;  ///< mean network-port utilisation
+
+    /// Per-thread stall attribution, summed over all threads (ns).
+    double nnzStallNs = 0.0;      ///< waiting on NNZ (col/val) reads
+    double rowOffsetStallNs = 0.0;///< waiting on row-offset reads
+    double featureStallNs = 0.0;  ///< loop-unrolled feature-line waits
+    double dmaQueueStallNs = 0.0; ///< blocked pushing DMA descriptors
+    double issueNs = 0.0;         ///< pipeline issue (incl. MACs)
+
+    double avgNnzLatencyNs = 0.0; ///< mean observed NNZ read latency
+    uint64_t nnzReads = 0;        ///< NNZ line fetches
+    uint64_t dmaDescriptors = 0;  ///< DMA data descriptors processed
+    uint64_t simEvents = 0;       ///< DES events executed
+};
+
+/**
+ * Simulate one SpMM (H_out = A * H_in) on PIUMA.
+ *
+ * @param csr The sparse matrix (a normalised adjacency).
+ * @param embedding_dim K, the feature-vector length.
+ * @param cfg PIUMA system description.
+ * @param alg Which implementation to run.
+ */
+SpmmRunStats simulateSpmm(const graph::Csr &csr, unsigned embedding_dim,
+                          const PiumaConfig &cfg, SpmmAlgorithm alg);
+
+} // namespace pgcn::piuma
+
+#endif // PGCN_PIUMA_SPMM_PROGRAMS_HPP

@@ -1,0 +1,142 @@
+#include "piuma/walk_programs.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "piuma/memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace pgcn::piuma {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::VertexId;
+
+namespace {
+
+struct WalkContext
+{
+    WalkContext(const Csr &csr_in, const PiumaConfig &cfg_in)
+        : csr(csr_in), cfg(cfg_in), memory(engine, cfg_in)
+    {
+        const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
+        mtpIssue.reserve(total_mtps);
+        for (unsigned m = 0; m < total_mtps; ++m) {
+            mtpIssue.push_back(std::make_unique<sim::BandwidthResource>(
+                engine, cfg.clockGhz));
+        }
+    }
+
+    sim::Engine engine;
+    const Csr &csr;
+    const PiumaConfig &cfg;
+    MemorySystem memory;
+    std::vector<std::unique_ptr<sim::BandwidthResource>> mtpIssue;
+
+    uint64_t stepsDone = 0;
+    double stepLatencySum = 0.0;
+
+    unsigned
+    lineSlice(uint64_t line) const
+    {
+        return static_cast<unsigned>(line % cfg.numCores);
+    }
+};
+
+/**
+ * One hardware thread executing its share of walks. Each step:
+ *  1. read row offsets of the current vertex (8-byte pair, one line),
+ *  2. read the randomly selected column entry (another line),
+ * both dependent, both stall-on-use — the latency-bound pattern.
+ */
+sim::Process
+walkThreadProc(WalkContext &ctx, unsigned tid, uint64_t walk_begin,
+               uint64_t walk_end, uint32_t walk_length, uint64_t seed)
+{
+    const unsigned core =
+        tid / (ctx.cfg.mtpsPerCore * ctx.cfg.threadsPerMtp);
+    auto &issue = *ctx.mtpIssue[tid / ctx.cfg.threadsPerMtp];
+    Rng rng(seed ^ (0xabcdef1234ULL + tid));
+    const VertexId n = ctx.csr.numVertices();
+    const auto &offsets = ctx.csr.rowOffsets();
+    const auto &cols = ctx.csr.cols();
+    const uint64_t rows_per_line = ctx.cfg.cacheLineBytes / 8;
+    const uint64_t edges_per_line = ctx.cfg.cacheLineBytes / 4;
+
+    for (uint64_t w = walk_begin; w < walk_end; ++w) {
+        VertexId v = static_cast<VertexId>(rng.uniformInt(n));
+        for (uint32_t step = 0; step < walk_length; ++step) {
+            const sim::SimTime step_start = ctx.engine.now();
+
+            // Dependent load 1: row-offset pair of v — a native
+            // 16-byte uncached access (PIUMA's memory path is
+            // optimised for sub-line requests; a pointer chase must
+            // not pay line-fill bandwidth).
+            co_await issue.transfer(2.0);
+            const uint64_t off_line = v / rows_per_line;
+            auto acc =
+                ctx.memory.read(core, ctx.lineSlice(off_line), 16.0);
+            co_await ctx.engine.delayUntil(acc.responseAt);
+
+            const EdgeId deg = offsets[v + 1] - offsets[v];
+            if (deg == 0) {
+                // Dead end: restart the walk at a random vertex.
+                v = static_cast<VertexId>(rng.uniformInt(n));
+            } else {
+                // Dependent load 2: the chosen neighbour's column
+                // entry (cannot issue before load 1 returns).
+                const EdgeId e = offsets[v] + rng.uniformInt(deg);
+                co_await issue.transfer(2.0);
+                const uint64_t col_line = e / edges_per_line;
+                acc = ctx.memory.read(core, ctx.lineSlice(col_line),
+                                      8.0);
+                co_await ctx.engine.delayUntil(acc.responseAt);
+                v = cols[e];
+            }
+            ++ctx.stepsDone;
+            ctx.stepLatencySum += ctx.engine.now() - step_start;
+        }
+    }
+}
+
+} // namespace
+
+WalkRunStats
+simulateRandomWalk(const Csr &csr, uint64_t num_walks,
+                   uint32_t walk_length, const PiumaConfig &cfg,
+                   uint64_t seed)
+{
+    cfg.validate();
+    if (csr.numVertices() == 0)
+        PGCN_FATAL("cannot walk an empty graph");
+    PGCN_ASSERT(num_walks > 0 && walk_length > 0,
+                "walk batch must be non-empty");
+
+    WalkContext ctx(csr, cfg);
+    const unsigned total_threads = cfg.totalThreads();
+    for (unsigned tid = 0; tid < total_threads; ++tid) {
+        const uint64_t begin = num_walks * tid / total_threads;
+        const uint64_t end = num_walks * (tid + 1) / total_threads;
+        if (begin < end)
+            walkThreadProc(ctx, tid, begin, end, walk_length, seed);
+    }
+
+    const sim::SimTime makespan = ctx.engine.run();
+
+    WalkRunStats stats;
+    stats.makespanNs = makespan;
+    stats.totalSteps = ctx.stepsDone;
+    stats.stepsPerNs =
+        makespan > 0 ? static_cast<double>(ctx.stepsDone) / makespan : 0.0;
+    stats.avgStepLatencyNs =
+        ctx.stepsDone ? ctx.stepLatencySum /
+                            static_cast<double>(ctx.stepsDone)
+                      : 0.0;
+    stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
+    stats.simEvents = ctx.engine.eventsProcessed();
+    return stats;
+}
+
+} // namespace pgcn::piuma

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Random-walk simulation on PIUMA (paper Section VI, "Graph
+ * Clustering and Sampling"): neighbourhood-sampling GNNs (pinSAGE,
+ * graphSAGE) are driven by random walks, a latency-bound pointer
+ * chase that PIUMA accelerates through massive multithreading [5].
+ *
+ * Each simulated walk step performs two dependent stall-on-use reads
+ * (the row-offset pair, then a uniformly chosen column entry) with no
+ * locality, so a single walker runs at 1/(2 x memory latency); the
+ * machine's throughput comes entirely from the number of concurrent
+ * hardware threads.
+ */
+#ifndef PGCN_PIUMA_WALK_PROGRAMS_HPP
+#define PGCN_PIUMA_WALK_PROGRAMS_HPP
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "piuma/config.hpp"
+
+namespace pgcn::piuma {
+
+/** Outcome of one simulated random-walk batch. */
+struct WalkRunStats
+{
+    double makespanNs = 0.0;     ///< end-to-end simulated time
+    uint64_t totalSteps = 0;     ///< walk steps completed
+    double stepsPerNs = 0.0;     ///< aggregate throughput
+    double avgStepLatencyNs = 0.0; ///< mean per-step critical path
+    double memUtilization = 0.0; ///< slice-controller utilisation
+    uint64_t simEvents = 0;      ///< DES events executed
+};
+
+/**
+ * Simulate @p num_walks independent random walks of @p walk_length
+ * steps over @p csr, spread across all hardware threads.
+ *
+ * @param csr Graph to walk (weights ignored; structure only).
+ * @param num_walks Number of walks (>= 1).
+ * @param walk_length Steps per walk (>= 1).
+ * @param cfg PIUMA system description.
+ * @param seed Walk RNG seed (walks are deterministic per seed).
+ */
+WalkRunStats simulateRandomWalk(const graph::Csr &csr, uint64_t num_walks,
+                                uint32_t walk_length,
+                                const PiumaConfig &cfg,
+                                uint64_t seed = 99);
+
+} // namespace pgcn::piuma
+
+#endif // PGCN_PIUMA_WALK_PROGRAMS_HPP

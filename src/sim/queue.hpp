@@ -1,0 +1,179 @@
+/**
+ * @file
+ * A bounded FIFO queue with coroutine push/pop, used to model the
+ * PIUMA DMA descriptor queue: producer MTP threads block when the
+ * queue is full (hardware backpressure), the DMA engine consumer
+ * blocks when it is empty.
+ *
+ * Hand-off is direct (a value moves straight from a waiting producer
+ * to a consumer or vice versa) so there is no lost-wakeup re-check
+ * loop; resumptions are scheduled through the engine at zero delay to
+ * keep stack depth bounded and ordering deterministic.
+ */
+#ifndef PGCN_SIM_QUEUE_HPP
+#define PGCN_SIM_QUEUE_HPP
+
+#include <algorithm>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "sim/engine.hpp"
+
+namespace pgcn::sim {
+
+/**
+ * Bounded single-threaded (simulated-concurrency) FIFO.
+ *
+ * @tparam T Element type; must be movable.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /**
+     * @param engine Owning engine (used to schedule resumptions).
+     * @param capacity Maximum buffered elements; must be positive.
+     */
+    BoundedQueue(Engine &engine, size_t capacity)
+        : engine_(engine), capacity_(capacity)
+    {
+        PGCN_ASSERT(capacity > 0, "queue capacity must be positive");
+    }
+
+    /** Elements currently buffered. */
+    size_t size() const { return items_.size(); }
+
+    /** True if no elements are buffered. */
+    bool empty() const { return items_.empty(); }
+
+    /** Largest buffered occupancy observed. */
+    size_t highWater() const { return highWater_; }
+
+    /**
+     * Awaitable push. Completes immediately if space is available or
+     * a consumer is waiting; otherwise suspends until a pop frees a
+     * slot. FIFO fairness among blocked producers.
+     */
+    auto
+    push(T value)
+    {
+        struct Awaiter
+        {
+            BoundedQueue &q;
+            T value;
+
+            bool
+            await_ready()
+            {
+                if (!q.waitingConsumers_.empty()) {
+                    // Direct hand-off to the oldest waiting consumer.
+                    auto waiter = q.waitingConsumers_.front();
+                    q.waitingConsumers_.pop_front();
+                    waiter.slot->emplace(std::move(value));
+                    q.engine_.schedule(0.0, [h = waiter.handle] {
+                        h.resume();
+                    });
+                    return true;
+                }
+                if (q.items_.size() < q.capacity_) {
+                    q.items_.push_back(std::move(value));
+                    q.highWater_ =
+                        std::max(q.highWater_, q.items_.size());
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                q.waitingProducers_.push_back(
+                    PendingPush{h, std::move(value)});
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, std::move(value)};
+    }
+
+    /**
+     * Awaitable pop. Completes immediately if an element is buffered;
+     * otherwise suspends until a push arrives. Returns the element.
+     */
+    auto
+    pop()
+    {
+        struct Awaiter
+        {
+            BoundedQueue &q;
+            std::optional<T> slot;
+
+            bool
+            await_ready()
+            {
+                if (!q.items_.empty()) {
+                    slot.emplace(std::move(q.items_.front()));
+                    q.items_.pop_front();
+                    q.admitWaitingProducer();
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                q.waitingConsumers_.push_back(PendingPop{h, &slot});
+            }
+
+            T
+            await_resume()
+            {
+                PGCN_ASSERT(slot.has_value(),
+                            "queue pop resumed without a value");
+                return std::move(*slot);
+            }
+        };
+        return Awaiter{*this, std::nullopt};
+    }
+
+  private:
+    struct PendingPush
+    {
+        std::coroutine_handle<> handle;
+        T value;
+    };
+
+    struct PendingPop
+    {
+        std::coroutine_handle<> handle;
+        std::optional<T> *slot;
+    };
+
+    /** After a pop freed a slot, move one blocked producer's value in. */
+    void
+    admitWaitingProducer()
+    {
+        if (waitingProducers_.empty())
+            return;
+        auto pending = std::move(waitingProducers_.front());
+        waitingProducers_.pop_front();
+        items_.push_back(std::move(pending.value));
+        highWater_ = std::max(highWater_, items_.size());
+        engine_.schedule(0.0, [h = pending.handle] { h.resume(); });
+    }
+
+    Engine &engine_;
+    size_t capacity_;
+    std::deque<T> items_;
+    std::deque<PendingPush> waitingProducers_;
+    std::deque<PendingPop> waitingConsumers_;
+    size_t highWater_ = 0;
+};
+
+} // namespace pgcn::sim
+
+#endif // PGCN_SIM_QUEUE_HPP

@@ -1,0 +1,55 @@
+#include "tensor/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pgcn::tensor {
+
+void
+DenseMatrix::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+DenseMatrix::fillRandom(uint64_t seed, float scale)
+{
+    Rng rng(seed);
+    for (float &x : data_)
+        x = static_cast<float>(rng.uniformRange(-scale, scale));
+}
+
+bool
+allClose(const DenseMatrix &a, const DenseMatrix &b, float rel_tol,
+         float abs_tol)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (uint64_t i = 0; i < a.size(); ++i) {
+        const float diff = std::fabs(pa[i] - pb[i]);
+        const float bound =
+            abs_tol + rel_tol * std::max(std::fabs(pa[i]), std::fabs(pb[i]));
+        if (diff > bound)
+            return false;
+    }
+    return true;
+}
+
+float
+maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b)
+{
+    PGCN_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                "maxAbsDiff shape mismatch");
+    float worst = 0.0f;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (uint64_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+    return worst;
+}
+
+} // namespace pgcn::tensor

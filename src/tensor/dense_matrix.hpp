@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Row-major dense matrix of float32, the feature/weight container for
+ * GCN layers. Row-major layout matters: SpMM reads whole rows
+ * (feature vectors) per edge, exactly the access pattern the paper's
+ * traffic equations assume.
+ */
+#ifndef PGCN_TENSOR_DENSE_MATRIX_HPP
+#define PGCN_TENSOR_DENSE_MATRIX_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace pgcn::tensor {
+
+/**
+ * A dense rows x cols matrix of float, stored row-major in one
+ * contiguous allocation.
+ */
+class DenseMatrix
+{
+  public:
+    /** Create an empty 0 x 0 matrix. */
+    DenseMatrix() = default;
+
+    /**
+     * Create a zero-initialised matrix.
+     *
+     * @param rows Row count.
+     * @param cols Column count.
+     */
+    DenseMatrix(uint64_t rows, uint64_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    /**
+     * Create from explicit data (row-major, size rows*cols).
+     */
+    DenseMatrix(uint64_t rows, uint64_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        PGCN_ASSERT(data_.size() == rows_ * cols_,
+                    "dense data size " << data_.size() << " != " << rows_
+                                       << "x" << cols_);
+    }
+
+    /** Row count. */
+    uint64_t rows() const { return rows_; }
+    /** Column count. */
+    uint64_t cols() const { return cols_; }
+    /** Total element count. */
+    uint64_t size() const { return data_.size(); }
+
+    /** Element access (bounds-checked via assertion). */
+    float &
+    at(uint64_t r, uint64_t c)
+    {
+        PGCN_ASSERT(r < rows_ && c < cols_,
+                    "dense index (" << r << "," << c << ") out of "
+                                    << rows_ << "x" << cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Const element access. */
+    float
+    at(uint64_t r, uint64_t c) const
+    {
+        PGCN_ASSERT(r < rows_ && c < cols_,
+                    "dense index (" << r << "," << c << ") out of "
+                                    << rows_ << "x" << cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Mutable view of row @p r. */
+    std::span<float>
+    row(uint64_t r)
+    {
+        PGCN_ASSERT(r < rows_, "row " << r << " out of " << rows_);
+        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+    }
+
+    /** Const view of row @p r. */
+    std::span<const float>
+    row(uint64_t r) const
+    {
+        PGCN_ASSERT(r < rows_, "row " << r << " out of " << rows_);
+        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+    }
+
+    /** Raw contiguous storage. */
+    float *data() { return data_.data(); }
+    /** Raw contiguous storage (const). */
+    const float *data() const { return data_.data(); }
+
+    /** Set all elements to @p value. */
+    void fill(float value);
+
+    /**
+     * Fill with deterministic pseudo-random values in [-scale, scale].
+     *
+     * @param seed RNG seed.
+     * @param scale Half-width of the value range.
+     */
+    void fillRandom(uint64_t seed, float scale = 1.0f);
+
+    /** Total storage footprint in bytes. */
+    uint64_t bytes() const { return data_.size() * sizeof(float); }
+
+  private:
+    uint64_t rows_ = 0;
+    uint64_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * Elementwise approximate equality with a mixed absolute/relative
+ * tolerance, for verifying kernels against references.
+ *
+ * @param a First matrix.
+ * @param b Second matrix (same shape required).
+ * @param rel_tol Relative tolerance.
+ * @param abs_tol Absolute tolerance.
+ * @return true if every element pair is within tolerance.
+ */
+bool allClose(const DenseMatrix &a, const DenseMatrix &b,
+              float rel_tol = 1e-4f, float abs_tol = 1e-5f);
+
+/**
+ * Largest absolute elementwise difference between two same-shape
+ * matrices.
+ */
+float maxAbsDiff(const DenseMatrix &a, const DenseMatrix &b);
+
+} // namespace pgcn::tensor
+
+#endif // PGCN_TENSOR_DENSE_MATRIX_HPP

@@ -1,0 +1,80 @@
+#include "tensor/dense_mm.hpp"
+
+#include <algorithm>
+
+namespace pgcn::tensor {
+
+void
+denseMmReference(const DenseMatrix &a, const DenseMatrix &b,
+                 DenseMatrix &out)
+{
+    PGCN_ASSERT(a.cols() == b.rows(),
+                "gemm shape mismatch: " << a.rows() << "x" << a.cols()
+                                        << " * " << b.rows() << "x"
+                                        << b.cols());
+    out = DenseMatrix(a.rows(), b.cols());
+    for (uint64_t i = 0; i < a.rows(); ++i) {
+        for (uint64_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            const auto brow = b.row(k);
+            auto orow = out.row(i);
+            for (uint64_t j = 0; j < b.cols(); ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+}
+
+void
+denseMmBlocked(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
+               uint64_t block)
+{
+    PGCN_ASSERT(a.cols() == b.rows(),
+                "gemm shape mismatch: " << a.rows() << "x" << a.cols()
+                                        << " * " << b.rows() << "x"
+                                        << b.cols());
+    PGCN_ASSERT(block > 0, "gemm block must be positive");
+    const uint64_t m = a.rows();
+    const uint64_t kk = a.cols();
+    const uint64_t n = b.cols();
+    out = DenseMatrix(m, n);
+
+    for (uint64_t i0 = 0; i0 < m; i0 += block) {
+        const uint64_t i1 = std::min(i0 + block, m);
+        for (uint64_t k0 = 0; k0 < kk; k0 += block) {
+            const uint64_t k1 = std::min(k0 + block, kk);
+            for (uint64_t i = i0; i < i1; ++i) {
+                auto orow = out.row(i);
+                for (uint64_t k = k0; k < k1; ++k) {
+                    const float aik = a.at(i, k);
+                    const auto brow = b.row(k);
+                    for (uint64_t j = 0; j < n; ++j)
+                        orow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+reluInPlace(DenseMatrix &m)
+{
+    float *p = m.data();
+    for (uint64_t i = 0; i < m.size(); ++i)
+        p[i] = std::max(p[i], 0.0f);
+}
+
+void
+addBiasInPlace(DenseMatrix &m, std::span<const float> bias)
+{
+    PGCN_ASSERT(bias.size() == m.cols(),
+                "bias length " << bias.size() << " != cols " << m.cols());
+    for (uint64_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        for (uint64_t c = 0; c < m.cols(); ++c)
+            row[c] += bias[c];
+    }
+}
+
+} // namespace pgcn::tensor

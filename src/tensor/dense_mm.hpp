@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dense matrix multiplication (the GCN "update" phase, (.)W in the
+ * paper) and elementwise activations (the "glue" sigma).
+ */
+#ifndef PGCN_TENSOR_DENSE_MM_HPP
+#define PGCN_TENSOR_DENSE_MM_HPP
+
+#include "tensor/dense_matrix.hpp"
+
+namespace pgcn::tensor {
+
+/**
+ * Reference triple-loop GEMM: out = a * b. Simple and obviously
+ * correct; used to validate the blocked kernel.
+ *
+ * @param a Left operand (m x k).
+ * @param b Right operand (k x n).
+ * @param out Result (m x n); resized/zeroed by the call.
+ */
+void denseMmReference(const DenseMatrix &a, const DenseMatrix &b,
+                      DenseMatrix &out);
+
+/**
+ * Cache-blocked GEMM with an i-k-j inner ordering so the innermost
+ * loop streams rows of b and out. This is the production dense-update
+ * kernel for the CPU platform.
+ *
+ * @param a Left operand (m x k).
+ * @param b Right operand (k x n).
+ * @param out Result (m x n); resized/zeroed by the call.
+ * @param block Cache-block edge in elements (default tuned for L1/L2).
+ */
+void denseMmBlocked(const DenseMatrix &a, const DenseMatrix &b,
+                    DenseMatrix &out, uint64_t block = 64);
+
+/** In-place ReLU: x = max(x, 0). */
+void reluInPlace(DenseMatrix &m);
+
+/**
+ * In-place row-wise bias add: m[r, :] += bias.
+ *
+ * @param m Matrix to update.
+ * @param bias Bias vector of length m.cols().
+ */
+void addBiasInPlace(DenseMatrix &m, std::span<const float> bias);
+
+} // namespace pgcn::tensor
+
+#endif // PGCN_TENSOR_DENSE_MM_HPP

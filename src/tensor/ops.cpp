@@ -1,0 +1,75 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgcn::tensor {
+
+void
+softmaxRowsInPlace(DenseMatrix &m)
+{
+    for (uint64_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        if (row.empty())
+            continue;
+        const float max_val = *std::max_element(row.begin(), row.end());
+        float sum = 0.0f;
+        for (float &x : row) {
+            x = std::exp(x - max_val);
+            sum += x;
+        }
+        for (float &x : row)
+            x /= sum;
+    }
+}
+
+std::vector<uint64_t>
+argmaxRows(const DenseMatrix &m)
+{
+    std::vector<uint64_t> out(m.rows());
+    for (uint64_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        PGCN_ASSERT(!row.empty(), "argmax of zero-width matrix");
+        out[r] = static_cast<uint64_t>(std::distance(
+            row.begin(), std::max_element(row.begin(), row.end())));
+    }
+    return out;
+}
+
+std::vector<float>
+rowL2Norms(const DenseMatrix &m)
+{
+    std::vector<float> out(m.rows());
+    for (uint64_t r = 0; r < m.rows(); ++r) {
+        double sum = 0.0;
+        for (float x : m.row(r))
+            sum += static_cast<double>(x) * x;
+        out[r] = static_cast<float>(std::sqrt(sum));
+    }
+    return out;
+}
+
+void
+scaleRowsInPlace(DenseMatrix &m, std::span<const float> factors)
+{
+    PGCN_ASSERT(factors.size() == m.rows(),
+                "factor count " << factors.size() << " != rows "
+                                << m.rows());
+    for (uint64_t r = 0; r < m.rows(); ++r) {
+        for (float &x : m.row(r))
+            x *= factors[r];
+    }
+}
+
+float
+mean(const DenseMatrix &m)
+{
+    if (m.size() == 0)
+        return 0.0f;
+    double sum = 0.0;
+    for (uint64_t i = 0; i < m.size(); ++i)
+        sum += m.data()[i];
+    return static_cast<float>(sum / static_cast<double>(m.size()));
+}
+
+} // namespace pgcn::tensor

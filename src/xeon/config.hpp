@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Xeon CPU platform description.
+ *
+ * Defaults model the paper's profiling machine: a dual-socket Intel
+ * Xeon Platinum 8380 (Ice Lake, 40 cores/socket, AVX-512 with two FMA
+ * units, 8-channel DDR4-3200, 512 GB). The container this library
+ * builds in has one core, so multi-core CPU behaviour is modelled
+ * analytically (bandwidth-saturation curve + cache-reuse correction);
+ * the functional kernels in src/kernels validate the algorithms
+ * themselves.
+ */
+#ifndef PGCN_XEON_CONFIG_HPP
+#define PGCN_XEON_CONFIG_HPP
+
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace pgcn::xeon {
+
+/** Static description of a Xeon system. */
+struct XeonConfig
+{
+    unsigned sockets = 2;
+    unsigned coresPerSocket = 40;
+    unsigned hyperThreadsPerCore = 2;
+    double clockGhz = 2.3;
+
+    /// AVX-512: 2 FMA units x 16 fp32 lanes x 2 FLOP per FMA.
+    unsigned fmaUnitsPerCore = 2;
+    unsigned simdLanesFp32 = 16;
+
+    /// Achievable STREAM bandwidth per socket (GB/s); 8-channel
+    /// DDR4-3200 peaks at 204.8, STREAM reaches ~85%.
+    double socketStreamBandwidthGBps = 175.0;
+    /// Bandwidth a single thread can extract (GB/s).
+    double perThreadBandwidthGBps = 14.0;
+    /// Fractional bandwidth loss at full hyper-threading (the paper's
+    /// Fig. 8 left: >80 threads reduce measured bandwidth).
+    double hyperThreadPenalty = 0.15;
+
+    /// Effective cache per socket available for feature-row reuse
+    /// (LLC + aggregate L2).
+    double cacheBytesPerSocket = 60.0 * 1024 * 1024;
+
+    /// Fraction of STREAM bandwidth a gather-dominated SpMM achieves
+    /// (torch-sparse-class kernels on 80 threads).
+    double gatherEfficiency = 0.45;
+    /// Aggregate LLC bandwidth serving cache-resident feature rows
+    /// (GB/s): cached reuse is cheaper than DRAM but not free.
+    double llcBandwidthGBps = 1500.0;
+    /// Skew exponent for cache hit rates on power-law graphs: hot
+    /// vertices are reused far more often than a uniform model
+    /// predicts, so hit = (cache / working set)^skewExponent.
+    double cacheSkewExponent = 0.45;
+    /// Fraction of peak FLOPS the framework GEMM achieves on
+    /// tall-skinny GCN updates across 80 threads.
+    double denseEfficiency = 0.5;
+
+    /// Per-kernel framework overhead (ns); the PyTorch "glue" of the
+    /// paper's Section III-C includes wrapper and launch costs.
+    double frameworkOverheadNs = 60000.0;
+
+    /// Loaded random-access (pointer-chase) latency to DRAM (ns).
+    double randomAccessLatencyNs = 90.0;
+    /// Independent pointer chases one out-of-order core overlaps
+    /// (bounded by the load queue / MSHRs on irregular streams).
+    double chasesOverlappedPerCore = 6.0;
+
+    /** Physical cores in the system. */
+    unsigned physicalCores() const { return sockets * coresPerSocket; }
+
+    /** Logical threads (with hyper-threading). */
+    unsigned
+    logicalCores() const
+    {
+        return physicalCores() * hyperThreadsPerCore;
+    }
+
+    /** Peak fp32 FLOPS of one core in GFLOP/s. */
+    double
+    peakCoreGflops() const
+    {
+        return clockGhz * fmaUnitsPerCore * simdLanesFp32 * 2.0;
+    }
+
+    /** Peak fp32 FLOPS of the whole system in GFLOP/s. */
+    double
+    peakSystemGflops() const
+    {
+        return peakCoreGflops() * physicalCores();
+    }
+
+    /** Aggregate STREAM bandwidth (GB/s == bytes/ns). */
+    double
+    peakBandwidth() const
+    {
+        return socketStreamBandwidthGBps * sockets;
+    }
+
+    /** Validate invariants; fatal on user error. */
+    void
+    validate() const
+    {
+        if (sockets == 0 || coresPerSocket == 0)
+            PGCN_FATAL("Xeon config requires non-zero sockets/cores");
+        if (clockGhz <= 0 || socketStreamBandwidthGBps <= 0)
+            PGCN_FATAL("Xeon config has non-physical parameters");
+        if (gatherEfficiency <= 0 || gatherEfficiency > 1)
+            PGCN_FATAL("gather efficiency must be in (0, 1]");
+    }
+
+    /** The paper's dual-socket Platinum 8380 profiling machine. */
+    static XeonConfig
+    platinum8380()
+    {
+        return XeonConfig{};
+    }
+};
+
+} // namespace pgcn::xeon
+
+#endif // PGCN_XEON_CONFIG_HPP

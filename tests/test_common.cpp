@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG determinism and distribution, running
+ * statistics, percentiles, table formatting, unit conversions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+using namespace pgcn;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a() == b());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(99);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(5);
+    for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.uniformInt(8)];
+    for (int c : counts)
+        EXPECT_GT(c, 700); // expect ~1000 each; catch gross bias
+}
+
+TEST(SplitMix, Deterministic)
+{
+    uint64_t s1 = 42, s2 = 42;
+    EXPECT_EQ(splitMix64(s1), splitMix64(s2));
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownValues)
+{
+    RunningStat rs;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(x);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat rs;
+    rs.add(3.5);
+    EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+    EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(Percentile, MedianOfOdd)
+{
+    EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(Percentile, Extremes)
+{
+    std::vector<double> v{5, 1, 9, 3};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 9.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(Geomean, KnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t("demo", {"name", "value"});
+    t.row().cell("alpha").cell(int64_t{42});
+    t.row().cell("beta").cell(3.14159, 2);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table t("csv", {"a"});
+    t.row().cell("x,y");
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_NE(oss.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RowCount)
+{
+    Table t("rows", {"a", "b"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.row().cell("1").cell("2");
+    t.row().cell("3").cell("4");
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Units, BandwidthConversion)
+{
+    // 1 GB/s is exactly 1 byte per ns.
+    EXPECT_DOUBLE_EQ(units::gbPerSecToBytesPerNs(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(units::gbPerSecToBytesPerNs(204.8), 204.8);
+}
+
+TEST(Units, TimeRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(units::nsToSeconds(units::secondsToNs(2.5)), 2.5);
+}
+
+TEST(Units, Gflops)
+{
+    // 2e9 FLOP in 1 second (1e9 ns) = 2 GFLOP/s.
+    EXPECT_DOUBLE_EQ(units::gflops(2e9, units::kSec), 2.0);
+}
+
+TEST(HumanFormat, Bytes)
+{
+    EXPECT_EQ(humanBytes(512), "512.0 B");
+    EXPECT_EQ(humanBytes(1536), "1.50 KiB");
+}
+
+TEST(HumanFormat, Time)
+{
+    EXPECT_EQ(humanTimeNs(500), "500.0 ns");
+    EXPECT_EQ(humanTimeNs(2500), "2.50 us");
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the A100 model: the memory-capacity threshold, offload
+ * arithmetic, and the Fig. 4 regimes (offload-dominated for resident
+ * graphs, sampling-dominated for papers).
+ */
+#include <gtest/gtest.h>
+
+#include "gpu/config.hpp"
+#include "gpu/timing.hpp"
+#include "graph/datasets.hpp"
+
+namespace {
+
+using namespace pgcn;
+using namespace pgcn::gpu;
+
+TEST(GpuFit, AllButPapersFit)
+{
+    // The paper: "All graphs except papers fit on a single-node GPU".
+    const auto cfg = GpuConfig::a100_40gb();
+    for (const auto &d : graph::ogbDatasets()) {
+        const bool fits = fitsInMemory(cfg, d.numVertices, d.numEdges, 256);
+        if (d.name == "papers") {
+            EXPECT_FALSE(fits) << d.name;
+        } else {
+            EXPECT_TRUE(fits) << d.name;
+        }
+    }
+}
+
+TEST(GpuFit, FootprintArithmetic)
+{
+    const double fp = deviceFootprintBytes(1000, 10000, 64);
+    EXPECT_DOUBLE_EQ(fp, 1001.0 * 8 + 10000.0 * 8 +
+                             2.0 * 1000 * 64 * 4);
+}
+
+TEST(GpuOffload, ScalesWithGraphAndFeatures)
+{
+    const auto cfg = GpuConfig::a100_40gb();
+    const double small = offloadTimeNs(cfg, 1000, 10000, 64);
+    const double bigger_graph = offloadTimeNs(cfg, 1000, 100000, 64);
+    const double wider_features = offloadTimeNs(cfg, 1000, 10000, 256);
+    EXPECT_GT(bigger_graph, small);
+    EXPECT_GT(wider_features, small);
+}
+
+TEST(GpuOffload, DominatedByPcie)
+{
+    const auto cfg = GpuConfig::a100_40gb();
+    // products at K=100: bytes / 25 GB/s plus fixed overheads.
+    const double v = 2449029, e = 61859140;
+    const double bytes = (v + 1) * 8 + e * 8 + v * 100 * 4;
+    const double t = offloadTimeNs(cfg, 2449029, 61859140, 100);
+    EXPECT_NEAR(t, bytes / 25.0 + 2 * cfg.transferOverheadNs, 1e3);
+}
+
+TEST(GpuSpmm, FasterThanOffloadForResidentGraphs)
+{
+    // Fig. 4: for graphs that fit, offload dominates the breakdown.
+    const auto cfg = GpuConfig::a100_40gb();
+    const auto &d = graph::datasetByName("products");
+    const double off =
+        offloadTimeNs(cfg, d.numVertices, d.numEdges, d.inputDim);
+    const double spmm = spmmTimeNs(
+        cfg, model::SpmmWorkload{d.numVertices, d.numEdges, 64});
+    EXPECT_GT(off, spmm);
+}
+
+TEST(GpuSampling, DominatesForPapers)
+{
+    // Fig. 4: papers spends >75% of time sampling on the host, and
+    // sampling+offload together dominate.
+    const auto cfg = GpuConfig::a100_40gb();
+    const auto &d = graph::datasetByName("papers");
+    const double sampling = samplingTimeNs(cfg, d.numEdges, 128);
+    const double spmm = spmmTimeNs(
+        cfg, model::SpmmWorkload{d.numVertices, d.numEdges, 128});
+    const double dense =
+        denseMmTimeNs(cfg, d.numVertices, 128, 128);
+    EXPECT_GT(sampling, 3.0 * (spmm + dense));
+}
+
+TEST(GpuSampling, GrowsWithFeatureDim)
+{
+    const auto cfg = GpuConfig::a100_40gb();
+    EXPECT_GT(samplingTimeNs(cfg, 1u << 20, 256),
+              samplingTimeNs(cfg, 1u << 20, 8));
+}
+
+TEST(GpuDense, TensorCoreAdvantage)
+{
+    // The GPU's dense throughput far exceeds its SpMM throughput per
+    // FLOP — the reason GPU catches up at large K in Fig. 9.
+    const auto cfg = GpuConfig::a100_40gb();
+    const uint64_t v = 1u << 20;
+    const double dense = denseMmTimeNs(cfg, v, 256, 256);
+    const double dense_flop = 2.0 * v * 256.0 * 256.0;
+    model::SpmmWorkload w{v, v * 16, 256};
+    const double spmm = spmmTimeNs(cfg, w);
+    const double spmm_flop = 2.0 * (v * 16.0) * 256.0;
+    EXPECT_GT((dense_flop / dense) / (spmm_flop / spmm), 3.0);
+}
+
+} // namespace

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the functional CPU SpMM kernels. The reference kernel is
+ * checked against hand-computed values; the parallel kernels are
+ * property-tested against the reference across graph shapes, degree
+ * profiles, embedding dimensions and thread counts.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+#include "kernels/spmm.hpp"
+
+namespace {
+
+using namespace pgcn;
+using graph::Coo;
+using graph::Csr;
+using tensor::DenseMatrix;
+
+TEST(SpmmReference, HandComputedTwoByTwo)
+{
+    // A = [[2, 1], [0, 3]], H = [[1, 2], [3, 4]]
+    Coo coo(2);
+    coo.addEdge(0, 0, 2.0f);
+    coo.addEdge(0, 1, 1.0f);
+    coo.addEdge(1, 1, 3.0f);
+    Csr a(coo);
+    DenseMatrix h(2, 2, {1, 2, 3, 4});
+    DenseMatrix out;
+    kernels::spmmReference(a, h, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);  // 2*1 + 1*3
+    EXPECT_FLOAT_EQ(out.at(0, 1), 8.0f);  // 2*2 + 1*4
+    EXPECT_FLOAT_EQ(out.at(1, 0), 9.0f);  // 3*3
+    EXPECT_FLOAT_EQ(out.at(1, 1), 12.0f); // 3*4
+}
+
+TEST(SpmmReference, EmptyMatrixGivesZeros)
+{
+    Coo coo(3);
+    Csr a(coo);
+    DenseMatrix h(3, 4);
+    h.fillRandom(1);
+    DenseMatrix out;
+    kernels::spmmReference(a, h, out);
+    for (uint64_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out.data()[i], 0.0f);
+}
+
+TEST(SpmmReference, RowOfZeroWeightEdges)
+{
+    Coo coo(2);
+    coo.addEdge(0, 1, 0.0f);
+    Csr a(coo);
+    DenseMatrix h(2, 2);
+    h.fillRandom(2);
+    DenseMatrix out;
+    kernels::spmmReference(a, h, out);
+    EXPECT_EQ(out.at(0, 0), 0.0f);
+    EXPECT_EQ(out.at(0, 1), 0.0f);
+}
+
+/** Parameters: (rmat scale, edges, K, threads, skewed?). */
+class SpmmParallelEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<uint32_t, uint64_t, uint64_t, unsigned, bool>>
+{
+  protected:
+    Csr
+    makeGraph() const
+    {
+        const auto [scale, edges, k, threads, skewed] = GetParam();
+        (void)k;
+        (void)threads;
+        Coo coo = graph::generateRmat(
+            scale, edges, skewed ? graph::rmatSkewed() : graph::rmatUniform(),
+            1234);
+        return graph::normalizedAdjacency(coo);
+    }
+};
+
+TEST_P(SpmmParallelEquivalence, VertexParallelMatchesReference)
+{
+    const auto [scale, edges, k, threads, skewed] = GetParam();
+    (void)edges;
+    (void)skewed;
+    Csr a = makeGraph();
+    DenseMatrix h(a.numVertices(), k);
+    h.fillRandom(7);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(threads);
+    kernels::spmmVertexParallel(a, h, out, pool, 16);
+    EXPECT_TRUE(allClose(ref, out, 1e-4f, 1e-5f))
+        << "max diff " << maxAbsDiff(ref, out);
+}
+
+TEST_P(SpmmParallelEquivalence, EdgeParallelMatchesReference)
+{
+    const auto [scale, edges, k, threads, skewed] = GetParam();
+    (void)edges;
+    (void)skewed;
+    Csr a = makeGraph();
+    DenseMatrix h(a.numVertices(), k);
+    h.fillRandom(7);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(threads);
+    kernels::spmmEdgeParallel(a, h, out, pool);
+    // Atomic accumulation reorders float adds; allow a looser bound.
+    EXPECT_TRUE(allClose(ref, out, 1e-3f, 1e-4f))
+        << "max diff " << maxAbsDiff(ref, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphSweep, SpmmParallelEquivalence,
+    ::testing::Values(
+        std::make_tuple(4u, uint64_t{40}, uint64_t{1}, 1u, true),
+        std::make_tuple(6u, uint64_t{500}, uint64_t{8}, 2u, true),
+        std::make_tuple(8u, uint64_t{4000}, uint64_t{16}, 4u, true),
+        std::make_tuple(8u, uint64_t{4000}, uint64_t{16}, 4u, false),
+        std::make_tuple(10u, uint64_t{20000}, uint64_t{32}, 8u, true),
+        std::make_tuple(6u, uint64_t{100}, uint64_t{64}, 3u, false),
+        std::make_tuple(5u, uint64_t{64}, uint64_t{256}, 5u, true)));
+
+TEST(SpmmEdgeParallel, MoreThreadsThanEdges)
+{
+    Coo coo(4);
+    coo.addEdge(0, 1, 1.0f);
+    coo.addEdge(2, 3, 2.0f);
+    Csr a(coo);
+    DenseMatrix h(4, 4);
+    h.fillRandom(3);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(8);
+    kernels::spmmEdgeParallel(a, h, out, pool);
+    EXPECT_TRUE(allClose(ref, out));
+}
+
+TEST(SpmmEdgeParallel, ThreadBoundaryInsideLongRow)
+{
+    // One giant row: every thread boundary falls inside it, exercising
+    // the shared-row atomic flush path.
+    Coo coo(64);
+    for (graph::VertexId v = 0; v < 64; ++v)
+        coo.addEdge(0, v, 1.0f + static_cast<float>(v));
+    Csr a(coo);
+    DenseMatrix h(64, 8);
+    h.fillRandom(5);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(7);
+    kernels::spmmEdgeParallel(a, h, out, pool);
+    EXPECT_TRUE(allClose(ref, out, 1e-3f, 1e-4f));
+}
+
+TEST(SpmmVertexParallel, SingleThreadChunkLargerThanGraph)
+{
+    Coo coo = graph::generateUniform(32, 128, 9);
+    Csr a(coo);
+    DenseMatrix h(32, 4);
+    h.fillRandom(11);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(1);
+    kernels::spmmVertexParallel(a, h, out, pool, 10000);
+    EXPECT_TRUE(allClose(ref, out, 0.0f, 0.0f));
+}
+
+} // namespace
+
+// ------------------------------------------------------ tiled SpMM
+
+#include "kernels/tiled_spmm.hpp"
+
+namespace {
+
+using namespace pgcn;
+using graph::Coo;
+using graph::Csr;
+using tensor::DenseMatrix;
+
+TEST(TiledSpmm, SingleTileMatchesReference)
+{
+    Csr a = graph::normalizedAdjacency(
+        graph::generateRmat(9, 4000, graph::rmatSkewed(), 44));
+    DenseMatrix h(a.numVertices(), 16);
+    h.fillRandom(4);
+    kernels::TiledSpmm tiled(a, 16); // default budget: one tile
+    EXPECT_EQ(tiled.numTiles(), 1u);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(2);
+    tiled.apply(h, out, pool);
+    EXPECT_TRUE(allClose(ref, out, 1e-4f, 1e-5f));
+}
+
+/** (cache budget in rows, K, threads). */
+class TiledSpmmEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t,
+                                                 unsigned>>
+{
+};
+
+TEST_P(TiledSpmmEquivalence, MatchesReferenceAcrossTileCounts)
+{
+    const auto [budget_rows, k, threads] = GetParam();
+    Csr a = graph::normalizedAdjacency(
+        graph::generateRmat(9, 6000, graph::rmatSkewed(), 45));
+    DenseMatrix h(a.numVertices(), k);
+    h.fillRandom(6);
+    kernels::TiledSpmm tiled(a, k,
+                             static_cast<double>(budget_rows) * k * 4);
+    DenseMatrix ref, out;
+    kernels::spmmReference(a, h, ref);
+    parallel::ThreadPool pool(threads);
+    tiled.apply(h, out, pool);
+    EXPECT_TRUE(allClose(ref, out, 1e-3f, 1e-4f))
+        << tiled.numTiles() << " tiles, max diff "
+        << maxAbsDiff(ref, out);
+    // The budget must actually induce multiple tiles when small.
+    if (budget_rows < a.numVertices()) {
+        EXPECT_GT(tiled.numTiles(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetSweep, TiledSpmmEquivalence,
+    ::testing::Values(std::make_tuple(uint64_t{8}, uint64_t{8}, 1u),
+                      std::make_tuple(uint64_t{64}, uint64_t{16}, 4u),
+                      std::make_tuple(uint64_t{100}, uint64_t{32}, 2u),
+                      std::make_tuple(uint64_t{1000}, uint64_t{8}, 8u),
+                      std::make_tuple(uint64_t{1u << 20}, uint64_t{64},
+                                      4u)));
+
+TEST(TiledSpmm, TileCountMatchesBudget)
+{
+    Csr a = graph::normalizedAdjacency(
+        graph::generateRmat(8, 2000, graph::rmatSkewed(), 46));
+    // Budget of exactly 32 rows at K=8 -> ceil(256/32) = 8 tiles.
+    kernels::TiledSpmm tiled(a, 8, 32.0 * 8 * 4);
+    EXPECT_EQ(tiled.numTiles(), (a.numVertices() + 31) / 32);
+}
+
+TEST(TiledSpmm, EmptyGraph)
+{
+    graph::Coo coo(4);
+    Csr a(coo);
+    kernels::TiledSpmm tiled(a, 4);
+    DenseMatrix h(4, 4);
+    h.fillRandom(1);
+    DenseMatrix out;
+    parallel::ThreadPool pool(2);
+    tiled.apply(h, out, pool);
+    for (uint64_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out.data()[i], 0.0f);
+}
+
+TEST(TiledSpmm, RejectsMismatchedWidth)
+{
+    Csr a = graph::normalizedAdjacency(
+        graph::generateRmat(6, 200, graph::rmatSkewed(), 47));
+    kernels::TiledSpmm tiled(a, 8);
+    DenseMatrix h(a.numVertices(), 16); // wrong width
+    DenseMatrix out;
+    parallel::ThreadPool pool(1);
+    EXPECT_DEATH(tiled.apply(h, out, pool), "embedding dim");
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the analytical bandwidth-bound SpMM model (paper
+ * Eqs. 1-5) and the roofline helper: exact equation checks plus the
+ * monotonicity properties the paper's analysis relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "model/spmm_model.hpp"
+
+namespace {
+
+using namespace pgcn::model;
+
+TEST(SpmmModel, EquationsExactlyMatchPaper)
+{
+    // |V| = 100, |E| = 1000, K = 64, default element sizes.
+    SpmmWorkload w{100, 1000, 64};
+    const auto est = estimateSpmm(w, 10.0, 5.0);
+
+    // Eq. 1: (|V|+1)*B_R + |E|*B_C + |E|*B_N
+    EXPECT_DOUBLE_EQ(est.bytesCsr, 101.0 * 8 + 1000.0 * 4 + 1000.0 * 4);
+    // Eq. 2: K*|E|*B_F
+    EXPECT_DOUBLE_EQ(est.bytesFeature, 64.0 * 1000 * 4);
+    // Eq. 3: K*|V|*B_F
+    EXPECT_DOUBLE_EQ(est.bytesWrite, 64.0 * 100 * 4);
+    // Eq. 4: 2*|E|*K
+    EXPECT_DOUBLE_EQ(est.flop, 2.0 * 1000 * 64);
+    // Eq. 5: reads/BW_r + writes/BW_w
+    EXPECT_DOUBLE_EQ(est.timeNs,
+                     (est.bytesCsr + est.bytesFeature) / 10.0 +
+                         est.bytesWrite / 5.0);
+    EXPECT_DOUBLE_EQ(est.gflops, est.flop / est.timeNs);
+}
+
+TEST(SpmmModel, ThroughputScalesLinearlyWithBandwidth)
+{
+    SpmmWorkload w{1 << 16, 1 << 20, 128};
+    const auto one = estimateSpmm(w, 100.0, 100.0);
+    const auto two = estimateSpmm(w, 200.0, 200.0);
+    EXPECT_NEAR(two.gflops / one.gflops, 2.0, 1e-9);
+}
+
+TEST(SpmmModel, ArithmeticIntensityIsLow)
+{
+    // SpMM is a low arithmetic-intensity kernel (paper Section IV-A):
+    // asymptotically 2K FLOP per (K*B_F + B_C + B_N) bytes, < 0.5
+    // FLOP/byte with 4-byte features.
+    SpmmWorkload w{1 << 20, 1 << 24, 256};
+    const auto est = estimateSpmm(w, 100.0, 100.0);
+    EXPECT_LT(est.arithmeticIntensity(), 0.5);
+    EXPECT_GT(est.arithmeticIntensity(), 0.3);
+}
+
+TEST(SpmmModel, NnzShareOfTrafficFallsWithK)
+{
+    // The Fig. 8 (right) effect: CSR (NNZ-read) traffic share shrinks
+    // as the embedding dimension grows.
+    SpmmWorkload w8{1 << 16, 1 << 22, 8};
+    SpmmWorkload w256{1 << 16, 1 << 22, 256};
+    const auto e8 = estimateSpmm(w8, 100.0, 100.0);
+    const auto e256 = estimateSpmm(w256, 100.0, 100.0);
+    const double share8 = e8.bytesCsr / e8.totalBytes();
+    const double share256 = e256.bytesCsr / e256.totalBytes();
+    EXPECT_GT(share8, 5.0 * share256);
+}
+
+TEST(SpmmModel, CustomElementSizes)
+{
+    ElementSizes sizes;
+    sizes.rowIndex = 4;
+    sizes.colIndex = 8;
+    sizes.nonZero = 8;
+    sizes.feature = 8;
+    SpmmWorkload w{10, 20, 4};
+    const auto est = estimateSpmm(w, 1.0, 1.0, sizes);
+    EXPECT_DOUBLE_EQ(est.bytesCsr, 11.0 * 4 + 20.0 * 8 + 20.0 * 8);
+    EXPECT_DOUBLE_EQ(est.bytesFeature, 4.0 * 20 * 8);
+    EXPECT_DOUBLE_EQ(est.bytesWrite, 4.0 * 10 * 8);
+}
+
+TEST(Roofline, MemoryBoundRegime)
+{
+    // 1000 FLOP, 10000 bytes, fast compute: memory time dominates.
+    const double t = rooflineTimeNs(1000, 10000, 1000.0, 1.0);
+    EXPECT_DOUBLE_EQ(t, 10000.0);
+}
+
+TEST(Roofline, ComputeBoundRegime)
+{
+    // 1e6 FLOP, 8 bytes, slow compute: compute time dominates.
+    const double t = rooflineTimeNs(1e6, 8, 1.0, 100.0);
+    EXPECT_DOUBLE_EQ(t, 1e6);
+}
+
+TEST(Roofline, CrossoverAtRidgePoint)
+{
+    // At the ridge point (intensity == peak/bw) both terms are equal.
+    const double peak = 50.0;
+    const double bw = 10.0;
+    const double bytes = 100.0;
+    const double flop = bytes * peak / bw;
+    EXPECT_DOUBLE_EQ(rooflineTimeNs(flop, bytes, peak, bw), bytes / bw);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the Xeon timing model: the bandwidth-vs-threads curve of
+ * Fig. 8 (left), the cache-reuse SpMM correction, and the qualitative
+ * CPU findings of Fig. 3 (SpMM fraction grows with scale, density and
+ * embedding dimension).
+ */
+#include <gtest/gtest.h>
+
+#include "model/spmm_model.hpp"
+#include "xeon/config.hpp"
+#include "xeon/timing.hpp"
+
+namespace {
+
+using namespace pgcn;
+using namespace pgcn::xeon;
+
+TEST(XeonConfig, Platinum8380Shape)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    EXPECT_EQ(cfg.physicalCores(), 80u);
+    EXPECT_EQ(cfg.logicalCores(), 160u);
+    // AVX-512, 2 FMA units: 2.3 GHz * 2 * 16 * 2 = 147.2 GF/core.
+    EXPECT_NEAR(cfg.peakCoreGflops(), 147.2, 1e-9);
+}
+
+TEST(Bandwidth, RampsLinearlyAtLowThreadCounts)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    const double one = streamBandwidth(cfg, 2); // one per socket
+    const double four = streamBandwidth(cfg, 8);
+    EXPECT_NEAR(four / one, 4.0, 1e-9);
+}
+
+TEST(Bandwidth, SaturatesAtSocketPeak)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    const double at40 = streamBandwidth(cfg, 40);
+    const double at80 = streamBandwidth(cfg, 80);
+    EXPECT_DOUBLE_EQ(at80, cfg.peakBandwidth());
+    EXPECT_LE(at40, at80);
+}
+
+TEST(Bandwidth, HyperThreadingDegrades)
+{
+    // The paper's Fig. 8 (left): past 80 threads the measured
+    // bandwidth *decreases*.
+    const auto cfg = XeonConfig::platinum8380();
+    const double physical = streamBandwidth(cfg, 80);
+    const double oversub = streamBandwidth(cfg, 160);
+    EXPECT_LT(oversub, physical);
+    EXPECT_NEAR(oversub, physical * (1.0 - cfg.hyperThreadPenalty), 1e-9);
+}
+
+TEST(Bandwidth, MonotoneUpToPhysical)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    double prev = 0.0;
+    for (unsigned t = 1; t <= 80; t += 4) {
+        const double bw = streamBandwidth(cfg, t);
+        EXPECT_GE(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(CacheModel, SmallGraphFullyCached)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    // ddi at K=8: 4267 * 8 * 4 B = 136 KB << cache.
+    EXPECT_DOUBLE_EQ(featureCacheHitRate(cfg, 4267, 8), 1.0);
+}
+
+TEST(CacheModel, LargeGraphMostlyMisses)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    // papers at K=256: 111M * 1 KiB >> cache.
+    EXPECT_LT(featureCacheHitRate(cfg, 111059956, 256), 0.01);
+}
+
+TEST(CacheModel, HitRateFallsWithEmbeddingDim)
+{
+    // Fig. 3's mechanism: larger K evicts more rows.
+    const auto cfg = XeonConfig::platinum8380();
+    EXPECT_GT(featureCacheHitRate(cfg, 132534, 8),
+              featureCacheHitRate(cfg, 132534, 256));
+}
+
+TEST(SpmmTraffic, CachedGraphReadsEachRowOnce)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    // Fully cached: feature traffic is the compulsory |V|*K*4 only.
+    model::SpmmWorkload w{4267, 1334889, 8};
+    const double traffic = spmmTrafficBytes(cfg, w);
+    const double csr = 4268.0 * 8 + 1334889.0 * 8;
+    const double compulsory = 4267.0 * 8 * 4;
+    const double write = 4267.0 * 8 * 4;
+    EXPECT_NEAR(traffic, csr + compulsory + write, 1.0);
+}
+
+TEST(SpmmTraffic, UncachedGraphApproachesModelBound)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    model::SpmmWorkload w{111059956, 1615685872, 256};
+    const double traffic = spmmTrafficBytes(cfg, w);
+    const auto est = model::estimateSpmm(w, 1.0, 1.0);
+    EXPECT_GT(traffic, 0.95 * est.totalBytes());
+    EXPECT_LE(traffic, 1.001 * est.totalBytes());
+}
+
+TEST(SpmmFraction, GrowsWithDensity)
+{
+    // Fig. 2: at fixed |V|, denser graphs spend a larger fraction of
+    // layer time in SpMM.
+    const auto cfg = XeonConfig::platinum8380();
+    const uint64_t v = 1u << 18;
+    const unsigned threads = 80;
+    auto fraction = [&](uint64_t e) {
+        model::SpmmWorkload w{v, e, 256};
+        const double spmm = spmmTimeNs(cfg, w, threads);
+        const double dense = denseMmTimeNs(cfg, v, 256, 256, threads);
+        return spmm / (spmm + dense);
+    };
+    EXPECT_LT(fraction(v * 2), fraction(v * 32));
+}
+
+TEST(SpmmFraction, GrowsWithScaleAtFixedDensity)
+{
+    // Fig. 2: at fixed density, larger graphs are more SpMM-bound
+    // (|E| = delta * |V|^2 grows quadratically; Dense MM linearly).
+    const auto cfg = XeonConfig::platinum8380();
+    const unsigned threads = 80;
+    const double density = 1e-4;
+    auto fraction = [&](uint64_t v) {
+        const auto e = static_cast<uint64_t>(density * v * double(v));
+        model::SpmmWorkload w{v, e, 256};
+        const double spmm = spmmTimeNs(cfg, w, threads);
+        const double dense = denseMmTimeNs(cfg, v, 256, 256, threads);
+        return spmm / (spmm + dense);
+    };
+    EXPECT_LT(fraction(1u << 16), fraction(1u << 20));
+}
+
+TEST(SpmmTime, DecreasesWithThreadsUntilSaturation)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    model::SpmmWorkload w{2449029, 61859140, 256}; // products
+    const double t8 = spmmTimeNs(cfg, w, 8);
+    const double t80 = spmmTimeNs(cfg, w, 80);
+    EXPECT_GT(t8, 2.0 * t80);
+}
+
+TEST(DenseTime, ComputeBoundAtLargeK)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    // K=256 GEMM: arithmetic intensity ~64 FLOP/B, compute bound.
+    const double t = denseMmTimeNs(cfg, 1u << 20, 256, 256, 80);
+    const double flop = 2.0 * (1u << 20) * 256.0 * 256.0;
+    const double compute_ns =
+        flop / (cfg.peakSystemGflops() * cfg.denseEfficiency);
+    EXPECT_NEAR(t, compute_ns + cfg.frameworkOverheadNs,
+                0.01 * compute_ns);
+}
+
+} // namespace
+
+// ----------------------------------------------------- random walk
+
+namespace {
+
+using namespace pgcn::xeon;
+
+TEST(RandomWalkModel, ScalesWithCoresUntilPhysicalLimit)
+{
+    const auto cfg = XeonConfig::platinum8380();
+    const double r40 = randomWalkStepsPerNs(cfg, 40);
+    const double r80 = randomWalkStepsPerNs(cfg, 80);
+    const double r160 = randomWalkStepsPerNs(cfg, 160);
+    EXPECT_NEAR(r80 / r40, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(r80, r160); // HT does not add chase capacity
+}
+
+TEST(RandomWalkModel, LatencyBound)
+{
+    XeonConfig slow = XeonConfig::platinum8380();
+    slow.randomAccessLatencyNs *= 2.0;
+    EXPECT_NEAR(randomWalkStepsPerNs(XeonConfig::platinum8380(), 80) /
+                    randomWalkStepsPerNs(slow, 80),
+                2.0, 1e-9);
+}
+
+} // namespace
