@@ -1,12 +1,17 @@
 /**
  * @file
  * Shared helpers for the figure/table bench binaries: proxy-graph
- * construction at DES-friendly scale, sweep-model construction, and
- * optional CSV output (pass an output path as argv[1]).
+ * construction at DES-friendly scale, sweep-model construction,
+ * optional CSV output (pass an output path as argv[1]), and a
+ * simulator-throughput report (pass a JSON path as argv[2]) so perf
+ * regressions in the discrete-event core show up in bench output.
  */
 #ifndef PGCN_BENCH_BENCH_UTIL_HPP
 #define PGCN_BENCH_BENCH_UTIL_HPP
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -38,6 +43,84 @@ csvPathFromArgs(int argc, char **argv)
 {
     return argc > 1 ? argv[1] : std::string{};
 }
+
+/** argv[2] as throughput-JSON path, or empty. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    return argc > 2 ? argv[2] : std::string{};
+}
+
+/**
+ * Accumulates simulator (host) throughput over the DES runs a bench
+ * binary performs. Feed it every run's stats with add(); print() a
+ * one-line summary, and writeJson() the aggregate for CI tracking.
+ */
+class SimThroughput
+{
+  public:
+    /** Fold in one simulated run (any *RunStats with the sim fields). */
+    template <typename Stats>
+    void
+    add(const Stats &stats)
+    {
+        events_ += stats.simEvents;
+        wallSeconds_ += stats.wallSeconds;
+        peakQueueDepth_ =
+            std::max<uint64_t>(peakQueueDepth_, stats.peakEventQueueDepth);
+        ++runs_;
+    }
+
+    /** DES events dispatched across all recorded runs. */
+    uint64_t events() const { return events_; }
+
+    /** Host wall-clock spent inside Engine::run() (seconds). */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Deepest pending-event queue seen in any run. */
+    uint64_t peakQueueDepth() const { return peakQueueDepth_; }
+
+    /** Aggregate simulator throughput in events per second. */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds_ > 0.0
+                   ? static_cast<double>(events_) / wallSeconds_
+                   : 0.0;
+    }
+
+    /** One-line human-readable summary. */
+    void
+    print(std::ostream &os) const
+    {
+        os << "simulator throughput: "
+           << eventsPerSec() / 1e6 << " M events/s ("
+           << events_ << " events, " << wallSeconds_ << " s, "
+           << runs_ << " runs, peak queue depth "
+           << peakQueueDepth_ << ")\n";
+    }
+
+    /** Write the aggregate as a flat JSON object to @p path. */
+    void
+    writeJson(const std::string &path) const
+    {
+        std::ofstream out(path);
+        out << "{\n"
+            << "  \"events\": " << events_ << ",\n"
+            << "  \"wall_seconds\": " << wallSeconds_ << ",\n"
+            << "  \"events_per_sec\": " << eventsPerSec() << ",\n"
+            << "  \"peak_queue_depth\": " << peakQueueDepth_ << ",\n"
+            << "  \"runs\": " << runs_ << "\n"
+            << "}\n";
+        std::cout << "(throughput json written to " << path << ")\n";
+    }
+
+  private:
+    uint64_t events_ = 0;
+    double wallSeconds_ = 0.0;
+    uint64_t peakQueueDepth_ = 0;
+    uint64_t runs_ = 0;
+};
 
 /**
  * A DES-friendly RMAT proxy with average degree ~16, the paper's

@@ -23,6 +23,8 @@ int
 main(int argc, char **argv)
 {
     const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    bench::SimThroughput throughput;
     const graph::Csr csr = bench::desProxy(12);
     std::cout << "proxy: |V|=" << csr.numVertices()
               << " |E|=" << csr.numEdges() << "\n\n";
@@ -39,6 +41,7 @@ main(int argc, char **argv)
                 cfg.dramLatencyScale = scale;
                 const auto s =
                     simulateSpmm(csr, k, cfg, SpmmAlgorithm::Dma);
+                throughput.add(s);
                 if (scale == 1.0)
                     base = s.gflops;
                 top.row()
@@ -63,6 +66,7 @@ main(int argc, char **argv)
             cfg.threadsPerMtp = threads;
             cfg.dramLatencyScale = scale;
             const auto s = simulateSpmm(csr, 8, cfg, SpmmAlgorithm::Dma);
+            throughput.add(s);
             const double t = cfg.totalThreads();
             bottom.row()
                 .cell(static_cast<uint64_t>(threads))
@@ -78,5 +82,8 @@ main(int argc, char **argv)
     std::cout << "Reading: at 1 thread/MTP the NNZ stall grows with "
                  "latency and starves the DMA engine; at 16 threads "
                  "another thread always has a descriptor ready.\n";
+    throughput.print(std::cout);
+    if (!json.empty())
+        throughput.writeJson(json);
     return 0;
 }

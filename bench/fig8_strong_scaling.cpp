@@ -27,6 +27,8 @@ int
 main(int argc, char **argv)
 {
     const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    bench::SimThroughput throughput;
     const auto xeon_cfg = xeon::XeonConfig::platinum8380();
 
     // ---- Left: bandwidth comparison.
@@ -62,6 +64,7 @@ main(int argc, char **argv)
         pcfg.numCores = cores;
         const auto sim = simulateSpmm(proxy.adjacency, kDim, pcfg,
                                       SpmmAlgorithm::Dma);
+        throughput.add(sim);
         if (cores == 1)
             piuma_base = sim.gflops;
         // Xeon at the same thread count, full published scale; convert
@@ -89,6 +92,7 @@ main(int argc, char **argv)
         pcfg.numCores = 16;
         const auto sim = simulateSpmm(proxy.adjacency, k, pcfg,
                                       SpmmAlgorithm::Dma);
+        throughput.add(sim);
         const double nnz_bytes = static_cast<double>(sim.nnzReads) * 64.0;
         const double bw = pcfg.aggregateBandwidth();
         const auto est = model::estimateSpmm(
@@ -105,5 +109,8 @@ main(int argc, char **argv)
             .cell(est.timeNs / sim.makespanNs, 2);
     }
     bench::emit(right, csv.empty() ? csv : "right_" + csv);
+    throughput.print(std::cout);
+    if (!json.empty())
+        throughput.writeJson(json);
     return 0;
 }

@@ -1,6 +1,6 @@
 #include "piuma/dense_programs.hpp"
 
-#include <memory>
+#include <chrono>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,16 +19,14 @@ struct DenseContext
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
-        for (unsigned m = 0; m < total_mtps; ++m) {
-            mtpIssue.push_back(std::make_unique<sim::BandwidthResource>(
-                engine, cfg.clockGhz));
-        }
+        for (unsigned m = 0; m < total_mtps; ++m)
+            mtpIssue.emplace_back(engine, cfg.clockGhz);
     }
 
     sim::Engine engine;
     const PiumaConfig &cfg;
     MemorySystem memory;
-    std::vector<std::unique_ptr<sim::BandwidthResource>> mtpIssue;
+    std::vector<sim::BandwidthResource> mtpIssue;
 };
 
 /**
@@ -44,7 +42,7 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
 {
     const unsigned core =
         tid / (ctx.cfg.mtpsPerCore * ctx.cfg.threadsPerMtp);
-    auto &issue = *ctx.mtpIssue[tid / ctx.cfg.threadsPerMtp];
+    auto &issue = ctx.mtpIssue[tid / ctx.cfg.threadsPerMtp];
     const double in_bytes = 4.0 * static_cast<double>(k_in);
     const double out_bytes = 4.0 * static_cast<double>(k_out);
     const double macs_per_row =
@@ -90,7 +88,11 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
             denseThreadProc(ctx, tid, begin, end, k_in, k_out);
     }
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const sim::SimTime makespan = ctx.engine.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
     DenseRunStats stats;
     stats.makespanNs = makespan;
@@ -100,10 +102,14 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
     stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
     double issue_busy = 0.0;
     for (const auto &mtp : ctx.mtpIssue)
-        issue_busy += mtp->utilization(makespan);
+        issue_busy += mtp.utilization(makespan);
     stats.issueUtilization =
         issue_busy / static_cast<double>(ctx.mtpIssue.size());
     stats.simEvents = ctx.engine.eventsProcessed();
+    stats.wallSeconds = wall;
+    stats.eventsPerSec =
+        wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
+    stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
     return stats;
 }
 

@@ -42,7 +42,8 @@ DmaEngine::run()
             done = acc.serviceDoneAt;
         }
         inflight[slot] = done;
-        slot = (slot + 1) % inflight.size();
+        if (++slot == inflight.size())
+            slot = 0;
 
         ++stats_.descriptors;
         stats_.bytesMoved += desc.bytes;

@@ -1,5 +1,7 @@
 #include "piuma/gcn_sim.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace pgcn::piuma {
@@ -20,10 +22,20 @@ simulateGcn(const graph::Csr &csr, const std::vector<GcnSimLayer> &layers,
             csr, static_cast<unsigned>(layer.kOut), cfg, alg);
         result.denseNs += dense.makespanNs;
         result.spmmNs += spmm.makespanNs;
+        result.simEvents += dense.simEvents + spmm.simEvents;
+        result.wallSeconds += dense.wallSeconds + spmm.wallSeconds;
+        result.peakEventQueueDepth =
+            std::max({result.peakEventQueueDepth,
+                      dense.peakEventQueueDepth,
+                      spmm.peakEventQueueDepth});
         result.denseLayers.push_back(dense);
         result.spmmLayers.push_back(spmm);
     }
     result.totalNs = result.spmmNs + result.denseNs;
+    result.eventsPerSec =
+        result.wallSeconds > 0.0
+            ? static_cast<double>(result.simEvents) / result.wallSeconds
+            : 0.0;
     return result;
 }
 

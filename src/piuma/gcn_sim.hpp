@@ -34,6 +34,12 @@ struct GcnSimResult
     std::vector<SpmmRunStats> spmmLayers;   ///< per-layer SpMM detail
     std::vector<DenseRunStats> denseLayers; ///< per-layer dense detail
 
+    // Simulator (host) throughput aggregated over all kernel runs.
+    uint64_t simEvents = 0;        ///< DES events across all kernels
+    double wallSeconds = 0.0;      ///< host wall-clock across kernels
+    double eventsPerSec = 0.0;     ///< simEvents / wallSeconds
+    uint64_t peakEventQueueDepth = 0; ///< max pending events observed
+
     /** Fraction of total time in the sparse aggregation. */
     double
     spmmFraction() const

@@ -10,96 +10,15 @@ MemorySystem::MemorySystem(sim::Engine &engine, const PiumaConfig &cfg)
     cfg.validate();
     slices_.reserve(cfg.numCores);
     netPorts_.reserve(cfg.numCores);
+    dieOf_.reserve(cfg.numCores);
     for (unsigned c = 0; c < cfg.numCores; ++c) {
-        slices_.push_back(std::make_unique<sim::BandwidthResource>(
-            engine, cfg.effectiveSliceBandwidth()));
-        netPorts_.push_back(std::make_unique<sim::BandwidthResource>(
-            engine, cfg.netPortBandwidthGBps));
+        slices_.emplace_back(engine, cfg.effectiveSliceBandwidth());
+        netPorts_.emplace_back(engine, cfg.netPortBandwidthGBps);
+        dieOf_.push_back(c / cfg.coresPerDie);
     }
-}
-
-MemoryAccess
-MemorySystem::access(unsigned requester_core, unsigned slice, double bytes,
-                     bool pipelined)
-{
-    PGCN_ASSERT(slice < slices_.size(), "slice " << slice << " out of range");
-    const double net_lat = cfg_.oneWayLatencyNs(requester_core, slice);
-
-    // A stall-on-use request first travels to the slice; a pipelined
-    // requester has the request in flight already, so only bandwidth
-    // gates the service start. Remote transfers also occupy the
-    // target core's network port for the payload; port and controller
-    // stream concurrently, so completion is the slower of the two.
-    const sim::SimTime earliest =
-        engine_.now() + (pipelined ? 0.0 : net_lat);
-    sim::SimTime service_done = slices_[slice]->reserve(bytes, earliest);
-    if (requester_core != slice) {
-        service_done = std::max(
-            service_done, netPorts_[slice]->reserve(bytes, earliest));
-    }
-
-    return MemoryAccess{
-        service_done,
-        service_done + cfg_.effectiveDramLatencyNs() + net_lat,
-    };
-}
-
-MemoryAccess
-MemorySystem::accessStriped(unsigned requester_core, unsigned start_slice,
-                            double bytes, bool pipelined)
-{
-    if (!cfg_.dgasFineInterleave)
-        return access(requester_core, start_slice, bytes, pipelined);
-
-    // 8-byte DGAS interleaving: the object spans up to 16 consecutive
-    // slices (enough to diffuse any hotspot without O(|system|) work
-    // per access); each chunk streams concurrently.
-    const auto max_chunks = static_cast<unsigned>(
-        std::max(1.0, std::min({16.0, bytes / 8.0,
-                                static_cast<double>(cfg_.numCores)})));
-    const double chunk = bytes / max_chunks;
-    MemoryAccess result{0.0, 0.0};
-    for (unsigned i = 0; i < max_chunks; ++i) {
-        const unsigned slice = (start_slice + i) % cfg_.numCores;
-        const MemoryAccess acc =
-            access(requester_core, slice, chunk, pipelined);
-        result.serviceDoneAt =
-            std::max(result.serviceDoneAt, acc.serviceDoneAt);
-        result.responseAt = std::max(result.responseAt, acc.responseAt);
-    }
-    return result;
-}
-
-MemoryAccess
-MemorySystem::readStriped(unsigned requester_core, unsigned start_slice,
-                          double bytes, bool pipelined)
-{
-    bytesRead_ += bytes;
-    return accessStriped(requester_core, start_slice, bytes, pipelined);
-}
-
-MemoryAccess
-MemorySystem::writeStriped(unsigned requester_core, unsigned start_slice,
-                           double bytes, bool pipelined)
-{
-    bytesWritten_ += bytes;
-    return accessStriped(requester_core, start_slice, bytes, pipelined);
-}
-
-MemoryAccess
-MemorySystem::read(unsigned requester_core, unsigned slice, double bytes,
-                   bool pipelined)
-{
-    bytesRead_ += bytes;
-    return access(requester_core, slice, bytes, pipelined);
-}
-
-MemoryAccess
-MemorySystem::write(unsigned requester_core, unsigned slice, double bytes,
-                    bool pipelined)
-{
-    bytesWritten_ += bytes;
-    return access(requester_core, slice, bytes, pipelined);
+    dramLatencyNs_ = cfg.effectiveDramLatencyNs();
+    sliceRate_ = cfg.effectiveSliceBandwidth();
+    portRate_ = cfg.netPortBandwidthGBps;
 }
 
 double
@@ -109,7 +28,7 @@ MemorySystem::averageSliceUtilization(sim::SimTime end) const
         return 0.0;
     double sum = 0.0;
     for (const auto &s : slices_)
-        sum += s->utilization(end);
+        sum += s.utilization(end);
     return sum / static_cast<double>(slices_.size());
 }
 
@@ -118,7 +37,7 @@ MemorySystem::maxSliceUtilization(sim::SimTime end) const
 {
     double worst = 0.0;
     for (const auto &s : slices_)
-        worst = std::max(worst, s->utilization(end));
+        worst = std::max(worst, s.utilization(end));
     return worst;
 }
 
@@ -129,7 +48,7 @@ MemorySystem::averageNetworkUtilization(sim::SimTime end) const
         return 0.0;
     double sum = 0.0;
     for (const auto &p : netPorts_)
-        sum += p->utilization(end);
+        sum += p.utilization(end);
     return sum / static_cast<double>(netPorts_.size());
 }
 

@@ -12,9 +12,10 @@
 #ifndef PGCN_PIUMA_MEMORY_HPP
 #define PGCN_PIUMA_MEMORY_HPP
 
-#include <memory>
+#include <algorithm>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "piuma/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -64,8 +65,13 @@ class MemorySystem
      *        requester is a stall-on-use pipeline whose request must
      *        first travel to the slice.
      */
-    MemoryAccess read(unsigned requester_core, unsigned slice, double bytes,
-                      bool pipelined = false);
+    MemoryAccess
+    read(unsigned requester_core, unsigned slice, double bytes,
+         bool pipelined = false)
+    {
+        bytesRead_ += bytes;
+        return access(requester_core, slice, bytes, pipelined);
+    }
 
     /**
      * Issue a write of @p bytes to @p slice. Writes are posted: the
@@ -75,8 +81,13 @@ class MemorySystem
      *
      * @param pipelined Same meaning as for read().
      */
-    MemoryAccess write(unsigned requester_core, unsigned slice, double bytes,
-                       bool pipelined = false);
+    MemoryAccess
+    write(unsigned requester_core, unsigned slice, double bytes,
+          bool pipelined = false)
+    {
+        bytesWritten_ += bytes;
+        return access(requester_core, slice, bytes, pipelined);
+    }
 
     /**
      * Read a DGAS object whose bytes are interleaved across slices at
@@ -85,12 +96,22 @@ class MemorySystem
      * what prevents high-degree hub vertices from turning one DRAM
      * slice into a hotspot). Completion is the slowest chunk.
      */
-    MemoryAccess readStriped(unsigned requester_core, unsigned start_slice,
-                             double bytes, bool pipelined = false);
+    MemoryAccess
+    readStriped(unsigned requester_core, unsigned start_slice, double bytes,
+                bool pipelined = false)
+    {
+        bytesRead_ += bytes;
+        return accessStriped(requester_core, start_slice, bytes, pipelined);
+    }
 
     /** Striped counterpart of write(); see readStriped(). */
-    MemoryAccess writeStriped(unsigned requester_core, unsigned start_slice,
-                              double bytes, bool pipelined = false);
+    MemoryAccess
+    writeStriped(unsigned requester_core, unsigned start_slice, double bytes,
+                 bool pipelined = false)
+    {
+        bytesWritten_ += bytes;
+        return accessStriped(requester_core, start_slice, bytes, pipelined);
+    }
 
     /** Total bytes read across all slices. */
     double bytesRead() const { return bytesRead_; }
@@ -116,16 +137,106 @@ class MemorySystem
     double averageNetworkUtilization(sim::SimTime end) const;
 
   private:
-    MemoryAccess access(unsigned requester_core, unsigned slice,
-                        double bytes, bool pipelined);
-    MemoryAccess accessStriped(unsigned requester_core,
-                               unsigned start_slice, double bytes,
-                               bool pipelined);
+    // Defined inline: access() runs once per simulated memory
+    // transaction (millions per run) and every caller lives in
+    // another translation unit.
+    MemoryAccess
+    access(unsigned requester_core, unsigned slice, double bytes,
+           bool pipelined)
+    {
+        return accessFor(requester_core, slice, bytes,
+                         bytes / sliceRate_, bytes / portRate_, pipelined);
+    }
+
+    /**
+     * access() with both service durations pre-divided (all slices
+     * and all ports share one rate each, so the striped path computes
+     * each division once instead of per chunk).
+     */
+    MemoryAccess
+    accessFor(unsigned requester_core, unsigned slice, double bytes,
+              sim::SimTime slice_dur, sim::SimTime port_dur,
+              bool pipelined)
+    {
+        PGCN_ASSERT(slice < slices_.size(),
+                    "slice " << slice << " out of range");
+        // Table-driven oneWayLatencyNs(): two loads instead of two
+        // integer divisions by coresPerDie.
+        const double net_lat =
+            requester_core == slice
+                ? 0.0
+                : (dieOf_[requester_core] == dieOf_[slice]
+                       ? cfg_.netSameDieNs
+                       : cfg_.netCrossDieNs);
+
+        // A stall-on-use request first travels to the slice; a
+        // pipelined requester has the request in flight already, so
+        // only bandwidth gates the service start. Remote transfers
+        // also occupy the target core's network port for the payload;
+        // port and controller stream concurrently, so completion is
+        // the slower of the two.
+        const sim::SimTime earliest =
+            engine_.now() + (pipelined ? 0.0 : net_lat);
+        sim::SimTime service_done =
+            slices_[slice].reserveFor(bytes, slice_dur, earliest);
+        if (requester_core != slice) {
+            service_done = std::max(
+                service_done,
+                netPorts_[slice].reserveFor(bytes, port_dur, earliest));
+        }
+
+        return MemoryAccess{
+            service_done,
+            service_done + dramLatencyNs_ + net_lat,
+        };
+    }
+
+    MemoryAccess
+    accessStriped(unsigned requester_core, unsigned start_slice,
+                  double bytes, bool pipelined)
+    {
+        if (!cfg_.dgasFineInterleave)
+            return access(requester_core, start_slice, bytes, pipelined);
+
+        // 8-byte DGAS interleaving: the object spans up to 16
+        // consecutive slices (enough to diffuse any hotspot without
+        // O(|system|) work per access); each chunk streams
+        // concurrently.
+        const auto max_chunks = static_cast<unsigned>(
+            std::max(1.0, std::min({16.0, bytes / 8.0,
+                                    static_cast<double>(cfg_.numCores)})));
+        const double chunk = bytes / max_chunks;
+        MemoryAccess result{0.0, 0.0};
+        PGCN_ASSERT(start_slice < cfg_.numCores,
+                    "start slice " << start_slice << " out of range");
+        // One division per striped object, not per chunk.
+        const sim::SimTime slice_dur = chunk / sliceRate_;
+        const sim::SimTime port_dur = chunk / portRate_;
+        unsigned slice = start_slice;
+        for (unsigned i = 0; i < max_chunks; ++i) {
+            const MemoryAccess acc = accessFor(
+                requester_core, slice, chunk, slice_dur, port_dur,
+                pipelined);
+            result.serviceDoneAt =
+                std::max(result.serviceDoneAt, acc.serviceDoneAt);
+            result.responseAt = std::max(result.responseAt, acc.responseAt);
+            // Wrap without the per-chunk modulo.
+            if (++slice == cfg_.numCores)
+                slice = 0;
+        }
+        return result;
+    }
 
     sim::Engine &engine_;
     const PiumaConfig &cfg_;
-    std::vector<std::unique_ptr<sim::BandwidthResource>> slices_;
-    std::vector<std::unique_ptr<sim::BandwidthResource>> netPorts_;
+    // Stored flat (no indirection): access() runs once per simulated
+    // memory transaction.
+    std::vector<sim::BandwidthResource> slices_;
+    std::vector<sim::BandwidthResource> netPorts_;
+    std::vector<unsigned> dieOf_;  ///< core -> die id lookup
+    double dramLatencyNs_ = 0.0;   ///< cached effectiveDramLatencyNs()
+    double sliceRate_ = 1.0;       ///< cached effectiveSliceBandwidth()
+    double portRate_ = 1.0;        ///< cached netPortBandwidthGBps
     double bytesRead_ = 0.0;
     double bytesWritten_ = 0.0;
 };

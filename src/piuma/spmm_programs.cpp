@@ -1,7 +1,7 @@
 #include "piuma/spmm_programs.hpp"
 
+#include <chrono>
 #include <cmath>
-#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -45,10 +45,8 @@ struct RunContext
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
-        for (unsigned m = 0; m < total_mtps; ++m) {
-            mtpIssue.push_back(std::make_unique<sim::BandwidthResource>(
-                engine, cfg.clockGhz));
-        }
+        for (unsigned m = 0; m < total_mtps; ++m)
+            mtpIssue.emplace_back(engine, cfg.clockGhz);
         liveThreadsPerCore.assign(cfg.numCores,
                                   cfg.mtpsPerCore * cfg.threadsPerMtp);
     }
@@ -58,8 +56,8 @@ struct RunContext
     unsigned k;
     const PiumaConfig &cfg;
     MemorySystem memory;
-    std::vector<std::unique_ptr<sim::BandwidthResource>> mtpIssue;
-    std::vector<std::unique_ptr<DmaEngine>> dmaEngines;
+    std::vector<sim::BandwidthResource> mtpIssue;
+    std::vector<DmaEngine> dmaEngines;
     std::vector<unsigned> liveThreadsPerCore;
 
     // Stall attribution, summed over threads.
@@ -125,8 +123,8 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
     const EdgeId start = nnz * tid / total_threads;
     const EdgeId stop = nnz * (tid + 1) / total_threads;
     const unsigned core = ctx.coreOfThread(tid);
-    auto &issue = *ctx.mtpIssue[ctx.mtpOfThread(tid)];
-    auto &queue = ctx.dmaEngines[core]->queue();
+    auto &issue = ctx.mtpIssue[ctx.mtpOfThread(tid)];
+    auto &queue = ctx.dmaEngines[core].queue();
     const double row_bytes = 4.0 * ctx.k;
     const auto &offsets = ctx.csr.rowOffsets();
     const auto &cols = ctx.csr.cols();
@@ -151,12 +149,21 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
         }
 
         VertexId u = ctx.csr.rowOfEdge(start);
+        const uint64_t rows_per_line = ctx.rowsPerOffsetLine();
         uint64_t cur_nnz_line = ~uint64_t{0};
-        uint64_t cur_row_line = (u + 1) / ctx.rowsPerOffsetLine();
+        uint64_t cur_row_line = (u + 1) / rows_per_line;
+        // The edge loop is sequential, so the covering NNZ line is
+        // tracked incrementally instead of divided out per edge.
+        const uint64_t edges_per_line = ctx.edgesPerNnzLine();
+        uint64_t line = start / edges_per_line;
+        uint64_t line_end = (line + 1) * edges_per_line;
 
         for (EdgeId e = start; e < stop; ++e) {
             // NNZ (column + value) read, one line per 8 edges.
-            const uint64_t line = e / ctx.edgesPerNnzLine();
+            if (e >= line_end) {
+                ++line;
+                line_end += edges_per_line;
+            }
             if (line != cur_nnz_line) {
                 cur_nnz_line = line;
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
@@ -180,7 +187,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                     row_bytes});
                 ctx.dmaQueueStallNs += ctx.engine.now() - t0;
                 ++u;
-                const uint64_t rl = (u + 1) / ctx.rowsPerOffsetLine();
+                const uint64_t rl = (u + 1) / rows_per_line;
                 if (rl != cur_row_line) {
                     cur_row_line = rl;
                     co_await issue.transfer(
@@ -228,7 +235,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
     const EdgeId start = nnz * tid / total_threads;
     const EdgeId stop = nnz * (tid + 1) / total_threads;
     const unsigned core = ctx.coreOfThread(tid);
-    auto &issue = *ctx.mtpIssue[ctx.mtpOfThread(tid)];
+    auto &issue = ctx.mtpIssue[ctx.mtpOfThread(tid)];
     const double row_bytes = 4.0 * ctx.k;
     const auto lines_per_row = static_cast<unsigned>(
         std::ceil(row_bytes / ctx.cfg.cacheLineBytes));
@@ -253,11 +260,18 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
         }
 
         VertexId u = ctx.csr.rowOfEdge(start);
+        const uint64_t rows_per_line = ctx.rowsPerOffsetLine();
         uint64_t cur_nnz_line = ~uint64_t{0};
-        uint64_t cur_row_line = (u + 1) / ctx.rowsPerOffsetLine();
+        uint64_t cur_row_line = (u + 1) / rows_per_line;
+        const uint64_t edges_per_line = ctx.edgesPerNnzLine();
+        uint64_t line = start / edges_per_line;
+        uint64_t line_end = (line + 1) * edges_per_line;
 
         for (EdgeId e = start; e < stop; ++e) {
-            const uint64_t line = e / ctx.edgesPerNnzLine();
+            if (e >= line_end) {
+                ++line;
+                line_end += edges_per_line;
+            }
             if (line != cur_nnz_line) {
                 cur_nnz_line = line;
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
@@ -277,7 +291,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                     static_cast<double>(lines_per_row));
                 ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
                 ++u;
-                const uint64_t rl = (u + 1) / ctx.rowsPerOffsetLine();
+                const uint64_t rl = (u + 1) / rows_per_line;
                 if (rl != cur_row_line) {
                     cur_row_line = rl;
                     co_await issue.transfer(
@@ -343,12 +357,10 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
 
     if (alg == SpmmAlgorithm::Dma) {
         ctx.dmaEngines.reserve(cfg.numCores);
-        for (unsigned c = 0; c < cfg.numCores; ++c) {
-            ctx.dmaEngines.push_back(std::make_unique<DmaEngine>(
-                ctx.engine, ctx.memory, cfg, c));
-        }
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            ctx.dmaEngines.emplace_back(ctx.engine, ctx.memory, cfg, c);
         for (auto &engine : ctx.dmaEngines)
-            engine->run();
+            engine.run();
         for (unsigned tid = 0; tid < cfg.totalThreads(); ++tid)
             dmaThreadProc(ctx, tid);
     } else {
@@ -356,7 +368,12 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
             loopUnrolledThreadProc(ctx, tid);
     }
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const sim::SimTime makespan = ctx.engine.run();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     SpmmRunStats stats;
     stats.makespanNs = makespan;
@@ -377,8 +394,13 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
         ctx.nnzReads ? ctx.nnzLatencySum / static_cast<double>(ctx.nnzReads)
                      : 0.0;
     for (const auto &engine : ctx.dmaEngines)
-        stats.dmaDescriptors += engine->stats().descriptors;
+        stats.dmaDescriptors += engine.stats().descriptors;
     stats.simEvents = ctx.engine.eventsProcessed();
+    stats.wallSeconds = wall;
+    stats.eventsPerSec =
+        wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
+    stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
+
     return stats;
 }
 

@@ -63,6 +63,11 @@ struct SpmmRunStats
     uint64_t nnzReads = 0;        ///< NNZ line fetches
     uint64_t dmaDescriptors = 0;  ///< DMA data descriptors processed
     uint64_t simEvents = 0;       ///< DES events executed
+
+    // Simulator (host) throughput, measured around Engine::run().
+    double wallSeconds = 0.0;      ///< host wall-clock of the run
+    double eventsPerSec = 0.0;     ///< simEvents / wallSeconds
+    uint64_t peakEventQueueDepth = 0; ///< max pending events observed
 };
 
 /**

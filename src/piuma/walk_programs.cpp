@@ -1,6 +1,6 @@
 #include "piuma/walk_programs.hpp"
 
-#include <memory>
+#include <chrono>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -23,17 +23,15 @@ struct WalkContext
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
-        for (unsigned m = 0; m < total_mtps; ++m) {
-            mtpIssue.push_back(std::make_unique<sim::BandwidthResource>(
-                engine, cfg.clockGhz));
-        }
+        for (unsigned m = 0; m < total_mtps; ++m)
+            mtpIssue.emplace_back(engine, cfg.clockGhz);
     }
 
     sim::Engine engine;
     const Csr &csr;
     const PiumaConfig &cfg;
     MemorySystem memory;
-    std::vector<std::unique_ptr<sim::BandwidthResource>> mtpIssue;
+    std::vector<sim::BandwidthResource> mtpIssue;
 
     uint64_t stepsDone = 0;
     double stepLatencySum = 0.0;
@@ -57,7 +55,7 @@ walkThreadProc(WalkContext &ctx, unsigned tid, uint64_t walk_begin,
 {
     const unsigned core =
         tid / (ctx.cfg.mtpsPerCore * ctx.cfg.threadsPerMtp);
-    auto &issue = *ctx.mtpIssue[tid / ctx.cfg.threadsPerMtp];
+    auto &issue = ctx.mtpIssue[tid / ctx.cfg.threadsPerMtp];
     Rng rng(seed ^ (0xabcdef1234ULL + tid));
     const VertexId n = ctx.csr.numVertices();
     const auto &offsets = ctx.csr.rowOffsets();
@@ -123,7 +121,11 @@ simulateRandomWalk(const Csr &csr, uint64_t num_walks,
             walkThreadProc(ctx, tid, begin, end, walk_length, seed);
     }
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const sim::SimTime makespan = ctx.engine.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
     WalkRunStats stats;
     stats.makespanNs = makespan;
@@ -136,6 +138,10 @@ simulateRandomWalk(const Csr &csr, uint64_t num_walks,
                       : 0.0;
     stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
     stats.simEvents = ctx.engine.eventsProcessed();
+    stats.wallSeconds = wall;
+    stats.eventsPerSec =
+        wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
+    stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
     return stats;
 }
 

@@ -30,6 +30,11 @@ struct WalkRunStats
     double avgStepLatencyNs = 0.0; ///< mean per-step critical path
     double memUtilization = 0.0; ///< slice-controller utilisation
     uint64_t simEvents = 0;      ///< DES events executed
+
+    // Simulator (host) throughput, measured around Engine::run().
+    double wallSeconds = 0.0;      ///< host wall-clock of the run
+    double eventsPerSec = 0.0;     ///< simEvents / wallSeconds
+    uint64_t peakEventQueueDepth = 0; ///< max pending events observed
 };
 
 /**

@@ -8,17 +8,52 @@
  * (BandwidthResource, BoundedQueue). The engine is single-threaded
  * and fully deterministic: events at equal timestamps fire in
  * schedule order.
+ *
+ * The hot path is allocation-free. An event is a 24-byte POD: a
+ * (when, seq) sort key plus a one-word payload that is either a
+ * coroutine frame address or (tagged in the low bit) an index into a
+ * reusable slab of the rare type-erased callbacks (tests, ad-hoc
+ * hooks). Two arenas back the event queue:
+ *
+ *  - the "now queue": a FIFO of zero-delay events. Resumptions
+ *    scheduled at the current timestamp (BoundedQueue hand-offs,
+ *    DMA wakeups) are O(1) pushes that never touch the time-ordered
+ *    heap;
+ *  - the "far wheel": calendar buckets for events strictly in the
+ *    future. Nodes live in a reusable slab and chain off an array of
+ *    bucket heads indexed by floor(when / width); dispatch scans the
+ *    current bucket (a handful of nodes) instead of sifting a
+ *    thousands-deep comparison tree, making the per-event cost
+ *    independent of how many events are pending. The bucket width
+ *    self-tunes to a few mean dispatch gaps. Because floor(when /
+ *    width) is monotone in `when` even under floating-point rounding,
+ *    bucket order can never contradict (when, seq) order — the scan
+ *    always finds the exact global minimum;
+ *  - "completion streams": FIFO rings of waits whose timestamps are
+ *    non-decreasing (everything queued behind one bandwidth-limited
+ *    resource completes in reservation order). Only the head of each
+ *    stream sits in the far heap, so the heap stays shallow and the
+ *    events behind the head cost O(1). A wait that would break a
+ *    stream's monotonicity (possible only through floating-point
+ *    rounding of delayUntil arithmetic) silently falls back to a
+ *    plain heap event, so ordering never depends on the assumption.
+ *
+ * Determinism contract: every event is stamped with a global sequence
+ * number at schedule time, and run() always dispatches the minimum
+ * (when, seq) across all arenas, so the observable order is exactly
+ * the seed engine's single-priority-queue order.
  */
 #ifndef PGCN_SIM_ENGINE_HPP
 #define PGCN_SIM_ENGINE_HPP
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "sim/ring.hpp"
 
 namespace pgcn::sim {
 
@@ -46,7 +81,8 @@ struct Process
 
 /**
  * The event-driven simulation engine: a time-ordered queue of
- * callbacks with a deterministic FIFO tie-break at equal timestamps.
+ * coroutine resumptions (and rare callbacks) with a deterministic
+ * FIFO tie-break at equal timestamps.
  */
 class Engine
 {
@@ -57,15 +93,70 @@ class Engine
     /** Total events dispatched so far. */
     uint64_t eventsProcessed() const { return eventsProcessed_; }
 
+    /** Dispatched events that resumed a coroutine directly. */
+    uint64_t coroutineEvents() const { return coroutineEvents_; }
+
+    /** Dispatched events that went through the callback slab. */
+    uint64_t callbackEvents() const { return callbackEvents_; }
+
     /**
-     * Schedule @p fn to run @p delay ns from now. Negative delays are
-     * a bug in the caller.
+     * Times any event arena (now queue, far-wheel slab, callback
+     * slab) had to grow its backing storage. Stays O(log events) from cold and
+     * zero after reserveEvents() sized the arenas — the per-event hot
+     * path itself never allocates.
+     */
+    uint64_t arenaGrowths() const { return arenaGrowths_; }
+
+    /** Largest number of pending events observed. */
+    size_t peakQueueDepth() const { return peakQueueDepth_; }
+
+    /** Events currently pending (all arenas). */
+    size_t queueDepth() const { return pending_; }
+
+    /**
+     * Pre-size the event arenas so a run of known magnitude never
+     * reallocates: @p far bounds concurrent future events (roughly
+     * the number of live agents), @p zero bounds concurrent
+     * zero-delay events.
+     */
+    void
+    reserveEvents(size_t far, size_t zero = 0)
+    {
+        farArena_.reserve(far);
+        nowQ_.reserve(zero ? zero : far);
+    }
+
+    /**
+     * Schedule the resumption of @p h at @p delay ns from now — the
+     * allocation-free fast path every awaitable uses. Negative delays
+     * are a bug in the caller.
+     */
+    void
+    schedule(SimTime delay, std::coroutine_handle<> h)
+    {
+        push(delay, reinterpret_cast<uintptr_t>(h.address()));
+    }
+
+    /**
+     * Schedule @p fn to run @p delay ns from now. The type-erased
+     * payload parks in the callback slab (reused across events); use
+     * the coroutine overload on hot paths.
      */
     void
     schedule(SimTime delay, std::function<void()> fn)
     {
-        PGCN_ASSERT(delay >= 0.0, "negative event delay " << delay);
-        queue_.push(Event{now_ + delay, nextSeq_++, std::move(fn)});
+        uintptr_t slot;
+        if (!freeCallbackSlots_.empty()) {
+            slot = freeCallbackSlots_.back();
+            freeCallbackSlots_.pop_back();
+            callbackSlab_[slot] = std::move(fn);
+        } else {
+            slot = callbackSlab_.size();
+            if (callbackSlab_.size() == callbackSlab_.capacity())
+                ++arenaGrowths_;
+            callbackSlab_.push_back(std::move(fn));
+        }
+        push(delay, (slot << 2) | kCallbackTag);
     }
 
     /**
@@ -75,15 +166,61 @@ class Engine
     SimTime
     run()
     {
-        while (!queue_.empty()) {
-            // The comparator orders by (when, seq); top() is const, so
-            // move out via a copy of the handler only.
-            const Event &top = queue_.top();
-            now_ = top.when;
-            auto fn = std::move(const_cast<Event &>(top).fn);
-            queue_.pop();
+        for (;;) {
+            Event ev{};
+            if (nowHead_ < nowQ_.size()) {
+                // Zero-delay events share now_'s timestamp; a far
+                // event dispatches first only if it carries the same
+                // timestamp with an earlier sequence number.
+                const Event &nf = nowQ_[nowHead_];
+                if (farCount_ > 0 &&
+                    before(farMinKey(), Key{nf.when, nf.seq})) {
+                    ev = farPop();
+                } else {
+                    ev = nf;
+                    if (++nowHead_ == nowQ_.size()) {
+                        nowQ_.clear();
+                        nowHead_ = 0;
+                    }
+                }
+            } else if (farCount_ > 0) {
+                ev = farPop();
+            } else {
+                break;
+            }
+
+            now_ = ev.when;
             ++eventsProcessed_;
-            fn();
+            --pending_;
+            const uintptr_t tag = ev.payload & kTagMask;
+            if (tag == 0) {
+                ++coroutineEvents_;
+                std::coroutine_handle<>::from_address(
+                    reinterpret_cast<void *>(ev.payload))
+                    .resume();
+            } else if (tag == kStreamTag) {
+                Stream &st = streams_[ev.payload >> 2];
+                const StreamEvent se = st.fifo.pop_front();
+                PGCN_ASSERT(se.when == ev.when && se.seq == ev.seq,
+                            "stream head out of sync");
+                // Re-arm the stream's next wait before resuming: the
+                // resumed coroutine may append to this stream.
+                if (!st.fifo.empty()) {
+                    const StreamEvent &nx = st.fifo.front();
+                    farPush(Key{nx.when, nx.seq}, ev.payload);
+                }
+                ++coroutineEvents_;
+                std::coroutine_handle<>::from_address(se.frame).resume();
+            } else {
+                ++callbackEvents_;
+                const size_t slot = ev.payload >> 2;
+                // Move out before invoking: the callback may schedule
+                // further events and recycle slab slots.
+                std::function<void()> fn = std::move(callbackSlab_[slot]);
+                callbackSlab_[slot] = nullptr;
+                freeCallbackSlots_.push_back(slot);
+                fn();
+            }
         }
         return now_;
     }
@@ -104,7 +241,7 @@ class Engine
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                engine.schedule(ns, [h] { h.resume(); });
+                engine.schedule(ns, h);
             }
             void await_resume() const noexcept {}
         };
@@ -121,29 +258,367 @@ class Engine
         return delay(when - now_);
     }
 
+    /** Identifies one completion stream; see createStream(). */
+    using StreamId = uint32_t;
+
+    /**
+     * Register a completion stream: a wait channel whose resume times
+     * are expected to be non-decreasing (e.g. all waiters queued on
+     * one BandwidthResource). Waits on a stream are O(1); only the
+     * stream's earliest wait occupies the far heap.
+     */
+    StreamId
+    createStream()
+    {
+        streams_.emplace_back();
+        return static_cast<StreamId>(streams_.size() - 1);
+    }
+
+    /**
+     * Stream counterpart of delay(): identical timing and dispatch
+     * order, cheaper when many waits share the stream.
+     */
+    auto
+    streamDelay(StreamId sid, SimTime ns)
+    {
+        struct Awaiter
+        {
+            Engine &engine;
+            StreamId sid;
+            SimTime ns;
+
+            bool await_ready() const noexcept { return ns <= 0.0; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                engine.scheduleOnStream(sid, ns, h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, sid, ns};
+    }
+
+    /** Stream counterpart of delayUntil(). */
+    auto
+    streamDelayUntil(StreamId sid, SimTime when)
+    {
+        return streamDelay(sid, when - now_);
+    }
+
   private:
+    /**
+     * What a dispatched event does, in one word. Coroutine frames are
+     * new-aligned, so the address's low bits are free for a tag:
+     * 0 resumes the frame at this address, kCallbackTag runs
+     * callback-slab entry payload >> 2, kStreamTag dispatches the
+     * head of stream payload >> 2.
+     */
+    using Payload = uintptr_t;
+
+    static constexpr uintptr_t kTagMask = 3;
+    static constexpr uintptr_t kCallbackTag = 1;
+    static constexpr uintptr_t kStreamTag = 2;
+
+    /** A wait parked on a completion stream. */
+    struct StreamEvent
+    {
+        SimTime when;
+        uint64_t seq;
+        void *frame;
+    };
+
+    /** One completion stream: (when, seq)-sorted FIFO of waits. */
+    struct Stream
+    {
+        Ring<StreamEvent> fifo;
+    };
+
+    /** The 16-byte sort key; keys are stored contiguously. */
+    struct Key
+    {
+        SimTime when;
+        uint64_t seq;
+    };
+
+    /** A materialised event (now-queue slot / heapPop result). */
     struct Event
     {
         SimTime when;
         uint64_t seq;
-        std::function<void()> fn;
+        Payload payload;
     };
 
-    struct Later
+    /** Strict (when, seq) dispatch order — the determinism contract. */
+    static bool
+    before(const Key &a, const Key &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void
+    push(SimTime delay, Payload p)
+    {
+        PGCN_ASSERT(delay >= 0.0, "negative event delay " << delay);
+        const SimTime when = now_ + delay;
+        const uint64_t seq = nextSeq_++;
+        if (delay == 0.0) {
+            // Invariant: with non-negative delays every pending event
+            // has when >= now_, so zero-delay events are always ready
+            // and FIFO-ordered among themselves — a plain queue slot.
+            if (nowQ_.size() == nowQ_.capacity())
+                ++arenaGrowths_;
+            nowQ_.push_back(Event{when, seq, p});
+        } else {
+            farPush(Key{when, seq}, p);
         }
+        ++pending_;
+        peakQueueDepth_ = std::max(peakQueueDepth_, pending_);
+    }
+
+    /**
+     * Park @p h on stream @p sid, to resume @p ns from now. Timing and
+     * global dispatch order are identical to schedule(): the event is
+     * stamped with the next global sequence number, and the stream's
+     * minimum (when, seq) is always present in the far heap. Appends
+     * that would sort before the stream's tail (floating-point
+     * rounding artefacts) fall back to plain heap events.
+     */
+    void
+    scheduleOnStream(StreamId sid, SimTime ns, std::coroutine_handle<> h)
+    {
+        PGCN_ASSERT(ns > 0.0, "stream wait must be in the future");
+        const SimTime when = now_ + ns;
+        const uint64_t seq = nextSeq_++;
+        Stream &st = streams_[sid];
+        if (!st.fifo.empty() && when < st.fifo.back().when) {
+            farPush(Key{when, seq},
+                    reinterpret_cast<uintptr_t>(h.address()));
+        } else {
+            if (st.fifo.empty()) {
+                farPush(Key{when, seq},
+                        (static_cast<uintptr_t>(sid) << 2) | kStreamTag);
+            }
+            st.fifo.push_back(StreamEvent{when, seq, h.address()});
+        }
+        ++pending_;
+        peakQueueDepth_ = std::max(peakQueueDepth_, pending_);
+    }
+
+    /** Absolute calendar-bucket index of @p when. Monotone in when. */
+    uint64_t
+    bucketOf(SimTime when) const
+    {
+        return static_cast<uint64_t>(when * wheelInvWidth_);
+    }
+
+    /** File an event in the far wheel. O(1), allocation-free once the
+     *  slab has reached its high-water mark. */
+    void
+    farPush(const Key &k, Payload p)
+    {
+        int32_t n;
+        if (farFree_ >= 0) {
+            n = farFree_;
+            farFree_ = farArena_[n].next;
+        } else {
+            if (farArena_.size() == farArena_.capacity())
+                ++arenaGrowths_;
+            farArena_.emplace_back();
+            n = static_cast<int32_t>(farArena_.size() - 1);
+        }
+        const uint64_t bucket = bucketOf(k.when);
+        const size_t slot = static_cast<size_t>(bucket) & slotMask_;
+        farArena_[n] = FarNode{k.when, k.seq, p, slotHeads_[slot]};
+        slotHeads_[slot] = n;
+        // The dispatch cursor may have scanned ahead of now_ while
+        // locating a minimum that lost the merge against the now
+        // queue; a push landing behind it pulls it back so the new
+        // event is seen (bucketOf is monotone, so bucket >= the
+        // current time's bucket always holds).
+        if (bucket < curBucket_)
+            curBucket_ = bucket;
+        // The cached minimum survives only pushes that can't precede
+        // it: a push into an earlier-or-equal bucket may be the new
+        // minimum, and one aliasing the cached slot stales the cached
+        // predecessor link.
+        if (minValid_ && (bucket <= minBucket_ || slot == minSlot_))
+            minValid_ = false;
+        ++farCount_;
+    }
+
+    /**
+     * Locate the pending event with the smallest (when, seq) and
+     * cache its position. Every live node's bucket is >= curBucket_
+     * (events are never scheduled in the past), so the first bucket
+     * holding a non-aliased node contains the global minimum.
+     */
+    void
+    farLocateMin()
+    {
+        if (minValid_)
+            return;
+        PGCN_ASSERT(farCount_ > 0, "min of an empty far wheel");
+        size_t advanced = 0;
+        for (;;) {
+            const size_t slot =
+                static_cast<size_t>(curBucket_) & slotMask_;
+            int32_t best = -1;
+            int32_t best_prev = -1;
+            for (int32_t prev = -1, i = slotHeads_[slot]; i >= 0;
+                 prev = i, i = farArena_[i].next) {
+                const FarNode &nd = farArena_[i];
+                if (bucketOf(nd.when) != curBucket_)
+                    continue; // a later revolution aliasing this slot
+                if (best < 0 ||
+                    before(Key{nd.when, nd.seq},
+                           Key{farArena_[best].when,
+                               farArena_[best].seq})) {
+                    best = i;
+                    best_prev = prev;
+                }
+            }
+            if (best >= 0) {
+                minValid_ = true;
+                minNode_ = best;
+                minPrev_ = best_prev;
+                minSlot_ = slot;
+                minBucket_ = curBucket_;
+                return;
+            }
+            ++curBucket_;
+            if (++advanced == slotHeads_.size()) {
+                // A full revolution of empty buckets: everything
+                // pending is over one wheel span ahead. Jump straight
+                // to the earliest occupied bucket.
+                uint64_t min_bucket = ~uint64_t{0};
+                for (const int32_t head : slotHeads_)
+                    for (int32_t i = head; i >= 0; i = farArena_[i].next)
+                        min_bucket =
+                            std::min(min_bucket, bucketOf(farArena_[i].when));
+                curBucket_ = min_bucket;
+                advanced = 0;
+            }
+        }
+    }
+
+    /** Sort key of the earliest pending far event. */
+    Key
+    farMinKey()
+    {
+        farLocateMin();
+        const FarNode &nd = farArena_[minNode_];
+        return Key{nd.when, nd.seq};
+    }
+
+    /** Remove and return the earliest pending far event. */
+    Event
+    farPop()
+    {
+        farLocateMin();
+        FarNode &nd = farArena_[minNode_];
+        const Event ev{nd.when, nd.seq, nd.payload};
+        if (minPrev_ < 0)
+            slotHeads_[minSlot_] = nd.next;
+        else
+            farArena_[minPrev_].next = nd.next;
+        nd.next = farFree_;
+        farFree_ = minNode_;
+        minValid_ = false;
+        --farCount_;
+        // Track the mean dispatch gap so the bucket width can follow
+        // the workload's event density.
+        gapEma_ += (ev.when - lastFarWhen_ - gapEma_) * (1.0 / 32.0);
+        lastFarWhen_ = ev.when;
+        if (++farPopsSinceRetune_ >= kRetunePeriod) {
+            farPopsSinceRetune_ = 0;
+            maybeRetune();
+        }
+        return ev;
+    }
+
+    /**
+     * Re-tune the wheel: aim the bucket width at a few mean dispatch
+     * gaps and the bucket count at twice the pending population, so a
+     * bucket scan touches O(1) nodes regardless of workload. Runs at
+     * most every kRetunePeriod far dispatches; a rebuild relinks the
+     * live nodes in place (no node is copied or reallocated).
+     */
+    void
+    maybeRetune()
+    {
+        const double target =
+            std::clamp(3.0 * gapEma_, 1e-6, 1e9);
+        size_t nb = slotHeads_.size();
+        while (nb < 2 * farCount_ && nb < kMaxSlots)
+            nb *= 2;
+        if (nb == slotHeads_.size() && target < 2.0 * wheelWidth_ &&
+            target > 0.5 * wheelWidth_)
+            return;
+        retuneScratch_.clear();
+        for (const int32_t head : slotHeads_)
+            for (int32_t i = head; i >= 0; i = farArena_[i].next)
+                retuneScratch_.push_back(i);
+        wheelWidth_ = target;
+        wheelInvWidth_ = 1.0 / target;
+        slotHeads_.assign(nb, -1);
+        slotMask_ = nb - 1;
+        curBucket_ = bucketOf(now_);
+        for (const int32_t i : retuneScratch_) {
+            const size_t slot =
+                static_cast<size_t>(bucketOf(farArena_[i].when)) &
+                slotMask_;
+            farArena_[i].next = slotHeads_[slot];
+            slotHeads_[slot] = i;
+        }
+        minValid_ = false;
+    }
+
+    /** One far event: sort key, payload, and intrusive bucket link. */
+    struct FarNode
+    {
+        SimTime when;
+        uint64_t seq;
+        Payload payload;
+        int32_t next; ///< next node in bucket chain / free list (-1 end)
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    static constexpr size_t kInitialSlots = 1024;
+    static constexpr size_t kMaxSlots = size_t{1} << 18;
+    static constexpr uint32_t kRetunePeriod = 1024;
+
+    std::vector<FarNode> farArena_;     ///< far-wheel node slab
+    std::vector<int32_t> slotHeads_ =
+        std::vector<int32_t>(kInitialSlots, -1); ///< bucket chain heads
+    std::vector<int32_t> retuneScratch_; ///< live-node list for rebuilds
+    size_t slotMask_ = kInitialSlots - 1;
+    int32_t farFree_ = -1;              ///< slab free-list head
+    size_t farCount_ = 0;               ///< live far events
+    uint64_t curBucket_ = 0;            ///< dispatch scan position
+    double wheelWidth_ = 1.0;           ///< bucket width (ns)
+    double wheelInvWidth_ = 1.0;
+    double gapEma_ = 1.0;               ///< mean far dispatch gap (ns)
+    SimTime lastFarWhen_ = 0.0;
+    uint32_t farPopsSinceRetune_ = 0;
+    bool minValid_ = false;             ///< cached-minimum fields valid?
+    int32_t minNode_ = -1;
+    int32_t minPrev_ = -1;
+    size_t minSlot_ = 0;
+    uint64_t minBucket_ = 0;            ///< absolute bucket of cached min
+    std::vector<Event> nowQ_;           ///< FIFO of zero-delay events
+    size_t nowHead_ = 0;                ///< dispatch cursor into nowQ_
+    std::vector<std::function<void()>> callbackSlab_;
+    std::vector<size_t> freeCallbackSlots_;
+    std::vector<Stream> streams_;       ///< completion streams
     SimTime now_ = 0.0;
     uint64_t nextSeq_ = 0;
     uint64_t eventsProcessed_ = 0;
+    uint64_t coroutineEvents_ = 0;
+    uint64_t callbackEvents_ = 0;
+    uint64_t arenaGrowths_ = 0;
+    size_t pending_ = 0;
+    size_t peakQueueDepth_ = 0;
 };
 
 } // namespace pgcn::sim

@@ -8,26 +8,28 @@
  * Hand-off is direct (a value moves straight from a waiting producer
  * to a consumer or vice versa) so there is no lost-wakeup re-check
  * loop; resumptions are scheduled through the engine at zero delay to
- * keep stack depth bounded and ordering deterministic.
+ * keep stack depth bounded and ordering deterministic. Zero-delay
+ * wakeups land in the engine's allocation-free now-queue, so queue
+ * hand-offs never touch the time-ordered far heap.
  */
 #ifndef PGCN_SIM_QUEUE_HPP
 #define PGCN_SIM_QUEUE_HPP
 
 #include <algorithm>
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/logging.hpp"
 #include "sim/engine.hpp"
+#include "sim/ring.hpp"
 
 namespace pgcn::sim {
 
 /**
  * Bounded single-threaded (simulated-concurrency) FIFO.
  *
- * @tparam T Element type; must be movable.
+ * @tparam T Element type; must be default-constructible and movable.
  */
 template <typename T>
 class BoundedQueue
@@ -70,12 +72,9 @@ class BoundedQueue
             {
                 if (!q.waitingConsumers_.empty()) {
                     // Direct hand-off to the oldest waiting consumer.
-                    auto waiter = q.waitingConsumers_.front();
-                    q.waitingConsumers_.pop_front();
+                    auto waiter = q.waitingConsumers_.pop_front();
                     waiter.slot->emplace(std::move(value));
-                    q.engine_.schedule(0.0, [h = waiter.handle] {
-                        h.resume();
-                    });
+                    q.engine_.schedule(0.0, waiter.handle);
                     return true;
                 }
                 if (q.items_.size() < q.capacity_) {
@@ -115,8 +114,7 @@ class BoundedQueue
             await_ready()
             {
                 if (!q.items_.empty()) {
-                    slot.emplace(std::move(q.items_.front()));
-                    q.items_.pop_front();
+                    slot.emplace(q.items_.pop_front());
                     q.admitWaitingProducer();
                     return true;
                 }
@@ -159,18 +157,17 @@ class BoundedQueue
     {
         if (waitingProducers_.empty())
             return;
-        auto pending = std::move(waitingProducers_.front());
-        waitingProducers_.pop_front();
+        auto pending = waitingProducers_.pop_front();
         items_.push_back(std::move(pending.value));
         highWater_ = std::max(highWater_, items_.size());
-        engine_.schedule(0.0, [h = pending.handle] { h.resume(); });
+        engine_.schedule(0.0, pending.handle);
     }
 
     Engine &engine_;
     size_t capacity_;
-    std::deque<T> items_;
-    std::deque<PendingPush> waitingProducers_;
-    std::deque<PendingPop> waitingConsumers_;
+    Ring<T> items_;
+    Ring<PendingPush> waitingProducers_;
+    Ring<PendingPop> waitingConsumers_;
     size_t highWater_ = 0;
 };
 

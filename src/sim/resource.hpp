@@ -33,7 +33,7 @@ class BandwidthResource
      * @param rate Service rate in units per ns; must be positive.
      */
     BandwidthResource(Engine &engine, double rate)
-        : engine_(engine), rate_(rate)
+        : engine_(engine), rate_(rate), stream_(engine.createStream())
     {
         PGCN_ASSERT(rate > 0.0, "resource rate must be positive");
     }
@@ -54,10 +54,23 @@ class BandwidthResource
     SimTime
     reserve(double amount, SimTime earliest_start = 0.0)
     {
+        return reserveFor(amount, amount / rate_, earliest_start);
+    }
+
+    /**
+     * reserve() with the service duration already divided out. For
+     * callers that issue many reservations of the same size (the
+     * striped DGAS access path), this hoists the floating-point
+     * division out of the per-slice loop; @p duration must equal
+     * amount / rate().
+     */
+    SimTime
+    reserveFor(double amount, SimTime duration,
+               SimTime earliest_start = 0.0)
+    {
         PGCN_ASSERT(amount >= 0.0, "negative reservation " << amount);
         const SimTime start =
             std::max({engine_.now(), earliest_start, nextFree_});
-        const SimTime duration = amount / rate_;
         nextFree_ = start + duration;
         busyTime_ += duration;
         totalUnits_ += amount;
@@ -68,12 +81,15 @@ class BandwidthResource
     /**
      * Awaitable: reserve @p amount and suspend until service
      * completes (queueing + transfer, not including any downstream
-     * latency the caller adds).
+     * latency the caller adds). Because completions leave the
+     * resource in reservation order, the wait parks on this
+     * resource's completion stream — O(1) however many threads are
+     * queued behind it.
      */
     auto
     transfer(double amount)
     {
-        return engine_.delayUntil(reserve(amount));
+        return engine_.streamDelayUntil(stream_, reserve(amount));
     }
 
     /** Earliest time a new request would start service. */
@@ -102,6 +118,7 @@ class BandwidthResource
   private:
     Engine &engine_;
     double rate_;
+    Engine::StreamId stream_; ///< completion stream for transfer()
     SimTime nextFree_ = 0.0;
     double busyTime_ = 0.0;
     double totalUnits_ = 0.0;

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A growable FIFO ring buffer over contiguous storage.
+ *
+ * Replaces std::deque on simulator hot paths (DMA descriptor queues,
+ * blocked-coroutine wait lists): pushes and pops are index bumps with
+ * a power-of-two mask, elements stay in one allocation that is reused
+ * for the whole simulation, and growth (amortised, counted by the
+ * owner if it cares) only happens until the high-water mark is
+ * reached.
+ */
+#ifndef PGCN_SIM_RING_HPP
+#define PGCN_SIM_RING_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace pgcn::sim {
+
+/**
+ * Growable single-threaded FIFO.
+ *
+ * @tparam T Element type; must be default-constructible and movable.
+ */
+template <typename T>
+class Ring
+{
+  public:
+    /** Elements currently buffered. */
+    size_t size() const { return tail_ - head_; }
+
+    /** True when no elements are buffered. */
+    bool empty() const { return head_ == tail_; }
+
+    /** Oldest element; undefined when empty. */
+    T &front() { return slots_[head_ & mask_]; }
+
+    /** Newest element; undefined when empty. */
+    T &back() { return slots_[(tail_ - 1) & mask_]; }
+
+    /** Append @p value at the back. */
+    void
+    push_back(T value)
+    {
+        if (size() == slots_.size())
+            grow();
+        slots_[tail_++ & mask_] = std::move(value);
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop_front()
+    {
+        PGCN_ASSERT(!empty(), "pop from an empty ring");
+        return std::move(slots_[head_++ & mask_]);
+    }
+
+  private:
+    void
+    grow()
+    {
+        const size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+        std::vector<T> bigger(capacity);
+        const size_t n = size();
+        for (size_t i = 0; i < n; ++i)
+            bigger[i] = std::move(slots_[(head_ + i) & mask_]);
+        slots_ = std::move(bigger);
+        mask_ = capacity - 1;
+        head_ = 0;
+        tail_ = n;
+    }
+
+    std::vector<T> slots_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+};
+
+} // namespace pgcn::sim
+
+#endif // PGCN_SIM_RING_HPP
