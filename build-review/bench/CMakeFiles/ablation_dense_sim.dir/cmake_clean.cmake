@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dense_sim.dir/ablation_dense_sim.cpp.o"
+  "CMakeFiles/ablation_dense_sim.dir/ablation_dense_sim.cpp.o.d"
+  "ablation_dense_sim"
+  "ablation_dense_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dense_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dgas.dir/ablation_dgas.cpp.o"
+  "CMakeFiles/ablation_dgas.dir/ablation_dgas.cpp.o.d"
+  "ablation_dgas"
+  "ablation_dgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dma_engine.dir/ablation_dma_engine.cpp.o"
+  "CMakeFiles/ablation_dma_engine.dir/ablation_dma_engine.cpp.o.d"
+  "ablation_dma_engine"
+  "ablation_dma_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dma_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hetero_soc.dir/ablation_hetero_soc.cpp.o"
+  "CMakeFiles/ablation_hetero_soc.dir/ablation_hetero_soc.cpp.o.d"
+  "ablation_hetero_soc"
+  "ablation_hetero_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hetero_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_random_walk.dir/ext_random_walk.cpp.o"
+  "CMakeFiles/ext_random_walk.dir/ext_random_walk.cpp.o.d"
+  "ext_random_walk"
+  "ext_random_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_random_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

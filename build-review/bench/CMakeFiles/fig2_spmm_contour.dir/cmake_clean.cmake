@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_spmm_contour.dir/fig2_spmm_contour.cpp.o"
+  "CMakeFiles/fig2_spmm_contour.dir/fig2_spmm_contour.cpp.o.d"
+  "fig2_spmm_contour"
+  "fig2_spmm_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_spmm_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cpu_breakdown.dir/fig3_cpu_breakdown.cpp.o"
+  "CMakeFiles/fig3_cpu_breakdown.dir/fig3_cpu_breakdown.cpp.o.d"
+  "fig3_cpu_breakdown"
+  "fig3_cpu_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cpu_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

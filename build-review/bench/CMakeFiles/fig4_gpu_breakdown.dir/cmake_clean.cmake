@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gpu_breakdown.dir/fig4_gpu_breakdown.cpp.o"
+  "CMakeFiles/fig4_gpu_breakdown.dir/fig4_gpu_breakdown.cpp.o.d"
+  "fig4_gpu_breakdown"
+  "fig4_gpu_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gpu_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_spmm_algorithms.dir/fig5_spmm_algorithms.cpp.o"
+  "CMakeFiles/fig5_spmm_algorithms.dir/fig5_spmm_algorithms.cpp.o.d"
+  "fig5_spmm_algorithms"
+  "fig5_spmm_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_spmm_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

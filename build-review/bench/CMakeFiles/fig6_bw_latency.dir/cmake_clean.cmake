@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bw_latency.dir/fig6_bw_latency.cpp.o"
+  "CMakeFiles/fig6_bw_latency.dir/fig6_bw_latency.cpp.o.d"
+  "fig6_bw_latency"
+  "fig6_bw_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bw_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

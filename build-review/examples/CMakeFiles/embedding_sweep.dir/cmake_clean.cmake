@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_sweep.dir/embedding_sweep.cpp.o"
+  "CMakeFiles/embedding_sweep.dir/embedding_sweep.cpp.o.d"
+  "embedding_sweep"
+  "embedding_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

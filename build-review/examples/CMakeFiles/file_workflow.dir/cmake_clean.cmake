@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_workflow.dir/file_workflow.cpp.o"
+  "CMakeFiles/file_workflow.dir/file_workflow.cpp.o.d"
+  "file_workflow"
+  "file_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piuma_simulation.dir/piuma_simulation.cpp.o"
+  "CMakeFiles/piuma_simulation.dir/piuma_simulation.cpp.o.d"
+  "piuma_simulation"
+  "piuma_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piuma_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_advisor.dir/platform_advisor.cpp.o"
+  "CMakeFiles/platform_advisor.dir/platform_advisor.cpp.o.d"
+  "platform_advisor"
+  "platform_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

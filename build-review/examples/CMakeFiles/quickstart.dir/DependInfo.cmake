@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/pgcn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernels/CMakeFiles/pgcn_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/pgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/pgcn_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/piuma/CMakeFiles/pgcn_piuma.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xeon/CMakeFiles/pgcn_xeon.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gpu/CMakeFiles/pgcn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/pgcn_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("tensor")
+subdirs("parallel")
+subdirs("kernels")
+subdirs("model")
+subdirs("sim")
+subdirs("piuma")
+subdirs("xeon")
+subdirs("gpu")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_common.dir/logging.cpp.o"
+  "CMakeFiles/pgcn_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pgcn_common.dir/stats.cpp.o"
+  "CMakeFiles/pgcn_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pgcn_common.dir/table.cpp.o"
+  "CMakeFiles/pgcn_common.dir/table.cpp.o.d"
+  "libpgcn_common.a"
+  "libpgcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_core.dir/gcn.cpp.o"
+  "CMakeFiles/pgcn_core.dir/gcn.cpp.o.d"
+  "CMakeFiles/pgcn_core.dir/platforms.cpp.o"
+  "CMakeFiles/pgcn_core.dir/platforms.cpp.o.d"
+  "libpgcn_core.a"
+  "libpgcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_gpu.dir/timing.cpp.o"
+  "CMakeFiles/pgcn_gpu.dir/timing.cpp.o.d"
+  "libpgcn_gpu.a"
+  "libpgcn_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pgcn_gpu.
+# This may be replaced when dependencies are built.

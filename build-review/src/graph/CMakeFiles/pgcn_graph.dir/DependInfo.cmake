@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coo.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/coo.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/coo.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/normalize.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/normalize.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/normalize.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/pgcn_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/pgcn_graph.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_graph.dir/coo.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/coo.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/csr.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/datasets.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/generators.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/io.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/io.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/normalize.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/normalize.cpp.o.d"
+  "CMakeFiles/pgcn_graph.dir/partition.cpp.o"
+  "CMakeFiles/pgcn_graph.dir/partition.cpp.o.d"
+  "libpgcn_graph.a"
+  "libpgcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/spmm.cpp" "src/kernels/CMakeFiles/pgcn_kernels.dir/spmm.cpp.o" "gcc" "src/kernels/CMakeFiles/pgcn_kernels.dir/spmm.cpp.o.d"
+  "/root/repo/src/kernels/tiled_spmm.cpp" "src/kernels/CMakeFiles/pgcn_kernels.dir/tiled_spmm.cpp.o" "gcc" "src/kernels/CMakeFiles/pgcn_kernels.dir/tiled_spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pgcn_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/pgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/pgcn_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

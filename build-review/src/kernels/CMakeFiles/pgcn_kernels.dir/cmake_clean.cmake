@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_kernels.dir/spmm.cpp.o"
+  "CMakeFiles/pgcn_kernels.dir/spmm.cpp.o.d"
+  "CMakeFiles/pgcn_kernels.dir/tiled_spmm.cpp.o"
+  "CMakeFiles/pgcn_kernels.dir/tiled_spmm.cpp.o.d"
+  "libpgcn_kernels.a"
+  "libpgcn_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_model.dir/spmm_model.cpp.o"
+  "CMakeFiles/pgcn_model.dir/spmm_model.cpp.o.d"
+  "libpgcn_model.a"
+  "libpgcn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/pgcn_parallel.dir/thread_pool.cpp.o.d"
+  "libpgcn_parallel.a"
+  "libpgcn_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/piuma/dense_programs.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/dense_programs.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/dense_programs.cpp.o.d"
+  "/root/repo/src/piuma/dma.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/dma.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/dma.cpp.o.d"
+  "/root/repo/src/piuma/gcn_sim.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/gcn_sim.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/gcn_sim.cpp.o.d"
+  "/root/repo/src/piuma/memory.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/memory.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/memory.cpp.o.d"
+  "/root/repo/src/piuma/node_model.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/node_model.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/node_model.cpp.o.d"
+  "/root/repo/src/piuma/spmm_programs.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/spmm_programs.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/spmm_programs.cpp.o.d"
+  "/root/repo/src/piuma/walk_programs.cpp" "src/piuma/CMakeFiles/pgcn_piuma.dir/walk_programs.cpp.o" "gcc" "src/piuma/CMakeFiles/pgcn_piuma.dir/walk_programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pgcn_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/pgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/pgcn_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

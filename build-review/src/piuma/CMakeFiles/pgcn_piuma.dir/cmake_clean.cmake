@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_piuma.dir/dense_programs.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/dense_programs.cpp.o.d"
+  "CMakeFiles/pgcn_piuma.dir/dma.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/dma.cpp.o.d"
+  "CMakeFiles/pgcn_piuma.dir/gcn_sim.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/gcn_sim.cpp.o.d"
+  "CMakeFiles/pgcn_piuma.dir/memory.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/memory.cpp.o.d"
+  "CMakeFiles/pgcn_piuma.dir/node_model.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/node_model.cpp.o.d"
+  "CMakeFiles/pgcn_piuma.dir/spmm_programs.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/spmm_programs.cpp.o.d"
+  "CMakeFiles/pgcn_piuma.dir/walk_programs.cpp.o"
+  "CMakeFiles/pgcn_piuma.dir/walk_programs.cpp.o.d"
+  "libpgcn_piuma.a"
+  "libpgcn_piuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_piuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_tensor.dir/dense_matrix.cpp.o"
+  "CMakeFiles/pgcn_tensor.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/pgcn_tensor.dir/dense_mm.cpp.o"
+  "CMakeFiles/pgcn_tensor.dir/dense_mm.cpp.o.d"
+  "CMakeFiles/pgcn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/pgcn_tensor.dir/ops.cpp.o.d"
+  "libpgcn_tensor.a"
+  "libpgcn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgcn_xeon.dir/timing.cpp.o"
+  "CMakeFiles/pgcn_xeon.dir/timing.cpp.o.d"
+  "libpgcn_xeon.a"
+  "libpgcn_xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgcn_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piuma.dir/test_piuma.cpp.o"
+  "CMakeFiles/test_piuma.dir/test_piuma.cpp.o.d"
+  "test_piuma"
+  "test_piuma.pdb"
+  "test_piuma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xeon.dir/test_xeon.cpp.o"
+  "CMakeFiles/test_xeon.dir/test_xeon.cpp.o.d"
+  "test_xeon"
+  "test_xeon.pdb"
+  "test_xeon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

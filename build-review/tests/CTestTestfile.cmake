@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build-review/tests/test_model[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_piuma[1]_include.cmake")
+include("/root/repo/build-review/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build-review/tests/test_xeon[1]_include.cmake")
+include("/root/repo/build-review/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
