@@ -2,9 +2,12 @@
  * @file
  * Shared helpers for the figure/table bench binaries: proxy-graph
  * construction at DES-friendly scale, sweep-model construction,
- * optional CSV output (pass an output path as argv[1]), and a
+ * optional CSV output (pass an output path as argv[1]), a
  * simulator-throughput report (pass a JSON path as argv[2]) so perf
- * regressions in the discrete-event core show up in bench output.
+ * regressions in the discrete-event core show up in bench output, and
+ * the shared telemetry flags (--trace=<path>, --metrics=<path>,
+ * --sample-ns=<ns>, --trace-detail) that turn a figure run into a
+ * Perfetto-loadable trace plus a metrics time series.
  */
 #ifndef PGCN_BENCH_BENCH_UTIL_HPP
 #define PGCN_BENCH_BENCH_UTIL_HPP
@@ -13,6 +16,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/table.hpp"
@@ -20,6 +24,7 @@
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
+#include "telemetry/session.hpp"
 
 namespace pgcn::bench {
 
@@ -49,6 +54,93 @@ inline std::string
 jsonPathFromArgs(int argc, char **argv)
 {
     return argc > 2 ? argv[2] : std::string{};
+}
+
+/**
+ * Parsed bench command line: the two positional outputs (table CSV,
+ * throughput JSON) plus the shared telemetry flags.
+ */
+struct BenchArgs
+{
+    std::string csvPath;     ///< positional 1: table CSV
+    std::string jsonPath;    ///< positional 2: throughput JSON
+    std::string tracePath;   ///< --trace=: Chrome-trace JSON
+    std::string metricsPath; ///< --metrics=: time-series CSV
+    double samplePeriodNs = 1000.0; ///< --sample-ns=: gauge period
+    bool traceDetail = false; ///< --trace-detail: per-descriptor spans
+
+    /** True when any telemetry output was asked for. */
+    bool
+    telemetryRequested() const
+    {
+        return !tracePath.empty() || !metricsPath.empty();
+    }
+};
+
+/**
+ * Parse positionals + telemetry flags. Unknown --flags are reported
+ * and skipped so stale CI invocations fail loudly in the log, not
+ * silently misroute output.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0) {
+            args.tracePath = arg.substr(8);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            args.metricsPath = arg.substr(10);
+        } else if (arg.rfind("--sample-ns=", 0) == 0) {
+            args.samplePeriodNs = std::stod(arg.substr(12));
+        } else if (arg == "--trace-detail") {
+            args.traceDetail = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "unknown flag ignored: " << arg << "\n";
+        } else if (positional == 0) {
+            args.csvPath = arg;
+            ++positional;
+        } else if (positional == 1) {
+            args.jsonPath = arg;
+            ++positional;
+        } else {
+            std::cerr << "extra positional ignored: " << arg << "\n";
+        }
+    }
+    return args;
+}
+
+/**
+ * A telemetry session per the parsed flags, or null when none was
+ * requested (the null pointer keeps every simulation hook disabled).
+ */
+inline std::unique_ptr<telemetry::Session>
+makeSession(const BenchArgs &args)
+{
+    if (!args.telemetryRequested())
+        return nullptr;
+    telemetry::Session::Options opt;
+    opt.samplePeriodNs = args.samplePeriodNs;
+    opt.detailedTrace = args.traceDetail;
+    return std::make_unique<telemetry::Session>(opt);
+}
+
+/** Write the session's requested outputs (trace JSON, metrics CSV). */
+inline void
+finishSession(const telemetry::Session &session, const BenchArgs &args)
+{
+    if (!args.tracePath.empty()) {
+        session.writeTrace(args.tracePath);
+        std::cout << "(trace written to " << args.tracePath << ", "
+                  << session.trace().eventCount() << " events)\n";
+    }
+    if (!args.metricsPath.empty()) {
+        session.writeMetricsCsv(args.metricsPath);
+        std::cout << "(metrics csv written to " << args.metricsPath
+                  << ")\n";
+    }
 }
 
 /**

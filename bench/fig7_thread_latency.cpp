@@ -22,8 +22,10 @@ using piuma::SpmmAlgorithm;
 int
 main(int argc, char **argv)
 {
-    const std::string csv = bench::csvPathFromArgs(argc, argv);
-    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const std::string &csv = args.csvPath;
+    const std::string &json = args.jsonPath;
+    const auto session = bench::makeSession(args);
     bench::SimThroughput throughput;
     const graph::Csr csr = bench::desProxy(12);
     std::cout << "proxy: |V|=" << csr.numVertices()
@@ -39,8 +41,9 @@ main(int argc, char **argv)
                 piuma::PiumaConfig cfg = piuma::PiumaConfig::singleDie();
                 cfg.threadsPerMtp = threads;
                 cfg.dramLatencyScale = scale;
-                const auto s =
-                    simulateSpmm(csr, k, cfg, SpmmAlgorithm::Dma);
+                const auto s = simulateSpmm(csr, k, cfg,
+                                            SpmmAlgorithm::Dma,
+                                            session.get());
                 throughput.add(s);
                 if (scale == 1.0)
                     base = s.gflops;
@@ -65,7 +68,8 @@ main(int argc, char **argv)
             piuma::PiumaConfig cfg = piuma::PiumaConfig::singleDie();
             cfg.threadsPerMtp = threads;
             cfg.dramLatencyScale = scale;
-            const auto s = simulateSpmm(csr, 8, cfg, SpmmAlgorithm::Dma);
+            const auto s = simulateSpmm(csr, 8, cfg, SpmmAlgorithm::Dma,
+                                        session.get());
             throughput.add(s);
             const double t = cfg.totalThreads();
             bottom.row()
@@ -85,5 +89,7 @@ main(int argc, char **argv)
     throughput.print(std::cout);
     if (!json.empty())
         throughput.writeJson(json);
+    if (session)
+        bench::finishSession(*session, args);
     return 0;
 }

@@ -26,8 +26,10 @@ using piuma::SpmmAlgorithm;
 int
 main(int argc, char **argv)
 {
-    const std::string csv = bench::csvPathFromArgs(argc, argv);
-    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const std::string &csv = args.csvPath;
+    const std::string &json = args.jsonPath;
+    const auto session = bench::makeSession(args);
     bench::SimThroughput throughput;
     const auto xeon_cfg = xeon::XeonConfig::platinum8380();
 
@@ -63,7 +65,7 @@ main(int argc, char **argv)
         piuma::PiumaConfig pcfg;
         pcfg.numCores = cores;
         const auto sim = simulateSpmm(proxy.adjacency, kDim, pcfg,
-                                      SpmmAlgorithm::Dma);
+                                      SpmmAlgorithm::Dma, session.get());
         throughput.add(sim);
         if (cores == 1)
             piuma_base = sim.gflops;
@@ -91,7 +93,7 @@ main(int argc, char **argv)
         piuma::PiumaConfig pcfg;
         pcfg.numCores = 16;
         const auto sim = simulateSpmm(proxy.adjacency, k, pcfg,
-                                      SpmmAlgorithm::Dma);
+                                      SpmmAlgorithm::Dma, session.get());
         throughput.add(sim);
         const double nnz_bytes = static_cast<double>(sim.nnzReads) * 64.0;
         const double bw = pcfg.aggregateBandwidth();
@@ -112,5 +114,7 @@ main(int argc, char **argv)
     throughput.print(std::cout);
     if (!json.empty())
         throughput.writeJson(json);
+    if (session)
+        bench::finishSession(*session, args);
     return 0;
 }

@@ -1,9 +1,73 @@
 #include "logging.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace pgcn {
+
+namespace {
+
+/** The active severity filter (lazily initialised from PIUMA_LOG). */
+LogLevel g_level = LogLevel::Info;
+bool g_level_initialized = false;
+
+LogLevel
+activeLevel()
+{
+    if (!g_level_initialized)
+        refreshLogLevelFromEnv();
+    return g_level;
+}
+
+} // namespace
+
+LogLevel
+parseLogLevel(const char *text, LogLevel fallback)
+{
+    if (text == nullptr)
+        return fallback;
+    std::string lower;
+    for (const char *p = text; *p != '\0'; ++p)
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    if (lower == "error")
+        return LogLevel::Error;
+    if (lower == "warn" || lower == "warning")
+        return LogLevel::Warn;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "debug")
+        return LogLevel::Debug;
+    return fallback;
+}
+
+LogLevel
+logLevel()
+{
+    return activeLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+    g_level_initialized = true;
+}
+
+void
+refreshLogLevelFromEnv()
+{
+    g_level = parseLogLevel(std::getenv("PIUMA_LOG"), LogLevel::Info);
+    g_level_initialized = true;
+}
+
+bool
+logEnabled(LogLevel severity)
+{
+    return static_cast<int>(severity) <= static_cast<int>(activeLevel());
+}
 
 void
 panic(const char *file, int line, const std::string &message)
@@ -25,13 +89,22 @@ fatal(const std::string &message)
 void
 warn(const std::string &message)
 {
-    std::fprintf(stderr, "warn: %s\n", message.c_str());
+    if (logEnabled(LogLevel::Warn))
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
 }
 
 void
 inform(const std::string &message)
 {
-    std::fprintf(stderr, "info: %s\n", message.c_str());
+    if (logEnabled(LogLevel::Info))
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+debug(const std::string &message)
+{
+    if (logEnabled(LogLevel::Debug))
+        std::fprintf(stderr, "debug: %s\n", message.c_str());
 }
 
 } // namespace pgcn

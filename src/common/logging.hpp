@@ -5,7 +5,12 @@
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (a bug in this library), fatal() is for user errors
  * (bad configuration, impossible parameters). Both terminate;
- * warn()/inform() never do.
+ * warn()/inform()/debug() never do.
+ *
+ * Non-fatal messages are severity-filtered: the PIUMA_LOG environment
+ * variable (error | warn | info | debug, case-insensitive) sets the
+ * maximum severity printed, defaulting to info. panic/fatal output is
+ * never suppressed.
  */
 #ifndef PGCN_COMMON_LOGGING_HPP
 #define PGCN_COMMON_LOGGING_HPP
@@ -36,6 +41,48 @@ namespace pgcn {
 [[noreturn]] void fatal(const std::string &message);
 
 /**
+ * Severity of a non-fatal log message, ordered from most to least
+ * severe. The active level admits everything at or above it.
+ */
+enum class LogLevel
+{
+    Error = 0, ///< only panic/fatal diagnostics (never suppressed)
+    Warn = 1,  ///< warn() and above
+    Info = 2,  ///< inform() and above (the default)
+    Debug = 3, ///< everything, including debug()
+};
+
+/**
+ * The active log level. Initialised from the PIUMA_LOG environment
+ * variable on first use; overridable with setLogLevel().
+ */
+LogLevel logLevel();
+
+/**
+ * Override the active log level programmatically (takes precedence
+ * over PIUMA_LOG until refreshLogLevelFromEnv() is called).
+ */
+void setLogLevel(LogLevel level);
+
+/**
+ * Re-read PIUMA_LOG and make it the active level (missing or
+ * unparsable values fall back to Info).
+ */
+void refreshLogLevelFromEnv();
+
+/**
+ * Parse a log-level name ("error", "warn"/"warning", "info",
+ * "debug", case-insensitive) to its LogLevel.
+ *
+ * @param text The name to parse; may be null.
+ * @param fallback Returned when @p text is null or unrecognised.
+ */
+LogLevel parseLogLevel(const char *text, LogLevel fallback);
+
+/** Whether a message of @p severity passes the active filter. */
+bool logEnabled(LogLevel severity);
+
+/**
  * Print a non-fatal warning to stderr. Use when behaviour may be
  * surprising but execution can continue.
  *
@@ -49,6 +96,14 @@ void warn(const std::string &message);
  * @param message The status text.
  */
 void inform(const std::string &message);
+
+/**
+ * Print a debugging trace message to stderr; suppressed unless
+ * PIUMA_LOG=debug (or setLogLevel(LogLevel::Debug)).
+ *
+ * @param message The trace text.
+ */
+void debug(const std::string &message);
 
 } // namespace pgcn
 

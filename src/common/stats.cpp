@@ -33,6 +33,85 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets + 2, 0)
+{
+    PGCN_ASSERT(hi > lo, "histogram range [" << lo << ", " << hi
+                                             << ") is empty");
+    PGCN_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    size_t slot;
+    if (x < lo_) {
+        slot = 0;
+    } else {
+        const auto b = static_cast<size_t>((x - lo_) / width_);
+        slot = std::min(b, numBuckets()) + 1; // clamps overflow
+    }
+    ++counts_[slot];
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    PGCN_ASSERT(count_ > 0, "percentile of an empty histogram");
+    PGCN_ASSERT(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+    // Target rank in [1, count]; find the bucket whose cumulative
+    // count first reaches it.
+    const double rank =
+        std::max(1.0, p / 100.0 * static_cast<double>(count_));
+    uint64_t cum = 0;
+    for (size_t slot = 0; slot < counts_.size(); ++slot) {
+        if (counts_[slot] == 0)
+            continue;
+        const uint64_t prev = cum;
+        cum += counts_[slot];
+        if (static_cast<double>(cum) < rank)
+            continue;
+        // Bucket bounds; the open-ended outlier bins use the observed
+        // extremes instead of +-inf.
+        const double b_lo =
+            slot == 0 ? min_
+                      : lo_ + static_cast<double>(slot - 1) * width_;
+        const double b_hi = slot + 1 == counts_.size()
+                                ? max_
+                                : lo_ + static_cast<double>(slot) * width_;
+        const double frac = (rank - static_cast<double>(prev)) /
+                            static_cast<double>(counts_[slot]);
+        return std::clamp(b_lo + frac * (b_hi - b_lo), min_, max_);
+    }
+    return max_; // unreachable: cum == count_ >= rank by the last slot
+}
+
+Histogram &
+Histogram::merge(const Histogram &other)
+{
+    PGCN_ASSERT(counts_.size() == other.counts_.size() &&
+                    lo_ == other.lo_ && width_ == other.width_,
+                "merging histograms of different shapes");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    return *this;
+}
+
 double
 percentile(std::vector<double> samples, double p)
 {

@@ -7,6 +7,7 @@
 #define PGCN_COMMON_STATS_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -47,6 +48,75 @@ class RunningStat
     size_t count_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A fixed-bucket histogram over [lo, hi): @p buckets equal-width bins
+ * plus underflow/overflow bins, with O(1) insertion and approximate
+ * percentile extraction by linear interpolation inside the covering
+ * bucket. Unlike percentile() below it never stores samples, so it is
+ * safe to feed from a simulator hot path (millions of observations).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the bucketed range.
+     * @param hi Upper bound of the bucketed range; must exceed @p lo.
+     * @param buckets Number of equal-width buckets; must be positive.
+     */
+    Histogram(double lo, double hi, size_t buckets);
+
+    /** Record one sample (any finite value; outliers hit the
+     *  underflow/overflow bins). */
+    void add(double x);
+
+    /** Samples recorded so far. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of the samples; 0 if empty. */
+    double mean() const;
+
+    /** Smallest sample; +inf if empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf if empty. */
+    double max() const { return max_; }
+
+    /**
+     * Approximate p-th percentile (0..100): locate the bucket holding
+     * the target rank and interpolate linearly inside it, clamped to
+     * the observed [min, max]. Exact for p=0 and p=100; must not be
+     * called on an empty histogram.
+     */
+    double percentile(double p) const;
+
+    /** Number of equal-width buckets (excluding under/overflow). */
+    size_t numBuckets() const { return counts_.size() - 2; }
+
+    /** Samples in bucket @p i (0-based, excluding under/overflow). */
+    uint64_t bucketCount(size_t i) const { return counts_[i + 1]; }
+
+    /** Samples below the bucketed range. */
+    uint64_t underflow() const { return counts_.front(); }
+
+    /** Samples at or above the bucketed range. */
+    uint64_t overflow() const { return counts_.back(); }
+
+    /** Fold @p other (same shape required) into this histogram. */
+    Histogram &merge(const Histogram &other);
+
+  private:
+    double lo_;
+    double width_; ///< bucket width, (hi - lo) / buckets
+    std::vector<uint64_t> counts_; ///< [underflow, buckets..., overflow]
+    uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();

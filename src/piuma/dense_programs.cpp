@@ -1,12 +1,14 @@
 #include "piuma/dense_programs.hpp"
 
 #include <chrono>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "piuma/memory.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "telemetry/session.hpp"
 
 namespace pgcn::piuma {
 
@@ -73,13 +75,37 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
 
 DenseRunStats
 simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
-                const PiumaConfig &cfg)
+                const PiumaConfig &cfg, telemetry::Session *session)
 {
     cfg.validate();
     PGCN_ASSERT(num_vertices > 0 && k_in > 0 && k_out > 0,
                 "dense MM needs positive dimensions");
 
     DenseContext ctx(cfg);
+
+    if (session != nullptr) {
+        session->beginKernel("dense/k_in=" + std::to_string(k_in) +
+                             "/k_out=" + std::to_string(k_out));
+        ctx.memory.attachTelemetry(session);
+        telemetry::Registry &reg = session->registry();
+        reg.registerGauge("sim.queue_depth", telemetry::GaugeKind::Value,
+                          [&ctx] {
+                              return static_cast<double>(
+                                  ctx.engine.queueDepth());
+                          });
+        reg.registerGauge(
+            "piuma.mtp.issue_util", telemetry::GaugeKind::Rate, [&ctx] {
+                double busy = 0.0;
+                for (const auto &r : ctx.mtpIssue)
+                    busy += r.busyTime();
+                return busy / static_cast<double>(ctx.mtpIssue.size());
+            });
+        if (session->samplePeriodNs() > 0.0) {
+            ctx.engine.attachObserver(&session->sampler(),
+                                      session->samplePeriodNs());
+        }
+    }
+
     const unsigned total_threads = cfg.totalThreads();
     for (unsigned tid = 0; tid < total_threads; ++tid) {
         const uint64_t begin = num_vertices * tid / total_threads;
@@ -110,6 +136,15 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
     stats.eventsPerSec =
         wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
     stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
+
+    if (session != nullptr) {
+        telemetry::Registry &reg = session->registry();
+        reg.counter("piuma.dense.makespan_ns").add(stats.makespanNs);
+        reg.counter("piuma.dense.flop").add(stats.flop);
+        reg.counter("sim.events")
+            .add(static_cast<double>(stats.simEvents));
+        session->endKernel(stats.makespanNs);
+    }
     return stats;
 }
 

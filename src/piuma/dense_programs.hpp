@@ -17,6 +17,10 @@
 
 #include "piuma/config.hpp"
 
+namespace pgcn::telemetry {
+class Session;
+} // namespace pgcn::telemetry
+
 namespace pgcn::piuma {
 
 /** Outcome of one simulated dense update. */
@@ -45,9 +49,12 @@ struct DenseRunStats
  * @param k_in Input feature dimension.
  * @param k_out Output feature dimension.
  * @param cfg PIUMA system description.
+ * @param session Optional telemetry sink (kernel span, counters and
+ *        gauge time series); null disables all recording.
  */
 DenseRunStats simulateDenseMm(uint64_t num_vertices, uint64_t k_in,
-                              uint64_t k_out, const PiumaConfig &cfg);
+                              uint64_t k_out, const PiumaConfig &cfg,
+                              telemetry::Session *session = nullptr);
 
 } // namespace pgcn::piuma
 

@@ -1,9 +1,37 @@
 #include "piuma/dma.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace pgcn::piuma {
+
+void
+DmaEngine::attachTelemetry(telemetry::Session *session)
+{
+    if (session == nullptr)
+        return;
+    session_ = session;
+    telemetry::Registry &reg = session->registry();
+    const std::string core = std::to_string(core_);
+    tlmDescriptors_ = &reg.counter("piuma.dma.descriptors");
+    tlmBusyNs_ = &reg.counter("piuma.dma.busy_ns");
+    // enqueue-to-retire per descriptor: dispatch overhead + window
+    // wait + bandwidth service; long tails flag queueing collapse.
+    tlmDescNs_ = &reg.histogram("piuma.dma.descriptor_ns",
+                                0.0, 500.0, 100);
+    reg.registerGauge("piuma.core" + core + ".dma.queue_depth",
+                      telemetry::GaugeKind::Value,
+                      [this] { return static_cast<double>(queue_.size()); });
+    detailedTrace_ = session->detailedTrace();
+    if (detailedTrace_) {
+        const uint32_t tid = telemetry::tracks::kDmaBase + core_;
+        session->trace().setThreadName(tid, "core" + core + ".dma");
+        spanName_ = session->trace().intern("dma.descriptor");
+    }
+}
 
 sim::Process
 DmaEngine::run()
@@ -48,6 +76,20 @@ DmaEngine::run()
         ++stats_.descriptors;
         stats_.bytesMoved += desc.bytes;
         stats_.busyNs += engine_.now() - started;
+#ifndef PGCN_NO_TELEMETRY
+        if (session_ != nullptr) [[unlikely]] {
+            const sim::SimTime now = engine_.now();
+            tlmDescriptors_->increment();
+            tlmBusyNs_->add(now - started);
+            tlmDescNs_->add(now - started);
+            if (detailedTrace_) {
+                const double off = session_->runOffsetNs();
+                const uint32_t tid = telemetry::tracks::kDmaBase + core_;
+                session_->trace().begin(off + started, spanName_, tid);
+                session_->trace().end(off + now, spanName_, tid);
+            }
+        }
+#endif
     }
 
     // Drain: the engine is not finished until its last transfers

@@ -24,6 +24,7 @@
 
 #include "piuma/memory.hpp"
 #include "sim/queue.hpp"
+#include "telemetry/session.hpp"
 
 namespace pgcn::piuma {
 
@@ -77,6 +78,15 @@ class DmaEngine
     const DmaStats &stats() const { return stats_; }
 
     /**
+     * Start recording into @p session: a piuma.core<i>.dma.queue_depth
+     * gauge, shared piuma.dma.{descriptors,busy_ns} counters, a
+     * per-descriptor latency histogram, and — when the session asks
+     * for a detailed trace — one span per descriptor on this core's
+     * trace track. Null (or never calling) leaves run() untouched.
+     */
+    void attachTelemetry(telemetry::Session *session);
+
+    /**
      * Start the consumer process. Runs until a Terminate descriptor
      * arrives. Call exactly once per simulation.
      */
@@ -89,6 +99,13 @@ class DmaEngine
     unsigned core_;
     sim::BoundedQueue<DmaDescriptor> queue_;
     DmaStats stats_;
+    // Telemetry sinks; null keeps run() free of recording entirely.
+    telemetry::Session *session_ = nullptr;
+    telemetry::Counter *tlmDescriptors_ = nullptr;
+    telemetry::Counter *tlmBusyNs_ = nullptr;
+    Histogram *tlmDescNs_ = nullptr;
+    telemetry::TraceWriter::NameId spanName_ = 0;
+    bool detailedTrace_ = false;
 };
 
 } // namespace pgcn::piuma

@@ -8,7 +8,8 @@ namespace pgcn::piuma {
 
 GcnSimResult
 simulateGcn(const graph::Csr &csr, const std::vector<GcnSimLayer> &layers,
-            const PiumaConfig &cfg, SpmmAlgorithm alg)
+            const PiumaConfig &cfg, SpmmAlgorithm alg,
+            telemetry::Session *session)
 {
     PGCN_ASSERT(!layers.empty(), "GCN needs at least one layer");
     GcnSimResult result;
@@ -17,9 +18,9 @@ simulateGcn(const graph::Csr &csr, const std::vector<GcnSimLayer> &layers,
 
     for (const GcnSimLayer &layer : layers) {
         const DenseRunStats dense = simulateDenseMm(
-            csr.numVertices(), layer.kIn, layer.kOut, cfg);
+            csr.numVertices(), layer.kIn, layer.kOut, cfg, session);
         const SpmmRunStats spmm = simulateSpmm(
-            csr, static_cast<unsigned>(layer.kOut), cfg, alg);
+            csr, static_cast<unsigned>(layer.kOut), cfg, alg, session);
         result.denseNs += dense.makespanNs;
         result.spmmNs += spmm.makespanNs;
         result.simEvents += dense.simEvents + spmm.simEvents;

@@ -66,11 +66,15 @@ struct GcnSimResult
  *        core::GcnModelConfig::layerDims()).
  * @param cfg PIUMA system description.
  * @param alg SpMM implementation for the aggregation phase.
+ * @param session Optional telemetry sink, passed through to every
+ *        kernel run; the session's global clock strings the layers
+ *        into one trace timeline.
  */
 GcnSimResult simulateGcn(const graph::Csr &csr,
                          const std::vector<GcnSimLayer> &layers,
                          const PiumaConfig &cfg,
-                         SpmmAlgorithm alg = SpmmAlgorithm::Dma);
+                         SpmmAlgorithm alg = SpmmAlgorithm::Dma,
+                         telemetry::Session *session = nullptr);
 
 } // namespace pgcn::piuma
 

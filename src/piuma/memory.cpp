@@ -1,6 +1,10 @@
 #include "piuma/memory.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "common/stats.hpp"
+#include "telemetry/session.hpp"
 
 namespace pgcn::piuma {
 
@@ -39,6 +43,53 @@ MemorySystem::maxSliceUtilization(sim::SimTime end) const
     for (const auto &s : slices_)
         worst = std::max(worst, s.utilization(end));
     return worst;
+}
+
+void
+MemorySystem::attachTelemetry(telemetry::Session *session)
+{
+    if (session == nullptr)
+        return;
+    telemetry::Registry &reg = session->registry();
+    tlmReads_ = &reg.counter("piuma.mem.reads");
+    tlmWrites_ = &reg.counter("piuma.mem.writes");
+    tlmRemote_ = &reg.counter("piuma.mem.remote_accesses");
+    // Covers the uncongested case (DRAM latency + a network hop) up
+    // through heavy queueing; worse outliers land in the overflow bin
+    // and still shape p99 via interpolation against the observed max.
+    tlmLatency_ = &reg.histogram("piuma.mem.access_latency_ns",
+                                 0.0, 2000.0, 100);
+
+    // Per-slice DRAM utilisation timelines: busy-ns is cumulative, so
+    // a Rate gauge turns it into utilisation over each sample window.
+    for (size_t i = 0; i < slices_.size(); ++i) {
+        reg.registerGauge(
+            "piuma.mem.slice" + std::to_string(i) + ".util",
+            telemetry::GaugeKind::Rate,
+            [this, i] { return sliceBusyNs(i); });
+    }
+    reg.registerGauge("piuma.mem.read_gbps", telemetry::GaugeKind::Rate,
+                      [this] { return bytesRead_; });
+    reg.registerGauge("piuma.mem.write_gbps", telemetry::GaugeKind::Rate,
+                      [this] { return bytesWritten_; });
+    reg.registerGauge("piuma.net.port_util", telemetry::GaugeKind::Rate,
+                      [this] {
+                          double sum = 0.0;
+                          for (size_t i = 0; i < netPorts_.size(); ++i)
+                              sum += portBusyNs(i);
+                          return sum / static_cast<double>(
+                                           netPorts_.size());
+                      });
+}
+
+void
+MemorySystem::noteAccess(telemetry::Counter &op, bool local,
+                         const MemoryAccess &acc)
+{
+    op.increment();
+    if (!local)
+        tlmRemote_->increment();
+    tlmLatency_->add(acc.responseAt - engine_.now());
 }
 
 double

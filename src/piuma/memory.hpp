@@ -20,6 +20,14 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
+namespace pgcn {
+class Histogram;
+namespace telemetry {
+class Counter;
+class Session;
+} // namespace telemetry
+} // namespace pgcn
+
 namespace pgcn::piuma {
 
 /** Timing outcome of one memory access. */
@@ -70,7 +78,13 @@ class MemorySystem
          bool pipelined = false)
     {
         bytesRead_ += bytes;
-        return access(requester_core, slice, bytes, pipelined);
+        const MemoryAccess acc =
+            access(requester_core, slice, bytes, pipelined);
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmReads_ != nullptr) [[unlikely]]
+            noteAccess(*tlmReads_, requester_core == slice, acc);
+#endif
+        return acc;
     }
 
     /**
@@ -86,7 +100,13 @@ class MemorySystem
           bool pipelined = false)
     {
         bytesWritten_ += bytes;
-        return access(requester_core, slice, bytes, pipelined);
+        const MemoryAccess acc =
+            access(requester_core, slice, bytes, pipelined);
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmWrites_ != nullptr) [[unlikely]]
+            noteAccess(*tlmWrites_, requester_core == slice, acc);
+#endif
+        return acc;
     }
 
     /**
@@ -101,7 +121,13 @@ class MemorySystem
                 bool pipelined = false)
     {
         bytesRead_ += bytes;
-        return accessStriped(requester_core, start_slice, bytes, pipelined);
+        const MemoryAccess acc =
+            accessStriped(requester_core, start_slice, bytes, pipelined);
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmReads_ != nullptr) [[unlikely]]
+            noteAccess(*tlmReads_, requester_core == start_slice, acc);
+#endif
+        return acc;
     }
 
     /** Striped counterpart of write(); see readStriped(). */
@@ -110,7 +136,13 @@ class MemorySystem
                  bool pipelined = false)
     {
         bytesWritten_ += bytes;
-        return accessStriped(requester_core, start_slice, bytes, pipelined);
+        const MemoryAccess acc =
+            accessStriped(requester_core, start_slice, bytes, pipelined);
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmWrites_ != nullptr) [[unlikely]]
+            noteAccess(*tlmWrites_, requester_core == start_slice, acc);
+#endif
+        return acc;
     }
 
     /** Total bytes read across all slices. */
@@ -136,7 +168,28 @@ class MemorySystem
      */
     double averageNetworkUtilization(sim::SimTime end) const;
 
+    /**
+     * Start recording into @p session: piuma.mem.{reads,writes,
+     * remote_accesses} counters, a piuma.mem.access_latency_ns
+     * histogram, per-slice utilisation and aggregate GB/s rate gauges.
+     * Pass null (or never call) to leave the hot path untouched.
+     */
+    void attachTelemetry(telemetry::Session *session);
+
+    /** Number of DRAM slices (== cores). */
+    size_t numSlices() const { return slices_.size(); }
+
+    /** Cumulative busy ns of slice controller @p i (gauge source). */
+    double sliceBusyNs(size_t i) const { return slices_[i].busyTime(); }
+
+    /** Cumulative busy ns of network port @p i (gauge source). */
+    double portBusyNs(size_t i) const { return netPorts_[i].busyTime(); }
+
   private:
+    /** Cold path: count one access into the attached registry. */
+    void noteAccess(telemetry::Counter &op, bool local,
+                    const MemoryAccess &acc);
+
     // Defined inline: access() runs once per simulated memory
     // transaction (millions per run) and every caller lives in
     // another translation unit.
@@ -239,6 +292,12 @@ class MemorySystem
     double portRate_ = 1.0;        ///< cached netPortBandwidthGBps
     double bytesRead_ = 0.0;
     double bytesWritten_ = 0.0;
+    // Telemetry sinks; null (the default) keeps the access hot path
+    // to one predictable branch per wrapper.
+    telemetry::Counter *tlmReads_ = nullptr;
+    telemetry::Counter *tlmWrites_ = nullptr;
+    telemetry::Counter *tlmRemote_ = nullptr;
+    Histogram *tlmLatency_ = nullptr;
 };
 
 } // namespace pgcn::piuma

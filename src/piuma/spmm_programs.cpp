@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -9,6 +10,7 @@
 #include "piuma/memory.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "telemetry/session.hpp"
 
 namespace pgcn::piuma {
 
@@ -342,11 +344,74 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
     co_return;
 }
 
+/**
+ * Register the run-scoped gauges an SpMM timeline needs: event-queue
+ * depth, live MTP threads, aggregate issue utilisation, and the
+ * stall-attribution rates (delta stall-ns per simulated ns == mean
+ * number of threads stalled on that cause during the sample window).
+ */
+void
+attachRunGauges(RunContext &ctx, telemetry::Session &session)
+{
+    telemetry::Registry &reg = session.registry();
+    reg.registerGauge("sim.queue_depth", telemetry::GaugeKind::Value,
+                      [&ctx] {
+                          return static_cast<double>(
+                              ctx.engine.queueDepth());
+                      });
+    reg.registerGauge("piuma.mtp.threads_live",
+                      telemetry::GaugeKind::Value, [&ctx] {
+                          unsigned live = 0;
+                          for (unsigned c : ctx.liveThreadsPerCore)
+                              live += c;
+                          return static_cast<double>(live);
+                      });
+    reg.registerGauge("piuma.mtp.issue_util", telemetry::GaugeKind::Rate,
+                      [&ctx] {
+                          double busy = 0.0;
+                          for (const auto &r : ctx.mtpIssue)
+                              busy += r.busyTime();
+                          return busy /
+                                 static_cast<double>(ctx.mtpIssue.size());
+                      });
+    reg.registerGauge("piuma.mtp.stall.nnz", telemetry::GaugeKind::Rate,
+                      [&ctx] { return ctx.nnzStallNs; });
+    reg.registerGauge("piuma.mtp.stall.row_offset",
+                      telemetry::GaugeKind::Rate,
+                      [&ctx] { return ctx.rowOffsetStallNs; });
+    reg.registerGauge("piuma.mtp.stall.feature",
+                      telemetry::GaugeKind::Rate,
+                      [&ctx] { return ctx.featureStallNs; });
+    reg.registerGauge("piuma.mtp.stall.dma_queue",
+                      telemetry::GaugeKind::Rate,
+                      [&ctx] { return ctx.dmaQueueStallNs; });
+}
+
+/** Publish the run's final aggregates as registry counters. */
+void
+publishRunCounters(const SpmmRunStats &stats, telemetry::Registry &reg)
+{
+    reg.counter("piuma.spmm.makespan_ns").add(stats.makespanNs);
+    reg.counter("piuma.spmm.flop").add(stats.flop);
+    reg.counter("piuma.spmm.bytes_read").add(stats.bytesRead);
+    reg.counter("piuma.spmm.bytes_written").add(stats.bytesWritten);
+    reg.counter("piuma.spmm.nnz_reads")
+        .add(static_cast<double>(stats.nnzReads));
+    reg.counter("piuma.spmm.stall.nnz_ns").add(stats.nnzStallNs);
+    reg.counter("piuma.spmm.stall.row_offset_ns")
+        .add(stats.rowOffsetStallNs);
+    reg.counter("piuma.spmm.stall.feature_ns").add(stats.featureStallNs);
+    reg.counter("piuma.spmm.stall.dma_queue_ns")
+        .add(stats.dmaQueueStallNs);
+    reg.counter("piuma.spmm.issue_ns").add(stats.issueNs);
+    reg.counter("sim.events").add(static_cast<double>(stats.simEvents));
+}
+
 } // namespace
 
 SpmmRunStats
 simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
-             SpmmAlgorithm alg)
+             SpmmAlgorithm alg, telemetry::Session *session)
 {
     cfg.validate();
     PGCN_ASSERT(embedding_dim > 0, "embedding dimension must be positive");
@@ -355,10 +420,24 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
 
     RunContext ctx(csr, embedding_dim, cfg);
 
+    if (session != nullptr) {
+        session->beginKernel(std::string("spmm/") +
+                             spmmAlgorithmName(alg) +
+                             "/k=" + std::to_string(embedding_dim));
+        ctx.memory.attachTelemetry(session);
+        attachRunGauges(ctx, *session);
+    }
+
     if (alg == SpmmAlgorithm::Dma) {
         ctx.dmaEngines.reserve(cfg.numCores);
         for (unsigned c = 0; c < cfg.numCores; ++c)
             ctx.dmaEngines.emplace_back(ctx.engine, ctx.memory, cfg, c);
+        // Attach after every engine is emplaced: the gauges capture
+        // `this`, which must not move again.
+        if (session != nullptr) {
+            for (auto &engine : ctx.dmaEngines)
+                engine.attachTelemetry(session);
+        }
         for (auto &engine : ctx.dmaEngines)
             engine.run();
         for (unsigned tid = 0; tid < cfg.totalThreads(); ++tid)
@@ -366,6 +445,13 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     } else {
         for (unsigned tid = 0; tid < cfg.totalThreads(); ++tid)
             loopUnrolledThreadProc(ctx, tid);
+    }
+
+    // The sampler rides the dispatch loop (it never schedules events),
+    // so the run still ends exactly when the workload drains.
+    if (session != nullptr && session->samplePeriodNs() > 0.0) {
+        ctx.engine.attachObserver(&session->sampler(),
+                                  session->samplePeriodNs());
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -400,6 +486,11 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     stats.eventsPerSec =
         wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
     stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
+
+    if (session != nullptr) {
+        publishRunCounters(stats, session->registry());
+        session->endKernel(stats.makespanNs);
+    }
 
     return stats;
 }

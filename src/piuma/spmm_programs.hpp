@@ -28,6 +28,10 @@
 #include "graph/csr.hpp"
 #include "piuma/config.hpp"
 
+namespace pgcn::telemetry {
+class Session;
+} // namespace pgcn::telemetry
+
 namespace pgcn::piuma {
 
 /** Which SpMM implementation to simulate. */
@@ -77,9 +81,15 @@ struct SpmmRunStats
  * @param embedding_dim K, the feature-vector length.
  * @param cfg PIUMA system description.
  * @param alg Which implementation to run.
+ * @param session Optional telemetry sink: the run records a kernel
+ *        span, hot-path counters/histograms, and gauge time series
+ *        into it. Null (the default) disables all recording and must
+ *        not change the simulated result (the determinism tests pin
+ *        this).
  */
 SpmmRunStats simulateSpmm(const graph::Csr &csr, unsigned embedding_dim,
-                          const PiumaConfig &cfg, SpmmAlgorithm alg);
+                          const PiumaConfig &cfg, SpmmAlgorithm alg,
+                          telemetry::Session *session = nullptr);
 
 } // namespace pgcn::piuma
 

@@ -87,6 +87,44 @@ struct Process
 class Engine
 {
   public:
+    /**
+     * A passive telemetry observer: run() calls onSample() the first
+     * time dispatch reaches each requested simulated timestamp.
+     * Observers must only *read* simulation state — scheduling events
+     * or mutating agents from a hook would break the determinism
+     * contract. Compiled out entirely under PGCN_NO_TELEMETRY; when
+     * compiled in but not attached, the cost is one predictable
+     * branch per dispatched event.
+     */
+    struct Observer
+    {
+        virtual ~Observer() = default;
+
+        /**
+         * Called with the engine's current time once dispatch first
+         * reaches the requested sample point. Returns the next
+         * simulated time at which to be called (must be > @p now).
+         */
+        virtual SimTime onSample(SimTime now, Engine &engine) = 0;
+    };
+
+    /**
+     * Attach @p observer, to be first invoked when simulated time
+     * reaches @p first_sample. Pass nullptr to detach. No-op when
+     * telemetry is compiled out.
+     */
+    void
+    attachObserver(Observer *observer, SimTime first_sample)
+    {
+#ifndef PGCN_NO_TELEMETRY
+        observer_ = observer;
+        observerNext_ = first_sample;
+#else
+        (void)observer;
+        (void)first_sample;
+#endif
+    }
+
     /** Current simulated time (ns). */
     SimTime now() const { return now_; }
 
@@ -190,6 +228,14 @@ class Engine
             }
 
             now_ = ev.when;
+#ifndef PGCN_NO_TELEMETRY
+            // Telemetry sampling rides the dispatch loop instead of
+            // scheduling its own events, so an attached observer can
+            // never alter event order or keep the queue alive.
+            if (observer_ != nullptr && now_ >= observerNext_)
+                [[unlikely]]
+                observerNext_ = observer_->onSample(now_, *this);
+#endif
             ++eventsProcessed_;
             --pending_;
             const uintptr_t tag = ev.payload & kTagMask;
@@ -611,6 +657,10 @@ class Engine
     std::vector<std::function<void()>> callbackSlab_;
     std::vector<size_t> freeCallbackSlots_;
     std::vector<Stream> streams_;       ///< completion streams
+#ifndef PGCN_NO_TELEMETRY
+    Observer *observer_ = nullptr;      ///< telemetry sample hook
+    SimTime observerNext_ = 0.0;        ///< next requested sample time
+#endif
     SimTime now_ = 0.0;
     uint64_t nextSeq_ = 0;
     uint64_t eventsProcessed_ = 0;

@@ -1,0 +1,53 @@
+#include "telemetry/registry.hpp"
+
+namespace pgcn::telemetry {
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        return it->second;
+    return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name, double lo, double hi,
+                    size_t buckets)
+{
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return it->second;
+    return histograms_
+        .emplace(std::string(name), Histogram(lo, hi, buckets))
+        .first->second;
+}
+
+void
+Registry::registerGauge(std::string name, GaugeKind kind,
+                        std::function<double()> fn)
+{
+    gauges_.push_back(Gauge{std::move(name), kind, std::move(fn), 0.0});
+}
+
+void
+Registry::clearGauges()
+{
+    gauges_.clear();
+}
+
+double
+Registry::counterValue(std::string_view name) const
+{
+    const auto it = counters_.find(name);
+    return it != counters_.end() ? it->second.value() : 0.0;
+}
+
+const Histogram *
+Registry::findHistogram(std::string_view name) const
+{
+    const auto it = histograms_.find(name);
+    return it != histograms_.end() ? &it->second : nullptr;
+}
+
+} // namespace pgcn::telemetry

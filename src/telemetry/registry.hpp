@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The metric registry: named monotonic counters, sampled gauges, and
+ * fixed-bucket histograms shared by every instrumented component.
+ *
+ * Names are hierarchical dot-paths (`piuma.core3.dma.queue_depth`),
+ * so downstream tooling can group by prefix. The registration path
+ * (map lookup) runs once per component per run; instrumented hot
+ * paths hold a Counter* / Histogram* and pay one pointer-null check
+ * plus an add when telemetry is enabled, nothing when it is not.
+ *
+ * Thread-safety: none. The simulator is single-threaded by design
+ * (see sim/engine.hpp); the registry inherits that contract.
+ */
+#ifndef PGCN_TELEMETRY_REGISTRY_HPP
+#define PGCN_TELEMETRY_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace pgcn::telemetry {
+
+/**
+ * A named monotonic counter. Components accumulate into it directly;
+ * consumers read the cumulative value (or deltas between reads).
+ */
+class Counter
+{
+  public:
+    /** Accumulate @p delta (negative deltas are a caller bug). */
+    void add(double delta) { value_ += delta; }
+
+    /** Accumulate 1. */
+    void increment() { value_ += 1.0; }
+
+    /** Cumulative value since registration. */
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * How the time-series sampler interprets a gauge callback's value.
+ */
+enum class GaugeKind
+{
+    /** An instantaneous level (queue depth, live threads). */
+    Value,
+    /**
+     * A cumulative quantity (busy nanoseconds, bytes moved); the
+     * sampler reports its delta divided by the elapsed simulated time
+     * — e.g. busy-ns becomes utilisation, bytes becomes GB/s.
+     */
+    Rate,
+};
+
+/** A registered gauge: name, sampling interpretation, callback. */
+struct Gauge
+{
+    std::string name;
+    GaugeKind kind;
+    std::function<double()> fn;
+    double lastValue = 0.0; ///< sampler state for Rate gauges
+};
+
+/**
+ * The registry. Counters and histograms live for the registry's
+ * lifetime and merge across simulation runs; gauges reference
+ * run-local component state and are cleared between kernel runs (see
+ * Session::beginKernel).
+ */
+class Registry
+{
+  public:
+    /**
+     * Find-or-create the counter called @p name. The returned
+     * reference is stable for the registry's lifetime.
+     */
+    Counter &counter(std::string_view name);
+
+    /**
+     * Find-or-create a histogram. The bucket shape is fixed by the
+     * first registration; later calls with the same name return the
+     * existing histogram regardless of the requested shape.
+     *
+     * @param name Metric name.
+     * @param lo Lower bound of the bucketed range.
+     * @param hi Upper bound of the bucketed range.
+     * @param buckets Bucket count (excluding under/overflow).
+     */
+    Histogram &histogram(std::string_view name, double lo, double hi,
+                         size_t buckets = 64);
+
+    /**
+     * Register a gauge for periodic sampling. Callbacks must be pure
+     * observers: the sampler runs between simulated events, and a
+     * callback that mutated simulation state would break the
+     * determinism contract.
+     */
+    void registerGauge(std::string name, GaugeKind kind,
+                       std::function<double()> fn);
+
+    /** Drop all gauges (their component owners are being destroyed). */
+    void clearGauges();
+
+    /** Value of counter @p name, or 0 if it was never registered. */
+    double counterValue(std::string_view name) const;
+
+    /** Histogram @p name, or nullptr if never registered. */
+    const Histogram *findHistogram(std::string_view name) const;
+
+    /** Visit (name, counter) in lexicographic name order. */
+    template <typename Fn>
+    void
+    forEachCounter(Fn &&fn) const
+    {
+        for (const auto &[name, c] : counters_)
+            fn(name, c);
+    }
+
+    /** Visit (name, histogram) in lexicographic name order. */
+    template <typename Fn>
+    void
+    forEachHistogram(Fn &&fn) const
+    {
+        for (const auto &[name, h] : histograms_)
+            fn(name, h);
+    }
+
+    /** The live gauges, in registration order (sampler access). */
+    std::vector<Gauge> &gauges() { return gauges_; }
+
+    /** Number of registered counters. */
+    size_t counterCount() const { return counters_.size(); }
+
+  private:
+    // Node-based maps: references handed to components stay valid as
+    // the registry grows. Lexicographic iteration keeps every CSV /
+    // summary dump deterministic.
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
+    std::vector<Gauge> gauges_;
+};
+
+} // namespace pgcn::telemetry
+
+#endif // PGCN_TELEMETRY_REGISTRY_HPP

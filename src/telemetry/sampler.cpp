@@ -1,0 +1,62 @@
+#include "telemetry/sampler.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace pgcn::telemetry {
+
+Sampler::Sampler(Registry &registry, TraceWriter *trace, double period_ns)
+    : registry_(registry), trace_(trace), periodNs_(period_ns)
+{
+    PGCN_ASSERT(period_ns > 0.0,
+                "sample period must be positive, got " << period_ns);
+}
+
+void
+Sampler::beginRun(double offset_ns)
+{
+    offsetNs_ = offset_ns;
+    lastSampleNs_ = 0.0;
+    for (Gauge &g : registry_.gauges())
+        g.lastValue = 0.0;
+}
+
+sim::SimTime
+Sampler::onSample(sim::SimTime now, sim::Engine &engine)
+{
+    (void)engine;
+    const double dt = now - lastSampleNs_;
+    for (Gauge &g : registry_.gauges()) {
+        const double raw = g.fn();
+        double out = raw;
+        if (g.kind == GaugeKind::Rate) {
+            out = dt > 0.0 ? (raw - g.lastValue) / dt : 0.0;
+            g.lastValue = raw;
+        }
+        const TraceWriter::NameId id = interner().intern(g.name);
+        rows_.push_back(Row{offsetNs_ + now, out, id});
+        if (trace_ != nullptr)
+            trace_->counter(offsetNs_ + now, id, out);
+    }
+    lastSampleNs_ = now;
+    // Skip ahead past any quiet gap so one long event jump does not
+    // trigger a burst of catch-up samples.
+    return now + periodNs_;
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "t_ns,metric,value\n";
+    char buf[64];
+    for (const Row &r : rows_) {
+        std::snprintf(buf, sizeof(buf), "%.9g,", r.tNs);
+        os << buf << interner().nameOf(r.name) << ",";
+        std::snprintf(buf, sizeof(buf), "%.9g", r.value);
+        os << buf << "\n";
+    }
+}
+
+} // namespace pgcn::telemetry

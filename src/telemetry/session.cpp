@@ -1,0 +1,98 @@
+#include "telemetry/session.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace pgcn::telemetry {
+
+namespace {
+
+/** Emit one `t_ns,metric,value` CSV row. */
+void
+csvRow(std::ostream &os, double t_ns, const std::string &metric, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g,", t_ns);
+    os << buf << metric << ",";
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    os << buf << "\n";
+}
+
+} // namespace
+
+Session::Session() : Session(Options()) {}
+
+Session::Session(Options options)
+    : options_(options),
+      sampler_(registry_, &trace_,
+               options.samplePeriodNs > 0.0 ? options.samplePeriodNs : 1.0)
+{
+    trace_.setProcessName("pgcn-sim");
+    trace_.setThreadName(tracks::kKernels, "kernels");
+}
+
+double
+Session::beginKernel(std::string_view name)
+{
+    PGCN_ASSERT(!kernelOpen_, "beginKernel() while a kernel span is open");
+    // Gauges registered by the previous run reference component state
+    // that no longer exists; the new run re-registers its own.
+    registry_.clearGauges();
+    currentKernel_ = trace_.intern(name);
+    trace_.begin(offsetNs_, currentKernel_, tracks::kKernels);
+    sampler_.beginRun(offsetNs_);
+    kernelOpen_ = true;
+    return offsetNs_;
+}
+
+void
+Session::endKernel(double makespan_ns)
+{
+    PGCN_ASSERT(kernelOpen_, "endKernel() without a matching beginKernel()");
+    PGCN_ASSERT(makespan_ns >= 0.0, "negative makespan " << makespan_ns);
+    trace_.end(offsetNs_ + makespan_ns, currentKernel_, tracks::kKernels);
+    offsetNs_ += makespan_ns;
+    kernelOpen_ = false;
+}
+
+void
+Session::writeTrace(const std::string &path) const
+{
+    trace_.writeFile(path);
+}
+
+void
+Session::writeMetricsCsv(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        PGCN_FATAL("cannot open metrics CSV for writing: " << path);
+
+    // Time series first (includes the header row), ...
+    sampler_.writeCsv(os);
+
+    // ... then final counter values and histogram summaries, stamped
+    // at the end of the global timeline.
+    const double end = offsetNs_;
+    registry_.forEachCounter(
+        [&](const std::string &name, const Counter &counter) {
+            csvRow(os, end, name, static_cast<double>(counter.value()));
+        });
+    registry_.forEachHistogram(
+        [&](const std::string &name, const Histogram &hist) {
+            csvRow(os, end, name + ".count",
+                   static_cast<double>(hist.count()));
+            if (hist.count() == 0)
+                return;
+            csvRow(os, end, name + ".sum", hist.sum());
+            csvRow(os, end, name + ".min", hist.min());
+            csvRow(os, end, name + ".max", hist.max());
+            csvRow(os, end, name + ".p50", hist.percentile(50.0));
+            csvRow(os, end, name + ".p95", hist.percentile(95.0));
+            csvRow(os, end, name + ".p99", hist.percentile(99.0));
+        });
+}
+
+} // namespace pgcn::telemetry

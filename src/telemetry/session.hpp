@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A telemetry session: the registry + sampler + trace writer bundle a
+ * bench binary (or test) owns for one invocation. Instrumented
+ * simulation entry points accept `Session *` (null = telemetry off,
+ * the default) and record into it; the owner writes the trace JSON
+ * and metrics CSV when done.
+ *
+ * The session also runs the global clock: every kernel executes on a
+ * fresh engine starting at t=0, and beginKernel()/endKernel()
+ * concatenate those runs on one timeline so a multi-kernel bench
+ * (e.g. a fig8 sweep) loads into Perfetto as consecutive spans.
+ */
+#ifndef PGCN_TELEMETRY_SESSION_HPP
+#define PGCN_TELEMETRY_SESSION_HPP
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+
+namespace pgcn::telemetry {
+
+/** Track ids used in emitted traces. */
+namespace tracks {
+/** The kernel-span track. */
+constexpr uint32_t kKernels = 0;
+/** Per-core DMA-engine tracks: kDmaBase + core. */
+constexpr uint32_t kDmaBase = 1000;
+} // namespace tracks
+
+/** One bench invocation's telemetry context (see file comment). */
+class Session
+{
+  public:
+    /** Construction-time knobs. */
+    struct Options
+    {
+        /**
+         * Simulated ns between gauge samples; 0 disables periodic
+         * sampling entirely (counters and spans still record).
+         */
+        double samplePeriodNs = 1000.0;
+        /**
+         * Emit per-descriptor DMA spans. Invaluable in Perfetto for
+         * small runs, but O(descriptors) trace size — leave off for
+         * full sweeps.
+         */
+        bool detailedTrace = false;
+    };
+
+    /** Session with default options. */
+    Session();
+
+    explicit Session(Options options);
+
+    /** The metric registry. */
+    Registry &registry() { return registry_; }
+
+    /** The trace accumulator. */
+    TraceWriter &trace() { return trace_; }
+    const TraceWriter &trace() const { return trace_; }
+
+    /** The periodic gauge sampler (meaningful when periodNs > 0). */
+    Sampler &sampler() { return sampler_; }
+
+    /** Simulated ns between gauge samples (0 = sampling disabled). */
+    double samplePeriodNs() const { return options_.samplePeriodNs; }
+
+    /** Whether per-descriptor DMA spans were requested. */
+    bool detailedTrace() const { return options_.detailedTrace; }
+
+    /**
+     * Open a kernel span named @p name and return the global-time
+     * offset of the run's t=0. Clears stale gauges from the previous
+     * run (their owning components are gone).
+     */
+    double beginKernel(std::string_view name);
+
+    /**
+     * Close the current kernel span after a run of @p makespan_ns and
+     * advance the global clock past it.
+     */
+    void endKernel(double makespan_ns);
+
+    /** Global-time offset of the currently running kernel. */
+    double runOffsetNs() const { return offsetNs_; }
+
+    /** Write the Chrome-trace JSON to @p path. */
+    void writeTrace(const std::string &path) const;
+
+    /**
+     * Write the metrics CSV to @p path: the sampler's time series
+     * followed by final counter values and histogram summaries
+     * (count/sum/min/max/p50/p95/p99), all in `t_ns,metric,value`
+     * long format.
+     */
+    void writeMetricsCsv(const std::string &path) const;
+
+  private:
+    Options options_;
+    Registry registry_;
+    TraceWriter trace_;
+    Sampler sampler_;
+    double offsetNs_ = 0.0;
+    TraceWriter::NameId currentKernel_ = 0;
+    bool kernelOpen_ = false;
+};
+
+} // namespace pgcn::telemetry
+
+#endif // PGCN_TELEMETRY_SESSION_HPP

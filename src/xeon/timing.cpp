@@ -2,8 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "telemetry/registry.hpp"
 
 namespace pgcn::xeon {
+
+namespace {
+
+/** Attached metric sink; null = model evaluations record nothing. */
+telemetry::Registry *g_model_registry = nullptr;
+
+/** Accumulate one model evaluation into the attached registry. */
+double
+recordModelValue(const char *metric, double value)
+{
+    if (g_model_registry != nullptr) {
+        const std::string base = std::string("xeon.model.") + metric;
+        g_model_registry->counter(base).add(value);
+        g_model_registry->counter(base + "_calls").increment();
+    }
+    return value;
+}
+
+} // namespace
+
+void
+setTelemetryRegistry(telemetry::Registry *registry)
+{
+    g_model_registry = registry;
+}
 
 double
 streamBandwidth(const XeonConfig &cfg, unsigned threads)
@@ -68,7 +96,7 @@ spmmTrafficBytes(const XeonConfig &cfg, const model::SpmmWorkload &w,
         v * k * sizes.feature +
         reuse_accesses * k * sizes.feature * (1.0 - hit);
     const double write = v * k * sizes.feature;
-    return csr + feature + write;
+    return recordModelValue("spmm_traffic_bytes", csr + feature + write);
 }
 
 double
@@ -87,8 +115,10 @@ spmmTimeNs(const XeonConfig &cfg, const model::SpmmWorkload &w,
     const double cached_bytes = reuse_accesses *
                                 static_cast<double>(w.embeddingDim) *
                                 4.0 * hit;
-    return spmmTrafficBytes(cfg, w, skewed) / bw +
-           cached_bytes / cfg.llcBandwidthGBps + cfg.frameworkOverheadNs;
+    return recordModelValue("spmm_ns",
+                            spmmTrafficBytes(cfg, w, skewed) / bw +
+                                cached_bytes / cfg.llcBandwidthGBps +
+                                cfg.frameworkOverheadNs);
 }
 
 double
@@ -103,9 +133,10 @@ denseMmTimeNs(const XeonConfig &cfg, uint64_t num_vertices, uint64_t k_in,
     const double peak =
         cfg.peakCoreGflops() * std::min(threads, cfg.physicalCores()) *
         cfg.denseEfficiency;
-    return model::rooflineTimeNs(flop, bytes, peak,
-                                 streamBandwidth(cfg, threads)) +
-           cfg.frameworkOverheadNs;
+    return recordModelValue(
+        "dense_ns", model::rooflineTimeNs(flop, bytes, peak,
+                                          streamBandwidth(cfg, threads)) +
+                        cfg.frameworkOverheadNs);
 }
 
 double
@@ -118,7 +149,8 @@ glueTimeNs(const XeonConfig &cfg, uint64_t num_vertices, uint64_t k,
     // (approximated as 4x DRAM bandwidth); otherwise at DRAM speed.
     const double hit = featureCacheHitRate(cfg, num_vertices, k);
     const double bw = streamBandwidth(cfg, threads) * (1.0 + 3.0 * hit);
-    return bytes / bw + cfg.frameworkOverheadNs;
+    return recordModelValue("glue_ns",
+                            bytes / bw + cfg.frameworkOverheadNs);
 }
 
 double

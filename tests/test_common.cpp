@@ -1,13 +1,16 @@
 /**
  * @file
  * Unit tests for src/common: RNG determinism and distribution, running
- * statistics, percentiles, table formatting, unit conversions.
+ * statistics, histograms, percentiles, table formatting, unit
+ * conversions, log-level filtering.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -131,6 +134,114 @@ TEST(Geomean, KnownValue)
 {
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
     EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.numBuckets(), 10u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, BucketsAndOutliers)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(5.0);   // bucket 0
+    h.add(15.0);  // bucket 1
+    h.add(95.0);  // bucket 9
+    h.add(-1.0);  // underflow
+    h.add(250.0); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 250.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 364.0);
+}
+
+TEST(Histogram, PercentilesClampToObservedRange)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i) - 0.5);
+    // Rank clamps to the first sample, so p=0 reads the upper edge of
+    // its bucket; p=100 clamps to the observed maximum.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 99.5);
+    // With one sample per unit-wide bucket, interpolation lands
+    // inside the covering bucket.
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(95.0), 95.0, 1.0);
+    EXPECT_NEAR(h.percentile(99.0), 99.0, 1.0);
+}
+
+TEST(Histogram, PercentileOfSingleSample)
+{
+    Histogram h(0.0, 10.0, 4);
+    h.add(3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 3.0);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a(0.0, 10.0, 5);
+    Histogram b(0.0, 10.0, 5);
+    a.add(1.0);
+    a.add(9.0);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(LogLevel, ParseNamesCaseInsensitive)
+{
+    EXPECT_EQ(parseLogLevel("error", LogLevel::Info), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("WARN", LogLevel::Info), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning", LogLevel::Info), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("Info", LogLevel::Error), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug", LogLevel::Info), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("bogus", LogLevel::Warn), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel(nullptr, LogLevel::Debug), LogLevel::Debug);
+}
+
+TEST(LogLevel, SeverityFilter)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+    setLogLevel(saved);
+}
+
+TEST(LogLevel, EnvVariableControlsLevel)
+{
+    const LogLevel saved = logLevel();
+    ::setenv("PIUMA_LOG", "error", 1);
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    ::setenv("PIUMA_LOG", "debug", 1);
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    ::unsetenv("PIUMA_LOG");
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Info); // default
+    setLogLevel(saved);
 }
 
 TEST(Table, AlignedOutputContainsCells)
