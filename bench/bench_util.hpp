@@ -7,18 +7,26 @@
  * regressions in the discrete-event core show up in bench output, and
  * the shared telemetry flags (--trace=<path>, --metrics=<path>,
  * --sample-ns=<ns>, --trace-detail) that turn a figure run into a
- * Perfetto-loadable trace plus a metrics time series.
+ * Perfetto-loadable trace plus a metrics time series, and the sweep
+ * robustness flags (--checkpoint=<jsonl>, --resume,
+ * --sweep-json=<path>) that make long sweeps restartable after a
+ * crash with only the missing points recomputed.
  */
 #ifndef PGCN_BENCH_BENCH_UTIL_HPP
 #define PGCN_BENCH_BENCH_UTIL_HPP
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <type_traits>
 
+#include "common/checkpoint.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/gcn_config.hpp"
 #include "graph/datasets.hpp"
@@ -68,6 +76,9 @@ struct BenchArgs
     std::string metricsPath; ///< --metrics=: time-series CSV
     double samplePeriodNs = 1000.0; ///< --sample-ns=: gauge period
     bool traceDetail = false; ///< --trace-detail: per-descriptor spans
+    std::string checkpointPath; ///< --checkpoint=: sweep JSONL file
+    bool resume = false; ///< --resume: reuse completed checkpoint points
+    std::string sweepJsonPath;  ///< --sweep-json=: consolidated sweep JSON
 
     /** True when any telemetry output was asked for. */
     bool
@@ -97,6 +108,12 @@ parseBenchArgs(int argc, char **argv)
             args.samplePeriodNs = std::stod(arg.substr(12));
         } else if (arg == "--trace-detail") {
             args.traceDetail = true;
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            args.checkpointPath = arg.substr(13);
+        } else if (arg == "--resume") {
+            args.resume = true;
+        } else if (arg.rfind("--sweep-json=", 0) == 0) {
+            args.sweepJsonPath = arg.substr(13);
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown flag ignored: " << arg << "\n";
         } else if (positional == 0) {
@@ -110,6 +127,94 @@ parseBenchArgs(int argc, char **argv)
         }
     }
     return args;
+}
+
+/**
+ * The sweep checkpoint per the parsed flags: a live JsonlCheckpoint
+ * when --checkpoint= was given (loading completed points under
+ * --resume), a disabled one otherwise.
+ */
+inline JsonlCheckpoint
+makeCheckpoint(const BenchArgs &args)
+{
+    if (args.checkpointPath.empty()) {
+        if (args.resume)
+            std::cerr << "--resume ignored: no --checkpoint= given\n";
+        return {};
+    }
+    JsonlCheckpoint ckpt(args.checkpointPath, args.resume);
+    if (args.resume)
+        std::cout << "(resuming from " << args.checkpointPath << ": "
+                  << ckpt.size() << " points already completed)\n";
+    return ckpt;
+}
+
+/**
+ * Run one sweep point through the checkpoint. A point already in the
+ * checkpoint is returned without recomputation; otherwise @p compute
+ * runs and its values are recorded. A point that fails with a typed
+ * pgcn::Error is logged and skipped — the sweep continues and returns
+ * nullopt for that point — so one diverging configuration can't take
+ * down a multi-hour sweep.
+ */
+template <typename Fn>
+inline std::optional<JsonlCheckpoint::Values>
+sweepPoint(JsonlCheckpoint &ckpt, const std::string &key, Fn &&compute)
+{
+    if (const JsonlCheckpoint::Values *done = ckpt.find(key)) {
+        std::cout << "(resume: '" << key
+                  << "' already completed, skipping)\n";
+        return *done;
+    }
+    try {
+        JsonlCheckpoint::Values values = compute();
+        ckpt.record(key, values);
+        return values;
+    } catch (const Error &e) {
+        std::cerr << "sweep point '" << key << "' failed: " << e.what()
+                  << "\n  (point skipped; sweep continues)\n";
+        return std::nullopt;
+    }
+}
+
+/** Write the consolidated sweep JSON when --sweep-json= was given. */
+inline void
+finishSweep(const JsonlCheckpoint &ckpt, const BenchArgs &args)
+{
+    if (args.sweepJsonPath.empty())
+        return;
+    if (!ckpt.enabled()) {
+        std::cerr << "--sweep-json ignored: no --checkpoint= given\n";
+        return;
+    }
+    ckpt.writeFinalJson(args.sweepJsonPath);
+    std::cout << "(sweep json written to " << args.sweepJsonPath << ", "
+              << ckpt.size() << " points)\n";
+}
+
+/**
+ * Top-level bench harness: run @p body, converting escaped typed
+ * errors (and anything else derived from std::exception) into a clean
+ * diagnostic and a non-zero exit instead of std::terminate.
+ */
+template <typename Fn>
+inline int
+runBenchMain(Fn &&body)
+{
+    try {
+        if constexpr (std::is_void_v<std::invoke_result_t<Fn &>>) {
+            body();
+            return 0;
+        } else {
+            return body();
+        }
+    } catch (const Error &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "fatal (unexpected): " << e.what() << "\n";
+        return 1;
+    }
 }
 
 /**

@@ -10,8 +10,13 @@
  * tolerated; with 1 thread/MTP the insensitivity is lost for K=8 but
  * largely retained for K=256 (each NNZ read feeds 256/8 = 32x more
  * DMA traffic, shrinking its relative window).
+ *
+ * This is the longest DES sweep in the bench suite (60 simulations),
+ * so it supports --checkpoint=<jsonl> / --resume / --sweep-json=<path>
+ * for crash-resilient restarts.
  */
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "piuma/spmm_programs.hpp"
@@ -19,13 +24,16 @@
 using namespace pgcn;
 using piuma::SpmmAlgorithm;
 
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const std::string &csv = args.csvPath;
     const std::string &json = args.jsonPath;
     const auto session = bench::makeSession(args);
+    JsonlCheckpoint ckpt = bench::makeCheckpoint(args);
     bench::SimThroughput throughput;
     const graph::Csr csr = bench::desProxy(12);
     std::cout << "proxy: |V|=" << csr.numVertices()
@@ -41,18 +49,28 @@ main(int argc, char **argv)
                 piuma::PiumaConfig cfg = piuma::PiumaConfig::singleDie();
                 cfg.threadsPerMtp = threads;
                 cfg.dramLatencyScale = scale;
-                const auto s = simulateSpmm(csr, k, cfg,
-                                            SpmmAlgorithm::Dma,
-                                            session.get());
-                throughput.add(s);
+                const std::string key =
+                    "top/k=" + std::to_string(k) +
+                    "/threads=" + std::to_string(threads) + "/lat-scale=" +
+                    std::to_string(static_cast<unsigned>(scale));
+                const auto point = bench::sweepPoint(ckpt, key, [&] {
+                    const auto s = simulateSpmm(csr, k, cfg,
+                                                SpmmAlgorithm::Dma,
+                                                session.get());
+                    throughput.add(s);
+                    return JsonlCheckpoint::Values{{"gflops", s.gflops}};
+                });
+                if (!point)
+                    continue;
+                const double gflops = point->at("gflops");
                 if (scale == 1.0)
-                    base = s.gflops;
+                    base = gflops;
                 top.row()
                     .cell(static_cast<uint64_t>(k))
                     .cell(static_cast<uint64_t>(threads))
                     .cell(cfg.effectiveDramLatencyNs(), 0)
-                    .cell(s.gflops, 2)
-                    .cell(s.gflops / base, 3);
+                    .cell(gflops, 2)
+                    .cell(gflops / base, 3);
             }
         }
     }
@@ -68,17 +86,32 @@ main(int argc, char **argv)
             piuma::PiumaConfig cfg = piuma::PiumaConfig::singleDie();
             cfg.threadsPerMtp = threads;
             cfg.dramLatencyScale = scale;
-            const auto s = simulateSpmm(csr, 8, cfg, SpmmAlgorithm::Dma,
-                                        session.get());
-            throughput.add(s);
+            const std::string key =
+                "bottom/threads=" + std::to_string(threads) +
+                "/lat-scale=" +
+                std::to_string(static_cast<unsigned>(scale));
+            const auto point = bench::sweepPoint(ckpt, key, [&] {
+                const auto s = simulateSpmm(csr, 8, cfg,
+                                            SpmmAlgorithm::Dma,
+                                            session.get());
+                throughput.add(s);
+                return JsonlCheckpoint::Values{
+                    {"dma_queue_stall_ns", s.dmaQueueStallNs},
+                    {"makespan_ns", s.makespanNs},
+                    {"nnz_stall_ns", s.nnzStallNs},
+                    {"row_offset_stall_ns", s.rowOffsetStallNs},
+                };
+            });
+            if (!point)
+                continue;
             const double t = cfg.totalThreads();
             bottom.row()
                 .cell(static_cast<uint64_t>(threads))
                 .cell(cfg.effectiveDramLatencyNs(), 0)
-                .cell(s.nnzStallNs / t / 1e3, 2)
-                .cell(s.dmaQueueStallNs / t / 1e3, 2)
-                .cell(s.rowOffsetStallNs / t / 1e3, 2)
-                .cell(s.makespanNs / 1e3, 2);
+                .cell(point->at("nnz_stall_ns") / t / 1e3, 2)
+                .cell(point->at("dma_queue_stall_ns") / t / 1e3, 2)
+                .cell(point->at("row_offset_stall_ns") / t / 1e3, 2)
+                .cell(point->at("makespan_ns") / 1e3, 2);
         }
     }
     bench::emit(bottom, csv.empty() ? csv : "bottom_" + csv);
@@ -89,7 +122,16 @@ main(int argc, char **argv)
     throughput.print(std::cout);
     if (!json.empty())
         throughput.writeJson(json);
+    bench::finishSweep(ckpt, args);
     if (session)
         bench::finishSession(*session, args);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
 }

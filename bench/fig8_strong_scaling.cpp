@@ -12,8 +12,13 @@
  *  - Right: execution-time/traffic breakdown of a 16-core PIUMA
  *    system for K in {8, 64, 256}: the NNZ-read share shrinks as K
  *    grows.
+ *
+ * The DES points support --checkpoint=<jsonl> / --resume /
+ * --sweep-json=<path>: a killed sweep can be restarted and recomputes
+ * only the missing simulations.
  */
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "model/spmm_model.hpp"
@@ -23,13 +28,16 @@
 using namespace pgcn;
 using piuma::SpmmAlgorithm;
 
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const std::string &csv = args.csvPath;
     const std::string &json = args.jsonPath;
     const auto session = bench::makeSession(args);
+    JsonlCheckpoint ckpt = bench::makeCheckpoint(args);
     bench::SimThroughput throughput;
     const auto xeon_cfg = xeon::XeonConfig::platinum8380();
 
@@ -62,13 +70,21 @@ main(int argc, char **argv)
     const model::SpmmWorkload full{products.numVertices,
                                    products.numEdges, kDim};
     for (unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        piuma::PiumaConfig pcfg;
-        pcfg.numCores = cores;
-        const auto sim = simulateSpmm(proxy.adjacency, kDim, pcfg,
-                                      SpmmAlgorithm::Dma, session.get());
-        throughput.add(sim);
+        const auto point = bench::sweepPoint(
+            ckpt, "middle/cores=" + std::to_string(cores), [&] {
+                piuma::PiumaConfig pcfg;
+                pcfg.numCores = cores;
+                const auto sim =
+                    simulateSpmm(proxy.adjacency, kDim, pcfg,
+                                 SpmmAlgorithm::Dma, session.get());
+                throughput.add(sim);
+                return JsonlCheckpoint::Values{{"gflops", sim.gflops}};
+            });
+        if (!point)
+            continue;
+        const double gflops = point->at("gflops");
         if (cores == 1)
-            piuma_base = sim.gflops;
+            piuma_base = gflops;
         // Xeon at the same thread count, full published scale; convert
         // to GFLOP/s with the full-scale FLOP count.
         const double xeon_ns =
@@ -78,7 +94,7 @@ main(int argc, char **argv)
             xeon_ns;
         middle.row()
             .cell(static_cast<uint64_t>(cores))
-            .cell(sim.gflops / piuma_base, 2)
+            .cell(gflops / piuma_base, 2)
             .cell(xeon_gflops / piuma_base, 2);
     }
     bench::emit(middle, csv.empty() ? csv : "middle_" + csv);
@@ -90,12 +106,28 @@ main(int argc, char **argv)
                  "nnz stall/thr us", "queue stall/thr us",
                  "model fraction"});
     for (unsigned k : {8u, 64u, 256u}) {
+        const auto point = bench::sweepPoint(
+            ckpt, "right/k=" + std::to_string(k), [&] {
+                piuma::PiumaConfig pcfg;
+                pcfg.numCores = 16;
+                const auto sim =
+                    simulateSpmm(proxy.adjacency, k, pcfg,
+                                 SpmmAlgorithm::Dma, session.get());
+                throughput.add(sim);
+                return JsonlCheckpoint::Values{
+                    {"bytes_read", sim.bytesRead},
+                    {"dma_queue_stall_ns", sim.dmaQueueStallNs},
+                    {"makespan_ns", sim.makespanNs},
+                    {"nnz_reads", static_cast<double>(sim.nnzReads)},
+                    {"nnz_stall_ns", sim.nnzStallNs},
+                };
+            });
+        if (!point)
+            continue;
         piuma::PiumaConfig pcfg;
         pcfg.numCores = 16;
-        const auto sim = simulateSpmm(proxy.adjacency, k, pcfg,
-                                      SpmmAlgorithm::Dma, session.get());
-        throughput.add(sim);
-        const double nnz_bytes = static_cast<double>(sim.nnzReads) * 64.0;
+        const double nnz_bytes = point->at("nnz_reads") * 64.0;
+        const double bytes_read = point->at("bytes_read");
         const double bw = pcfg.aggregateBandwidth();
         const auto est = model::estimateSpmm(
             model::SpmmWorkload{proxy.adjacency.numVertices(),
@@ -104,17 +136,26 @@ main(int argc, char **argv)
         const double threads = pcfg.totalThreads();
         right.row()
             .cell(static_cast<uint64_t>(k))
-            .cell(100.0 * nnz_bytes / sim.bytesRead, 1)
-            .cell(100.0 * (1.0 - nnz_bytes / sim.bytesRead), 1)
-            .cell(sim.nnzStallNs / threads / 1e3, 2)
-            .cell(sim.dmaQueueStallNs / threads / 1e3, 2)
-            .cell(est.timeNs / sim.makespanNs, 2);
+            .cell(100.0 * nnz_bytes / bytes_read, 1)
+            .cell(100.0 * (1.0 - nnz_bytes / bytes_read), 1)
+            .cell(point->at("nnz_stall_ns") / threads / 1e3, 2)
+            .cell(point->at("dma_queue_stall_ns") / threads / 1e3, 2)
+            .cell(est.timeNs / point->at("makespan_ns"), 2);
     }
     bench::emit(right, csv.empty() ? csv : "right_" + csv);
     throughput.print(std::cout);
     if (!json.empty())
         throughput.writeJson(json);
+    bench::finishSweep(ckpt, args);
     if (session)
         bench::finishSession(*session, args);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
 }

@@ -1,0 +1,188 @@
+#include "common/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace pgcn {
+
+namespace {
+
+/** Shortest decimal form that round-trips the exact double. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Minimal JSON string escaping for sweep-point keys. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Parse one checkpoint line of the restricted grammar this class
+ * writes: {"key":"...","name":number,...}. Returns false on any
+ * malformed content (most commonly the truncated last line of a
+ * crashed run) so the caller can skip it.
+ */
+bool
+parseLine(const std::string &line, std::string &key,
+          JsonlCheckpoint::Values &values)
+{
+    const char *p = line.c_str();
+    auto skipWs = [&] {
+        while (*p == ' ' || *p == '\t')
+            ++p;
+    };
+    auto parseString = [&](std::string &out) {
+        if (*p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (*p != '"') {
+            if (*p == '\0')
+                return false;
+            if (*p == '\\') {
+                ++p;
+                if (*p == '\0')
+                    return false;
+            }
+            out.push_back(*p++);
+        }
+        ++p; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (*p++ != '{')
+        return false;
+    skipWs();
+    std::string name;
+    if (!parseString(name) || name != "key")
+        return false;
+    skipWs();
+    if (*p++ != ':')
+        return false;
+    skipWs();
+    if (!parseString(key))
+        return false;
+    skipWs();
+    values.clear();
+    while (*p == ',') {
+        ++p;
+        skipWs();
+        if (!parseString(name))
+            return false;
+        skipWs();
+        if (*p++ != ':')
+            return false;
+        skipWs();
+        char *end = nullptr;
+        const double v = std::strtod(p, &end);
+        if (end == p)
+            return false;
+        p = end;
+        values[name] = v;
+        skipWs();
+    }
+    if (*p++ != '}')
+        return false;
+    skipWs();
+    return *p == '\0';
+}
+
+} // namespace
+
+JsonlCheckpoint::JsonlCheckpoint(const std::string &path, bool resume)
+    : path_(path)
+{
+    if (resume) {
+        std::ifstream in(path);
+        if (in) {
+            std::string line;
+            size_t line_no = 0;
+            while (std::getline(in, line)) {
+                ++line_no;
+                if (line.empty())
+                    continue;
+                std::string key;
+                Values values;
+                if (parseLine(line, key, values)) {
+                    points_[key] = std::move(values);
+                } else {
+                    // Almost always the torn final line of a crashed
+                    // run; the point is recomputed, nothing is lost.
+                    warn("checkpoint " + path + ":" +
+                         std::to_string(line_no) +
+                         ": skipping unparsable line");
+                }
+            }
+        }
+    }
+    out_.open(path, resume ? (std::ios::out | std::ios::app)
+                           : (std::ios::out | std::ios::trunc));
+    if (!out_)
+        PGCN_THROW(IoError, "cannot open checkpoint file: " << path);
+}
+
+void
+JsonlCheckpoint::record(const std::string &key, const Values &values)
+{
+    if (!enabled())
+        return;
+    out_ << "{\"key\":\"" << escapeJson(key) << "\"";
+    for (const auto &[name, value] : values)
+        out_ << ",\"" << escapeJson(name) << "\":" << formatDouble(value);
+    out_ << "}\n";
+    // Flush now: the whole point of the checkpoint is surviving a
+    // crash immediately after this record.
+    out_.flush();
+    if (!out_)
+        PGCN_THROW(IoError, "I/O error writing checkpoint: " << path_);
+    points_[key] = values;
+}
+
+void
+JsonlCheckpoint::writeFinalJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        PGCN_THROW(IoError, "cannot open sweep JSON for writing: " << path);
+    out << "{\n  \"points\": {\n";
+    bool first_point = true;
+    for (const auto &[key, values] : points_) {
+        if (!first_point)
+            out << ",\n";
+        first_point = false;
+        out << "    \"" << escapeJson(key) << "\": {";
+        bool first_value = true;
+        for (const auto &[name, value] : values) {
+            if (!first_value)
+                out << ", ";
+            first_value = false;
+            out << "\"" << escapeJson(name)
+                << "\": " << formatDouble(value);
+        }
+        out << "}";
+    }
+    out << "\n  }\n}\n";
+    if (!out)
+        PGCN_THROW(IoError, "I/O error writing sweep JSON: " << path);
+}
+
+} // namespace pgcn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Crash-resilient sweep checkpointing.
+ *
+ * Paper-scale sweeps (hundreds of DES runs) die for mundane reasons —
+ * OOM killers, wall-clock limits on shared machines, a single
+ * diverging configuration. JsonlCheckpoint makes them restartable:
+ * every completed sweep point is appended to a JSON-Lines file and
+ * flushed immediately, so a crashed sweep can be re-invoked with
+ * --resume and recompute only the missing points. Values round-trip
+ * through "%.17g", which strtod parses back to the exact same double,
+ * so a resumed sweep's consolidated output is byte-identical to an
+ * uninterrupted run's.
+ *
+ * File format: one object per line,
+ *   {"key":"middle/cores=4","gflops":1.2345,...}
+ * A truncated final line (the crash happened mid-write) is skipped
+ * with a warning; that point is simply recomputed.
+ */
+#ifndef PGCN_COMMON_CHECKPOINT_HPP
+#define PGCN_COMMON_CHECKPOINT_HPP
+
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace pgcn {
+
+/** Append-only JSONL checkpoint of completed sweep points. */
+class JsonlCheckpoint
+{
+  public:
+    /// Metric name -> value for one sweep point. Ordered so the
+    /// serialised form is deterministic.
+    using Values = std::map<std::string, double>;
+
+    /** Disabled checkpoint: contains() is false, record() a no-op. */
+    JsonlCheckpoint() = default;
+
+    /**
+     * Open @p path for appending. With @p resume true, previously
+     * completed points are loaded first (a missing file is an empty
+     * checkpoint); with @p resume false any existing file is
+     * truncated and the sweep starts over.
+     *
+     * @throws IoError when the file cannot be opened for writing.
+     */
+    JsonlCheckpoint(const std::string &path, bool resume);
+
+    /** True when constructed with a path. */
+    bool enabled() const { return !path_.empty(); }
+
+    /** Completed points loaded or recorded so far. */
+    size_t size() const { return points_.size(); }
+
+    /** The values of point @p key, or nullptr if not yet completed. */
+    const Values *
+    find(const std::string &key) const
+    {
+        const auto it = points_.find(key);
+        return it == points_.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Record a completed point: stores it and appends one flushed
+     * JSONL line so the point survives a crash immediately after.
+     * No-op on a disabled checkpoint. Re-recording an existing key
+     * overwrites in memory and appends a superseding line (the loader
+     * keeps the last occurrence).
+     */
+    void record(const std::string &key, const Values &values);
+
+    /**
+     * Write every completed point as one consolidated JSON document,
+     * sorted by key. Because values survive the JSONL round-trip
+     * bit-exactly, a resumed sweep writes a byte-identical file to an
+     * uninterrupted one.
+     *
+     * @throws IoError on I/O failure.
+     */
+    void writeFinalJson(const std::string &path) const;
+
+  private:
+    std::string path_;
+    std::map<std::string, Values> points_;
+    std::ofstream out_;
+};
+
+} // namespace pgcn
+
+#endif // PGCN_COMMON_CHECKPOINT_HPP

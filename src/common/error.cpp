@@ -1,0 +1,48 @@
+#include "common/error.hpp"
+
+#include <cmath>
+
+namespace pgcn::check {
+
+void
+finite(double value, const char *name)
+{
+    if (!std::isfinite(value))
+        PGCN_THROW(ConfigError, name << " must be finite, got " << value);
+}
+
+void
+positive(double value, const char *name)
+{
+    finite(value, name);
+    if (value <= 0.0)
+        PGCN_THROW(ConfigError,
+                   name << " must be > 0, got " << value);
+}
+
+void
+nonNegative(double value, const char *name)
+{
+    finite(value, name);
+    if (value < 0.0)
+        PGCN_THROW(ConfigError,
+                   name << " must be >= 0, got " << value);
+}
+
+void
+unitInterval(double value, const char *name)
+{
+    finite(value, name);
+    if (value <= 0.0 || value > 1.0)
+        PGCN_THROW(ConfigError,
+                   name << " must be in (0, 1], got " << value);
+}
+
+void
+nonZero(unsigned value, const char *name)
+{
+    if (value == 0)
+        PGCN_THROW(ConfigError, name << " must be non-zero");
+}
+
+} // namespace pgcn::check

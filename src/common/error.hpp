@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Typed, recoverable error taxonomy.
+ *
+ * Library code signals user-recoverable failures by throwing one of
+ * these exception types instead of calling fatal() (which terminates
+ * the process). The split of responsibilities:
+ *
+ *  - PGCN_ASSERT / panic(): internal invariant violations — a bug in
+ *    this library. Still terminates (abort, core dump).
+ *  - PGCN_THROW(SomeError, ...): invalid input the *caller* can
+ *    recover from — a malformed graph file, a non-physical config, a
+ *    mismatched tensor shape, a simulation that deadlocked or blew
+ *    its budget. Sweep drivers catch pgcn::Error, log the point, and
+ *    move on instead of losing hours of completed work.
+ *  - fatal(): reserved for program top levels (CLI argument errors in
+ *    a binary's main) where exiting *is* the recovery.
+ *
+ * The hierarchy is intentionally shallow — callers usually catch
+ * pgcn::Error; the subtypes exist so tests and drivers can tell input
+ * classes apart:
+ *
+ *   Error
+ *    +- ConfigError    non-physical / inconsistent configuration
+ *    +- GraphIoError   malformed, corrupt, or truncated graph files
+ *    +- IoError        non-graph file output failures (CSV, traces)
+ *    +- ShapeError     mismatched tensor/kernel dimensions
+ *    +- SimError       simulation-runtime failures (see sim/diagnostics.hpp
+ *                      for SimDeadlockError and SimLimitError)
+ */
+#ifndef PGCN_COMMON_ERROR_HPP
+#define PGCN_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pgcn {
+
+/** Base of all recoverable library errors. */
+class Error : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A configuration is non-physical or internally inconsistent. */
+class ConfigError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A graph file is missing, malformed, corrupt, or truncated. */
+class GraphIoError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A non-graph file operation failed (CSV, trace, checkpoint). */
+class IoError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** Tensor or kernel dimensions do not line up. */
+class ShapeError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A simulation failed at runtime (deadlock, watchdog breach). */
+class SimError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/**
+ * Config-validation helpers. Each checks one field and throws
+ * ConfigError naming it — NaN and infinity are always rejected, so a
+ * bad parameter fails at validate() instead of surfacing as inf/NaN
+ * simulated timings three layers downstream.
+ */
+namespace check {
+
+/** @p value must be a finite number (rejects NaN and +/-inf). */
+void finite(double value, const char *name);
+
+/** @p value must be finite and strictly positive. */
+void positive(double value, const char *name);
+
+/** @p value must be finite and >= 0. */
+void nonNegative(double value, const char *name);
+
+/** @p value must be finite and inside (0, 1]. */
+void unitInterval(double value, const char *name);
+
+/** @p value (a count) must be non-zero. */
+void nonZero(unsigned value, const char *name);
+
+} // namespace check
+
+} // namespace pgcn
+
+/**
+ * Throw a typed recoverable error with a streamed message.
+ * Usage: PGCN_THROW(ConfigError, "bandwidth " << bw << " must be > 0");
+ */
+#define PGCN_THROW(ErrorType, msg)                                          \
+    do {                                                                    \
+        std::ostringstream pgcn_throw_oss_;                                 \
+        pgcn_throw_oss_ << msg;                                             \
+        throw ErrorType(pgcn_throw_oss_.str());                            \
+    } while (0)
+
+#endif // PGCN_COMMON_ERROR_HPP

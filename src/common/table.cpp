@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "error.hpp"
 #include "logging.hpp"
 
 namespace pgcn {
@@ -132,10 +133,10 @@ Table::writeCsv(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out)
-        PGCN_FATAL("cannot open CSV output file: " << path);
+        PGCN_THROW(IoError, "cannot open CSV output file: " << path);
     printCsv(out);
     if (!out)
-        PGCN_FATAL("I/O error writing CSV output file: " << path);
+        PGCN_THROW(IoError, "I/O error writing CSV output file: " << path);
 }
 
 std::string

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/error.hpp"
 #include "kernels/spmm.hpp"
 #include "tensor/dense_mm.hpp"
 
@@ -51,12 +52,16 @@ GcnModel::infer(const graph::Csr &adjacency, const DenseMatrix &features,
                 parallel::ThreadPool &pool, CpuSpmmKind spmm_kind,
                 KernelBreakdown *breakdown_out) const
 {
-    PGCN_ASSERT(features.rows() == adjacency.numVertices(),
-                "feature rows " << features.rows() << " != |V| = "
-                                << adjacency.numVertices());
-    PGCN_ASSERT(features.cols() == config_.inputDim,
-                "feature dim " << features.cols() << " != input dim "
-                               << config_.inputDim);
+    if (features.rows() != adjacency.numVertices()) {
+        PGCN_THROW(ShapeError, "feature rows "
+                                   << features.rows() << " != |V| = "
+                                   << adjacency.numVertices());
+    }
+    if (features.cols() != config_.inputDim) {
+        PGCN_THROW(ShapeError, "feature dim "
+                                   << features.cols() << " != input dim "
+                                   << config_.inputDim);
+    }
 
     KernelBreakdown breakdown;
     DenseMatrix h = features;

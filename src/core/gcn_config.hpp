@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::core {
@@ -61,7 +62,8 @@ struct GcnModelConfig
     std::vector<LayerDims>
     layerDims() const
     {
-        PGCN_ASSERT(numLayers >= 1, "GCN needs at least one layer");
+        if (numLayers < 1)
+            PGCN_THROW(ConfigError, "GCN needs at least one layer");
         std::vector<LayerDims> dims;
         dims.reserve(numLayers);
         for (unsigned l = 0; l < numLayers; ++l) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::gpu {
@@ -54,16 +55,28 @@ struct GpuConfig
     /// the rows are visited in neighbour order.
     double hostGatherBandwidthGBps = 50.0;
 
-    /** Validate invariants; fatal on user error. */
+    /**
+     * Validate every field; throws ConfigError naming the offending
+     * parameter (NaN/inf/zero/negative all rejected here instead of
+     * emerging as inf/NaN modelled times).
+     */
     void
     validate() const
     {
-        if (memoryBytes <= 0 || hbmBandwidthGBps <= 0 ||
-            pcieBandwidthGBps <= 0) {
-            PGCN_FATAL("GPU config has non-physical parameters");
-        }
-        if (spmmEfficiency <= 0 || spmmEfficiency > 1)
-            PGCN_FATAL("GPU SpMM efficiency must be in (0, 1]");
+        check::positive(memoryBytes, "gpu.memoryBytes");
+        check::positive(hbmBandwidthGBps, "gpu.hbmBandwidthGBps");
+        check::positive(denseGflops, "gpu.denseGflops");
+        check::unitInterval(spmmEfficiency, "gpu.spmmEfficiency");
+        check::positive(l2CacheBytes, "gpu.l2CacheBytes");
+        check::unitInterval(l2ReuseFactor, "gpu.l2ReuseFactor");
+        check::positive(pcieBandwidthGBps, "gpu.pcieBandwidthGBps");
+        check::nonNegative(transferOverheadNs, "gpu.transferOverheadNs");
+        check::nonNegative(kernelLaunchOverheadNs,
+                           "gpu.kernelLaunchOverheadNs");
+        check::positive(hostSamplingEdgesPerNs,
+                        "gpu.hostSamplingEdgesPerNs");
+        check::positive(hostGatherBandwidthGBps,
+                        "gpu.hostGatherBandwidthGBps");
     }
 
     /** The paper's NVIDIA A100-40GB PCIe comparison card. */

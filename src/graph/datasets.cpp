@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
@@ -63,14 +64,15 @@ datasetByName(const std::string &name)
                                return d.name == name;
                            });
     if (it == all.end())
-        PGCN_FATAL("unknown dataset: " << name);
+        PGCN_THROW(ConfigError, "unknown dataset: " << name);
     return *it;
 }
 
 ProxyGraph
 buildProxy(const DatasetInfo &info, EdgeId max_edges, uint64_t seed)
 {
-    PGCN_ASSERT(max_edges > 0, "proxy edge budget must be positive");
+    if (max_edges == 0)
+        PGCN_THROW(ConfigError, "proxy edge budget must be positive");
 
     // Shrink vertices and edges by the same factor: average degree,
     // which drives cache reuse and NNZ-read ratios, is preserved.

@@ -1,11 +1,16 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::graph {
@@ -15,6 +20,42 @@ namespace {
 constexpr uint64_t kCsrMagic = 0x5047434e43535231ULL; // "PGCNCSR1"
 constexpr uint32_t kCsrVersion = 1;
 
+/// Hard cap on text edge-list lines: a malformed or adversarial file
+/// (e.g. a device node or an unbounded stream) must not OOM the
+/// process before any structural check can run.
+constexpr size_t kMaxEdgeListLines = 1ull << 31;
+
+/**
+ * Parse one whitespace-delimited vertex id token. istream >> uint64_t
+ * silently accepts "-3" (negated modulo 2^64), so ids are parsed as
+ * signed and range-checked against VertexId explicitly.
+ */
+uint64_t
+parseVertexId(std::istringstream &fields, const char *what,
+              const std::string &path, size_t line_no,
+              const std::string &line)
+{
+    long long raw = 0;
+    if (!(fields >> raw)) {
+        PGCN_THROW(GraphIoError, "malformed edge at " << path << ":"
+                                                      << line_no << ": '"
+                                                      << line << "'");
+    }
+    if (raw < 0) {
+        PGCN_THROW(GraphIoError,
+                   "negative " << what << " " << raw << " at " << path
+                               << ":" << line_no);
+    }
+    const auto id = static_cast<uint64_t>(raw);
+    if (id > std::numeric_limits<VertexId>::max()) {
+        PGCN_THROW(GraphIoError, what << " " << id
+                                      << " exceeds the supported vertex-id "
+                                         "range at "
+                                      << path << ":" << line_no);
+    }
+    return id;
+}
+
 } // namespace
 
 void
@@ -22,12 +63,12 @@ saveEdgeListText(const Coo &coo, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        PGCN_FATAL("cannot open for writing: " << path);
+        PGCN_THROW(IoError, "cannot open for writing: " << path);
     out << "# vertices " << coo.numVertices() << "\n";
     for (const Edge &e : coo.edges())
         out << e.src << " " << e.dst << " " << e.weight << "\n";
     if (!out)
-        PGCN_FATAL("I/O error writing: " << path);
+        PGCN_THROW(IoError, "I/O error writing: " << path);
 }
 
 Coo
@@ -35,7 +76,7 @@ loadEdgeListText(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        PGCN_FATAL("cannot open for reading: " << path);
+        PGCN_THROW(IoError, "cannot open for reading: " << path);
 
     std::vector<Edge> edges;
     uint64_t declared_vertices = 0;
@@ -43,38 +84,90 @@ loadEdgeListText(const std::string &path)
     std::string line;
     size_t line_no = 0;
     while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty())
+        if (++line_no > kMaxEdgeListLines) {
+            PGCN_THROW(GraphIoError,
+                       path << " exceeds " << kMaxEdgeListLines
+                            << " lines; refusing to load");
+        }
+        // Tolerate CRLF files: strip one trailing '\r'.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() ||
+            line.find_first_not_of(" \t") == std::string::npos) {
             continue;
+        }
         if (line[0] == '#') {
             std::istringstream header(line.substr(1));
             std::string word;
-            if (header >> word && word == "vertices")
-                header >> declared_vertices;
+            if (header >> word && word == "vertices") {
+                long long declared = -1;
+                if (!(header >> declared) || declared < 0) {
+                    PGCN_THROW(GraphIoError,
+                               "malformed vertex-count header at "
+                                   << path << ":" << line_no << ": '"
+                                   << line << "'");
+                }
+                declared_vertices = static_cast<uint64_t>(declared);
+                if (declared_vertices >
+                    uint64_t(std::numeric_limits<VertexId>::max()) + 1) {
+                    PGCN_THROW(GraphIoError,
+                               "declared vertex count "
+                                   << declared_vertices
+                                   << " exceeds the supported range in "
+                                   << path);
+                }
+            }
             continue;
         }
         std::istringstream fields(line);
-        uint64_t src = 0;
-        uint64_t dst = 0;
+        const uint64_t src =
+            parseVertexId(fields, "source id", path, line_no, line);
+        const uint64_t dst =
+            parseVertexId(fields, "destination id", path, line_no, line);
         double weight = 1.0;
-        if (!(fields >> src >> dst)) {
-            PGCN_FATAL("malformed edge at " << path << ":" << line_no
-                                            << ": '" << line << "'");
+        std::string token;
+        if (fields >> token) {
+            // Parse the optional weight from its own token so trailing
+            // garbage ("1.5x", "nan", a fourth column) is an error
+            // rather than silently becoming weight 1.0 or NaN.
+            char *end = nullptr;
+            weight = std::strtod(token.c_str(), &end);
+            if (end != token.c_str() + token.size()) {
+                PGCN_THROW(GraphIoError,
+                           "malformed edge weight '"
+                               << token << "' at " << path << ":"
+                               << line_no);
+            }
+            if (!std::isfinite(weight)) {
+                PGCN_THROW(GraphIoError,
+                           "non-finite edge weight '"
+                               << token << "' at " << path << ":"
+                               << line_no);
+            }
+            std::string extra;
+            if (fields >> extra) {
+                PGCN_THROW(GraphIoError,
+                           "trailing fields after edge at "
+                               << path << ":" << line_no << ": '" << line
+                               << "'");
+            }
         }
-        fields >> weight; // optional
         edges.push_back(Edge{static_cast<VertexId>(src),
                              static_cast<VertexId>(dst),
                              static_cast<Value>(weight)});
         max_id = std::max({max_id, static_cast<VertexId>(src),
                            static_cast<VertexId>(dst)});
     }
+    if (in.bad())
+        PGCN_THROW(IoError, "I/O error reading: " << path);
 
     const uint64_t vertices =
         declared_vertices > 0
             ? declared_vertices
             : (edges.empty() ? 0 : static_cast<uint64_t>(max_id) + 1);
     if (!edges.empty() && max_id >= vertices) {
-        PGCN_FATAL("edge endpoint " << max_id
+        PGCN_THROW(GraphIoError,
+                   "edge endpoint " << max_id
                                     << " exceeds declared vertex count "
                                     << vertices << " in " << path);
     }
@@ -89,7 +182,7 @@ saveCsrBinary(const Csr &csr, const std::string &path)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        PGCN_FATAL("cannot open for writing: " << path);
+        PGCN_THROW(IoError, "cannot open for writing: " << path);
 
     auto write_pod = [&](const auto &value) {
         out.write(reinterpret_cast<const char *>(&value), sizeof(value));
@@ -107,7 +200,7 @@ saveCsrBinary(const Csr &csr, const std::string &path)
     out.write(reinterpret_cast<const char *>(csr.vals().data()),
               static_cast<std::streamsize>(e * sizeof(Value)));
     if (!out)
-        PGCN_FATAL("I/O error writing: " << path);
+        PGCN_THROW(IoError, "I/O error writing: " << path);
 }
 
 Csr
@@ -115,7 +208,17 @@ loadCsrBinary(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        PGCN_FATAL("cannot open for reading: " << path);
+        PGCN_THROW(IoError, "cannot open for reading: " << path);
+
+    // Measure the file before trusting any size field in it: the
+    // header counts drive allocations, so a corrupt (v, e) pair must
+    // be rejected against the actual byte length first.
+    in.seekg(0, std::ios::end);
+    const auto file_end = in.tellg();
+    in.seekg(0, std::ios::beg);
+    if (file_end < 0)
+        PGCN_THROW(IoError, "cannot determine size of " << path);
+    const auto file_bytes = static_cast<uint64_t>(file_end);
 
     auto read_pod = [&](auto &value) {
         in.read(reinterpret_cast<char *>(&value), sizeof(value));
@@ -125,32 +228,87 @@ loadCsrBinary(const std::string &path)
     read_pod(magic);
     read_pod(version);
     if (!in || magic != kCsrMagic)
-        PGCN_FATAL("not a PGCN CSR file: " << path);
+        PGCN_THROW(GraphIoError, "not a PGCN CSR file: " << path);
     if (version != kCsrVersion) {
-        PGCN_FATAL("unsupported CSR file version " << version << " in "
-                                                   << path);
+        PGCN_THROW(GraphIoError, "unsupported CSR file version "
+                                     << version << " in " << path);
     }
     uint64_t v = 0;
     uint64_t e = 0;
     read_pod(v);
     read_pod(e);
     if (!in)
-        PGCN_FATAL("truncated CSR header in " << path);
+        PGCN_THROW(GraphIoError, "truncated CSR header in " << path);
+
+    if (v > uint64_t(std::numeric_limits<VertexId>::max()) + 1) {
+        PGCN_THROW(GraphIoError, "CSR vertex count " << v
+                                                     << " exceeds the "
+                                                        "supported range in "
+                                                     << path);
+    }
+    constexpr uint64_t header_bytes =
+        sizeof(kCsrMagic) + sizeof(kCsrVersion) + 2 * sizeof(uint64_t);
+    const uint64_t offsets_bytes = (v + 1) * sizeof(EdgeId);
+    const uint64_t edge_bytes = sizeof(VertexId) + sizeof(Value);
+    const uint64_t expected = header_bytes + offsets_bytes + e * edge_bytes;
+    // Overflow-safe: derive the edge capacity the file could possibly
+    // hold before computing `expected`, so huge counts cannot wrap.
+    if (file_bytes < header_bytes + offsets_bytes ||
+        e > (file_bytes - header_bytes - offsets_bytes) / edge_bytes ||
+        expected != file_bytes) {
+        PGCN_THROW(GraphIoError,
+                   "CSR payload size mismatch in "
+                       << path << ": header declares " << v
+                       << " vertices and " << e << " edges ("
+                       << (offsets_bytes + e * edge_bytes)
+                       << " payload bytes) but the file has "
+                       << (file_bytes - header_bytes));
+    }
 
     std::vector<EdgeId> offsets(v + 1);
     std::vector<VertexId> cols(e);
     std::vector<Value> vals(e);
     in.read(reinterpret_cast<char *>(offsets.data()),
-            static_cast<std::streamsize>((v + 1) * sizeof(EdgeId)));
+            static_cast<std::streamsize>(offsets_bytes));
     in.read(reinterpret_cast<char *>(cols.data()),
             static_cast<std::streamsize>(e * sizeof(VertexId)));
     in.read(reinterpret_cast<char *>(vals.data()),
             static_cast<std::streamsize>(e * sizeof(Value)));
     if (!in)
-        PGCN_FATAL("truncated CSR payload in " << path);
+        PGCN_THROW(GraphIoError, "truncated CSR payload in " << path);
 
-    // Csr's constructor re-validates the structural invariants, so a
-    // corrupted-but-well-sized file still fails loudly.
+    // Pre-validate the structural invariants with typed errors; the
+    // Csr constructor re-asserts them, but a corrupt *file* is caller
+    // input and must not take down the process.
+    if (offsets.front() != 0 || offsets.back() != e) {
+        PGCN_THROW(GraphIoError,
+                   "corrupt CSR row offsets in "
+                       << path << ": offsets[0]=" << offsets.front()
+                       << ", offsets[" << v << "]=" << offsets.back()
+                       << ", edges=" << e);
+    }
+    for (uint64_t r = 0; r < v; ++r) {
+        if (offsets[r] > offsets[r + 1]) {
+            PGCN_THROW(GraphIoError,
+                       "corrupt CSR row offsets in "
+                           << path << ": row " << r
+                           << " decreases (" << offsets[r] << " -> "
+                           << offsets[r + 1] << ")");
+        }
+    }
+    for (uint64_t i = 0; i < e; ++i) {
+        if (cols[i] >= v) {
+            PGCN_THROW(GraphIoError,
+                       "corrupt CSR column " << cols[i] << " at edge "
+                                             << i << " (only " << v
+                                             << " vertices) in " << path);
+        }
+        if (!std::isfinite(vals[i])) {
+            PGCN_THROW(GraphIoError, "non-finite CSR value at edge "
+                                         << i << " in " << path);
+        }
+    }
+
     return Csr(static_cast<VertexId>(v), std::move(offsets),
                std::move(cols), std::move(vals));
 }

@@ -17,7 +17,7 @@ namespace pgcn::graph {
 
 /**
  * Write @p coo as text: a header line "# vertices N", then one
- * "src dst weight" triple per line. Fatal on I/O errors.
+ * "src dst weight" triple per line. Throws IoError on I/O errors.
  */
 void saveEdgeListText(const Coo &coo, const std::string &path);
 
@@ -25,19 +25,24 @@ void saveEdgeListText(const Coo &coo, const std::string &path);
  * Load an edge-list text file written by saveEdgeListText(), or any
  * whitespace-separated "src dst [weight]" file with an optional
  * "# vertices N" header (otherwise |V| = max id + 1). Lines starting
- * with '#' are comments. Fatal on parse or I/O errors (user input).
+ * with '#' are comments. Rejects negative or out-of-range vertex ids,
+ * malformed or non-finite weights, and trailing fields. Throws
+ * GraphIoError on parse errors and IoError on I/O errors, so callers
+ * (sweep drivers, tools) can skip a bad input and continue.
  */
 Coo loadEdgeListText(const std::string &path);
 
 /**
  * Write @p csr to a binary container (magic, version, counts, then
- * the three arrays). Fatal on I/O errors.
+ * the three arrays). Throws IoError on I/O errors.
  */
 void saveCsrBinary(const Csr &csr, const std::string &path);
 
 /**
- * Load a binary CSR written by saveCsrBinary(). Validates magic,
- * version and structural invariants. Fatal on mismatch.
+ * Load a binary CSR written by saveCsrBinary(). Validates the magic,
+ * version, header counts against the actual file size (before
+ * allocating anything), and the structural CSR invariants. Throws
+ * GraphIoError on corrupt/mismatched content, IoError on I/O errors.
  */
 Csr loadCsrBinary(const std::string &path);
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "parallel/atomic_float.hpp"
 
@@ -17,9 +18,11 @@ namespace {
 void
 checkShapes(const Csr &a, const DenseMatrix &h_in)
 {
-    PGCN_ASSERT(h_in.rows() == a.numVertices(),
-                "SpMM input rows " << h_in.rows() << " != |V| = "
+    if (h_in.rows() != a.numVertices()) {
+        PGCN_THROW(ShapeError, "SpMM input rows "
+                                   << h_in.rows() << " != |V| = "
                                    << a.numVertices());
+    }
 }
 
 } // namespace

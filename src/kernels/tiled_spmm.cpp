@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::kernels {
@@ -15,8 +16,10 @@ TiledSpmm::TiledSpmm(const Csr &a, uint64_t embedding_dim,
                      double cache_budget)
     : numVertices_(a.numVertices()), embeddingDim_(embedding_dim)
 {
-    PGCN_ASSERT(embedding_dim > 0, "embedding dim must be positive");
-    PGCN_ASSERT(cache_budget > 0, "cache budget must be positive");
+    if (embedding_dim == 0)
+        PGCN_THROW(ShapeError, "embedding dim must be positive");
+    if (!(cache_budget > 0))
+        PGCN_THROW(ConfigError, "cache budget must be positive");
 
     const double row_bytes = 4.0 * static_cast<double>(embedding_dim);
     const auto tile_width = static_cast<VertexId>(std::max<double>(
@@ -56,13 +59,17 @@ void
 TiledSpmm::apply(const DenseMatrix &h_in, DenseMatrix &h_out,
                  parallel::ThreadPool &pool) const
 {
-    PGCN_ASSERT(h_in.rows() == numVertices_,
-                "input rows " << h_in.rows() << " != |V| = "
-                              << numVertices_);
-    PGCN_ASSERT(h_in.cols() == embeddingDim_,
-                "input width " << h_in.cols()
-                               << " != configured embedding dim "
-                               << embeddingDim_);
+    if (h_in.rows() != numVertices_) {
+        PGCN_THROW(ShapeError, "input rows " << h_in.rows()
+                                             << " != |V| = "
+                                             << numVertices_);
+    }
+    if (h_in.cols() != embeddingDim_) {
+        PGCN_THROW(ShapeError, "input width "
+                                   << h_in.cols()
+                                   << " != configured embedding dim "
+                                   << embeddingDim_);
+    }
     const uint64_t k = embeddingDim_;
     h_out = DenseMatrix(numVertices_, k);
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::piuma {
@@ -137,16 +138,44 @@ struct PiumaConfig
         return netCrossDieNs;
     }
 
-    /** Validate invariants; fatal on user error. */
+    /**
+     * Validate every field; throws ConfigError naming the offending
+     * parameter. NaN, infinity, and zero-where-positive-is-required
+     * are all rejected here so they cannot surface downstream as
+     * inf/NaN simulated timings.
+     */
     void
     validate() const
     {
-        if (numCores == 0 || mtpsPerCore == 0 || threadsPerMtp == 0)
-            PGCN_FATAL("PIUMA config requires non-zero cores/MTPs/threads");
-        if (clockGhz <= 0 || sliceBandwidthGBps <= 0 || dramLatencyNs < 0)
-            PGCN_FATAL("PIUMA config has non-physical timing parameters");
+        if (numCores == 0 || mtpsPerCore == 0 || threadsPerMtp == 0) {
+            PGCN_THROW(ConfigError,
+                       "PIUMA config requires non-zero cores/MTPs/threads");
+        }
+        check::nonZero(coresPerDie, "piuma.coresPerDie");
+        check::positive(clockGhz, "piuma.clockGhz");
+        check::nonNegative(dramLatencyNs, "piuma.dramLatencyNs");
+        check::positive(sliceBandwidthGBps, "piuma.sliceBandwidthGBps");
+        check::nonNegative(netSameDieNs, "piuma.netSameDieNs");
+        check::nonNegative(netCrossDieNs, "piuma.netCrossDieNs");
+        check::positive(netPortBandwidthGBps,
+                        "piuma.netPortBandwidthGBps");
         if (dmaQueueDepth == 0)
-            PGCN_FATAL("PIUMA DMA queue depth must be positive");
+            PGCN_THROW(ConfigError, "PIUMA DMA queue depth must be positive");
+        check::nonNegative(dmaDescriptorOverheadNs,
+                           "piuma.dmaDescriptorOverheadNs");
+        check::nonZero(dmaMaxInflight, "piuma.dmaMaxInflight");
+        check::positive(spadBandwidthGBps, "piuma.spadBandwidthGBps");
+        check::nonZero(cacheLineBytes, "piuma.cacheLineBytes");
+        check::nonNegative(dramLatencyScale, "piuma.dramLatencyScale");
+        // The bandwidth scale divides into service durations: zero
+        // would make every transfer take infinitely long.
+        check::positive(dramBandwidthScale, "piuma.dramBandwidthScale");
+        check::nonNegative(issueCostPerEdge, "piuma.issueCostPerEdge");
+        check::nonNegative(issueCostPerDescriptor,
+                           "piuma.issueCostPerDescriptor");
+        check::nonNegative(issueCostPerMac, "piuma.issueCostPerMac");
+        check::nonNegative(issueCostPerLineLoad,
+                           "piuma.issueCostPerLineLoad");
     }
 
     /** A single 8-core PIUMA die (the Fig. 7 system). */

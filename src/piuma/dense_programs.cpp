@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "piuma/memory.hpp"
 #include "sim/engine.hpp"
@@ -78,8 +79,8 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
                 const PiumaConfig &cfg, telemetry::Session *session)
 {
     cfg.validate();
-    PGCN_ASSERT(num_vertices > 0 && k_in > 0 && k_out > 0,
-                "dense MM needs positive dimensions");
+    if (num_vertices == 0 || k_in == 0 || k_out == 0)
+        PGCN_THROW(ShapeError, "dense MM needs positive dimensions");
 
     DenseContext ctx(cfg);
 

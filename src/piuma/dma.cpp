@@ -36,6 +36,8 @@ DmaEngine::attachTelemetry(telemetry::Session *session)
 sim::Process
 DmaEngine::run()
 {
+    co_await engine_.announce("core" + std::to_string(core_) + ".dma");
+
     // Completion times of the in-flight transfer window. Descriptors
     // dispatch in strict arrival order, but up to dmaMaxInflight
     // transfers overlap, which is what makes the engine tolerate
@@ -50,7 +52,10 @@ DmaEngine::run()
 
         const sim::SimTime started = engine_.now();
         // Serial dispatch overhead, then wait for a free window slot.
-        co_await engine_.delay(cfg_.dmaDescriptorOverheadNs);
+        double overhead = cfg_.dmaDescriptorOverheadNs;
+        if (faults_ != nullptr) [[unlikely]]
+            overhead = faults_->dmaOverhead(overhead);
+        co_await engine_.delay(overhead);
         co_await engine_.delayUntil(inflight[slot]);
 
         sim::SimTime done;

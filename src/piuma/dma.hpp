@@ -21,6 +21,7 @@
 #define PGCN_PIUMA_DMA_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "piuma/memory.hpp"
 #include "sim/queue.hpp"
@@ -67,7 +68,8 @@ class DmaEngine
     DmaEngine(sim::Engine &engine, MemorySystem &memory,
               const PiumaConfig &cfg, unsigned core)
         : engine_(engine), memory_(memory), cfg_(cfg), core_(core),
-          queue_(engine, cfg.dmaQueueDepth)
+          queue_(engine, cfg.dmaQueueDepth,
+                 "core" + std::to_string(core) + ".dma.queue")
     {
     }
 
@@ -85,6 +87,12 @@ class DmaEngine
      * trace track. Null (or never calling) leaves run() untouched.
      */
     void attachTelemetry(telemetry::Session *session);
+
+    /**
+     * Attach a fault injector perturbing the per-descriptor dispatch
+     * overhead. Null (the default) keeps the configured overhead.
+     */
+    void setFaultInjector(sim::FaultInjector *faults) { faults_ = faults; }
 
     /**
      * Start the consumer process. Runs until a Terminate descriptor
@@ -106,6 +114,8 @@ class DmaEngine
     Histogram *tlmDescNs_ = nullptr;
     telemetry::TraceWriter::NameId spanName_ = 0;
     bool detailedTrace_ = false;
+    /// Fault injector; null keeps the configured dispatch overhead.
+    sim::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace pgcn::piuma

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::piuma {
@@ -11,7 +12,8 @@ simulateGcn(const graph::Csr &csr, const std::vector<GcnSimLayer> &layers,
             const PiumaConfig &cfg, SpmmAlgorithm alg,
             telemetry::Session *session)
 {
-    PGCN_ASSERT(!layers.empty(), "GCN needs at least one layer");
+    if (layers.empty())
+        PGCN_THROW(ConfigError, "GCN needs at least one layer");
     GcnSimResult result;
     result.spmmLayers.reserve(layers.size());
     result.denseLayers.reserve(layers.size());

@@ -18,6 +18,7 @@
 #include "common/logging.hpp"
 #include "piuma/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/resource.hpp"
 
 namespace pgcn {
@@ -152,6 +153,29 @@ class MemorySystem
     double bytesWritten() const { return bytesWritten_; }
 
     /**
+     * Total bytes the slice controllers actually serviced. By the
+     * conservation invariant this equals bytesRead() + bytesWritten()
+     * (up to floating-point accumulation error from striped chunk
+     * splits) — fault injection perturbs *when* bytes move, never
+     * whether they move.
+     */
+    double
+    sliceBytesServed() const
+    {
+        double total = 0.0;
+        for (const sim::BandwidthResource &s : slices_)
+            total += s.totalUnits();
+        return total;
+    }
+
+    /**
+     * Attach a fault injector perturbing DRAM latency, service
+     * durations, and remote-network latency on every access. Null
+     * (the default) restores the exact unperturbed timings.
+     */
+    void setFaultInjector(sim::FaultInjector *faults) { faults_ = faults; }
+
+    /**
      * Mean utilisation of the slice controllers over [0, end].
      */
     double averageSliceUtilization(sim::SimTime end) const;
@@ -215,12 +239,22 @@ class MemorySystem
                     "slice " << slice << " out of range");
         // Table-driven oneWayLatencyNs(): two loads instead of two
         // integer divisions by coresPerDie.
-        const double net_lat =
+        double net_lat =
             requester_core == slice
                 ? 0.0
                 : (dieOf_[requester_core] == dieOf_[slice]
                        ? cfg_.netSameDieNs
                        : cfg_.netCrossDieNs);
+        double dram_lat = dramLatencyNs_;
+        if (faults_ != nullptr) [[unlikely]] {
+            // Perturb timings only — the byte amounts below are the
+            // conservation invariant and stay exact.
+            slice_dur = faults_->serviceDuration(slice_dur);
+            port_dur = faults_->serviceDuration(port_dur);
+            dram_lat = faults_->dramLatency(dram_lat);
+            if (net_lat > 0.0)
+                net_lat = faults_->networkLatency(net_lat);
+        }
 
         // A stall-on-use request first travels to the slice; a
         // pipelined requester has the request in flight already, so
@@ -240,7 +274,7 @@ class MemorySystem
 
         return MemoryAccess{
             service_done,
-            service_done + dramLatencyNs_ + net_lat,
+            service_done + dram_lat + net_lat,
         };
     }
 
@@ -298,6 +332,8 @@ class MemorySystem
     telemetry::Counter *tlmWrites_ = nullptr;
     telemetry::Counter *tlmRemote_ = nullptr;
     Histogram *tlmLatency_ = nullptr;
+    /// Fault injector; null (the default) keeps timings exact.
+    sim::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace pgcn::piuma

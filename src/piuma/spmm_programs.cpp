@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "piuma/dma.hpp"
 #include "piuma/memory.hpp"
@@ -125,6 +126,8 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
     const EdgeId start = nnz * tid / total_threads;
     const EdgeId stop = nnz * (tid + 1) / total_threads;
     const unsigned core = ctx.coreOfThread(tid);
+    co_await ctx.engine.announce("core" + std::to_string(core) +
+                                 ".thread" + std::to_string(tid));
     auto &issue = ctx.mtpIssue[ctx.mtpOfThread(tid)];
     auto &queue = ctx.dmaEngines[core].queue();
     const double row_bytes = 4.0 * ctx.k;
@@ -237,6 +240,8 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
     const EdgeId start = nnz * tid / total_threads;
     const EdgeId stop = nnz * (tid + 1) / total_threads;
     const unsigned core = ctx.coreOfThread(tid);
+    co_await ctx.engine.announce("core" + std::to_string(core) +
+                                 ".thread" + std::to_string(tid));
     auto &issue = ctx.mtpIssue[ctx.mtpOfThread(tid)];
     const double row_bytes = 4.0 * ctx.k;
     const auto lines_per_row = static_cast<unsigned>(
@@ -411,14 +416,21 @@ publishRunCounters(const SpmmRunStats &stats, telemetry::Registry &reg)
 
 SpmmRunStats
 simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
-             SpmmAlgorithm alg, telemetry::Session *session)
+             SpmmAlgorithm alg, telemetry::Session *session,
+             const sim::SimControls *controls)
 {
     cfg.validate();
-    PGCN_ASSERT(embedding_dim > 0, "embedding dimension must be positive");
+    if (embedding_dim == 0)
+        PGCN_THROW(ShapeError, "embedding dimension must be positive");
     if (csr.numVertices() == 0)
-        PGCN_FATAL("cannot simulate SpMM on an empty matrix");
+        PGCN_THROW(ShapeError, "cannot simulate SpMM on an empty matrix");
 
     RunContext ctx(csr, embedding_dim, cfg);
+
+    if (controls != nullptr) {
+        ctx.memory.setFaultInjector(controls->faults);
+        ctx.engine.setRunLimits(controls->limits);
+    }
 
     if (session != nullptr) {
         session->beginKernel(std::string("spmm/") +
@@ -437,6 +449,10 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
         if (session != nullptr) {
             for (auto &engine : ctx.dmaEngines)
                 engine.attachTelemetry(session);
+        }
+        if (controls != nullptr && controls->faults != nullptr) {
+            for (auto &engine : ctx.dmaEngines)
+                engine.setFaultInjector(controls->faults);
         }
         for (auto &engine : ctx.dmaEngines)
             engine.run();
@@ -467,6 +483,7 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     stats.gflops = makespan > 0 ? stats.flop / makespan : 0.0;
     stats.bytesRead = ctx.memory.bytesRead();
     stats.bytesWritten = ctx.memory.bytesWritten();
+    stats.bytesServed = ctx.memory.sliceBytesServed();
     stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
     stats.maxMemUtilization = ctx.memory.maxSliceUtilization(makespan);
     stats.netUtilization = ctx.memory.averageNetworkUtilization(makespan);

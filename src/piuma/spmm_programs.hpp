@@ -27,6 +27,7 @@
 
 #include "graph/csr.hpp"
 #include "piuma/config.hpp"
+#include "sim/fault.hpp"
 
 namespace pgcn::telemetry {
 class Session;
@@ -52,6 +53,10 @@ struct SpmmRunStats
     double gflops = 0.0;         ///< achieved throughput
     double bytesRead = 0.0;      ///< DRAM read traffic
     double bytesWritten = 0.0;   ///< DRAM write traffic
+    /// Bytes the slice controllers serviced; conservation requires
+    /// bytesServed == bytesRead + bytesWritten (fp tolerance), with
+    /// or without fault injection.
+    double bytesServed = 0.0;
     double memUtilization = 0.0; ///< mean slice-controller utilisation
     double maxMemUtilization = 0.0; ///< hottest slice utilisation
     double netUtilization = 0.0;  ///< mean network-port utilisation
@@ -86,10 +91,20 @@ struct SpmmRunStats
  *        into it. Null (the default) disables all recording and must
  *        not change the simulated result (the determinism tests pin
  *        this).
+ * @param controls Optional robustness controls: a seeded fault
+ *        injector perturbing model timings, and watchdog budgets
+ *        (Engine::RunLimits) for the run. Null (the default) means no
+ *        perturbation and no limits, with bit-identical results to
+ *        builds predating this parameter.
+ *
+ * @throws ConfigError / ShapeError on invalid inputs,
+ *         sim::SimDeadlockError if the model wedges, and
+ *         sim::SimLimitError when an armed watchdog budget is hit.
  */
 SpmmRunStats simulateSpmm(const graph::Csr &csr, unsigned embedding_dim,
                           const PiumaConfig &cfg, SpmmAlgorithm alg,
-                          telemetry::Session *session = nullptr);
+                          telemetry::Session *session = nullptr,
+                          const sim::SimControls *controls = nullptr);
 
 } // namespace pgcn::piuma
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "piuma/memory.hpp"
 #include "sim/engine.hpp"
@@ -108,9 +109,9 @@ simulateRandomWalk(const Csr &csr, uint64_t num_walks,
 {
     cfg.validate();
     if (csr.numVertices() == 0)
-        PGCN_FATAL("cannot walk an empty graph");
-    PGCN_ASSERT(num_walks > 0 && walk_length > 0,
-                "walk batch must be non-empty");
+        PGCN_THROW(ShapeError, "cannot walk an empty graph");
+    if (num_walks == 0 || walk_length == 0)
+        PGCN_THROW(ConfigError, "walk batch must be non-empty");
 
     WalkContext ctx(csr, cfg);
     const unsigned total_threads = cfg.totalThreads();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured simulator failure reports.
+ *
+ * A simulation that stops making progress has historically been the
+ * hardest class of model bug to debug: the engine's event queue
+ * drains, run() returns, and the caller sees a half-finished makespan
+ * with no indication of which agent never completed. The types here
+ * turn those silent failures into structured errors:
+ *
+ *  - SimDeadlockError: the event queue drained while coroutine agents
+ *    were still suspended on a blocking primitive (e.g. a BoundedQueue
+ *    with no consumer). Carries one BlockedAgent record per suspended
+ *    coroutine: who is blocked, on what resource, and since when.
+ *  - SimLimitError: a watchdog budget (simulated time, wall-clock
+ *    time, or event count — Engine::RunLimits) was exceeded. Carries a
+ *    diagnostic snapshot of the engine state at the moment of breach.
+ */
+#ifndef PGCN_SIM_DIAGNOSTICS_HPP
+#define PGCN_SIM_DIAGNOSTICS_HPP
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pgcn::sim {
+
+/** One coroutine agent suspended on a blocking primitive. */
+struct BlockedAgent
+{
+    /// Agent name (set via Engine::announce(), or a frame-address
+    /// placeholder when the agent never announced itself).
+    std::string agent;
+    /// The resource it is waiting on and why ("core0.dma.queue
+    /// (push: queue full)").
+    std::string resource;
+    /// Simulated time at which the agent suspended — its last point
+    /// of progress.
+    double blockedSinceNs = 0.0;
+};
+
+/**
+ * The event queue drained with agents still blocked: every blocked
+ * agent is waiting on a resource that only another blocked agent
+ * could release.
+ */
+class SimDeadlockError : public SimError
+{
+  public:
+    SimDeadlockError(double now, std::vector<BlockedAgent> blocked)
+        : SimError(format(now, blocked)), blocked_(std::move(blocked)),
+          whenNs_(now)
+    {
+    }
+
+    /** The blocked-agent table, one entry per suspended coroutine. */
+    const std::vector<BlockedAgent> &blocked() const { return blocked_; }
+
+    /** Simulated time at which the queue drained. */
+    double whenNs() const { return whenNs_; }
+
+  private:
+    static std::string
+    format(double now, const std::vector<BlockedAgent> &blocked)
+    {
+        std::ostringstream os;
+        os << "simulation deadlock at t=" << now << " ns: event queue "
+           << "drained with " << blocked.size()
+           << " agent(s) still blocked";
+        for (const BlockedAgent &a : blocked) {
+            os << "\n  - '" << a.agent << "' blocked on '" << a.resource
+               << "' since t=" << a.blockedSinceNs << " ns";
+        }
+        return os.str();
+    }
+
+    std::vector<BlockedAgent> blocked_;
+    double whenNs_ = 0.0;
+};
+
+/**
+ * A run budget (Engine::RunLimits) was breached. what() includes the
+ * exceeded budget and a full engine snapshot; snapshot() exposes the
+ * snapshot on its own for log files.
+ */
+class SimLimitError : public SimError
+{
+  public:
+    SimLimitError(const std::string &what_arg, std::string snapshot)
+        : SimError(what_arg + "\n" + snapshot),
+          snapshot_(std::move(snapshot))
+    {
+    }
+
+    /** Engine diagnostic snapshot captured at the moment of breach. */
+    const std::string &snapshot() const { return snapshot_; }
+
+  private:
+    std::string snapshot_;
+};
+
+} // namespace pgcn::sim
+
+#endif // PGCN_SIM_DIAGNOSTICS_HPP

@@ -47,12 +47,19 @@
 #define PGCN_SIM_ENGINE_HPP
 
 #include <algorithm>
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "sim/diagnostics.hpp"
 #include "sim/ring.hpp"
 
 namespace pgcn::sim {
@@ -107,6 +114,189 @@ class Engine
          */
         virtual SimTime onSample(SimTime now, Engine &engine) = 0;
     };
+
+    /**
+     * A blocking primitive (e.g. BoundedQueue) that can hold suspended
+     * coroutines *outside* the event queue. Registered instances are
+     * consulted when the event queue drains: any remaining blocked
+     * waiter means the simulation deadlocked rather than finished, and
+     * run() reports every waiter instead of returning silently.
+     */
+    struct Waitable
+    {
+        virtual ~Waitable() = default;
+
+        /** Number of coroutines currently suspended on this primitive. */
+        virtual size_t blockedCount() const = 0;
+
+        /** Append one BlockedAgent record per suspended coroutine. */
+        virtual void appendBlocked(std::vector<BlockedAgent> &out) const = 0;
+    };
+
+    /** Per-run watchdog budgets; 0 means unlimited. */
+    struct RunLimits
+    {
+        /// Abort once simulated time exceeds this many nanoseconds.
+        SimTime maxSimTimeNs = 0.0;
+        /// Abort once the host has spent this long inside run().
+        double maxWallSeconds = 0.0;
+        /// Abort after dispatching this many events.
+        uint64_t maxEvents = 0;
+    };
+
+    Engine() = default;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Destroy any coroutine frames still parked in the event arenas.
+     * After a clean run() this is a no-op; after a SimDeadlockError or
+     * SimLimitError it releases the frames of every agent that never
+     * finished (frames suspended on a Waitable are destroyed by that
+     * Waitable — the two sets are disjoint because a coroutine is
+     * suspended at exactly one point).
+     */
+    ~Engine()
+    {
+        for (size_t i = nowHead_; i < nowQ_.size(); ++i)
+            destroyFramePayload(nowQ_[i].payload);
+        for (const int32_t head : slotHeads_)
+            for (int32_t n = head; n >= 0; n = farArena_[n].next)
+                destroyFramePayload(farArena_[n].payload);
+        for (Stream &st : streams_)
+            while (!st.fifo.empty())
+                std::coroutine_handle<>::from_address(
+                    st.fifo.pop_front().frame)
+                    .destroy();
+    }
+
+    /** Track @p waitable for deadlock reporting. */
+    void registerWaitable(Waitable *waitable)
+    {
+        waitables_.push_back(waitable);
+    }
+
+    /** Stop tracking @p waitable (no-op when not registered). */
+    void
+    unregisterWaitable(Waitable *waitable)
+    {
+        const auto it =
+            std::find(waitables_.begin(), waitables_.end(), waitable);
+        if (it != waitables_.end())
+            waitables_.erase(it);
+    }
+
+    /**
+     * Re-point a registration after the waitable moved (keeps
+     * registration valid across e.g. vector reallocation of the
+     * owning object).
+     */
+    void
+    replaceWaitable(Waitable *old_waitable, Waitable *new_waitable)
+    {
+        std::replace(waitables_.begin(), waitables_.end(), old_waitable,
+                     new_waitable);
+    }
+
+    /**
+     * Awaitable that names the calling agent for diagnostics
+     * (deadlock reports, snapshots). Never suspends and schedules no
+     * event, so it cannot perturb event counts or dispatch order:
+     * `co_await engine.announce("core0.dma");`
+     */
+    auto
+    announce(std::string name)
+    {
+        struct Awaiter
+        {
+            Engine &engine;
+            std::string name;
+
+            bool await_ready() const noexcept { return false; }
+            bool
+            await_suspend(std::coroutine_handle<> h)
+            {
+                engine.nameAgent(h.address(), std::move(name));
+                return false; // resume immediately; no event scheduled
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, std::move(name)};
+    }
+
+    /** Record a diagnostic name for the agent whose frame is @p frame. */
+    void
+    nameAgent(void *frame, std::string name)
+    {
+        agentNames_[frame] = std::move(name);
+    }
+
+    /**
+     * Diagnostic name of the agent whose coroutine frame is @p frame;
+     * a frame-address placeholder when it never announced itself.
+     */
+    std::string
+    agentName(void *frame) const
+    {
+        const auto it = agentNames_.find(frame);
+        if (it != agentNames_.end())
+            return it->second;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "agent@%p", frame);
+        return buf;
+    }
+
+    /**
+     * Arm (or, with a default-constructed RunLimits, disarm) the
+     * watchdog budgets for subsequent run() calls. The wall clock
+     * starts counting here.
+     */
+    void
+    setRunLimits(const RunLimits &limits)
+    {
+        limits_ = limits;
+        limitsActive_ = limits.maxSimTimeNs > 0.0 ||
+                        limits.maxWallSeconds > 0.0 ||
+                        limits.maxEvents > 0;
+        wallStart_ = std::chrono::steady_clock::now();
+        wallCheckCountdown_ = kWallCheckPeriod;
+    }
+
+    /**
+     * Human-readable dump of the engine state: time, event counters,
+     * arena occupancies, and the blocked-agent table. Attached to
+     * SimLimitError and usable ad hoc when debugging a wedged model.
+     */
+    std::string
+    snapshot() const
+    {
+        std::ostringstream os;
+        os << "--- engine snapshot ---\n"
+           << "simulated time: " << now_ << " ns\n"
+           << "events dispatched: " << eventsProcessed_ << " (coroutine "
+           << coroutineEvents_ << ", callback " << callbackEvents_
+           << ")\n"
+           << "pending events: " << pending_ << " (now-queue "
+           << (nowQ_.size() - nowHead_) << ", far wheel " << farCount_
+           << "; peak " << peakQueueDepth_ << ")\n";
+        size_t stream_waits = 0;
+        for (const Stream &st : streams_)
+            stream_waits += st.fifo.size();
+        os << "completion streams: " << streams_.size() << " ("
+           << stream_waits << " parked waits)\n"
+           << "far-wheel buckets: " << slotHeads_.size() << " (width "
+           << wheelWidth_ << " ns)\n"
+           << "arena growths: " << arenaGrowths_ << "\n";
+        std::vector<BlockedAgent> blocked;
+        for (const Waitable *w : waitables_)
+            w->appendBlocked(blocked);
+        os << "blocked agents: " << blocked.size();
+        for (const BlockedAgent &a : blocked) {
+            os << "\n  - '" << a.agent << "' on '" << a.resource
+               << "' since t=" << a.blockedSinceNs << " ns";
+        }
+        return os.str();
+    }
 
     /**
      * Attach @p observer, to be first invoked when simulated time
@@ -200,6 +390,11 @@ class Engine
     /**
      * Run until the event queue drains. Returns the final simulated
      * time.
+     *
+     * @throws SimDeadlockError if the queue drained while agents were
+     *         still suspended on a registered Waitable (the model
+     *         wedged rather than finished).
+     * @throws SimLimitError if an armed RunLimits budget was breached.
      */
     SimTime
     run()
@@ -227,7 +422,15 @@ class Engine
                 break;
             }
 
+            // Monotonicity is the bedrock invariant: delays are
+            // non-negative, so the global minimum can never precede
+            // the current time. A violation means arena corruption.
+            PGCN_ASSERT(ev.when >= now_,
+                        "simulated time ran backwards: dispatching t="
+                            << ev.when << " at t=" << now_);
             now_ = ev.when;
+            if (limitsActive_) [[unlikely]]
+                enforceLimits();
 #ifndef PGCN_NO_TELEMETRY
             // Telemetry sampling rides the dispatch loop instead of
             // scheduling its own events, so an attached observer can
@@ -267,6 +470,17 @@ class Engine
                 freeCallbackSlots_.push_back(slot);
                 fn();
             }
+        }
+        // The queue drained — but "no events" only means "finished"
+        // if no agent is still suspended on a blocking primitive.
+        size_t blocked = 0;
+        for (const Waitable *w : waitables_)
+            blocked += w->blockedCount();
+        if (blocked > 0) [[unlikely]] {
+            std::vector<BlockedAgent> agents;
+            for (const Waitable *w : waitables_)
+                w->appendBlocked(agents);
+            throw SimDeadlockError(now_, std::move(agents));
         }
         return now_;
     }
@@ -352,6 +566,53 @@ class Engine
     }
 
   private:
+    /**
+     * Enforce armed RunLimits; called once per dispatched event
+     * behind the single limitsActive_ branch. The wall clock is only
+     * sampled every kWallCheckPeriod events so the watchdog adds no
+     * syscall-class cost to the hot loop.
+     */
+    void
+    enforceLimits()
+    {
+        if (limits_.maxSimTimeNs > 0.0 && now_ > limits_.maxSimTimeNs) {
+            std::ostringstream os;
+            os << "simulated-time budget exceeded: t=" << now_
+               << " ns > limit " << limits_.maxSimTimeNs << " ns";
+            throw SimLimitError(os.str(), snapshot());
+        }
+        if (limits_.maxEvents > 0 && eventsProcessed_ >= limits_.maxEvents) {
+            std::ostringstream os;
+            os << "event budget exceeded: " << eventsProcessed_
+               << " events dispatched >= limit " << limits_.maxEvents;
+            throw SimLimitError(os.str(), snapshot());
+        }
+        if (limits_.maxWallSeconds > 0.0 && --wallCheckCountdown_ == 0) {
+            wallCheckCountdown_ = kWallCheckPeriod;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wallStart_)
+                    .count();
+            if (elapsed > limits_.maxWallSeconds) {
+                std::ostringstream os;
+                os << "wall-clock budget exceeded: " << elapsed
+                   << " s > limit " << limits_.maxWallSeconds << " s";
+                throw SimLimitError(os.str(), snapshot());
+            }
+        }
+    }
+
+    /** Destroy the coroutine frame behind a frame-tagged payload. */
+    static void
+    destroyFramePayload(uintptr_t p)
+    {
+        if ((p & kTagMask) == 0 && p != 0) {
+            std::coroutine_handle<>::from_address(
+                reinterpret_cast<void *>(p))
+                .destroy();
+        }
+    }
+
     /**
      * What a dispatched event does, in one word. Coroutine frames are
      * new-aligned, so the address's low bits are free for a tag:
@@ -661,6 +922,13 @@ class Engine
     Observer *observer_ = nullptr;      ///< telemetry sample hook
     SimTime observerNext_ = 0.0;        ///< next requested sample time
 #endif
+    std::vector<Waitable *> waitables_; ///< deadlock-report registry
+    std::unordered_map<void *, std::string> agentNames_;
+    RunLimits limits_{};
+    bool limitsActive_ = false;
+    std::chrono::steady_clock::time_point wallStart_{};
+    uint32_t wallCheckCountdown_ = kWallCheckPeriod;
+    static constexpr uint32_t kWallCheckPeriod = 4096;
     SimTime now_ = 0.0;
     uint64_t nextSeq_ = 0;
     uint64_t eventsProcessed_ = 0;

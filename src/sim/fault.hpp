@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the timing model.
+ *
+ * Real hardware never delivers the datasheet numbers cycle for cycle:
+ * DRAM refresh steals rank time, network links retrain, DMA engines
+ * hiccup on descriptor fetches. The simulator's conclusions (scaling
+ * curves, bottleneck attribution) should be robust to such jitter —
+ * and the simulator itself must not wedge or violate its conservation
+ * invariants when timings move. FaultInjector perturbs selected model
+ * latencies/service durations multiplicatively with a seeded
+ * splitmix64 stream, so a perturbed run is bit-reproducible given the
+ * same seed and completely absent (identical event stream to the
+ * unperturbed engine) when no injector is attached.
+ *
+ * The hooks follow the telemetry pattern: a null injector pointer
+ * costs one predictable branch on the access path and nothing else.
+ */
+#ifndef PGCN_SIM_FAULT_HPP
+#define PGCN_SIM_FAULT_HPP
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace pgcn::sim {
+
+/**
+ * Fault-injection parameters. Each jitter j perturbs its target value
+ * v multiplicatively into [v*(1-j), v*(1+j)]; 0 disables that fault
+ * class. Jitters must lie in [0, 1) so perturbed durations stay
+ * positive.
+ */
+struct FaultConfig
+{
+    /// Seed of the deterministic perturbation stream.
+    uint64_t seed = 1;
+    /// Jitter on the DRAM access latency (refresh interference).
+    double dramLatencyJitter = 0.0;
+    /// Jitter on slice/port service durations (effective-bandwidth
+    /// wobble under refresh and scheduling noise).
+    double serviceRateJitter = 0.0;
+    /// Jitter on the remote-network one-way latency (link retrain,
+    /// adaptive routing detours).
+    double networkLatencyJitter = 0.0;
+    /// Jitter on the DMA descriptor dispatch overhead.
+    double dmaOverheadJitter = 0.0;
+
+    /** True when at least one fault class is enabled. */
+    bool
+    any() const
+    {
+        return dramLatencyJitter > 0.0 || serviceRateJitter > 0.0 ||
+               networkLatencyJitter > 0.0 || dmaOverheadJitter > 0.0;
+    }
+
+    /** Throws ConfigError on out-of-range jitter. */
+    void
+    validate() const
+    {
+        checkJitter(dramLatencyJitter, "fault.dramLatencyJitter");
+        checkJitter(serviceRateJitter, "fault.serviceRateJitter");
+        checkJitter(networkLatencyJitter, "fault.networkLatencyJitter");
+        checkJitter(dmaOverheadJitter, "fault.dmaOverheadJitter");
+    }
+
+  private:
+    static void
+    checkJitter(double j, const char *name)
+    {
+        check::nonNegative(j, name);
+        if (j >= 1.0) {
+            PGCN_THROW(ConfigError,
+                       name << " must be < 1 (got " << j
+                            << "): a full-amplitude jitter could drive "
+                               "a duration to zero or negative");
+        }
+    }
+};
+
+/**
+ * The seeded perturbation stream. One injector is shared by all hooks
+ * of one simulation run; draws are consumed in deterministic model
+ * order (the engine is single-threaded), so a given (seed, workload)
+ * pair always produces the same perturbed timings.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg)
+        : cfg_(cfg), state_(cfg.seed)
+    {
+        cfg_.validate();
+        // Warm the state so seed 0 / small seeds decorrelate.
+        next();
+    }
+
+    /** The active configuration. */
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Perturbation draws consumed so far. */
+    uint64_t draws() const { return draws_; }
+
+    /** Perturbed DRAM access latency. */
+    double
+    dramLatency(double ns)
+    {
+        return jitter(ns, cfg_.dramLatencyJitter);
+    }
+
+    /** Perturbed bandwidth service duration (slice or port). */
+    double
+    serviceDuration(double ns)
+    {
+        return jitter(ns, cfg_.serviceRateJitter);
+    }
+
+    /** Perturbed remote-network one-way latency. */
+    double
+    networkLatency(double ns)
+    {
+        return jitter(ns, cfg_.networkLatencyJitter);
+    }
+
+    /** Perturbed DMA descriptor dispatch overhead. */
+    double
+    dmaOverhead(double ns)
+    {
+        return jitter(ns, cfg_.dmaOverheadJitter);
+    }
+
+  private:
+    /** v -> v * (1 + j * u), u uniform in [-1, 1). No-op when j == 0. */
+    double
+    jitter(double v, double j)
+    {
+        if (j <= 0.0)
+            return v;
+        ++draws_;
+        const double u = 2.0 * nextUnit() - 1.0;
+        return v * (1.0 + j * u);
+    }
+
+    /** splitmix64 step. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextUnit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    FaultConfig cfg_;
+    uint64_t state_;
+    uint64_t draws_ = 0;
+};
+
+/**
+ * Optional per-run controls bundled so simulation entry points keep
+ * one trailing parameter: fault injection and watchdog budgets.
+ */
+struct SimControls
+{
+    /// Perturbation stream; null disables fault injection entirely.
+    FaultInjector *faults = nullptr;
+    /// Watchdog budgets applied to the run; zeros mean unlimited.
+    Engine::RunLimits limits{};
+};
+
+} // namespace pgcn::sim
+
+#endif // PGCN_SIM_FAULT_HPP

@@ -18,9 +18,12 @@
 #include <algorithm>
 #include <coroutine>
 #include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "sim/diagnostics.hpp"
 #include "sim/engine.hpp"
 #include "sim/ring.hpp"
 
@@ -29,20 +32,85 @@ namespace pgcn::sim {
 /**
  * Bounded single-threaded (simulated-concurrency) FIFO.
  *
+ * Registers with the engine as a Waitable: coroutines suspended on a
+ * full/empty queue are invisible to the event arenas, so the queue
+ * itself reports them when the engine needs to diagnose a drained
+ * queue (SimDeadlockError) or dump a snapshot.
+ *
  * @tparam T Element type; must be default-constructible and movable.
  */
 template <typename T>
-class BoundedQueue
+class BoundedQueue : public Engine::Waitable
 {
   public:
     /**
      * @param engine Owning engine (used to schedule resumptions).
      * @param capacity Maximum buffered elements; must be positive.
+     * @param name Diagnostic name used in deadlock reports.
      */
-    BoundedQueue(Engine &engine, size_t capacity)
-        : engine_(engine), capacity_(capacity)
+    BoundedQueue(Engine &engine, size_t capacity,
+                 std::string name = "bounded-queue")
+        : engine_(engine), capacity_(capacity), name_(std::move(name))
     {
         PGCN_ASSERT(capacity > 0, "queue capacity must be positive");
+        engine_.registerWaitable(this);
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(BoundedQueue &&) = delete;
+
+    /** Move keeps the engine's Waitable registration pointed here. */
+    BoundedQueue(BoundedQueue &&other) noexcept
+        : engine_(other.engine_), capacity_(other.capacity_),
+          name_(std::move(other.name_)), items_(std::move(other.items_)),
+          waitingProducers_(std::move(other.waitingProducers_)),
+          waitingConsumers_(std::move(other.waitingConsumers_)),
+          highWater_(other.highWater_)
+    {
+        engine_.replaceWaitable(&other, this);
+    }
+
+    /**
+     * Destroy the frames of agents still suspended on this queue (an
+     * aborted run leaves them parked here, outside the event arenas),
+     * then drop the engine registration. No-op after a clean run.
+     */
+    ~BoundedQueue() override
+    {
+        while (!waitingProducers_.empty())
+            waitingProducers_.pop_front().handle.destroy();
+        while (!waitingConsumers_.empty())
+            waitingConsumers_.pop_front().handle.destroy();
+        engine_.unregisterWaitable(this);
+    }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** Coroutines currently suspended on this queue. */
+    size_t
+    blockedCount() const override
+    {
+        return waitingProducers_.size() + waitingConsumers_.size();
+    }
+
+    /** Report every suspended producer/consumer for diagnostics. */
+    void
+    appendBlocked(std::vector<BlockedAgent> &out) const override
+    {
+        for (size_t i = 0; i < waitingProducers_.size(); ++i) {
+            const PendingPush &p = waitingProducers_.at(i);
+            out.push_back(
+                BlockedAgent{engine_.agentName(p.handle.address()),
+                             name_ + " (push: queue full)", p.since});
+        }
+        for (size_t i = 0; i < waitingConsumers_.size(); ++i) {
+            const PendingPop &p = waitingConsumers_.at(i);
+            out.push_back(
+                BlockedAgent{engine_.agentName(p.handle.address()),
+                             name_ + " (pop: queue empty)", p.since});
+        }
     }
 
     /** Elements currently buffered. */
@@ -90,7 +158,7 @@ class BoundedQueue
             await_suspend(std::coroutine_handle<> h)
             {
                 q.waitingProducers_.push_back(
-                    PendingPush{h, std::move(value)});
+                    PendingPush{h, std::move(value), q.engine_.now()});
             }
 
             void await_resume() const noexcept {}
@@ -124,7 +192,8 @@ class BoundedQueue
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                q.waitingConsumers_.push_back(PendingPop{h, &slot});
+                q.waitingConsumers_.push_back(
+                    PendingPop{h, &slot, q.engine_.now()});
             }
 
             T
@@ -143,12 +212,14 @@ class BoundedQueue
     {
         std::coroutine_handle<> handle;
         T value;
+        SimTime since = 0.0; ///< when the producer suspended
     };
 
     struct PendingPop
     {
         std::coroutine_handle<> handle;
         std::optional<T> *slot;
+        SimTime since = 0.0; ///< when the consumer suspended
     };
 
     /** After a pop freed a slot, move one blocked producer's value in. */
@@ -165,6 +236,7 @@ class BoundedQueue
 
     Engine &engine_;
     size_t capacity_;
+    std::string name_;
     Ring<T> items_;
     Ring<PendingPush> waitingProducers_;
     Ring<PendingPop> waitingConsumers_;

@@ -14,6 +14,8 @@
 #define PGCN_SIM_RESOURCE_HPP
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "sim/engine.hpp"
@@ -31,15 +33,21 @@ class BandwidthResource
     /**
      * @param engine Owning simulation engine.
      * @param rate Service rate in units per ns; must be positive.
+     * @param name Diagnostic name (snapshots, fault reports).
      */
-    BandwidthResource(Engine &engine, double rate)
-        : engine_(engine), rate_(rate), stream_(engine.createStream())
+    BandwidthResource(Engine &engine, double rate,
+                      std::string name = "bandwidth")
+        : engine_(engine), rate_(rate), stream_(engine.createStream()),
+          name_(std::move(name))
     {
         PGCN_ASSERT(rate > 0.0, "resource rate must be positive");
     }
 
     /** Service rate in units/ns. */
     double rate() const { return rate_; }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
 
     /**
      * Reserve a service interval for @p amount units and return the
@@ -119,6 +127,7 @@ class BandwidthResource
     Engine &engine_;
     double rate_;
     Engine::StreamId stream_; ///< completion stream for transfer()
+    std::string name_;
     SimTime nextFree_ = 0.0;
     double busyTime_ = 0.0;
     double totalUnits_ = 0.0;

@@ -41,6 +41,14 @@ class Ring
     /** Newest element; undefined when empty. */
     T &back() { return slots_[(tail_ - 1) & mask_]; }
 
+    /** The @p i-th oldest element (0 == front); @p i must be < size(). */
+    const T &
+    at(size_t i) const
+    {
+        PGCN_ASSERT(i < size(), "ring index " << i << " out of range");
+        return slots_[(head_ + i) & mask_];
+    }
+
     /** Append @p value at the back. */
     void
     push_back(T value)

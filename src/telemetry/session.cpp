@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::telemetry {
@@ -68,7 +69,7 @@ Session::writeMetricsCsv(const std::string &path) const
 {
     std::ofstream os(path);
     if (!os)
-        PGCN_FATAL("cannot open metrics CSV for writing: " << path);
+        PGCN_THROW(IoError, "cannot open metrics CSV for writing: " << path);
 
     // Time series first (includes the header row), ...
     sampler_.writeCsv(os);

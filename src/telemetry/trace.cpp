@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::telemetry {
@@ -136,7 +137,7 @@ TraceWriter::writeFile(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out)
-        PGCN_FATAL("cannot open trace output file: " << path);
+        PGCN_THROW(IoError, "cannot open trace output file: " << path);
     write(out);
 }
 

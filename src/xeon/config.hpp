@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace pgcn::xeon {
@@ -99,16 +100,38 @@ struct XeonConfig
         return socketStreamBandwidthGBps * sockets;
     }
 
-    /** Validate invariants; fatal on user error. */
+    /**
+     * Validate every field; throws ConfigError naming the offending
+     * parameter (NaN/inf/zero/negative are all rejected — e.g. a zero
+     * STREAM bandwidth would otherwise produce infinite SpMM times).
+     */
     void
     validate() const
     {
-        if (sockets == 0 || coresPerSocket == 0)
-            PGCN_FATAL("Xeon config requires non-zero sockets/cores");
-        if (clockGhz <= 0 || socketStreamBandwidthGBps <= 0)
-            PGCN_FATAL("Xeon config has non-physical parameters");
-        if (gatherEfficiency <= 0 || gatherEfficiency > 1)
-            PGCN_FATAL("gather efficiency must be in (0, 1]");
+        if (sockets == 0 || coresPerSocket == 0) {
+            PGCN_THROW(ConfigError,
+                       "Xeon config requires non-zero sockets/cores");
+        }
+        check::nonZero(hyperThreadsPerCore, "xeon.hyperThreadsPerCore");
+        check::positive(clockGhz, "xeon.clockGhz");
+        check::nonZero(fmaUnitsPerCore, "xeon.fmaUnitsPerCore");
+        check::nonZero(simdLanesFp32, "xeon.simdLanesFp32");
+        check::positive(socketStreamBandwidthGBps,
+                        "xeon.socketStreamBandwidthGBps");
+        check::positive(perThreadBandwidthGBps,
+                        "xeon.perThreadBandwidthGBps");
+        check::nonNegative(hyperThreadPenalty, "xeon.hyperThreadPenalty");
+        check::positive(cacheBytesPerSocket, "xeon.cacheBytesPerSocket");
+        check::unitInterval(gatherEfficiency, "xeon.gatherEfficiency");
+        check::positive(llcBandwidthGBps, "xeon.llcBandwidthGBps");
+        check::positive(cacheSkewExponent, "xeon.cacheSkewExponent");
+        check::unitInterval(denseEfficiency, "xeon.denseEfficiency");
+        check::nonNegative(frameworkOverheadNs,
+                           "xeon.frameworkOverheadNs");
+        check::positive(randomAccessLatencyNs,
+                        "xeon.randomAccessLatencyNs");
+        check::positive(chasesOverlappedPerCore,
+                        "xeon.chasesOverlappedPerCore");
     }
 
     /** The paper's dual-socket Platinum 8380 profiling machine. */

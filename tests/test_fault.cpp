@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fault-injection soak tests. Fault injection perturbs *timings*, so
+ * a perturbed run must still satisfy every conservation invariant of
+ * the unperturbed model: slice controllers serve exactly the bytes
+ * the programs requested, stall attribution stays within the thread
+ * time available, and simulated time stays finite and positive. The
+ * perturbation stream is seeded, so a faulted run must also be
+ * bit-reproducible, and a null/zero injector must leave the golden
+ * event stream untouched.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+#include "piuma/config.hpp"
+#include "piuma/spmm_programs.hpp"
+#include "sim/fault.hpp"
+
+namespace {
+
+using namespace pgcn;
+using piuma::PiumaConfig;
+using piuma::SpmmAlgorithm;
+using piuma::SpmmRunStats;
+using sim::FaultConfig;
+using sim::FaultInjector;
+using sim::SimControls;
+
+graph::Csr
+soakGraph()
+{
+    // Small enough that 50 runs stay fast, big enough to exercise
+    // every queue/resource path.
+    return graph::normalizedAdjacency(
+        graph::generateRmat(8, 4096, graph::rmatSkewed(), 42));
+}
+
+/** The invariants every run — faulted or not — must satisfy. */
+void
+checkInvariants(const SpmmRunStats &s, const PiumaConfig &cfg)
+{
+    ASSERT_TRUE(std::isfinite(s.makespanNs));
+    EXPECT_GT(s.makespanNs, 0.0);
+    EXPECT_GT(s.simEvents, 0u);
+
+    // Conservation: bytes the slice controllers served == bytes the
+    // programs requested. Fault injection changes *when*, never *how
+    // much*.
+    const double requested = s.bytesRead + s.bytesWritten;
+    EXPECT_GT(requested, 0.0);
+    EXPECT_NEAR(s.bytesServed, requested, 1e-6 * requested);
+
+    // Stall attribution: non-negative, and the per-thread totals
+    // cannot exceed the thread time physically available.
+    EXPECT_GE(s.nnzStallNs, 0.0);
+    EXPECT_GE(s.rowOffsetStallNs, 0.0);
+    EXPECT_GE(s.featureStallNs, 0.0);
+    EXPECT_GE(s.dmaQueueStallNs, 0.0);
+    EXPECT_GE(s.issueNs, 0.0);
+    const double accounted = s.nnzStallNs + s.rowOffsetStallNs +
+                             s.featureStallNs + s.dmaQueueStallNs +
+                             s.issueNs;
+    const double available =
+        static_cast<double>(cfg.totalThreads()) * s.makespanNs;
+    EXPECT_LE(accounted, available * (1.0 + 1e-9));
+
+    EXPECT_GE(s.memUtilization, 0.0);
+    EXPECT_LE(s.memUtilization, 1.0 + 1e-9);
+}
+
+TEST(FaultSoak, FiftyRandomConfigsPreserveInvariants)
+{
+    const graph::Csr csr = soakGraph();
+    // Fixed soak seed: a failure here reproduces exactly.
+    std::mt19937_64 rng(20230419);
+    std::uniform_real_distribution<double> jitter(0.0, 0.9);
+    for (int i = 0; i < 50; ++i) {
+        FaultConfig fc;
+        fc.seed = rng();
+        fc.dramLatencyJitter = jitter(rng);
+        fc.serviceRateJitter = jitter(rng);
+        fc.networkLatencyJitter = jitter(rng);
+        fc.dmaOverheadJitter = jitter(rng);
+        FaultInjector faults(fc);
+        SimControls controls;
+        controls.faults = &faults;
+
+        PiumaConfig cfg;
+        cfg.numCores = (i % 3 == 0) ? 4 : 8;
+        const SpmmAlgorithm alg = (i % 2 == 0) ? SpmmAlgorithm::Dma
+                                               : SpmmAlgorithm::LoopUnrolled;
+        const SpmmRunStats s = simulateSpmm(csr, 16, cfg, alg, nullptr,
+                                            &controls);
+        SCOPED_TRACE("soak config #" + std::to_string(i) + " seed " +
+                     std::to_string(fc.seed));
+        checkInvariants(s, cfg);
+        // The run actually consumed perturbation draws.
+        EXPECT_GT(faults.draws(), 0u);
+    }
+}
+
+TEST(FaultSoak, SameSeedBitReproducible)
+{
+    const graph::Csr csr = soakGraph();
+    FaultConfig fc;
+    fc.seed = 77;
+    fc.dramLatencyJitter = 0.4;
+    fc.serviceRateJitter = 0.3;
+    fc.networkLatencyJitter = 0.5;
+    fc.dmaOverheadJitter = 0.2;
+
+    SpmmRunStats runs[2];
+    uint64_t draws[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+        FaultInjector faults(fc);
+        SimControls controls;
+        controls.faults = &faults;
+        PiumaConfig cfg;
+        runs[i] = simulateSpmm(csr, 16, cfg, SpmmAlgorithm::Dma, nullptr,
+                               &controls);
+        draws[i] = faults.draws();
+    }
+    EXPECT_EQ(runs[0].makespanNs, runs[1].makespanNs); // bit-exact
+    EXPECT_EQ(runs[0].simEvents, runs[1].simEvents);
+    EXPECT_EQ(runs[0].bytesRead, runs[1].bytesRead);
+    EXPECT_EQ(runs[0].nnzStallNs, runs[1].nnzStallNs);
+    EXPECT_EQ(draws[0], draws[1]);
+}
+
+TEST(FaultSoak, DifferentSeedsPerturbDifferently)
+{
+    const graph::Csr csr = soakGraph();
+    double makespans[2] = {0.0, 0.0};
+    for (int i = 0; i < 2; ++i) {
+        FaultConfig fc;
+        fc.seed = (i == 0) ? 1 : 2;
+        fc.dramLatencyJitter = 0.4;
+        fc.serviceRateJitter = 0.4;
+        FaultInjector faults(fc);
+        SimControls controls;
+        controls.faults = &faults;
+        PiumaConfig cfg;
+        makespans[i] = simulateSpmm(csr, 16, cfg, SpmmAlgorithm::Dma,
+                                    nullptr, &controls)
+                           .makespanNs;
+    }
+    EXPECT_NE(makespans[0], makespans[1]);
+}
+
+TEST(FaultSoak, DisabledInjectionMatchesBaselineExactly)
+{
+    const graph::Csr csr = soakGraph();
+    PiumaConfig cfg;
+    const SpmmRunStats base =
+        simulateSpmm(csr, 16, cfg, SpmmAlgorithm::Dma);
+
+    // Controls present but no injector attached.
+    SimControls null_controls;
+    const SpmmRunStats with_null = simulateSpmm(
+        csr, 16, cfg, SpmmAlgorithm::Dma, nullptr, &null_controls);
+    EXPECT_EQ(base.makespanNs, with_null.makespanNs);
+    EXPECT_EQ(base.simEvents, with_null.simEvents);
+
+    // Injector attached but every jitter zero: every hook is a no-op.
+    FaultConfig zero;
+    FaultInjector faults(zero);
+    SimControls zero_controls;
+    zero_controls.faults = &faults;
+    const SpmmRunStats with_zero = simulateSpmm(
+        csr, 16, cfg, SpmmAlgorithm::Dma, nullptr, &zero_controls);
+    EXPECT_EQ(base.makespanNs, with_zero.makespanNs);
+    EXPECT_EQ(base.simEvents, with_zero.simEvents);
+    EXPECT_EQ(faults.draws(), 0u);
+}
+
+TEST(FaultSoak, RunLimitsThroughControlsAbortCleanly)
+{
+    const graph::Csr csr = soakGraph();
+    PiumaConfig cfg;
+    SimControls controls;
+    controls.limits.maxEvents = 50; // far below what the run needs
+    EXPECT_THROW(simulateSpmm(csr, 16, cfg, SpmmAlgorithm::Dma, nullptr,
+                              &controls),
+                 sim::SimLimitError);
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include <numeric>
 #include <set>
 
+#include "common/error.hpp"
 #include "graph/coo.hpp"
 #include "graph/csr.hpp"
 #include "graph/datasets.hpp"
@@ -460,36 +461,36 @@ TEST_F(IoFixture, CsrBinaryRoundTrip)
     std::remove(path.c_str());
 }
 
-TEST_F(IoFixture, RejectsWrongMagicFatal)
+TEST_F(IoFixture, RejectsWrongMagicThrows)
 {
     const auto path = tempPath("bogus.csr");
     {
         std::ofstream out(path, std::ios::binary);
         out << "this is definitely not a CSR container";
     }
-    EXPECT_DEATH(loadCsrBinary(path), "not a PGCN CSR file");
+    EXPECT_THROW(loadCsrBinary(path), pgcn::GraphIoError);
     std::remove(path.c_str());
 }
 
-TEST_F(IoFixture, RejectsMalformedEdgeFatal)
+TEST_F(IoFixture, RejectsMalformedEdgeThrows)
 {
     const auto path = tempPath("bad.txt");
     {
         std::ofstream out(path);
         out << "0 1\nnot numbers\n";
     }
-    EXPECT_DEATH(loadEdgeListText(path), "malformed edge");
+    EXPECT_THROW(loadEdgeListText(path), pgcn::GraphIoError);
     std::remove(path.c_str());
 }
 
-TEST_F(IoFixture, RejectsOutOfRangeEndpointFatal)
+TEST_F(IoFixture, RejectsOutOfRangeEndpointThrows)
 {
     const auto path = tempPath("range.txt");
     {
         std::ofstream out(path);
         out << "# vertices 4\n0 9\n";
     }
-    EXPECT_DEATH(loadEdgeListText(path), "exceeds declared");
+    EXPECT_THROW(loadEdgeListText(path), pgcn::GraphIoError);
     std::remove(path.c_str());
 }
 

@@ -9,6 +9,7 @@
 
 #include <tuple>
 
+#include "common/error.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
 #include "kernels/spmm.hpp"
@@ -267,7 +268,7 @@ TEST(TiledSpmm, RejectsMismatchedWidth)
     DenseMatrix h(a.numVertices(), 16); // wrong width
     DenseMatrix out;
     parallel::ThreadPool pool(1);
-    EXPECT_DEATH(tiled.apply(h, out, pool), "embedding dim");
+    EXPECT_THROW(tiled.apply(h, out, pool), pgcn::ShapeError);
 }
 
 } // namespace

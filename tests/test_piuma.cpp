@@ -14,6 +14,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
@@ -449,24 +450,20 @@ TEST(NodeModelExt, FusionSavingsPositiveAndBounded)
     EXPECT_LT(saved, spmm);
 }
 
-TEST(RandomWalk, RejectsEmptyGraphFatal)
+TEST(RandomWalk, RejectsEmptyGraphThrows)
 {
     PiumaConfig cfg;
     cfg.numCores = 1;
     graph::Coo empty(0);
-    EXPECT_DEATH(
-        {
-            graph::Csr csr(empty);
-            simulateRandomWalk(csr, 1, 1, cfg);
-        },
-        "empty");
+    graph::Csr csr(empty);
+    EXPECT_THROW(simulateRandomWalk(csr, 1, 1, cfg), pgcn::ShapeError);
 }
 
-TEST(PiumaConfigDeath, InvalidConfigIsFatal)
+TEST(PiumaConfig, InvalidConfigThrows)
 {
     PiumaConfig cfg;
     cfg.numCores = 0;
-    EXPECT_DEATH(cfg.validate(), "non-zero");
+    EXPECT_THROW(cfg.validate(), pgcn::ConfigError);
 }
 
 } // namespace

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Robustness tests: the failure paths this simulator is supposed to
+ * take *gracefully*. Crafted deadlocks must surface as
+ * SimDeadlockError naming the blocked agent and resource; watchdog
+ * budgets must fail with a diagnostic snapshot; corrupt graph files
+ * and nonsense configurations must throw typed errors instead of
+ * propagating garbage; sweep checkpoints must survive torn writes and
+ * reproduce byte-identical output on resume.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "common/checkpoint.hpp"
+#include "common/error.hpp"
+#include "gpu/config.hpp"
+#include "graph/io.hpp"
+#include "piuma/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/queue.hpp"
+#include "xeon/config.hpp"
+
+namespace {
+
+using namespace pgcn;
+using namespace pgcn::sim;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Deadlock detection
+
+Process
+starvedConsumer(Engine &engine, BoundedQueue<int> &queue)
+{
+    co_await engine.announce("starved-consumer");
+    [[maybe_unused]] const int v = co_await queue.pop();
+}
+
+Process
+wedgedProducer(Engine &engine, BoundedQueue<int> &queue)
+{
+    co_await engine.announce("wedged-producer");
+    co_await queue.push(1);
+    co_await queue.push(2); // queue capacity 1, nobody pops: wedges here
+}
+
+TEST(Deadlock, ConsumerlessPopNamesAgentAndResource)
+{
+    Engine engine;
+    BoundedQueue<int> queue(engine, 4, "orphan.queue");
+    starvedConsumer(engine, queue);
+    try {
+        engine.run();
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        ASSERT_EQ(e.blocked().size(), 1u);
+        EXPECT_EQ(e.blocked()[0].agent, "starved-consumer");
+        EXPECT_EQ(e.blocked()[0].resource, "orphan.queue (pop: queue empty)");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("starved-consumer"), std::string::npos);
+        EXPECT_NE(what.find("orphan.queue"), std::string::npos);
+    }
+}
+
+TEST(Deadlock, FullQueueProducerReported)
+{
+    Engine engine;
+    BoundedQueue<int> queue(engine, 1, "dma.queue");
+    wedgedProducer(engine, queue);
+    try {
+        engine.run();
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        ASSERT_EQ(e.blocked().size(), 1u);
+        EXPECT_EQ(e.blocked()[0].agent, "wedged-producer");
+        EXPECT_EQ(e.blocked()[0].resource, "dma.queue (push: queue full)");
+    }
+}
+
+Process
+politeProducer(BoundedQueue<int> &queue, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await queue.push(i);
+}
+
+Process
+politeConsumer(BoundedQueue<int> &queue, int n, int &sum)
+{
+    for (int i = 0; i < n; ++i)
+        sum += co_await queue.pop();
+}
+
+TEST(Deadlock, BalancedProducerConsumerRunsClean)
+{
+    Engine engine;
+    BoundedQueue<int> queue(engine, 2, "ok.queue");
+    int sum = 0;
+    politeProducer(queue, 8);
+    politeConsumer(queue, 8, sum);
+    EXPECT_NO_THROW(engine.run());
+    EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(Deadlock, UnnamedAgentGetsFallbackName)
+{
+    Engine engine;
+    BoundedQueue<int> queue(engine, 4, "anon.queue");
+    // No announce(): the report should still identify the coroutine.
+    [](BoundedQueue<int> &q) -> Process {
+        [[maybe_unused]] const int v = co_await q.pop();
+    }(queue);
+    try {
+        engine.run();
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        ASSERT_EQ(e.blocked().size(), 1u);
+        EXPECT_NE(e.blocked()[0].agent.find("agent@"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog budgets
+
+TEST(RunLimits, MaxEventsBreachThrowsWithSnapshot)
+{
+    Engine engine;
+    std::function<void()> tick = [&] { engine.schedule(1.0, tick); };
+    engine.schedule(1.0, tick);
+    Engine::RunLimits limits;
+    limits.maxEvents = 100;
+    engine.setRunLimits(limits);
+    try {
+        engine.run();
+        FAIL() << "expected SimLimitError";
+    } catch (const SimLimitError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("event"), std::string::npos);
+        EXPECT_FALSE(e.snapshot().empty());
+        // The snapshot reports queue/arena state for postmortems.
+        EXPECT_NE(e.snapshot().find("events"), std::string::npos);
+    }
+}
+
+TEST(RunLimits, MaxSimTimeBreachThrows)
+{
+    Engine engine;
+    std::function<void()> tick = [&] { engine.schedule(10.0, tick); };
+    engine.schedule(10.0, tick);
+    Engine::RunLimits limits;
+    limits.maxSimTimeNs = 55.0;
+    engine.setRunLimits(limits);
+    EXPECT_THROW(engine.run(), SimLimitError);
+    EXPECT_LE(engine.now(), 70.0);
+}
+
+TEST(RunLimits, MaxWallSecondsBreachThrows)
+{
+    Engine engine;
+    std::function<void()> tick = [&] { engine.schedule(1.0, tick); };
+    engine.schedule(1.0, tick);
+    Engine::RunLimits limits;
+    limits.maxWallSeconds = 1e-9; // breached by the first wall check
+    engine.setRunLimits(limits);
+    EXPECT_THROW(engine.run(), SimLimitError);
+}
+
+TEST(RunLimits, GenerousLimitsDoNotFire)
+{
+    Engine engine;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        engine.schedule(1.0 * i, [&] { ++fired; });
+    Engine::RunLimits limits;
+    limits.maxEvents = 1000;
+    limits.maxSimTimeNs = 1e9;
+    limits.maxWallSeconds = 60.0;
+    engine.setRunLimits(limits);
+    EXPECT_NO_THROW(engine.run());
+    EXPECT_EQ(fired, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Fault configuration validation
+
+TEST(FaultConfig, RejectsOutOfRangeJitter)
+{
+    FaultConfig bad;
+    bad.dramLatencyJitter = 1.0; // full amplitude could zero a duration
+    EXPECT_THROW(bad.validate(), ConfigError);
+    bad.dramLatencyJitter = -0.1;
+    EXPECT_THROW(bad.validate(), ConfigError);
+    bad.dramLatencyJitter = kNan;
+    EXPECT_THROW(bad.validate(), ConfigError);
+    FaultConfig ok;
+    ok.dramLatencyJitter = 0.5;
+    ok.serviceRateJitter = 0.999;
+    EXPECT_NO_THROW(ok.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + "/" + leaf;
+}
+
+TEST(Checkpoint, DisabledCheckpointIsInert)
+{
+    JsonlCheckpoint ckpt;
+    EXPECT_FALSE(ckpt.enabled());
+    ckpt.record("a", {{"x", 1.0}});
+    EXPECT_EQ(ckpt.size(), 0u);
+    EXPECT_EQ(ckpt.find("a"), nullptr);
+}
+
+TEST(Checkpoint, RecordReloadRoundTripsDoublesExactly)
+{
+    const std::string path = tmpPath("ckpt_roundtrip.jsonl");
+    const double awkward[] = {1.0 / 3.0, 6.02214076e23, 1e-308,
+                              -0.0078125, 123456789.123456789};
+    {
+        JsonlCheckpoint ckpt(path, /*resume=*/false);
+        JsonlCheckpoint::Values values;
+        for (size_t i = 0; i < std::size(awkward); ++i)
+            values["v" + std::to_string(i)] = awkward[i];
+        ckpt.record("point/a=1", values);
+        ckpt.record("point/a=2", {{"only", 42.0}});
+    }
+    JsonlCheckpoint reloaded(path, /*resume=*/true);
+    EXPECT_EQ(reloaded.size(), 2u);
+    const auto *values = reloaded.find("point/a=1");
+    ASSERT_NE(values, nullptr);
+    for (size_t i = 0; i < std::size(awkward); ++i) {
+        const double got = values->at("v" + std::to_string(i));
+        // Bit-exact round trip, not approximate: resume depends on it.
+        EXPECT_EQ(got, awkward[i]) << "field v" << i;
+    }
+    EXPECT_EQ(reloaded.find("point/missing"), nullptr);
+}
+
+TEST(Checkpoint, TruncatedLastLineIsSkipped)
+{
+    const std::string path = tmpPath("ckpt_torn.jsonl");
+    {
+        std::ofstream out(path);
+        out << "{\"key\":\"done\",\"x\":1}\n";
+        out << "{\"key\":\"torn\",\"x\":3.14"; // crash mid-write
+    }
+    JsonlCheckpoint ckpt(path, /*resume=*/true);
+    EXPECT_EQ(ckpt.size(), 1u);
+    EXPECT_NE(ckpt.find("done"), nullptr);
+    EXPECT_EQ(ckpt.find("torn"), nullptr);
+}
+
+TEST(Checkpoint, FreshOpenDiscardsOldPoints)
+{
+    const std::string path = tmpPath("ckpt_fresh.jsonl");
+    {
+        JsonlCheckpoint ckpt(path, /*resume=*/false);
+        ckpt.record("old", {{"x", 1.0}});
+    }
+    JsonlCheckpoint fresh(path, /*resume=*/false);
+    EXPECT_EQ(fresh.size(), 0u);
+    EXPECT_EQ(fresh.find("old"), nullptr);
+}
+
+TEST(Checkpoint, FinalJsonByteIdenticalAcrossResume)
+{
+    const std::string jsonl = tmpPath("ckpt_final.jsonl");
+    const std::string direct_json = tmpPath("ckpt_direct.json");
+    const std::string resumed_json = tmpPath("ckpt_resumed.json");
+    {
+        JsonlCheckpoint ckpt(jsonl, /*resume=*/false);
+        ckpt.record("b", {{"gflops", 1.0 / 7.0}, {"ns", 4.5e6}});
+        ckpt.record("a", {{"gflops", 2.0 / 3.0}});
+        ckpt.writeFinalJson(direct_json);
+    }
+    {
+        JsonlCheckpoint ckpt(jsonl, /*resume=*/true);
+        ckpt.writeFinalJson(resumed_json);
+    }
+    const auto slurp = [](const std::string &p) {
+        std::ifstream in(p);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+    const std::string direct = slurp(direct_json);
+    EXPECT_FALSE(direct.empty());
+    EXPECT_EQ(direct, slurp(resumed_json));
+    // Keys come out sorted regardless of record order.
+    EXPECT_LT(direct.find("\"a\""), direct.find("\"b\""));
+}
+
+TEST(Checkpoint, UnwritablePathThrowsIoError)
+{
+    EXPECT_THROW(JsonlCheckpoint("/nonexistent-dir/x.jsonl", false),
+                 IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt graph inputs
+
+class CorruptInput : public ::testing::Test
+{
+  protected:
+    std::string
+    writeFile(const std::string &leaf, const std::string &content)
+    {
+        const std::string path = tmpPath(leaf);
+        std::ofstream out(path, std::ios::binary);
+        out << content;
+        return path;
+    }
+};
+
+TEST_F(CorruptInput, NegativeVertexIdRejected)
+{
+    const auto path = writeFile("neg.txt", "0 1 1.0\n-3 2 1.0\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, OverflowingVertexIdRejected)
+{
+    const auto path =
+        writeFile("huge.txt", "0 1 1.0\n99999999999999999999 2 1.0\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, NanWeightRejected)
+{
+    const auto path = writeFile("nanw.txt", "0 1 nan\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, InfWeightRejected)
+{
+    const auto path = writeFile("infw.txt", "0 1 inf\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, GarbageWeightRejected)
+{
+    const auto path = writeFile("garbage.txt", "0 1 0.5abc\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, TrailingFieldRejected)
+{
+    const auto path = writeFile("extra.txt", "0 1 1.0 surprise\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, NegativeHeaderCountRejected)
+{
+    const auto path = writeFile("neghdr.txt", "# vertices -5\n0 1 1.0\n");
+    EXPECT_THROW(graph::loadEdgeListText(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, ValidEdgeListStillLoads)
+{
+    const auto path = writeFile(
+        "ok.txt", "# vertices 4\n0 1 1.0\n1 2 0.5\n\n3 0 2.0\n");
+    const graph::Coo coo = graph::loadEdgeListText(path);
+    EXPECT_EQ(coo.numVertices(), 4u);
+    EXPECT_EQ(coo.numEdges(), 3u);
+}
+
+TEST_F(CorruptInput, BinaryCsrTruncatedFileRejected)
+{
+    // A header whose claimed sizes exceed the file length must be
+    // rejected *before* any allocation is attempted.
+    std::string blob;
+    const uint64_t magic = 0x5047434e43535231ULL; // "PGCNCSR1"
+    const uint32_t version = 1;
+    const uint64_t v = 1000, e = 1ull << 40; // absurd edge count
+    blob.append(reinterpret_cast<const char *>(&magic), 8);
+    blob.append(reinterpret_cast<const char *>(&version), 4);
+    blob.append(reinterpret_cast<const char *>(&v), 8);
+    blob.append(reinterpret_cast<const char *>(&e), 8);
+    const auto path = writeFile("truncated.bin", blob);
+    EXPECT_THROW(graph::loadCsrBinary(path), GraphIoError);
+}
+
+TEST_F(CorruptInput, BinaryCsrShortHeaderRejected)
+{
+    const auto path = writeFile("short.bin", "!C");
+    EXPECT_THROW(graph::loadCsrBinary(path), GraphIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Per-field config validation
+
+template <typename Cfg, typename Mutate>
+void
+expectInvalid(Mutate &&mutate)
+{
+    Cfg cfg{};
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(PiumaConfigValidation, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(piuma::PiumaConfig{}.validate());
+    EXPECT_NO_THROW(piuma::PiumaConfig::singleDie().validate());
+}
+
+TEST(PiumaConfigValidation, EachFieldGuarded)
+{
+    using Cfg = piuma::PiumaConfig;
+    expectInvalid<Cfg>([](Cfg &c) { c.numCores = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.mtpsPerCore = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.threadsPerMtp = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.coresPerDie = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.clockGhz = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.clockGhz = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dramLatencyNs = -1.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dramLatencyNs = kInf; });
+    expectInvalid<Cfg>([](Cfg &c) { c.sliceBandwidthGBps = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.sliceBandwidthGBps = -14.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.netSameDieNs = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.netCrossDieNs = -250.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.netPortBandwidthGBps = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dmaQueueDepth = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dmaDescriptorOverheadNs = -1.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dmaMaxInflight = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.spadBandwidthGBps = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.cacheLineBytes = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dramLatencyScale = -1.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dramLatencyScale = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.dramBandwidthScale = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.issueCostPerEdge = -0.5; });
+    expectInvalid<Cfg>([](Cfg &c) { c.issueCostPerDescriptor = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.issueCostPerMac = -kInf; });
+    expectInvalid<Cfg>([](Cfg &c) { c.issueCostPerLineLoad = kNan; });
+}
+
+TEST(XeonConfigValidation, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(xeon::XeonConfig::platinum8380().validate());
+}
+
+TEST(XeonConfigValidation, EachFieldGuarded)
+{
+    using Cfg = xeon::XeonConfig;
+    expectInvalid<Cfg>([](Cfg &c) { c.sockets = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.coresPerSocket = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.hyperThreadsPerCore = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.clockGhz = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.clockGhz = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.fmaUnitsPerCore = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.simdLanesFp32 = 0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.socketStreamBandwidthGBps = -1.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.perThreadBandwidthGBps = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.hyperThreadPenalty = -0.1; });
+    expectInvalid<Cfg>([](Cfg &c) { c.hyperThreadPenalty = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.cacheBytesPerSocket = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.gatherEfficiency = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.gatherEfficiency = 1.5; });
+    expectInvalid<Cfg>([](Cfg &c) { c.llcBandwidthGBps = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.cacheSkewExponent = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.denseEfficiency = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.frameworkOverheadNs = -1.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.randomAccessLatencyNs = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.chasesOverlappedPerCore = 0.0; });
+}
+
+TEST(GpuConfigValidation, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(gpu::GpuConfig::a100_40gb().validate());
+}
+
+TEST(GpuConfigValidation, EachFieldGuarded)
+{
+    using Cfg = gpu::GpuConfig;
+    expectInvalid<Cfg>([](Cfg &c) { c.memoryBytes = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.hbmBandwidthGBps = -5.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.denseGflops = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.denseGflops = kInf; });
+    expectInvalid<Cfg>([](Cfg &c) { c.spmmEfficiency = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.spmmEfficiency = 2.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.l2CacheBytes = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.l2ReuseFactor = 1.5; });
+    expectInvalid<Cfg>([](Cfg &c) { c.l2ReuseFactor = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.pcieBandwidthGBps = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.transferOverheadNs = -1.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.kernelLaunchOverheadNs = kNan; });
+    expectInvalid<Cfg>([](Cfg &c) { c.hostSamplingEdgesPerNs = 0.0; });
+    expectInvalid<Cfg>([](Cfg &c) { c.hostGatherBandwidthGBps = kInf; });
+}
+
+} // namespace
