@@ -6,8 +6,13 @@
  * discussion rests on — bandwidth-bound at small K, scalar-pipeline
  * (issue) bound at large K — and that the analytical model tracks
  * the simulator, justifying its use for the node-scale Figs. 9/10.
+ *
+ * Runs on the shared sweep driver (--jobs N / --checkpoint= /
+ * --resume / --sweep-json=).
  */
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "piuma/dense_programs.hpp"
@@ -15,33 +20,68 @@
 
 using namespace pgcn;
 
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
-    const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const std::string &csv = args.csvPath;
+    bench::SweepDriver driver(args);
+
+    piuma::PiumaConfig cfg;
+    cfg.numCores = 4;
+    const uint64_t v = 1u << 13;
+    const std::vector<uint64_t> dims{2u, 8u, 32u, 128u, 256u};
+    std::vector<size_t> idx;
+    for (uint64_t k : dims) {
+        idx.push_back(driver.add(
+            "dense/k=" + std::to_string(k),
+            [&driver, cfg, v, k](const parallel::SweepContext &ctx) {
+                const auto sim =
+                    piuma::simulateDenseMm(v, k, k, cfg, ctx.session);
+                driver.throughput(ctx).add(sim);
+                return JsonlCheckpoint::Values{
+                    {"flop", sim.flop},
+                    {"gflops", sim.gflops},
+                    {"issue_util", sim.issueUtilization},
+                    {"mem_util", sim.memUtilization}};
+            }));
+    }
+
+    driver.run();
 
     Table table("Dense MM: DES vs node model (4 cores, |V|=2^13)",
                 {"K", "sim GF/s", "model GF/s", "sim/model",
                  "mem util", "issue util"});
-    piuma::PiumaConfig cfg;
-    cfg.numCores = 4;
-    const uint64_t v = 1u << 13;
-    for (uint64_t k : {2u, 8u, 32u, 128u, 256u}) {
-        const auto sim = piuma::simulateDenseMm(v, k, k, cfg);
+    for (size_t i = 0; i < dims.size(); ++i) {
+        const uint64_t k = dims[i];
+        const auto *p = driver.result(idx[i]);
+        if (!p)
+            continue;
         const double model_ns = piuma::denseMmTimeNs(cfg, v, k, k);
-        const double model_gflops = sim.flop / model_ns;
+        const double model_gflops = p->at("flop") / model_ns;
         table.row()
-            .cell(static_cast<uint64_t>(k))
-            .cell(sim.gflops, 2)
+            .cell(k)
+            .cell(p->at("gflops"), 2)
             .cell(model_gflops, 2)
-            .cell(sim.gflops / model_gflops, 2)
-            .cell(sim.memUtilization, 2)
-            .cell(sim.issueUtilization, 2);
+            .cell(p->at("gflops") / model_gflops, 2)
+            .cell(p->at("mem_util"), 2)
+            .cell(p->at("issue_util"), 2);
     }
     bench::emit(table, csv);
     std::cout << "Reading: at K>=32 the scalar pipelines saturate "
                  "(issue util -> 1) while the memory system idles — "
                  "the paper's explanation for PIUMA losing ground to "
                  "SIMD machines as the embedding dimension grows.\n";
+    driver.finish();
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
 }

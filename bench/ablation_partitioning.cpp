@@ -7,18 +7,28 @@
  * 1D strategies and prices the per-layer ghost exchange at a typical
  * cluster interconnect bandwidth, next to the PIUMA node-model SpMM
  * time for the same (proxy-scaled) workload.
+ *
+ * Runs on the shared sweep driver (--jobs N / --checkpoint= /
+ * --resume / --sweep-json=); partitioning the 2^14 proxy 64 ways is
+ * the closest thing this bench has to an expensive point.
  */
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "graph/partition.hpp"
 
 using namespace pgcn;
 
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
-    const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const std::string &csv = args.csvPath;
+    bench::SweepDriver driver(args);
     const graph::Csr csr = bench::desProxy(14);
     constexpr uint64_t kDim = 128;
     // 200 Gb/s InfiniBand-class per-node injection bandwidth.
@@ -30,34 +40,65 @@ main(int argc, char **argv)
     const double feature_matrix_bytes =
         static_cast<double>(csr.numVertices()) * kDim * 4.0;
 
+    struct Point
+    {
+        const char *strategy;
+        unsigned parts;
+        size_t idx;
+    };
+    std::vector<Point> points;
+    for (const char *strategy : {"hash", "range"}) {
+        for (unsigned parts : {2u, 4u, 8u, 16u, 32u, 64u}) {
+            const bool hash = std::string(strategy) == "hash";
+            const std::string key = "partition/" +
+                                    std::string(strategy) +
+                                    "/parts=" + std::to_string(parts);
+            const size_t idx = driver.add(
+                key, [&csr, hash, parts](const parallel::SweepContext &) {
+                    const auto assignment =
+                        hash ? graph::hashPartition(csr.numVertices(),
+                                                    parts)
+                             : graph::rangePartitionByEdges(csr, parts);
+                    const auto stats = graph::evaluatePartition(
+                        csr, assignment, parts);
+                    const double ghost_bytes =
+                        graph::ghostExchangeBytes(
+                            stats, csr.numVertices(), kDim);
+                    return JsonlCheckpoint::Values{
+                        {"cut_fraction", stats.cutFraction},
+                        {"ghost_bytes", ghost_bytes},
+                        {"max_load_imbalance", stats.maxLoadImbalance},
+                        {"replication_factor",
+                         stats.replicationFactor}};
+                });
+            points.push_back(Point{strategy, parts, idx});
+        }
+    }
+
+    driver.run();
+
     Table table("Partitioned distributed SpMM vs DGAS",
                 {"strategy", "parts", "cut %", "replication",
                  "imbalance", "ghost MiB/layer", "ghost / |H|",
                  "exchange (us)"});
-    for (const char *strategy : {"hash", "range"}) {
-        for (unsigned parts : {2u, 4u, 8u, 16u, 32u, 64u}) {
-            const auto assignment =
-                std::string(strategy) == "hash"
-                    ? graph::hashPartition(csr.numVertices(), parts)
-                    : graph::rangePartitionByEdges(csr, parts);
-            const auto stats =
-                graph::evaluatePartition(csr, assignment, parts);
-            const double ghost_bytes = graph::ghostExchangeBytes(
-                stats, csr.numVertices(), kDim);
-            // All-to-all exchange limited by the busiest node's
-            // injection bandwidth (ghost bytes / parts per node).
-            const double exchange_ns =
-                ghost_bytes / parts / kNetBytesPerNs;
-            table.row()
-                .cell(strategy)
-                .cell(static_cast<uint64_t>(parts))
-                .cell(100.0 * stats.cutFraction, 1)
-                .cell(stats.replicationFactor, 2)
-                .cell(stats.maxLoadImbalance, 2)
-                .cell(ghost_bytes / (1024.0 * 1024.0), 1)
-                .cell(ghost_bytes / feature_matrix_bytes, 2)
-                .cell(exchange_ns / 1e3, 1);
-        }
+    for (const Point &p : points) {
+        const auto *v = driver.result(p.idx);
+        if (!v)
+            continue;
+        const double ghost_bytes = v->at("ghost_bytes");
+        // All-to-all exchange limited by the busiest node's
+        // injection bandwidth (ghost bytes / parts per node).
+        const double exchange_ns =
+            ghost_bytes / p.parts / kNetBytesPerNs;
+        table.row()
+            .cell(p.strategy)
+            .cell(static_cast<uint64_t>(p.parts))
+            .cell(100.0 * v->at("cut_fraction"), 1)
+            .cell(v->at("replication_factor"), 2)
+            .cell(v->at("max_load_imbalance"), 2)
+            .cell(ghost_bytes / (1024.0 * 1024.0), 1)
+            .cell(ghost_bytes / feature_matrix_bytes, 2)
+            .cell(exchange_ns / 1e3, 1);
     }
     bench::emit(table, csv);
     std::cout << "Reading: by 16 parts >90% of edges are cut on the "
@@ -65,5 +106,14 @@ main(int argc, char **argv)
                  "feature matrix between nodes as ghost copies — "
                  "traffic (and partitioning cost) PIUMA's shared "
                  "address space avoids entirely (Section VI).\n";
+    driver.finish();
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
 }

@@ -7,10 +7,13 @@
  * regressions in the discrete-event core show up in bench output, and
  * the shared telemetry flags (--trace=<path>, --metrics=<path>,
  * --sample-ns=<ns>, --trace-detail) that turn a figure run into a
- * Perfetto-loadable trace plus a metrics time series, and the sweep
+ * Perfetto-loadable trace plus a metrics time series, the sweep
  * robustness flags (--checkpoint=<jsonl>, --resume,
  * --sweep-json=<path>) that make long sweeps restartable after a
- * crash with only the missing points recomputed.
+ * crash with only the missing points recomputed, and the parallel
+ * sweep driver (--jobs N) that spreads independent sweep points
+ * across worker threads while keeping the checkpoint and consolidated
+ * JSON byte-identical to a serial run (see parallel/sweep_runner.hpp).
  */
 #ifndef PGCN_BENCH_BENCH_UTIL_HPP
 #define PGCN_BENCH_BENCH_UTIL_HPP
@@ -24,6 +27,8 @@
 #include <optional>
 #include <string>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/checkpoint.hpp"
 #include "common/error.hpp"
@@ -32,6 +37,7 @@
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
+#include "parallel/sweep_runner.hpp"
 #include "telemetry/session.hpp"
 
 namespace pgcn::bench {
@@ -79,6 +85,7 @@ struct BenchArgs
     std::string checkpointPath; ///< --checkpoint=: sweep JSONL file
     bool resume = false; ///< --resume: reuse completed checkpoint points
     std::string sweepJsonPath;  ///< --sweep-json=: consolidated sweep JSON
+    unsigned jobs = 1; ///< --jobs: sweep workers (0 = hw concurrency)
 
     /** True when any telemetry output was asked for. */
     bool
@@ -114,6 +121,10 @@ parseBenchArgs(int argc, char **argv)
             args.resume = true;
         } else if (arg.rfind("--sweep-json=", 0) == 0) {
             args.sweepJsonPath = arg.substr(13);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            args.jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            args.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown flag ignored: " << arg << "\n";
         } else if (positional == 0) {
@@ -147,34 +158,6 @@ makeCheckpoint(const BenchArgs &args)
         std::cout << "(resuming from " << args.checkpointPath << ": "
                   << ckpt.size() << " points already completed)\n";
     return ckpt;
-}
-
-/**
- * Run one sweep point through the checkpoint. A point already in the
- * checkpoint is returned without recomputation; otherwise @p compute
- * runs and its values are recorded. A point that fails with a typed
- * pgcn::Error is logged and skipped — the sweep continues and returns
- * nullopt for that point — so one diverging configuration can't take
- * down a multi-hour sweep.
- */
-template <typename Fn>
-inline std::optional<JsonlCheckpoint::Values>
-sweepPoint(JsonlCheckpoint &ckpt, const std::string &key, Fn &&compute)
-{
-    if (const JsonlCheckpoint::Values *done = ckpt.find(key)) {
-        std::cout << "(resume: '" << key
-                  << "' already completed, skipping)\n";
-        return *done;
-    }
-    try {
-        JsonlCheckpoint::Values values = compute();
-        ckpt.record(key, values);
-        return values;
-    } catch (const Error &e) {
-        std::cerr << "sweep point '" << key << "' failed: " << e.what()
-                  << "\n  (point skipped; sweep continues)\n";
-        return std::nullopt;
-    }
 }
 
 /** Write the consolidated sweep JSON when --sweep-json= was given. */
@@ -277,6 +260,9 @@ class SimThroughput
     /** Deepest pending-event queue seen in any run. */
     uint64_t peakQueueDepth() const { return peakQueueDepth_; }
 
+    /** Simulated runs recorded so far. */
+    uint64_t runs() const { return runs_; }
+
     /** Aggregate simulator throughput in events per second. */
     double
     eventsPerSec() const
@@ -312,11 +298,156 @@ class SimThroughput
         std::cout << "(throughput json written to " << path << ")\n";
     }
 
+    /** Fold another accumulator in (per-worker totals -> grand total). */
+    void
+    merge(const SimThroughput &other)
+    {
+        events_ += other.events_;
+        wallSeconds_ += other.wallSeconds_;
+        peakQueueDepth_ =
+            std::max(peakQueueDepth_, other.peakQueueDepth_);
+        runs_ += other.runs_;
+    }
+
   private:
     uint64_t events_ = 0;
     double wallSeconds_ = 0.0;
     uint64_t peakQueueDepth_ = 0;
     uint64_t runs_ = 0;
+};
+
+/**
+ * The shared sweep driver every figure/ablation bench runs on: one
+ * object wrapping the checkpoint, the parallel sweep runner, the
+ * telemetry session and the per-worker simulator-throughput
+ * accumulators, all configured from the parsed BenchArgs. Flow:
+ *
+ *   bench::SweepDriver driver(args);
+ *   const size_t idx = driver.add("middle/cores=4",
+ *       [&](const parallel::SweepContext &ctx) {
+ *           const auto sim = simulateSpmm(csr, k, cfg,
+ *                                         SpmmAlgorithm::Dma,
+ *                                         ctx.session, ctx.controls);
+ *           driver.throughput(ctx).add(sim);
+ *           return JsonlCheckpoint::Values{{"gflops", sim.gflops}};
+ *       });
+ *   driver.run();          // executes all points, --jobs N wide
+ *   ...driver.result(idx)  // render tables on the calling thread
+ *   driver.finish();       // throughput + sweep JSON + trace/metrics
+ *
+ * Compute callbacks run on pool workers: they must only touch
+ * worker-local state (the SweepContext's session/controls, the
+ * ctx-indexed throughput accumulator) and read-only shared inputs
+ * (graphs, configs captured by value). Everything order-sensitive —
+ * checkpoint commits, error reports, table rendering, telemetry
+ * merging — happens in submission order on the calling thread, which
+ * is what keeps --jobs N output byte-identical to --jobs 1.
+ */
+class SweepDriver
+{
+  public:
+    explicit SweepDriver(const BenchArgs &args)
+        : args_(args),
+          session_(makeSession(args)),
+          ckpt_(makeCheckpoint(args)),
+          runner_(makeOptions(args)),
+          throughput_(runner_.jobs())
+    {
+        if (args.jobs != 1)
+            std::cout << "(sweep running " << runner_.jobs()
+                      << " points wide)\n";
+    }
+
+    /** Enqueue one keyed point; returns its submission index. */
+    size_t
+    add(const std::string &key, parallel::SweepRunner::Compute compute)
+    {
+        return runner_.add(key, std::move(compute));
+    }
+
+    /** The executing worker's throughput accumulator (race-free). */
+    SimThroughput &
+    throughput(const parallel::SweepContext &ctx)
+    {
+        return throughput_[ctx.worker];
+    }
+
+    /**
+     * The bench's own session (telemetry flags given, else null) for
+     * simulations running outside the sweep, e.g. a calibration run
+     * on the calling thread. Worker traces merge into it at finish().
+     */
+    telemetry::Session *session() { return session_.get(); }
+
+    /** Calling-thread throughput accumulator for out-of-sweep runs. */
+    SimThroughput &throughput() { return throughput_[0]; }
+
+    /** Execute every enqueued point; report failures like the serial
+     *  driver did, in submission order. */
+    void
+    run()
+    {
+        outcome_ = runner_.run(ckpt_);
+        if (outcome_.reused > 0)
+            std::cout << "(resume: " << outcome_.reused << " of "
+                      << runner_.size() << " points reused)\n";
+        for (const auto &err : outcome_.errors)
+            std::cerr << "sweep point '" << err.key
+                      << "' failed: " << err.message
+                      << "\n  (point skipped; sweep continues)\n";
+    }
+
+    /** Point @p index's values, or null if it failed. */
+    const JsonlCheckpoint::Values *
+    result(size_t index) const
+    {
+        return outcome_.results[index] ? &*outcome_.results[index]
+                                       : nullptr;
+    }
+
+    /** Points that failed with a captured typed error. */
+    size_t failed() const { return outcome_.failed; }
+
+    /**
+     * Wrap up after rendering: print/write aggregate simulator
+     * throughput (when any DES ran), the consolidated sweep JSON, and
+     * the merged trace/metrics outputs.
+     */
+    void
+    finish()
+    {
+        SimThroughput total;
+        for (const SimThroughput &t : throughput_)
+            total.merge(t);
+        if (total.runs() > 0)
+            total.print(std::cout);
+        if (!args_.jsonPath.empty())
+            total.writeJson(args_.jsonPath);
+        finishSweep(ckpt_, args_);
+        if (session_) {
+            runner_.mergeTelemetryInto(*session_);
+            finishSession(*session_, args_);
+        }
+    }
+
+  private:
+    static parallel::SweepOptions
+    makeOptions(const BenchArgs &args)
+    {
+        parallel::SweepOptions opt;
+        opt.jobs = args.jobs;
+        opt.telemetry = args.telemetryRequested();
+        opt.sessionOptions.samplePeriodNs = args.samplePeriodNs;
+        opt.sessionOptions.detailedTrace = args.traceDetail;
+        return opt;
+    }
+
+    BenchArgs args_;
+    std::unique_ptr<telemetry::Session> session_;
+    JsonlCheckpoint ckpt_;
+    parallel::SweepRunner runner_;
+    std::vector<SimThroughput> throughput_;
+    parallel::SweepRunner::Outcome outcome_;
 };
 
 /**

@@ -10,9 +10,16 @@
  * density at fixed scale (non-zeros scale with density while Dense MM
  * is fixed) and with scale at fixed density (|E| = delta |V|^2 grows
  * quadratically, Dense MM linearly).
+ *
+ * The grid evaluation runs on the shared sweep driver (--jobs N /
+ * --checkpoint= / --resume / --sweep-json=), matching the DES benches'
+ * command line.
  */
 #include <cmath>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "xeon/timing.hpp"
@@ -34,12 +41,12 @@ spmmFraction(const xeon::XeonConfig &cfg, uint64_t v, uint64_t e)
     return spmm / (spmm + dense);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
-    const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const std::string &csv = args.csvPath;
+    bench::SweepDriver driver(args);
     const auto cfg = xeon::XeonConfig::platinum8380();
 
     // Density grid 10^-6 .. 10^-1, scale grid 2^10 .. 2^24.
@@ -54,29 +61,76 @@ main(int argc, char **argv)
         headers.push_back(oss.str());
     }
 
-    Table grid("Fig 2: %time in SpMM for a K=256 GCN layer on CPU",
-               headers);
+    // Enqueue every in-range grid cell, then the OGB annotations.
+    struct Cell
+    {
+        size_t idx;
+        bool inRange;
+    };
+    std::vector<std::vector<Cell>> cells;
     for (uint32_t s = 10; s <= 24; s += 2) {
         const uint64_t v = uint64_t{1} << s;
-        grid.row().cell("2^" + std::to_string(s));
+        cells.emplace_back();
         for (double d : densities) {
             const double e_real = d * static_cast<double>(v) *
                                   static_cast<double>(v);
             if (e_real < 1.0 || e_real > 1e12) {
+                cells.back().push_back(Cell{0, false});
+                continue;
+            }
+            const auto e = static_cast<uint64_t>(e_real);
+            std::ostringstream key;
+            key << "grid/scale=" << s << "/d=" << d;
+            const size_t idx = driver.add(
+                key.str(),
+                [&cfg, v, e](const parallel::SweepContext &) {
+                    return JsonlCheckpoint::Values{
+                        {"pct_spmm",
+                         100.0 * spmmFraction(cfg, v, e)}};
+                });
+            cells.back().push_back(Cell{idx, true});
+        }
+    }
+
+    const auto &ogb = graph::ogbDatasets();
+    std::vector<size_t> annot_idx;
+    for (const auto &d : ogb) {
+        annot_idx.push_back(driver.add(
+            "ogb/" + std::string(d.name),
+            [&cfg, &d](const parallel::SweepContext &) {
+                return JsonlCheckpoint::Values{
+                    {"pct_spmm", 100.0 * spmmFraction(cfg, d.numVertices,
+                                                      d.numEdges)}};
+            }));
+    }
+
+    driver.run();
+
+    Table grid("Fig 2: %time in SpMM for a K=256 GCN layer on CPU",
+               headers);
+    size_t row = 0;
+    for (uint32_t s = 10; s <= 24; s += 2, ++row) {
+        grid.row().cell("2^" + std::to_string(s));
+        for (size_t col = 0; col < densities.size(); ++col) {
+            const Cell &cell = cells[row][col];
+            const auto *v = cell.inRange ? driver.result(cell.idx)
+                                         : nullptr;
+            if (!v) {
                 grid.cell("-");
                 continue;
             }
-            grid.cell(100.0 * spmmFraction(
-                                  cfg, v,
-                                  static_cast<uint64_t>(e_real)),
-                      1);
+            grid.cell(v->at("pct_spmm"), 1);
         }
     }
     bench::emit(grid, csv);
 
     Table annot("OGB dataset coordinates on the Fig 2 plane",
                 {"name", "|V|", "density", "%SpMM (K=256 layer)"});
-    for (const auto &d : graph::ogbDatasets()) {
+    for (size_t i = 0; i < ogb.size(); ++i) {
+        const auto &d = ogb[i];
+        const auto *v = driver.result(annot_idx[i]);
+        if (!v)
+            continue;
         const double density =
             static_cast<double>(d.numEdges) /
             (static_cast<double>(d.numVertices) *
@@ -85,13 +139,21 @@ main(int argc, char **argv)
             .cell(d.name)
             .cell(static_cast<uint64_t>(d.numVertices))
             .cell(density, 9)
-            .cell(100.0 * spmmFraction(cfg, d.numVertices, d.numEdges),
-                  1);
+            .cell(v->at("pct_spmm"), 1);
     }
     annot.print(std::cout);
 
     std::cout << "Reading: arxiv/collab sit below the 60% contour; "
                  "proteins/products/ddi sit high — the paper's "
                  "prediction of which workloads benefit from PIUMA.\n";
+    driver.finish();
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
 }

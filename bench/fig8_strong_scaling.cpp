@@ -14,11 +14,14 @@
  *    grows.
  *
  * The DES points support --checkpoint=<jsonl> / --resume /
- * --sweep-json=<path>: a killed sweep can be restarted and recomputes
- * only the missing simulations.
+ * --sweep-json=<path> (a killed sweep recomputes only the missing
+ * simulations) and --jobs N (independent points run on worker
+ * threads; the checkpoint and consolidated JSON stay byte-identical
+ * to a serial run, see bench::SweepDriver).
  */
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/spmm_model.hpp"
@@ -35,13 +38,10 @@ benchMain(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const std::string &csv = args.csvPath;
-    const std::string &json = args.jsonPath;
-    const auto session = bench::makeSession(args);
-    JsonlCheckpoint ckpt = bench::makeCheckpoint(args);
-    bench::SimThroughput throughput;
+    bench::SweepDriver driver(args);
     const auto xeon_cfg = xeon::XeonConfig::platinum8380();
 
-    // ---- Left: bandwidth comparison.
+    // ---- Left: bandwidth comparison (analytical, no sweep points).
     Table left("Fig 8 (left): system bandwidth vs cores (GB/s)",
                {"cores", "xeon", "piuma"});
     for (unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 80u, 120u,
@@ -55,31 +55,66 @@ benchMain(int argc, char **argv)
     }
     bench::emit(left, csv.empty() ? csv : "left_" + csv);
 
-    // ---- Middle: SpMM strong scaling on products, K=256.
     const auto &products = graph::datasetByName("products");
     const auto proxy = graph::buildProxy(products, 1u << 18);
     std::cout << "products proxy: |V|=" << proxy.adjacency.numVertices()
               << " |E|=" << proxy.adjacency.numEdges()
               << " (scale factor " << proxy.scaleFactor << ")\n\n";
 
+    // ---- Enqueue the DES points for the middle and right panels.
     constexpr unsigned kDim = 256;
+    const std::vector<unsigned> scaling_cores{1u, 2u, 4u, 8u, 16u, 32u};
+    std::vector<size_t> middle_idx;
+    for (unsigned cores : scaling_cores) {
+        middle_idx.push_back(driver.add(
+            "middle/cores=" + std::to_string(cores),
+            [&driver, &proxy, cores](const parallel::SweepContext &ctx) {
+                piuma::PiumaConfig pcfg;
+                pcfg.numCores = cores;
+                const auto sim =
+                    simulateSpmm(proxy.adjacency, kDim, pcfg,
+                                 SpmmAlgorithm::Dma, ctx.session,
+                                 ctx.controls);
+                driver.throughput(ctx).add(sim);
+                return JsonlCheckpoint::Values{{"gflops", sim.gflops}};
+            }));
+    }
+
+    const std::vector<unsigned> right_dims{8u, 64u, 256u};
+    std::vector<size_t> right_idx;
+    for (unsigned k : right_dims) {
+        right_idx.push_back(driver.add(
+            "right/k=" + std::to_string(k),
+            [&driver, &proxy, k](const parallel::SweepContext &ctx) {
+                piuma::PiumaConfig pcfg;
+                pcfg.numCores = 16;
+                const auto sim =
+                    simulateSpmm(proxy.adjacency, k, pcfg,
+                                 SpmmAlgorithm::Dma, ctx.session,
+                                 ctx.controls);
+                driver.throughput(ctx).add(sim);
+                return JsonlCheckpoint::Values{
+                    {"bytes_read", sim.bytesRead},
+                    {"dma_queue_stall_ns", sim.dmaQueueStallNs},
+                    {"makespan_ns", sim.makespanNs},
+                    {"nnz_reads", static_cast<double>(sim.nnzReads)},
+                    {"nnz_stall_ns", sim.nnzStallNs},
+                };
+            }));
+    }
+
+    driver.run();
+
+    // ---- Middle: SpMM strong scaling on products, K=256.
     Table middle("Fig 8 (middle): SpMM strong scaling on products, "
                  "K=256 (normalised to 1-core PIUMA)",
                  {"cores", "piuma (sim)", "xeon (model)"});
     double piuma_base = 0.0;
     const model::SpmmWorkload full{products.numVertices,
                                    products.numEdges, kDim};
-    for (unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        const auto point = bench::sweepPoint(
-            ckpt, "middle/cores=" + std::to_string(cores), [&] {
-                piuma::PiumaConfig pcfg;
-                pcfg.numCores = cores;
-                const auto sim =
-                    simulateSpmm(proxy.adjacency, kDim, pcfg,
-                                 SpmmAlgorithm::Dma, session.get());
-                throughput.add(sim);
-                return JsonlCheckpoint::Values{{"gflops", sim.gflops}};
-            });
+    for (size_t i = 0; i < scaling_cores.size(); ++i) {
+        const unsigned cores = scaling_cores[i];
+        const auto *point = driver.result(middle_idx[i]);
         if (!point)
             continue;
         const double gflops = point->at("gflops");
@@ -105,23 +140,9 @@ benchMain(int argc, char **argv)
                 {"K", "%read bytes NNZ", "%read bytes feature",
                  "nnz stall/thr us", "queue stall/thr us",
                  "model fraction"});
-    for (unsigned k : {8u, 64u, 256u}) {
-        const auto point = bench::sweepPoint(
-            ckpt, "right/k=" + std::to_string(k), [&] {
-                piuma::PiumaConfig pcfg;
-                pcfg.numCores = 16;
-                const auto sim =
-                    simulateSpmm(proxy.adjacency, k, pcfg,
-                                 SpmmAlgorithm::Dma, session.get());
-                throughput.add(sim);
-                return JsonlCheckpoint::Values{
-                    {"bytes_read", sim.bytesRead},
-                    {"dma_queue_stall_ns", sim.dmaQueueStallNs},
-                    {"makespan_ns", sim.makespanNs},
-                    {"nnz_reads", static_cast<double>(sim.nnzReads)},
-                    {"nnz_stall_ns", sim.nnzStallNs},
-                };
-            });
+    for (size_t i = 0; i < right_dims.size(); ++i) {
+        const unsigned k = right_dims[i];
+        const auto *point = driver.result(right_idx[i]);
         if (!point)
             continue;
         piuma::PiumaConfig pcfg;
@@ -143,12 +164,7 @@ benchMain(int argc, char **argv)
             .cell(est.timeNs / point->at("makespan_ns"), 2);
     }
     bench::emit(right, csv.empty() ? csv : "right_" + csv);
-    throughput.print(std::cout);
-    if (!json.empty())
-        throughput.writeJson(json);
-    bench::finishSweep(ckpt, args);
-    if (session)
-        bench::finishSession(*session, args);
+    driver.finish();
     return 0;
 }
 

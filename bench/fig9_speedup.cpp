@@ -13,19 +13,30 @@
  * graphs, while the GPU wins small cached graphs (ddi, proteins).
  *
  * The PIUMA node model's SpMM efficiency is calibrated against the
- * discrete-event simulator before the sweep (printed below).
+ * discrete-event simulator before the sweep (printed below). The
+ * (dataset, K) sweep itself runs on the shared sweep driver, so it
+ * accepts --jobs N / --checkpoint= / --resume like the DES benches
+ * (the points are cheap analytical evaluations; the flags mostly
+ * matter for output-format uniformity).
  */
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/platforms.hpp"
 
 using namespace pgcn;
 
+namespace {
+
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
-    const std::string csv = bench::csvPathFromArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    const std::string &csv = args.csvPath;
+    bench::SweepDriver driver(args);
 
     // Calibrate the node model against the DES on an 8-core die.
     piuma::PiumaConfig calib_cfg = piuma::PiumaConfig::singleDie();
@@ -36,30 +47,78 @@ main(int argc, char **argv)
                  "K=64): "
               << params.spmmEfficiency << "\n\n";
 
-    core::XeonPlatform cpu;
-    core::GpuPlatform gpu;
-    core::PiumaPlatform piuma_node(piuma::PiumaConfig::node(), params);
+    const core::XeonPlatform cpu;
+    const core::GpuPlatform gpu;
+    const core::PiumaPlatform piuma_node(piuma::PiumaConfig::node(),
+                                         params);
+
+    // Enqueue one point per (dataset, K); the platform models are
+    // immutable after construction, so workers share them read-only.
+    const auto &datasets = graph::allDatasets();
+    struct Point
+    {
+        const graph::DatasetInfo *dataset;
+        uint64_t k;
+        size_t idx;
+    };
+    std::vector<Point> points;
+    for (const auto &d : datasets) {
+        for (uint64_t k : core::GcnModelConfig::embeddingSweep()) {
+            const std::string key = "speedup/" + std::string(d.name) +
+                                    "/k=" + std::to_string(k);
+            const size_t idx = driver.add(
+                key,
+                [&cpu, &gpu, &piuma_node, &d,
+                 k](const parallel::SweepContext &) {
+                    const auto model = bench::sweepModel(d, k);
+                    const double cpu_total =
+                        cpu.timeGcn(d, model).totalNs();
+                    const double cpu_spmm = cpu.spmmOnlyNs(d, model);
+                    return JsonlCheckpoint::Values{
+                        {"gpu_fits", gpu.fits(d, model) ? 1.0 : 0.0},
+                        {"gpu_gcn_x",
+                         cpu_total / gpu.timeGcn(d, model).totalNs()},
+                        {"gpu_spmm_x",
+                         cpu_spmm / gpu.spmmOnlyNs(d, model)},
+                        {"piuma_gcn_x",
+                         cpu_total /
+                             piuma_node.timeGcn(d, model).totalNs()},
+                        {"piuma_spmm_x",
+                         cpu_spmm / piuma_node.spmmOnlyNs(d, model)},
+                    };
+                });
+            points.push_back(Point{&d, k, idx});
+        }
+    }
+
+    driver.run();
 
     Table table("Fig 9: speedup vs dual-socket Xeon "
                 "(GCN bars / SpMM diamonds)",
                 {"dataset", "K", "piuma GCN x", "gpu GCN x",
                  "piuma SpMM x", "gpu SpMM x", "gpu fits"});
-    for (const auto &d : graph::allDatasets()) {
-        for (uint64_t k : core::GcnModelConfig::embeddingSweep()) {
-            const auto model = bench::sweepModel(d, k);
-            const double cpu_total = cpu.timeGcn(d, model).totalNs();
-            const double cpu_spmm = cpu.spmmOnlyNs(d, model);
-            table.row()
-                .cell(d.name)
-                .cell(static_cast<uint64_t>(k))
-                .cell(cpu_total / piuma_node.timeGcn(d, model).totalNs(),
-                      2)
-                .cell(cpu_total / gpu.timeGcn(d, model).totalNs(), 2)
-                .cell(cpu_spmm / piuma_node.spmmOnlyNs(d, model), 2)
-                .cell(cpu_spmm / gpu.spmmOnlyNs(d, model), 2)
-                .cell(gpu.fits(d, model) ? "yes" : "NO");
-        }
+    for (const Point &p : points) {
+        const auto *v = driver.result(p.idx);
+        if (!v)
+            continue;
+        table.row()
+            .cell(p.dataset->name)
+            .cell(p.k)
+            .cell(v->at("piuma_gcn_x"), 2)
+            .cell(v->at("gpu_gcn_x"), 2)
+            .cell(v->at("piuma_spmm_x"), 2)
+            .cell(v->at("gpu_spmm_x"), 2)
+            .cell(v->at("gpu_fits") != 0.0 ? "yes" : "NO");
     }
     bench::emit(table, csv);
+    driver.finish();
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
 }

@@ -185,4 +185,57 @@ JsonlCheckpoint::writeFinalJson(const std::string &path) const
         PGCN_THROW(IoError, "I/O error writing sweep JSON: " << path);
 }
 
+OrderedCheckpointWriter::OrderedCheckpointWriter(JsonlCheckpoint &ckpt,
+                                                size_t count)
+    : ckpt_(ckpt), count_(count)
+{
+}
+
+void
+OrderedCheckpointWriter::commit(size_t index, const std::string &key,
+                                JsonlCheckpoint::Values values)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PGCN_ASSERT(index >= next_ && !pending_.count(index),
+                "sweep point resolved twice");
+    pending_[index] = Pending { true, key, std::move(values) };
+    flushLocked();
+}
+
+void
+OrderedCheckpointWriter::skip(size_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PGCN_ASSERT(index >= next_ && !pending_.count(index),
+                "sweep point resolved twice");
+    pending_[index] = Pending {};
+    flushLocked();
+}
+
+size_t
+OrderedCheckpointWriter::resolved() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_ + pending_.size();
+}
+
+bool
+OrderedCheckpointWriter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_ == count_ && pending_.empty();
+}
+
+void
+OrderedCheckpointWriter::flushLocked()
+{
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first == next_) {
+        if (it->second.written)
+            ckpt_.record(it->second.key, it->second.values);
+        it = pending_.erase(it);
+        ++next_;
+    }
+}
+
 } // namespace pgcn

@@ -20,8 +20,10 @@
 #ifndef PGCN_COMMON_CHECKPOINT_HPP
 #define PGCN_COMMON_CHECKPOINT_HPP
 
+#include <cstddef>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace pgcn {
@@ -84,6 +86,69 @@ class JsonlCheckpoint
     std::string path_;
     std::map<std::string, Values> points_;
     std::ofstream out_;
+};
+
+/**
+ * Thread-safe, order-preserving commit front-end for a JsonlCheckpoint.
+ *
+ * A parallel sweep completes points in whatever order its workers
+ * finish them, but the checkpoint file must look exactly like a serial
+ * run's: otherwise resuming a --jobs=8 sweep with --jobs=1 (or
+ * comparing their outputs) would depend on scheduling luck. This
+ * writer restores determinism by buffering out-of-order completions
+ * and appending to the underlying checkpoint strictly in
+ * submission-index order.
+ *
+ * Protocol: the sweep assigns each point a dense index 0..n-1 in
+ * submission order, then every point is eventually resolved exactly
+ * once via commit() (computed successfully) or skip() (failed, or
+ * already present from --resume). Each resolution is buffered under a
+ * mutex and a flush loop drains the longest committed prefix into
+ * JsonlCheckpoint::record(). Since record() flushes each line, the
+ * crash-resilience guarantee is unchanged: at most the buffered
+ * out-of-order suffix is lost, and a resumed run recomputes it.
+ */
+class OrderedCheckpointWriter
+{
+  public:
+    /** @param ckpt Destination checkpoint; must outlive this writer.
+     *  @param count Total number of sweep points to be resolved. */
+    OrderedCheckpointWriter(JsonlCheckpoint &ckpt, size_t count);
+
+    /** Resolve point @p index with computed @p values. Buffers and
+     *  flushes every point whose predecessors are all resolved.
+     *  Safe to call from any thread. */
+    void commit(size_t index, const std::string &key, JsonlCheckpoint::Values values);
+
+    /** Resolve point @p index without writing anything (failed point
+     *  or resume hit): later points can flush past it. Safe to call
+     *  from any thread. */
+    void skip(size_t index);
+
+    /** Points flushed to the checkpoint or skipped so far. */
+    size_t resolved() const;
+
+    /** True once all @p count points have been resolved and flushed. */
+    bool done() const;
+
+  private:
+    /// One buffered resolution; written == false means skip.
+    struct Pending
+    {
+        bool written = false;
+        std::string key;
+        JsonlCheckpoint::Values values;
+    };
+
+    /// Drain the contiguous resolved prefix starting at next_.
+    /// Caller must hold mutex_.
+    void flushLocked();
+
+    JsonlCheckpoint &ckpt_;
+    size_t count_;
+    mutable std::mutex mutex_;
+    size_t next_ = 0; ///< lowest unresolved submission index
+    std::map<size_t, Pending> pending_; ///< resolved but unflushed
 };
 
 } // namespace pgcn

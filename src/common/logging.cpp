@@ -1,5 +1,6 @@
 #include "logging.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -9,16 +10,18 @@ namespace pgcn {
 
 namespace {
 
-/** The active severity filter (lazily initialised from PIUMA_LOG). */
-LogLevel g_level = LogLevel::Info;
-bool g_level_initialized = false;
+/** The active severity filter (lazily initialised from PIUMA_LOG).
+ *  Atomic: sweep workers consult it concurrently, and the first log
+ *  call may happen on any thread. */
+std::atomic<LogLevel> g_level { LogLevel::Info };
+std::atomic<bool> g_level_initialized { false };
 
 LogLevel
 activeLevel()
 {
-    if (!g_level_initialized)
+    if (!g_level_initialized.load(std::memory_order_acquire))
         refreshLogLevelFromEnv();
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 } // namespace
@@ -52,15 +55,16 @@ logLevel()
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
-    g_level_initialized = true;
+    g_level.store(level, std::memory_order_relaxed);
+    g_level_initialized.store(true, std::memory_order_release);
 }
 
 void
 refreshLogLevelFromEnv()
 {
-    g_level = parseLogLevel(std::getenv("PIUMA_LOG"), LogLevel::Info);
-    g_level_initialized = true;
+    g_level.store(parseLogLevel(std::getenv("PIUMA_LOG"), LogLevel::Info),
+                  std::memory_order_relaxed);
+    g_level_initialized.store(true, std::memory_order_release);
 }
 
 bool

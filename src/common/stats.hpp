@@ -100,6 +100,16 @@ class Histogram
     /** Number of equal-width buckets (excluding under/overflow). */
     size_t numBuckets() const { return counts_.size() - 2; }
 
+    /** Lower bound of the bucketed range. */
+    double lo() const { return lo_; }
+
+    /** Upper bound of the bucketed range. */
+    double
+    hi() const
+    {
+        return lo_ + width_ * static_cast<double>(numBuckets());
+    }
+
     /** Samples in bucket @p i (0-based, excluding under/overflow). */
     uint64_t bucketCount(size_t i) const { return counts_[i + 1]; }
 

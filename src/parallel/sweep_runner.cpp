@@ -1,0 +1,137 @@
+#include "parallel/sweep_runner.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pgcn::parallel {
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options)
+{
+    if (options_.faults)
+        options_.faults->validate();
+}
+
+size_t
+SweepRunner::add(std::string key, Compute compute)
+{
+    PGCN_ASSERT(!ran_, "add() after run()");
+    points_.push_back(Point{std::move(key), std::move(compute)});
+    return points_.size() - 1;
+}
+
+unsigned
+SweepRunner::jobs() const
+{
+    if (options_.jobs != 0)
+        return options_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+SweepRunner::Outcome
+SweepRunner::run(JsonlCheckpoint &ckpt)
+{
+    PGCN_ASSERT(!ran_, "run() called twice");
+    ran_ = true;
+
+    const size_t n = points_.size();
+    Outcome out;
+    out.results.resize(n);
+    std::vector<uint8_t> point_failed(n, 0);
+    std::vector<std::string> point_errors(n);
+
+    // Resolve resume hits up front on the calling thread: their values
+    // are already in the checkpoint, and skipping them in submission
+    // order lets later computed points flush past them.
+    OrderedCheckpointWriter writer(ckpt, n);
+    std::vector<uint8_t> todo(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        if (const JsonlCheckpoint::Values *done =
+                ckpt.find(points_[i].key)) {
+            out.results[i] = *done;
+            writer.skip(i);
+            todo[i] = 0;
+            ++out.reused;
+        }
+    }
+
+    const unsigned num_workers = jobs();
+    if (options_.telemetry) {
+        sessions_.reserve(num_workers);
+        for (unsigned w = 0; w < num_workers; ++w)
+            sessions_.push_back(std::make_unique<telemetry::Session>(
+                options_.sessionOptions));
+    }
+
+    // Dynamic chunk-1 scheduling: sweep points differ wildly in cost
+    // (a 32-core K=256 DES run dwarfs a 1-core K=8 one), so static
+    // slicing would leave workers idle behind one expensive slice.
+    ThreadPool pool(num_workers);
+    pool.parallelFor(
+        n, Schedule::Dynamic, 1,
+        [&](unsigned tid, uint64_t begin, uint64_t end) {
+            for (uint64_t i = begin; i < end; ++i) {
+                if (!todo[i])
+                    continue;
+                // Per-POINT injector: seeding by submission index (not
+                // worker) keeps perturbed timings schedule-independent.
+                std::optional<sim::FaultInjector> faults;
+                sim::SimControls controls;
+                controls.limits = options_.limits;
+                if (options_.faults) {
+                    sim::FaultConfig cfg = *options_.faults;
+                    cfg.seed += static_cast<uint64_t>(i);
+                    faults.emplace(cfg);
+                    controls.faults = &*faults;
+                }
+                SweepContext ctx;
+                ctx.worker = tid;
+                ctx.pointIndex = i;
+                ctx.session =
+                    options_.telemetry ? sessions_[tid].get() : nullptr;
+                ctx.controls = &controls;
+                // Worker-local capture: a throwing point resolves as a
+                // skip so the commit cursor (and the pool) moves on.
+                try {
+                    JsonlCheckpoint::Values values =
+                        points_[i].compute(ctx);
+                    writer.commit(i, points_[i].key, values);
+                    out.results[i] = std::move(values);
+                } catch (const Error &e) {
+                    point_failed[i] = 1;
+                    point_errors[i] = e.what();
+                    writer.skip(i);
+                } catch (const std::exception &e) {
+                    point_failed[i] = 1;
+                    point_errors[i] = std::string("unexpected: ") +
+                                      e.what();
+                    writer.skip(i);
+                }
+            }
+        });
+    PGCN_ASSERT(writer.done(), "sweep finished with unresolved points");
+
+    for (size_t i = 0; i < n; ++i) {
+        if (point_failed[i]) {
+            ++out.failed;
+            out.errors.push_back(
+                PointError{points_[i].key, point_errors[i]});
+        }
+    }
+    out.computed = n - out.reused - out.failed;
+    return out;
+}
+
+void
+SweepRunner::mergeTelemetryInto(telemetry::Session &target) const
+{
+    for (size_t w = 0; w < sessions_.size(); ++w)
+        target.mergeWorker(*sessions_[w], w);
+}
+
+} // namespace pgcn::parallel

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel sweep orchestrator: runs the independent points of a
+ * figure/ablation sweep concurrently on the ThreadPool while keeping
+ * every observable output byte-identical to a serial run.
+ *
+ * Sweep points are embarrassingly parallel — each is one complete
+ * discrete-event simulation — but the surrounding machinery is not:
+ * the JSONL checkpoint is an ordered append log, telemetry registries
+ * are single-threaded by contract, and a fault-injection stream seeded
+ * per *worker* would make results depend on the schedule. The runner
+ * restores determinism by construction:
+ *
+ *  - one telemetry Session per worker (merged into a caller session
+ *    afterwards, on worker-tagged tracks);
+ *  - one FaultInjector per *point*, seeded from the base seed and the
+ *    point's submission index, so timings are independent of which
+ *    worker runs the point;
+ *  - completions funnel through an OrderedCheckpointWriter, which
+ *    buffers out-of-order finishes and appends in submission order;
+ *  - typed per-point errors are captured worker-locally and reported
+ *    after the pool drains, in submission order — one diverging point
+ *    neither poisons its siblings nor stalls the pool.
+ *
+ * The result: `--jobs 8` and `--jobs 1` produce byte-identical
+ * checkpoint and consolidated-JSON files, differing only in wall
+ * clock.
+ */
+#ifndef PGCN_PARALLEL_SWEEP_RUNNER_HPP
+#define PGCN_PARALLEL_SWEEP_RUNNER_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.hpp"
+#include "sim/fault.hpp"
+#include "telemetry/session.hpp"
+
+namespace pgcn::parallel {
+
+/** Per-point execution context handed to a sweep compute callback. */
+struct SweepContext
+{
+    /// Pool thread running this point, in [0, jobs).
+    unsigned worker = 0;
+    /// The point's dense submission index (also its commit order).
+    size_t pointIndex = 0;
+    /// The executing worker's telemetry session; null = telemetry off.
+    telemetry::Session *session = nullptr;
+    /// Per-point fault/watchdog controls (never null inside compute).
+    const sim::SimControls *controls = nullptr;
+};
+
+/** Knobs for one SweepRunner::run() invocation. */
+struct SweepOptions
+{
+    /// Concurrent workers; 1 = serial on the calling thread, 0 =
+    /// hardware concurrency.
+    unsigned jobs = 1;
+    /// Give each worker its own telemetry Session.
+    bool telemetry = false;
+    /// Options for the per-worker sessions (when telemetry is on).
+    telemetry::Session::Options sessionOptions{};
+    /// Base fault configuration; each point runs with a fresh injector
+    /// seeded `faults->seed + pointIndex` so results do not depend on
+    /// worker assignment. Disabled when unset.
+    std::optional<sim::FaultConfig> faults;
+    /// Watchdog budgets applied to every point (zeros = unlimited).
+    sim::Engine::RunLimits limits{};
+};
+
+/**
+ * A batch of keyed sweep points scheduled onto the thread pool (see
+ * file comment). Usage: add() every point, run() once against the
+ * sweep checkpoint, then read results back (by submission index) and
+ * render tables on the calling thread.
+ */
+class SweepRunner
+{
+  public:
+    /// Computes one point's checkpoint values; may throw pgcn::Error.
+    using Compute =
+        std::function<JsonlCheckpoint::Values(const SweepContext &)>;
+
+    /** One captured per-point failure. */
+    struct PointError
+    {
+        std::string key;     ///< the failed point's key
+        std::string message; ///< the typed error's what()
+    };
+
+    /** What happened to each point of one run() invocation. */
+    struct Outcome
+    {
+        /// Per-point values in submission-index order; nullopt = the
+        /// point failed with a captured error.
+        std::vector<std::optional<JsonlCheckpoint::Values>> results;
+        /// Every failed point, in submission order.
+        std::vector<PointError> errors;
+        /// Points computed this run.
+        size_t computed = 0;
+        /// Points served from the resume checkpoint without recompute.
+        size_t reused = 0;
+        /// Points that failed with a typed error (logged, skipped).
+        size_t failed = 0;
+    };
+
+    explicit SweepRunner(SweepOptions options);
+
+    /** Enqueue a point; returns its submission index. */
+    size_t add(std::string key, Compute compute);
+
+    /** Points enqueued so far. */
+    size_t size() const { return points_.size(); }
+
+    /** Effective worker count run() will use (resolves jobs == 0). */
+    unsigned jobs() const;
+
+    /**
+     * Execute every enqueued point and commit results to @p ckpt in
+     * submission order. Points already present in @p ckpt (a --resume
+     * run) are reused without recomputation. Blocks until all points
+     * are resolved; callable once per runner.
+     */
+    Outcome run(JsonlCheckpoint &ckpt);
+
+    /**
+     * Fold the per-worker telemetry sessions (worker-index order) into
+     * @p target — see telemetry::Session::mergeWorker. No-op when the
+     * runner was created with telemetry off. Call after run().
+     */
+    void mergeTelemetryInto(telemetry::Session &target) const;
+
+  private:
+    /** One enqueued point. */
+    struct Point
+    {
+        std::string key;
+        Compute compute;
+    };
+
+    SweepOptions options_;
+    std::vector<Point> points_;
+    std::vector<std::unique_ptr<telemetry::Session>> sessions_;
+    bool ran_ = false;
+};
+
+} // namespace pgcn::parallel
+
+#endif // PGCN_PARALLEL_SWEEP_RUNNER_HPP

@@ -50,4 +50,13 @@ Registry::findHistogram(std::string_view name) const
     return it != histograms_.end() ? &it->second : nullptr;
 }
 
+void
+Registry::mergeFrom(const Registry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counter(name).add(c.value());
+    for (const auto &[name, h] : other.histograms_)
+        histogram(name, h.lo(), h.hi(), h.numBuckets()).merge(h);
+}
+
 } // namespace pgcn::telemetry

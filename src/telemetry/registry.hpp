@@ -133,6 +133,15 @@ class Registry
             fn(name, h);
     }
 
+    /**
+     * Fold @p other into this registry: counters are summed,
+     * histograms merged bucket-wise (shape is taken from @p other on
+     * first sight of a name). Gauges are not merged — they reference
+     * @p other's component state. Used to consolidate per-worker
+     * registries after a parallel sweep.
+     */
+    void mergeFrom(const Registry &other);
+
     /** The live gauges, in registration order (sampler access). */
     std::vector<Gauge> &gauges() { return gauges_; }
 

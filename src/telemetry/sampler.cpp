@@ -47,6 +47,24 @@ Sampler::onSample(sim::SimTime now, sim::Engine &engine)
 }
 
 void
+Sampler::mergeFrom(const Sampler &other, std::string_view prefix)
+{
+    rows_.reserve(rows_.size() + other.rows_.size());
+    // Lazy per-name remap: one intern per distinct metric, not per row.
+    constexpr TraceWriter::NameId kUnmapped = UINT32_MAX;
+    std::vector<TraceWriter::NameId> remap;
+    for (const Row &r : other.rows_) {
+        if (r.name >= remap.size())
+            remap.resize(r.name + 1, kUnmapped);
+        TraceWriter::NameId &id = remap[r.name];
+        if (id == kUnmapped)
+            id = interner().intern(std::string(prefix) +
+                                   other.interner().nameOf(r.name));
+        rows_.push_back(Row{r.tNs, r.value, id});
+    }
+}
+
+void
 Sampler::writeCsv(std::ostream &os) const
 {
     os << "t_ns,metric,value\n";

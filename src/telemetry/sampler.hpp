@@ -53,6 +53,14 @@ class Sampler : public sim::Engine::Observer
     size_t rowCount() const { return rows_.size(); }
 
     /**
+     * Append @p other's recorded rows with @p prefix on every metric
+     * name (worker-tagging, matching the trace counter tracks). Rows
+     * keep their own timestamps; merged output groups rows by worker,
+     * each group chronological.
+     */
+    void mergeFrom(const Sampler &other, std::string_view prefix);
+
+    /**
      * Write all samples as long-format CSV (`t_ns,metric,value`
      * header included).
      */

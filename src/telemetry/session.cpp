@@ -1,5 +1,6 @@
 #include "telemetry/session.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -56,6 +57,22 @@ Session::endKernel(double makespan_ns)
     trace_.end(offsetNs_ + makespan_ns, currentKernel_, tracks::kKernels);
     offsetNs_ += makespan_ns;
     kernelOpen_ = false;
+}
+
+void
+Session::mergeWorker(const Session &worker, size_t worker_index)
+{
+    PGCN_ASSERT(!kernelOpen_ && !worker.kernelOpen_,
+                "mergeWorker() with an open kernel span");
+    const std::string prefix = "w" + std::to_string(worker_index) + "/";
+    const uint32_t tid_offset =
+        static_cast<uint32_t>(worker_index + 1) * tracks::kWorkerStride;
+    trace_.mergeFrom(worker.trace_, tid_offset, prefix);
+    sampler_.mergeFrom(worker.sampler_, prefix);
+    registry_.mergeFrom(worker.registry_);
+    // Final-counter rows in the metrics CSV stamp at the end of the
+    // longest worker timeline.
+    offsetNs_ = std::max(offsetNs_, worker.offsetNs_);
 }
 
 void

@@ -29,6 +29,9 @@ namespace tracks {
 constexpr uint32_t kKernels = 0;
 /** Per-core DMA-engine tracks: kDmaBase + core. */
 constexpr uint32_t kDmaBase = 1000;
+/** Sweep-worker tid stride: worker w's tracks live at
+ *  (w + 1) * kWorkerStride + original tid (see Session::mergeWorker). */
+constexpr uint32_t kWorkerStride = 1u << 16;
 } // namespace tracks
 
 /** One bench invocation's telemetry context (see file comment). */
@@ -87,6 +90,17 @@ class Session
 
     /** Global-time offset of the currently running kernel. */
     double runOffsetNs() const { return offsetNs_; }
+
+    /**
+     * Fold a sweep worker's session into this one: trace events move
+     * to worker-tagged tracks ("w<index>/" prefix, tids shifted by
+     * (index + 1) * tracks::kWorkerStride), sampler rows get the same
+     * prefix on their metric names, and registry counters/histograms
+     * are summed/merged. Call after the worker has finished (no open
+     * kernel span); merge workers in index order for a deterministic
+     * combined trace.
+     */
+    void mergeWorker(const Session &worker, size_t worker_index);
 
     /** Write the Chrome-trace JSON to @p path. */
     void writeTrace(const std::string &path) const;

@@ -97,6 +97,41 @@ TraceWriter::counter(double ts_ns, NameId name, double value)
 }
 
 void
+TraceWriter::mergeFrom(const TraceWriter &other, uint32_t tid_offset,
+                       std::string_view track_prefix)
+{
+    for (const Meta &m : other.meta_) {
+        if (m.name == "process_name")
+            continue;
+        meta_.push_back(
+            Meta{m.name, std::string(track_prefix) + m.arg,
+                 m.tid + tid_offset});
+    }
+
+    // Lazily remap interned names so a million-event detailed trace
+    // pays one intern per distinct name, not per event.
+    constexpr NameId kUnmapped = UINT32_MAX;
+    std::vector<NameId> plain(other.names_.size(), kUnmapped);
+    std::vector<NameId> prefixed(other.names_.size(), kUnmapped);
+    events_.reserve(events_.size() + other.events_.size());
+    for (const Event &e : other.events_) {
+        if (e.phase == 'C') {
+            NameId &id = prefixed[e.name];
+            if (id == kUnmapped)
+                id = intern(std::string(track_prefix) +
+                            other.names_[e.name]);
+            events_.push_back(Event{e.tsNs, e.value, id, e.tid, 'C'});
+        } else {
+            NameId &id = plain[e.name];
+            if (id == kUnmapped)
+                id = intern(other.names_[e.name]);
+            events_.push_back(
+                Event{e.tsNs, e.value, id, e.tid + tid_offset, e.phase});
+        }
+    }
+}
+
+void
 TraceWriter::write(std::ostream &os) const
 {
     std::vector<Event> sorted(events_);

@@ -81,6 +81,21 @@ class TraceWriter
     size_t eventCount() const { return meta_.size() + events_.size(); }
 
     /**
+     * Fold @p other's events into this writer on worker-tagged
+     * tracks: span/metadata tids are shifted by @p tid_offset and
+     * thread-track names prefixed with @p track_prefix; counter
+     * events — whose Perfetto track identity is the *name*, not the
+     * tid — get the prefix on the name instead, so each worker's
+     * series stays a separate counter track. @p other's process_name
+     * metadata is dropped (the destination owns the process track).
+     * Merging workers in index order keeps the combined trace
+     * deterministic: equal-timestamp events keep merge order under
+     * write()'s stable sort.
+     */
+    void mergeFrom(const TraceWriter &other, uint32_t tid_offset,
+                   std::string_view track_prefix);
+
+    /**
      * Serialise everything as a Chrome-trace JSON object. Metadata
      * events come first, then all other events stable-sorted by
      * timestamp. The writer is left intact (write() can be repeated).

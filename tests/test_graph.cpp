@@ -405,6 +405,7 @@ TEST(Partition, GhostBytesArithmetic)
 
 #include "graph/io.hpp"
 #include "graph/normalize.hpp"
+#include "test_paths.hpp"
 
 namespace {
 
@@ -416,7 +417,9 @@ class IoFixture : public ::testing::Test
     std::string
     tempPath(const char *suffix)
     {
-        return ::testing::TempDir() + "pgcn_io_test_" + suffix;
+        // Unique per test and process: ctest -j shards must not race
+        // on these files.
+        return pgcn_test::testPath(suffix);
     }
 };
 

@@ -15,16 +15,20 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <random>
 #include <string>
 
 #include "common/checkpoint.hpp"
 #include "common/error.hpp"
 #include "gpu/config.hpp"
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/normalize.hpp"
 #include "piuma/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/queue.hpp"
+#include "test_paths.hpp"
 #include "xeon/config.hpp"
 
 namespace {
@@ -213,7 +217,9 @@ TEST(FaultConfig, RejectsOutOfRangeJitter)
 std::string
 tmpPath(const std::string &leaf)
 {
-    return ::testing::TempDir() + "/" + leaf;
+    // Unique per test *and* per process: ctest -j runs each TEST as
+    // its own process and they must not race on checkpoint files.
+    return pgcn_test::testPath(leaf);
 }
 
 TEST(Checkpoint, DisabledCheckpointIsInert)
@@ -397,6 +403,112 @@ TEST_F(CorruptInput, BinaryCsrShortHeaderRejected)
 {
     const auto path = writeFile("short.bin", "!C");
     EXPECT_THROW(graph::loadCsrBinary(path), GraphIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Loader fuzzing
+//
+// The hand-written corruption cases above cover the failure modes we
+// thought of; the fuzz harness covers the ones we did not. Each seed
+// corrupts a valid file — random byte flips or a truncation at a
+// random offset — and the loader must do one of exactly two things:
+// throw a *typed* error (GraphIoError/IoError) or return a structure
+// that passes the format's own invariants (some corruptions, e.g. a
+// digit flip in a weight, legitimately produce a different valid
+// file). Crashes and hangs fail the harness; any other exception type
+// is an escape from the error contract and fails too.
+
+/** Corrupt @p blob in place: byte flips (even seeds) or truncation. */
+std::string
+corrupt(const std::string &blob, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::string out = blob;
+    if (seed % 2 == 0) {
+        const size_t flips = 1 + rng() % 4;
+        for (size_t i = 0; i < flips; ++i)
+            out[rng() % out.size()] =
+                static_cast<char>(rng() & 0xff);
+    } else {
+        out.resize(rng() % out.size());
+    }
+    return out;
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+template <typename LoadAndCheck>
+void
+fuzzLoader(const std::string &valid_blob, const char *leaf,
+           LoadAndCheck &&load)
+{
+    size_t rejected = 0, accepted = 0;
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        const std::string path = tmpPath(leaf);
+        {
+            std::ofstream out(path, std::ios::binary);
+            out << corrupt(valid_blob, seed);
+        }
+        try {
+            load(path);
+            ++accepted; // still-valid file: invariants checked inside
+        } catch (const GraphIoError &) {
+            ++rejected;
+        } catch (const IoError &) {
+            ++rejected;
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "seed " << seed
+                          << ": untyped escape: " << e.what();
+        }
+    }
+    EXPECT_EQ(rejected + accepted, 200u);
+    // The harness is pointless if corruption never bites.
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(CorruptInput, FuzzEdgeListTextNeverEscapesTypedErrors)
+{
+    const graph::Coo coo =
+        graph::generateRmat(6, 128, graph::rmatSkewed(), 5);
+    const std::string path = tmpPath("fuzz_valid.txt");
+    graph::saveEdgeListText(coo, path);
+    const std::string blob = slurpFile(path);
+    ASSERT_FALSE(blob.empty());
+    fuzzLoader(blob, "fuzz_mut.txt", [](const std::string &p) {
+        const graph::Coo loaded = graph::loadEdgeListText(p);
+        // Accepted parses must satisfy the loader's contract: every
+        // endpoint in range, every weight finite. (A truncation to
+        // zero complete lines legitimately yields an empty graph.)
+        for (const auto &e : loaded.edges()) {
+            ASSERT_LT(e.src, loaded.numVertices());
+            ASSERT_LT(e.dst, loaded.numVertices());
+            ASSERT_TRUE(std::isfinite(e.weight));
+        }
+    });
+}
+
+TEST_F(CorruptInput, FuzzBinaryCsrNeverEscapesTypedErrors)
+{
+    const graph::Csr csr = graph::normalizedAdjacency(
+        graph::generateRmat(6, 128, graph::rmatSkewed(), 5));
+    const std::string path = tmpPath("fuzz_valid.csr");
+    graph::saveCsrBinary(csr, path);
+    const std::string blob = slurpFile(path);
+    ASSERT_FALSE(blob.empty());
+    fuzzLoader(blob, "fuzz_mut.csr", [&](const std::string &p) {
+        const graph::Csr loaded = graph::loadCsrBinary(p);
+        // Structural invariants the loader promises to have checked.
+        ASSERT_EQ(loaded.rowOffsets().size(), loaded.numVertices() + 1);
+        ASSERT_EQ(loaded.rowOffsets().back(), loaded.numEdges());
+        for (const auto c : loaded.cols())
+            ASSERT_LT(c, loaded.numVertices());
+    });
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner and the ordered checkpoint
+ * writer underneath it. The property everything here defends:
+ * `--jobs N` is an implementation detail — checkpoint JSONL and
+ * consolidated JSON come out byte-identical for any worker count, any
+ * completion order, and across kill/resume, and a failing point is
+ * logged and skipped without stalling the pool or poisoning its
+ * siblings.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/checkpoint.hpp"
+#include "common/error.hpp"
+#include "parallel/sweep_runner.hpp"
+#include "telemetry/session.hpp"
+#include "test_paths.hpp"
+
+namespace {
+
+using namespace pgcn;
+using parallel::SweepContext;
+using parallel::SweepOptions;
+using parallel::SweepRunner;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// OrderedCheckpointWriter
+
+TEST(OrderedWriter, OutOfOrderCommitsFlushInSubmissionOrder)
+{
+    const std::string path = pgcn_test::testPath("ordered.jsonl");
+    {
+        JsonlCheckpoint ckpt(path, /*resume=*/false);
+        OrderedCheckpointWriter writer(ckpt, 3);
+        writer.commit(2, "p2", {{"x", 2.0}});
+        EXPECT_EQ(ckpt.size(), 0u); // buffered: 0 and 1 outstanding
+        writer.commit(0, "p0", {{"x", 0.0}});
+        EXPECT_EQ(ckpt.size(), 1u); // prefix [0] flushed
+        writer.commit(1, "p1", {{"x", 1.0}});
+        EXPECT_EQ(ckpt.size(), 3u); // prefix [1,2] drained
+        EXPECT_TRUE(writer.done());
+    }
+    std::istringstream lines(slurp(path));
+    std::string line;
+    std::vector<std::string> keys;
+    while (std::getline(lines, line))
+        keys.push_back(line.substr(0, line.find(',')));
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_NE(keys[0].find("p0"), std::string::npos);
+    EXPECT_NE(keys[1].find("p1"), std::string::npos);
+    EXPECT_NE(keys[2].find("p2"), std::string::npos);
+}
+
+TEST(OrderedWriter, SkipAdvancesCursorWithoutWriting)
+{
+    const std::string path = pgcn_test::testPath("skip.jsonl");
+    JsonlCheckpoint ckpt(path, /*resume=*/false);
+    OrderedCheckpointWriter writer(ckpt, 3);
+    writer.commit(1, "p1", {{"x", 1.0}});
+    writer.skip(0); // resume hit or failed point: no record
+    EXPECT_EQ(ckpt.size(), 1u);
+    writer.commit(2, "p2", {{"x", 2.0}});
+    EXPECT_TRUE(writer.done());
+    EXPECT_EQ(writer.resolved(), 3u);
+    EXPECT_EQ(ckpt.size(), 2u);
+    EXPECT_EQ(ckpt.find("p0"), nullptr);
+}
+
+TEST(OrderedWriter, ZeroPointsIsImmediatelyDone)
+{
+    JsonlCheckpoint ckpt;
+    OrderedCheckpointWriter writer(ckpt, 0);
+    EXPECT_TRUE(writer.done());
+    EXPECT_EQ(writer.resolved(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Jobs-count invariance
+
+/**
+ * A deterministic 12-point sweep whose points finish deliberately out
+ * of order under parallel execution: early submission indices sleep
+ * longest, so with 4+ workers the completion order is roughly the
+ * reverse of the submission order and the ordered writer has to buffer
+ * nearly the whole sweep.
+ */
+void
+addAdversarialSweep(SweepRunner &runner)
+{
+    constexpr size_t kPoints = 12;
+    for (size_t i = 0; i < kPoints; ++i) {
+        runner.add(
+            "point/i=" + std::to_string(i), [i](const SweepContext &) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2 * (kPoints - i)));
+                const double x = static_cast<double>(i);
+                return JsonlCheckpoint::Values{
+                    {"awkward", x / 3.0 + 1e-13},
+                    {"sq", x * x},
+                };
+            });
+    }
+}
+
+std::string
+runSweep(unsigned jobs, const std::string &jsonl,
+         const std::string &json)
+{
+    SweepOptions options;
+    options.jobs = jobs;
+    SweepRunner runner(options);
+    addAdversarialSweep(runner);
+    JsonlCheckpoint ckpt(jsonl, /*resume=*/false);
+    const auto outcome = runner.run(ckpt);
+    EXPECT_EQ(outcome.computed, runner.size());
+    EXPECT_EQ(outcome.failed, 0u);
+    ckpt.writeFinalJson(json);
+    return slurp(jsonl) + "\x1f" + slurp(json);
+}
+
+TEST(SweepRunner, JobsCountInvariantBytes)
+{
+    const std::string golden =
+        runSweep(1, pgcn_test::testPath("j1.jsonl"),
+                 pgcn_test::testPath("j1.json"));
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(runSweep(4, pgcn_test::testPath("j4.jsonl"),
+                       pgcn_test::testPath("j4.json")),
+              golden);
+    EXPECT_EQ(runSweep(8, pgcn_test::testPath("j8.jsonl"),
+                       pgcn_test::testPath("j8.json")),
+              golden);
+}
+
+// ---------------------------------------------------------------------------
+// Kill/resume
+
+TEST(SweepRunner, ResumeAfterKillMatchesSerialBytes)
+{
+    // Serial golden run.
+    const std::string golden_jsonl = pgcn_test::testPath("g.jsonl");
+    const std::string golden_json = pgcn_test::testPath("g.json");
+    runSweep(1, golden_jsonl, golden_json);
+    const std::string golden = slurp(golden_jsonl);
+
+    // Simulate a kill after 5 completed points: the checkpoint file is
+    // the golden log truncated to its first 5 lines (the JSONL format
+    // guarantees completed lines survive a crash; the torn-line case
+    // is covered in test_robustness).
+    size_t cut = 0;
+    for (int lines = 0; lines < 5; ++cut)
+        if (golden[cut] == '\n')
+            ++lines;
+    const std::string partial_jsonl = pgcn_test::testPath("r.jsonl");
+    {
+        std::ofstream out(partial_jsonl, std::ios::binary);
+        out << golden.substr(0, cut);
+    }
+
+    // Resume with 4 workers.
+    SweepOptions options;
+    options.jobs = 4;
+    SweepRunner runner(options);
+    addAdversarialSweep(runner);
+    JsonlCheckpoint ckpt(partial_jsonl, /*resume=*/true);
+    const auto outcome = runner.run(ckpt);
+    EXPECT_EQ(outcome.reused, 5u);
+    EXPECT_EQ(outcome.computed, runner.size() - 5);
+    EXPECT_EQ(outcome.failed, 0u);
+    const std::string resumed_json = pgcn_test::testPath("r.json");
+    ckpt.writeFinalJson(resumed_json);
+
+    EXPECT_EQ(slurp(partial_jsonl), golden);
+    EXPECT_EQ(slurp(resumed_json), slurp(golden_json));
+}
+
+// ---------------------------------------------------------------------------
+// Typed per-point errors
+
+TEST(SweepRunner, FailingPointLoggedSkippedSiblingsSurvive)
+{
+    SweepOptions options;
+    options.jobs = 4;
+    SweepRunner runner(options);
+    for (size_t i = 0; i < 8; ++i) {
+        runner.add("p/" + std::to_string(i),
+                   [i](const SweepContext &) -> JsonlCheckpoint::Values {
+                       if (i == 3)
+                           throw ConfigError("deliberate failure");
+                       return {{"v", static_cast<double>(i)}};
+                   });
+    }
+    const std::string jsonl = pgcn_test::testPath("err.jsonl");
+    JsonlCheckpoint ckpt(jsonl, /*resume=*/false);
+    const auto outcome = runner.run(ckpt);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_EQ(outcome.computed, 7u);
+    ASSERT_EQ(outcome.errors.size(), 1u);
+    EXPECT_EQ(outcome.errors[0].key, "p/3");
+    EXPECT_NE(outcome.errors[0].message.find("deliberate failure"),
+              std::string::npos);
+    EXPECT_FALSE(outcome.results[3].has_value());
+    ASSERT_TRUE(outcome.results[4].has_value());
+    EXPECT_EQ(outcome.results[4]->at("v"), 4.0);
+    // The failed point is absent from the log; the rest kept order.
+    EXPECT_EQ(ckpt.size(), 7u);
+    EXPECT_EQ(ckpt.find("p/3"), nullptr);
+    ASSERT_NE(ckpt.find("p/7"), nullptr);
+}
+
+TEST(SweepRunner, UnexpectedExceptionCapturedAsError)
+{
+    SweepRunner runner(SweepOptions{});
+    runner.add("boom", [](const SweepContext &) -> JsonlCheckpoint::Values {
+        throw std::runtime_error("not a pgcn::Error");
+    });
+    JsonlCheckpoint ckpt;
+    const auto outcome = runner.run(ckpt);
+    ASSERT_EQ(outcome.errors.size(), 1u);
+    EXPECT_NE(outcome.errors[0].message.find("unexpected"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-point fault seeding: schedule independence
+
+TEST(SweepRunner, FaultSeedsFollowPointIndexNotWorker)
+{
+    const auto run = [](unsigned jobs) {
+        SweepOptions options;
+        options.jobs = jobs;
+        sim::FaultConfig faults;
+        faults.seed = 1234;
+        faults.dramLatencyJitter = 0.25;
+        options.faults = faults;
+        SweepRunner runner(options);
+        for (size_t i = 0; i < 6; ++i) {
+            runner.add("f/" + std::to_string(i),
+                       [](const SweepContext &ctx) {
+                           // Drain one jitter sample from the injector
+                           // owned by this point.
+                           const double d =
+                               ctx.controls->faults->dramLatency(100.0);
+                           return JsonlCheckpoint::Values{{"d", d}};
+                       });
+        }
+        JsonlCheckpoint ckpt;
+        std::vector<double> out;
+        const auto outcome = runner.run(ckpt);
+        for (const auto &values : outcome.results)
+            out.push_back(values->at("d"));
+        return out;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(run(4), serial);
+    // Distinct points see distinct streams (seed folds in the index).
+    EXPECT_NE(serial[0], serial[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry ownership and merge
+
+TEST(SweepRunner, WorkerSessionsMergeIntoCaller)
+{
+    SweepOptions options;
+    options.jobs = 3;
+    options.telemetry = true;
+    options.sessionOptions.samplePeriodNs = 0.0;
+    SweepRunner runner(options);
+    for (size_t i = 0; i < 9; ++i) {
+        runner.add("t/" + std::to_string(i),
+                   [](const SweepContext &ctx) {
+                       EXPECT_NE(ctx.session, nullptr);
+                       ctx.session->registry().counter("sweep.pts").add(1);
+                       return JsonlCheckpoint::Values{{"ok", 1.0}};
+                   });
+    }
+    JsonlCheckpoint ckpt;
+    runner.run(ckpt);
+    telemetry::Session combined;
+    runner.mergeTelemetryInto(combined);
+    // Counters from all workers sum; no point was double-counted.
+    EXPECT_EQ(combined.registry().counter("sweep.pts").value(), 9.0);
+}
+
+TEST(SweepRunner, TelemetryOffHandsNullSession)
+{
+    SweepRunner runner(SweepOptions{});
+    runner.add("q", [](const SweepContext &ctx) {
+        EXPECT_EQ(ctx.session, nullptr);
+        EXPECT_NE(ctx.controls, nullptr);
+        return JsonlCheckpoint::Values{{"ok", 1.0}};
+    });
+    JsonlCheckpoint ckpt;
+    const auto outcome = runner.run(ckpt);
+    EXPECT_EQ(outcome.computed, 1u);
+}
+
+TEST(SweepRunner, JobsZeroResolvesToHardwareConcurrency)
+{
+    SweepOptions options;
+    options.jobs = 0;
+    SweepRunner runner(options);
+    EXPECT_GE(runner.jobs(), 1u);
+}
+
+} // namespace

@@ -24,6 +24,7 @@
 #include "piuma/spmm_programs.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/registry.hpp"
+#include "test_paths.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/session.hpp"
 #include "telemetry/trace.hpp"
@@ -586,8 +587,7 @@ TEST(SpmmTelemetry, MetricsCsvHasSeriesCountersAndSummaries)
                         piuma::SpmmAlgorithm::Dma, &session);
     EXPECT_GT(session.sampler().rowCount(), 0u);
 
-    const std::string path =
-        ::testing::TempDir() + "pgcn_test_metrics.csv";
+    const std::string path = pgcn_test::testPath("metrics.csv");
     session.writeMetricsCsv(path);
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
