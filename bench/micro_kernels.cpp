@@ -1,18 +1,36 @@
 /**
  * @file
  * Google-benchmark microbenchmarks for the functional host kernels:
- * SpMM variants, dense GEMM, graph generation and normalisation.
- * These measure real wall-clock throughput of the library's
- * executable kernels on this machine (as opposed to the modelled
- * platforms of the figure benches).
+ * SpMM variants (reference / vertex / edge / NNZ-balanced / tiled),
+ * dense GEMM (packed SIMD vs the previous blocked scalar loop), the
+ * fused SpMM->GEMM layer, graph generation and normalisation. These
+ * measure real wall-clock throughput of the library's executable
+ * kernels on this machine (as opposed to the modelled platforms of
+ * the figure benches).
+ *
+ * Every compute bench reports FLOPS (measured) next to roofline_FLOPS
+ * — the src/xeon analytical model evaluated for a single core of THIS
+ * host — so the gap between achieved and model-predicted throughput
+ * is visible in one row (see EXPERIMENTS.md for the walkthrough).
+ *
+ * The binary refuses to be quoted carelessly: when compiled without
+ * NDEBUG (asserts on, no meaningful timings) it prints a loud banner
+ * and tags the benchmark context, so results files recorded from a
+ * debug build are self-incriminating.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
+#include "kernels/fused_gcn.hpp"
+#include "kernels/simd.hpp"
 #include "kernels/spmm.hpp"
 #include "kernels/tiled_spmm.hpp"
 #include "tensor/dense_mm.hpp"
+#include "xeon/config.hpp"
+#include "xeon/timing.hpp"
 
 namespace {
 
@@ -23,6 +41,57 @@ benchGraph(uint32_t scale)
 {
     return graph::normalizedAdjacency(graph::generateRmat(
         scale, (graph::EdgeId{1} << scale) * 8, graph::rmatSkewed(), 3));
+}
+
+/**
+ * The src/xeon analytical model re-parameterised for one core of this
+ * host: single socket/core/thread, no framework overhead (these are
+ * raw kernels, not a framework), bandwidth capped at what one thread
+ * can extract. This is the roofline the measured numbers are compared
+ * against.
+ */
+xeon::XeonConfig
+hostRoofline()
+{
+    xeon::XeonConfig cfg; // start from the paper machine
+    cfg.sockets = 1;
+    cfg.coresPerSocket = 1;
+    cfg.hyperThreadsPerCore = 1;
+    cfg.clockGhz = 2.7;
+    cfg.socketStreamBandwidthGBps = cfg.perThreadBandwidthGBps;
+    cfg.frameworkOverheadNs = 0.0;
+    return cfg;
+}
+
+/** Measured FLOPS plus the single-core roofline prediction. */
+void
+setFlopsCounters(benchmark::State &state, double flops_per_iter,
+                 double model_ns)
+{
+    state.counters["FLOPS"] = benchmark::Counter(
+        flops_per_iter, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::kIs1000);
+    if (model_ns > 0) {
+        // flop / ns == GFLOP/s; scale to FLOP/s for unit parity with
+        // the measured counter.
+        state.counters["roofline_FLOPS"] = benchmark::Counter(
+            flops_per_iter / model_ns * 1e9,
+            benchmark::Counter::kDefaults, benchmark::Counter::kIs1000);
+    }
+}
+
+void
+setSpmmCounters(benchmark::State &state, const graph::Csr &csr,
+                uint64_t k)
+{
+    const auto flops =
+        2.0 * static_cast<double>(csr.numEdges()) * static_cast<double>(k);
+    const model::SpmmWorkload w{csr.numVertices(), csr.numEdges(), k};
+    setFlopsCounters(state, flops,
+                     xeon::spmmTimeNs(hostRoofline(), w, 1,
+                                      /*skewed=*/true));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(csr.numEdges()));
 }
 
 void
@@ -37,11 +106,12 @@ BM_SpmmReference(benchmark::State &state)
         kernels::spmmReference(csr, h, out);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(csr.numEdges()));
+    setSpmmCounters(state, csr, k);
 }
-BENCHMARK(BM_SpmmReference)->Args({12, 32})->Args({14, 32});
+BENCHMARK(BM_SpmmReference)
+    ->Args({12, 32})
+    ->Args({14, 32})
+    ->Args({14, 128});
 
 void
 BM_SpmmVertexParallel(benchmark::State &state)
@@ -56,9 +126,7 @@ BM_SpmmVertexParallel(benchmark::State &state)
         kernels::spmmVertexParallel(csr, h, out, pool);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(csr.numEdges()));
+    setSpmmCounters(state, csr, k);
 }
 BENCHMARK(BM_SpmmVertexParallel)
     ->Args({12, 32})
@@ -78,11 +146,29 @@ BM_SpmmEdgeParallel(benchmark::State &state)
         kernels::spmmEdgeParallel(csr, h, out, pool);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(csr.numEdges()));
+    setSpmmCounters(state, csr, k);
 }
 BENCHMARK(BM_SpmmEdgeParallel)->Args({12, 32})->Args({14, 32});
+
+void
+BM_SpmmNnzBalanced(benchmark::State &state)
+{
+    const auto csr = benchGraph(static_cast<uint32_t>(state.range(0)));
+    const auto k = static_cast<uint64_t>(state.range(1));
+    tensor::DenseMatrix h(csr.numVertices(), k);
+    h.fillRandom(1);
+    tensor::DenseMatrix out;
+    parallel::ThreadPool pool;
+    for (auto _ : state) {
+        kernels::spmmNnzBalanced(csr, h, out, pool);
+        benchmark::DoNotOptimize(out.data());
+    }
+    setSpmmCounters(state, csr, k);
+}
+BENCHMARK(BM_SpmmNnzBalanced)
+    ->Args({12, 32})
+    ->Args({14, 32})
+    ->Args({14, 128});
 
 void
 BM_SpmmTiled(benchmark::State &state)
@@ -99,15 +185,57 @@ BM_SpmmTiled(benchmark::State &state)
         tiled.apply(h, out, pool);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(csr.numEdges()));
-    state.counters["tiles"] =
-        static_cast<double>(tiled.numTiles());
+    setSpmmCounters(state, csr, k);
+    state.counters["tiles"] = static_cast<double>(tiled.numTiles());
 }
 BENCHMARK(BM_SpmmTiled)
     ->Args({14, 128, 1 << 20}) // one tile
     ->Args({14, 128, 256});    // many small tiles
+
+void
+BM_FusedGcnLayer(benchmark::State &state)
+{
+    const auto csr = benchGraph(static_cast<uint32_t>(state.range(0)));
+    const auto k_in = static_cast<uint64_t>(state.range(1));
+    const auto k_out = static_cast<uint64_t>(state.range(2));
+    tensor::DenseMatrix h(csr.numVertices(), k_in);
+    h.fillRandom(1);
+    tensor::DenseMatrix w(k_in, k_out);
+    w.fillRandom(2);
+    tensor::DenseMatrix out;
+    parallel::ThreadPool pool;
+    for (auto _ : state) {
+        kernels::fusedSpmmGemm(csr, h, w, out, pool,
+                               /*apply_relu=*/true);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const double flops =
+        2.0 * static_cast<double>(csr.numEdges()) *
+            static_cast<double>(k_in) +
+        2.0 * static_cast<double>(csr.numVertices()) *
+            static_cast<double>(k_in) * static_cast<double>(k_out);
+    const auto cfg = hostRoofline();
+    const model::SpmmWorkload spmm_w{csr.numVertices(), csr.numEdges(),
+                                     k_in};
+    const double model_ns =
+        xeon::spmmTimeNs(cfg, spmm_w, 1, /*skewed=*/true) +
+        xeon::denseMmTimeNs(cfg, csr.numVertices(), k_in, k_out, 1);
+    setFlopsCounters(state, flops, model_ns);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(csr.numEdges()));
+}
+BENCHMARK(BM_FusedGcnLayer)->Args({14, 128, 128})->Args({14, 128, 16});
+
+void
+setGemmCounters(benchmark::State &state, uint64_t n)
+{
+    const double flops = 2.0 * static_cast<double>(n) *
+                         static_cast<double>(n) * static_cast<double>(n);
+    setFlopsCounters(state, flops,
+                     xeon::denseMmTimeNs(hostRoofline(), n, n, n, 1));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(2 * n * n * n));
+}
 
 void
 BM_DenseMmBlocked(benchmark::State &state)
@@ -120,10 +248,24 @@ BM_DenseMmBlocked(benchmark::State &state)
         tensor::denseMmBlocked(a, b, out);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(2 * n * n * n));
+    setGemmCounters(state, n);
 }
 BENCHMARK(BM_DenseMmBlocked)->Arg(64)->Arg(256);
+
+void
+BM_DenseMmBlockedScalar(benchmark::State &state)
+{
+    const auto n = static_cast<uint64_t>(state.range(0));
+    tensor::DenseMatrix a(n, n), b(n, n), out;
+    a.fillRandom(1);
+    b.fillRandom(2);
+    for (auto _ : state) {
+        tensor::denseMmBlockedScalar(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    setGemmCounters(state, n);
+}
+BENCHMARK(BM_DenseMmBlockedScalar)->Arg(64)->Arg(256);
 
 void
 BM_RmatGeneration(benchmark::State &state)
@@ -154,3 +296,34 @@ BM_Normalization(benchmark::State &state)
 BENCHMARK(BM_Normalization)->Arg(12)->Arg(14);
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+#ifdef NDEBUG
+    benchmark::AddCustomContext("build_assertions", "off (NDEBUG)");
+#else
+    std::fprintf(
+        stderr,
+        "\n"
+        "*****************************************************\n"
+        "*** WARNING: micro_kernels compiled WITHOUT NDEBUG **\n"
+        "*** (asserts active). Timings below are NOT valid  **\n"
+        "*** performance numbers. Rebuild with              **\n"
+        "***   cmake -DCMAKE_BUILD_TYPE=Release             **\n"
+        "*** before recording results.                      **\n"
+        "*****************************************************\n"
+        "\n");
+    benchmark::AddCustomContext("build_assertions",
+                                "ON -- DEBUG BUILD, DO NOT RECORD");
+#endif
+    benchmark::AddCustomContext(
+        "simd_tier",
+        pgcn::kernels::simd::tierName(pgcn::kernels::simd::activeTier()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fused SpMM -> GEMM GCN layer: H_out = act((A~ H_in) W) in one pass.
+ *
+ * The unfused (A H) W pipeline materialises the |V| x K_in aggregate,
+ * writes it to memory, then streams it straight back in for the dense
+ * transform — 2 * |V| * K_in * 4 B of pure traffic. The fused path
+ * instead hands each thread an NNZ-balanced chunk of rows and walks it
+ * in small row tiles: the SpMM output tile lands in a per-thread
+ * scratch buffer (L1/L2-resident), the register-tiled GEMM consumes it
+ * immediately against a pre-packed W panel, and the optional ReLU runs
+ * on the freshly written output rows while they are still hot. The
+ * aggregate never exists in memory at full size.
+ */
+#ifndef PGCN_KERNELS_FUSED_GCN_HPP
+#define PGCN_KERNELS_FUSED_GCN_HPP
+
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace pgcn::kernels {
+
+/**
+ * Compute h_out = act((A h_in) W) without materialising A h_in.
+ *
+ * W is packed once into the SIMD GEMM panel layout; threads then
+ * process NNZ-balanced row chunks in @p tile_rows -row sub-tiles
+ * (SpMM into pool-owned scratch, prepacked GEMM into the output,
+ * optional in-place ReLU on the hot rows).
+ *
+ * @param a Sparse |V| x |V| matrix.
+ * @param h_in Dense |V| x K_in input features.
+ * @param w Dense K_in x K_out weights.
+ * @param h_out Dense |V| x K_out output; reshaped by the call
+ *        (capacity is reused when sufficient).
+ * @param pool Thread pool to run on.
+ * @param apply_relu Apply ReLU to the output rows while cache-hot.
+ * @param tile_rows Rows per fused sub-tile; the scratch tile is
+ *        tile_rows * K_in floats and should fit L2.
+ */
+void fusedSpmmGemm(const graph::Csr &a, const tensor::DenseMatrix &h_in,
+                   const tensor::DenseMatrix &w,
+                   tensor::DenseMatrix &h_out, parallel::ThreadPool &pool,
+                   bool apply_relu, uint64_t tile_rows = 64);
+
+} // namespace pgcn::kernels
+
+#endif // PGCN_KERNELS_FUSED_GCN_HPP

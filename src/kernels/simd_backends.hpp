@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Internal: accessors for the per-tier Ops tables. Which backends
+ * exist is decided at configure time (PGCN_SIMD_HAVE_* definitions on
+ * the pgcn_simd target); the dispatcher in simd.cpp only references
+ * the ones that were compiled.
+ */
+#ifndef PGCN_KERNELS_SIMD_BACKENDS_HPP
+#define PGCN_KERNELS_SIMD_BACKENDS_HPP
+
+#include "kernels/simd.hpp"
+
+namespace pgcn::kernels::simd {
+
+/** Scalar backend; always compiled. */
+const Ops &scalarOps();
+
+#ifdef PGCN_SIMD_HAVE_AVX2
+/** AVX2+FMA backend (x86 builds whose compiler accepts -mavx2). */
+const Ops &avx2Ops();
+#endif
+
+#ifdef PGCN_SIMD_HAVE_AVX512
+/** AVX-512F backend (x86 builds whose compiler accepts -mavx512f). */
+const Ops &avx512Ops();
+#endif
+
+} // namespace pgcn::kernels::simd
+
+#endif // PGCN_KERNELS_SIMD_BACKENDS_HPP

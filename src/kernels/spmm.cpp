@@ -1,9 +1,11 @@
 #include "kernels/spmm.hpp"
 
-#include <vector>
+#include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "kernels/simd.hpp"
 #include "parallel/atomic_float.hpp"
 
 namespace pgcn::kernels {
@@ -27,12 +29,35 @@ checkShapes(const Csr &a, const DenseMatrix &h_in)
 
 } // namespace
 
+std::vector<VertexId>
+nnzBalancedRowChunks(std::span<const EdgeId> row_offsets, unsigned parts)
+{
+    PGCN_ASSERT(!row_offsets.empty(), "row offsets must have size rows+1");
+    PGCN_ASSERT(parts > 0, "nnz chunking needs at least one part");
+    const uint64_t rows = row_offsets.size() - 1;
+    const EdgeId base = row_offsets.front();
+    const EdgeId nnz = row_offsets.back() - base;
+
+    std::vector<VertexId> bounds(parts + 1);
+    bounds[0] = 0;
+    for (unsigned p = 1; p < parts; ++p) {
+        const EdgeId target = base + nnz * p / parts;
+        const auto it = std::lower_bound(row_offsets.begin(),
+                                         row_offsets.end(), target);
+        const auto r = std::min<uint64_t>(
+            static_cast<uint64_t>(it - row_offsets.begin()), rows);
+        bounds[p] = std::max(bounds[p - 1], static_cast<VertexId>(r));
+    }
+    bounds[parts] = static_cast<VertexId>(rows);
+    return bounds;
+}
+
 void
 spmmReference(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out)
 {
     checkShapes(a, h_in);
     const uint64_t k = h_in.cols();
-    h_out = DenseMatrix(a.numVertices(), k);
+    h_out.resize(a.numVertices(), k);
     const auto &offsets = a.rowOffsets();
     const auto &cols = a.cols();
     const auto &vals = a.vals();
@@ -54,23 +79,19 @@ spmmVertexParallel(const Csr &a, const DenseMatrix &h_in,
 {
     checkShapes(a, h_in);
     const uint64_t k = h_in.cols();
-    h_out = DenseMatrix(a.numVertices(), k);
-    const auto &offsets = a.rowOffsets();
-    const auto &cols = a.cols();
-    const auto &vals = a.vals();
+    h_out.resizeForOverwrite(a.numVertices(), k);
+    const auto &ops = simd::ops();
+    const uint64_t *offsets = a.rowOffsets().data();
+    const uint32_t *cols = a.cols().data();
+    const float *vals = a.vals().data();
+    float *out = h_out.data();
+    const float *in = h_in.data();
 
     pool.parallelFor(
         a.numVertices(), parallel::Schedule::Dynamic, chunk_rows,
         [&](unsigned, uint64_t begin, uint64_t end) {
-            for (uint64_t u = begin; u < end; ++u) {
-                auto out = h_out.row(u);
-                for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
-                    const auto in = h_in.row(cols[e]);
-                    const float w = vals[e];
-                    for (uint64_t j = 0; j < k; ++j)
-                        out[j] += w * in[j];
-                }
-            }
+            ops.spmmRowRange(out, in, k, offsets, cols, vals, begin, end,
+                             /*out_row_base=*/0);
         });
 }
 
@@ -80,14 +101,17 @@ spmmEdgeParallel(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out,
 {
     checkShapes(a, h_in);
     const uint64_t k = h_in.cols();
-    h_out = DenseMatrix(a.numVertices(), k);
+    h_out.resize(a.numVertices(), k);
     const EdgeId nnz = a.numEdges();
-    if (nnz == 0)
+    if (nnz == 0 || k == 0)
         return;
 
-    const auto &offsets = a.rowOffsets();
-    const auto &cols = a.cols();
-    const auto &vals = a.vals();
+    const auto &ops = simd::ops();
+    const uint64_t *offsets = a.rowOffsets().data();
+    const uint32_t *cols = a.cols().data();
+    const float *vals = a.vals().data();
+    const float *in = h_in.data();
+    float *out = h_out.data();
     const unsigned num_threads = pool.numThreads();
 
     pool.parallelRegion([&](unsigned t) {
@@ -96,32 +120,81 @@ spmmEdgeParallel(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out,
         if (start >= stop)
             return;
 
-        // Algorithm 2 line 4: binary search for the row owning the
-        // first non-zero of this thread's span.
-        VertexId u = a.rowOfEdge(start);
+        // Algorithm 2 line 4: binary search for the rows owning the
+        // first and last non-zero of this thread's span.
+        const VertexId first_row = a.rowOfEdge(start);
+        const VertexId last_row = a.rowOfEdge(stop - 1);
+        // A row is *shared* with a neighbouring thread iff this span
+        // does not cover all of it; only those need the private
+        // accumulator + atomic flush (Algorithm 2 lines 5/7). All
+        // interior rows are exclusively owned and take the vectorized
+        // overwrite path.
+        const bool first_shared = start > offsets[first_row];
+        const bool last_shared = stop < offsets[last_row + 1];
 
-        std::vector<float> buffer(k, 0.0f); // Algorithm 2 line 5
-        auto flush = [&](VertexId row) {
-            float *out = h_out.data() + static_cast<uint64_t>(row) * k;
+        // Per-thread K-wide accumulator, owned by the pool: reused
+        // across calls, no allocation after the first.
+        float *buffer = pool.scratchFloats(t, k);
+        auto accumulate_flush = [&](VertexId row, EdgeId e0, EdgeId e1) {
+            std::memset(buffer, 0, k * sizeof(float));
+            for (EdgeId e = e0; e < e1; ++e) {
+                ops.axpy(buffer,
+                         in + static_cast<uint64_t>(cols[e]) * k, vals[e],
+                         k);
+            }
+            float *out_row = out + static_cast<uint64_t>(row) * k;
             for (uint64_t j = 0; j < k; ++j) {
-                if (buffer[j] != 0.0f) {
-                    parallel::atomicAddFloat(out + j, buffer[j]);
-                    buffer[j] = 0.0f;
-                }
+                if (buffer[j] != 0.0f)
+                    parallel::atomicAddFloat(out_row + j, buffer[j]);
             }
         };
 
-        for (EdgeId e = start; e < stop; ++e) {
-            while (e >= offsets[u + 1]) { // row boundary (line 7)
-                flush(u);
-                ++u; // skip over empty rows too
+        if (first_row == last_row) {
+            if (first_shared || last_shared) {
+                accumulate_flush(first_row, start, stop);
+            } else {
+                ops.spmmRowRange(out, in, k, offsets, cols, vals,
+                                 first_row, first_row + 1, 0);
             }
-            const auto in = h_in.row(cols[e]);
-            const float w = vals[e];
-            for (uint64_t j = 0; j < k; ++j) // line 11
-                buffer[j] += w * in[j];
+            return;
         }
-        flush(u);
+
+        if (first_shared)
+            accumulate_flush(first_row, start, offsets[first_row + 1]);
+        const VertexId interior_begin =
+            first_row + (first_shared ? 1 : 0);
+        const VertexId interior_end = last_row + (last_shared ? 0 : 1);
+        if (interior_begin < interior_end) {
+            ops.spmmRowRange(out, in, k, offsets, cols, vals,
+                             interior_begin, interior_end, 0);
+        }
+        if (last_shared)
+            accumulate_flush(last_row, offsets[last_row], stop);
+    });
+}
+
+void
+spmmNnzBalanced(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out,
+                parallel::ThreadPool &pool)
+{
+    checkShapes(a, h_in);
+    const uint64_t k = h_in.cols();
+    h_out.resizeForOverwrite(a.numVertices(), k);
+    if (a.numVertices() == 0)
+        return;
+
+    const auto &ops = simd::ops();
+    const auto bounds =
+        nnzBalancedRowChunks(a.rowOffsets(), pool.numThreads());
+    const uint64_t *offsets = a.rowOffsets().data();
+    const uint32_t *cols = a.cols().data();
+    const float *vals = a.vals().data();
+    float *out = h_out.data();
+    const float *in = h_in.data();
+
+    pool.parallelRegion([&](unsigned t) {
+        ops.spmmRowRange(out, in, k, offsets, cols, vals, bounds[t],
+                         bounds[t + 1], /*out_row_base=*/0);
     });
 }
 

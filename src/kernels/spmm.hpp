@@ -2,18 +2,31 @@
  * @file
  * Functional CPU SpMM kernels: H_out = A~ * H_in (paper Algorithm 1).
  *
- * Three implementations:
- *  - spmmReference: sequential, obviously correct oracle.
+ * Four implementations, all but the reference vectorized along the
+ * feature dimension through the runtime SIMD layer (kernels/simd.hpp)
+ * with register-resident multi-accumulator inner loops:
+ *
+ *  - spmmReference: sequential scalar loop, obviously correct oracle.
  *  - spmmVertexParallel: the paper's optimized CPU baseline — one
  *    vertex (output row) per task, dynamic load balancing, no atomics.
  *  - spmmEdgeParallel: the paper's Algorithm 2 — non-zeros split
  *    evenly across threads, binary search for the starting row,
- *    atomic writeback at row boundaries. On CPUs this loses to
- *    vertex-parallel because of atomic overhead (Section V-A); on
+ *    atomic writeback at row boundaries. Rows fully owned by one
+ *    thread take the vectorized no-atomic path; only the (at most
+ *    two) rows shared with neighbouring threads go through the
+ *    per-thread accumulator + atomic flush. On CPUs this still loses
+ *    to vertex-parallel because of the atomics (Section V-A); on
  *    PIUMA the same algorithm wins thanks to hardware remote atomics.
+ *  - spmmNnzBalanced: static equal-work partitioning — a prefix-sum
+ *    (the CSR row-offset array) split into one row-aligned chunk of
+ *    ~|E|/T non-zeros per thread, so skewed graphs balance without
+ *    dynamic scheduling or atomics.
  */
 #ifndef PGCN_KERNELS_SPMM_HPP
 #define PGCN_KERNELS_SPMM_HPP
+
+#include <span>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "parallel/thread_pool.hpp"
@@ -22,11 +35,26 @@
 namespace pgcn::kernels {
 
 /**
+ * Split rows into @p parts contiguous chunks of approximately equal
+ * non-zero count, via binary search over the CSR prefix sums.
+ *
+ * @param row_offsets CSR row-offset array (size rows + 1, monotone).
+ * @param parts Number of chunks (>= 1).
+ * @return parts + 1 monotone row boundaries; chunk p is
+ *         [result[p], result[p + 1]). Chunks may be empty when a
+ *         single row holds more than |E| / parts non-zeros.
+ */
+std::vector<graph::VertexId>
+nnzBalancedRowChunks(std::span<const graph::EdgeId> row_offsets,
+                     unsigned parts);
+
+/**
  * Sequential reference SpMM.
  *
  * @param a Sparse |V| x |V| matrix.
  * @param h_in Dense |V| x K input features.
- * @param h_out Dense |V| x K output; resized/zeroed by the call.
+ * @param h_out Dense |V| x K output; reshaped by the call (capacity
+ *        is reused when sufficient).
  */
 void spmmReference(const graph::Csr &a, const tensor::DenseMatrix &h_in,
                    tensor::DenseMatrix &h_out);
@@ -38,7 +66,7 @@ void spmmReference(const graph::Csr &a, const tensor::DenseMatrix &h_in,
  *
  * @param a Sparse matrix.
  * @param h_in Input features (|V| x K).
- * @param h_out Output features; resized/zeroed by the call.
+ * @param h_out Output features; reshaped by the call.
  * @param pool Thread pool to run on.
  * @param chunk_rows Dynamic-scheduling chunk (rows per grab).
  */
@@ -51,18 +79,33 @@ void spmmVertexParallel(const graph::Csr &a,
 /**
  * Edge-parallel SpMM (paper Algorithm 2): the |E| non-zeros are split
  * into one contiguous span per thread; each thread binary-searches the
- * row containing its first non-zero, accumulates into a private K-wide
- * buffer, and flushes with atomic adds at every row boundary (rows can
- * be shared between adjacent threads).
+ * row containing its first non-zero. Shared boundary rows accumulate
+ * into per-thread scratch (owned by the pool, no per-call allocation)
+ * and flush with atomic adds; interior rows take the vectorized
+ * exclusive-ownership path.
  *
  * @param a Sparse matrix.
  * @param h_in Input features (|V| x K).
- * @param h_out Output features; resized/zeroed by the call.
+ * @param h_out Output features; reshaped by the call.
  * @param pool Thread pool to run on.
  */
 void spmmEdgeParallel(const graph::Csr &a, const tensor::DenseMatrix &h_in,
                       tensor::DenseMatrix &h_out,
                       parallel::ThreadPool &pool);
+
+/**
+ * NNZ-balanced SpMM: one statically-assigned, row-aligned, equal-work
+ * chunk per thread (see nnzBalancedRowChunks). No atomics, no
+ * scheduling overhead; the partition itself absorbs degree skew.
+ *
+ * @param a Sparse matrix.
+ * @param h_in Input features (|V| x K).
+ * @param h_out Output features; reshaped by the call.
+ * @param pool Thread pool to run on.
+ */
+void spmmNnzBalanced(const graph::Csr &a, const tensor::DenseMatrix &h_in,
+                     tensor::DenseMatrix &h_out,
+                     parallel::ThreadPool &pool);
 
 } // namespace pgcn::kernels
 

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "kernels/simd.hpp"
+#include "kernels/spmm.hpp"
 
 namespace pgcn::kernels {
 
@@ -71,27 +73,28 @@ TiledSpmm::apply(const DenseMatrix &h_in, DenseMatrix &h_out,
                                    << embeddingDim_);
     }
     const uint64_t k = embeddingDim_;
-    h_out = DenseMatrix(numVertices_, k);
+    h_out.resize(numVertices_, k);
 
     // Tiles run sequentially so no two passes write the same row
-    // concurrently; rows within a tile are independent.
+    // concurrently; within a tile each thread takes one row-aligned,
+    // NNZ-balanced chunk (prefix-sum split over the tile's row
+    // offsets), so skewed tiles stay load-balanced without dynamic
+    // scheduling. The inner loop is the vectorized gather-row kernel
+    // accumulating across tiles.
+    const auto &ops = simd::ops();
+    float *out = h_out.data();
+    const float *in = h_in.data();
     for (const Tile &tile : tiles_) {
         if (tile.rowIds.empty())
             continue;
-        pool.parallelFor(
-            tile.rowIds.size(), parallel::Schedule::Dynamic, 32,
-            [&](unsigned, uint64_t begin, uint64_t end) {
-                for (uint64_t i = begin; i < end; ++i) {
-                    auto out = h_out.row(tile.rowIds[i]);
-                    for (EdgeId e = tile.rowOffsets[i];
-                         e < tile.rowOffsets[i + 1]; ++e) {
-                        const auto in = h_in.row(tile.cols[e]);
-                        const float w = tile.vals[e];
-                        for (uint64_t j = 0; j < k; ++j)
-                            out[j] += w * in[j];
-                    }
-                }
-            });
+        const auto bounds =
+            nnzBalancedRowChunks(tile.rowOffsets, pool.numThreads());
+        pool.parallelRegion([&](unsigned t) {
+            ops.spmmGatherRows(out, in, k, tile.rowIds.data(),
+                               tile.rowOffsets.data(), tile.cols.data(),
+                               tile.vals.data(), bounds[t],
+                               bounds[t + 1]);
+        });
     }
 }
 

@@ -12,6 +12,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
         num_threads = std::max(1u, std::thread::hardware_concurrency());
     }
     numThreads_ = num_threads;
+    scratch_.resize(numThreads_);
     // Thread 0 is the caller; spawn the rest.
     workers_.reserve(numThreads_ - 1);
     for (unsigned id = 1; id < numThreads_; ++id)
@@ -53,6 +54,19 @@ ThreadPool::workerLoop(unsigned id)
                 cvDone_.notify_one();
         }
     }
+}
+
+float *
+ThreadPool::scratchFloats(unsigned tid, uint64_t elems)
+{
+    PGCN_ASSERT(tid < numThreads_,
+                "scratch tid " << tid << " out of " << numThreads_);
+    ScratchSlot &slot = scratch_[tid];
+    if (slot.elems < elems) {
+        slot.buf = kernels::simd::makeAlignedBuffer(elems);
+        slot.elems = elems;
+    }
+    return slot.buf.get();
 }
 
 void

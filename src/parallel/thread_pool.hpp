@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/simd.hpp"
+
 namespace pgcn::parallel {
 
 /** Loop-scheduling policy for parallelFor. */
@@ -77,11 +79,37 @@ class ThreadPool
     void
     parallelRegion(const std::function<void(unsigned)> &fn);
 
+    /**
+     * Per-thread kernel scratch: a 64-byte-aligned float buffer owned
+     * by the pool, grown on demand and reused across kernel launches,
+     * so per-call workspaces (the edge-parallel SpMM accumulator, the
+     * fused GCN layer's tile buffers) cost no allocation after the
+     * first use.
+     *
+     * Thread-safety contract: each thread may only request its OWN
+     * slot (@p tid must be the id the pool handed the caller), which
+     * makes growth race-free without locking.
+     *
+     * @param tid Calling thread's pool id (< numThreads()).
+     * @param elems Minimum float capacity required.
+     * @return Pointer to at least @p elems floats, 64-byte aligned.
+     *         Contents are unspecified (not zeroed).
+     */
+    float *scratchFloats(unsigned tid, uint64_t elems);
+
   private:
     void workerLoop(unsigned id);
 
+    /** One lazily-grown scratch buffer per pool thread. */
+    struct ScratchSlot
+    {
+        kernels::simd::AlignedBuffer buf;
+        uint64_t elems = 0;
+    };
+
     unsigned numThreads_;
     std::vector<std::thread> workers_;
+    std::vector<ScratchSlot> scratch_;
 
     std::mutex mutex_;
     std::condition_variable cvStart_;

@@ -2,23 +2,108 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/rng.hpp"
 
 namespace pgcn::tensor {
 
+DenseMatrix::DenseMatrix(uint64_t rows, uint64_t cols,
+                         const std::vector<float> &data)
+{
+    PGCN_ASSERT(data.size() == rows * cols,
+                "dense data size " << data.size() << " != " << rows << "x"
+                                   << cols);
+    resize(rows, cols);
+    if (!data.empty())
+        std::memcpy(data_.get(), data.data(), data.size() * sizeof(float));
+}
+
+DenseMatrix::DenseMatrix(const DenseMatrix &other)
+    : rows_(other.rows_), cols_(other.cols_), capacity_(other.size()),
+      data_(kernels::simd::makeAlignedBuffer(other.size()))
+{
+    if (capacity_ > 0)
+        std::memcpy(data_.get(), other.data_.get(),
+                    capacity_ * sizeof(float));
+}
+
+DenseMatrix &
+DenseMatrix::operator=(const DenseMatrix &other)
+{
+    if (this == &other)
+        return *this;
+    const uint64_t n = other.size();
+    if (n > capacity_) {
+        data_ = kernels::simd::makeAlignedBuffer(n);
+        capacity_ = n;
+    }
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    if (n > 0)
+        std::memcpy(data_.get(), other.data_.get(), n * sizeof(float));
+    return *this;
+}
+
+DenseMatrix::DenseMatrix(DenseMatrix &&other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), capacity_(other.capacity_),
+      data_(std::move(other.data_))
+{
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.capacity_ = 0;
+}
+
+DenseMatrix &
+DenseMatrix::operator=(DenseMatrix &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    capacity_ = other.capacity_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.capacity_ = 0;
+    return *this;
+}
+
+void
+DenseMatrix::resize(uint64_t rows, uint64_t cols)
+{
+    resizeForOverwrite(rows, cols);
+    const uint64_t n = rows * cols;
+    if (n > 0)
+        std::memset(data_.get(), 0, n * sizeof(float));
+}
+
+void
+DenseMatrix::resizeForOverwrite(uint64_t rows, uint64_t cols)
+{
+    const uint64_t n = rows * cols;
+    if (n > capacity_) {
+        data_ = kernels::simd::makeAlignedBuffer(n);
+        capacity_ = n;
+    }
+    rows_ = rows;
+    cols_ = cols;
+}
+
 void
 DenseMatrix::fill(float value)
 {
-    std::fill(data_.begin(), data_.end(), value);
+    std::fill(data_.get(), data_.get() + size(), value);
 }
 
 void
 DenseMatrix::fillRandom(uint64_t seed, float scale)
 {
     Rng rng(seed);
-    for (float &x : data_)
-        x = static_cast<float>(rng.uniformRange(-scale, scale));
+    float *p = data_.get();
+    const uint64_t n = size();
+    for (uint64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.uniformRange(-scale, scale));
 }
 
 bool

@@ -4,6 +4,13 @@
  * GCN layers. Row-major layout matters: SpMM reads whole rows
  * (feature vectors) per edge, exactly the access pattern the paper's
  * traffic equations assume.
+ *
+ * Storage is 64-byte aligned (cache-line / widest-SIMD-register) so
+ * the vectorized kernels can use aligned blocks, and resize() keeps
+ * the existing allocation whenever it is large enough — repeated
+ * kernel launches (one per GCN layer, or per benchmark iteration)
+ * reuse warm pages instead of paying a fresh allocation + page-fault
+ * storm per call.
  */
 #ifndef PGCN_TENSOR_DENSE_MATRIX_HPP
 #define PGCN_TENSOR_DENSE_MATRIX_HPP
@@ -13,12 +20,13 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "kernels/simd.hpp"
 
 namespace pgcn::tensor {
 
 /**
  * A dense rows x cols matrix of float, stored row-major in one
- * contiguous allocation.
+ * contiguous 64-byte-aligned allocation.
  */
 class DenseMatrix
 {
@@ -32,28 +40,48 @@ class DenseMatrix
      * @param rows Row count.
      * @param cols Column count.
      */
-    DenseMatrix(uint64_t rows, uint64_t cols)
-        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
-    {
-    }
+    DenseMatrix(uint64_t rows, uint64_t cols) { resize(rows, cols); }
 
     /**
-     * Create from explicit data (row-major, size rows*cols).
+     * Create from explicit data (row-major, size rows*cols). The data
+     * is copied into aligned storage.
      */
-    DenseMatrix(uint64_t rows, uint64_t cols, std::vector<float> data)
-        : rows_(rows), cols_(cols), data_(std::move(data))
-    {
-        PGCN_ASSERT(data_.size() == rows_ * cols_,
-                    "dense data size " << data_.size() << " != " << rows_
-                                       << "x" << cols_);
-    }
+    DenseMatrix(uint64_t rows, uint64_t cols, const std::vector<float> &data);
+
+    /** Deep copy (exact-size allocation). */
+    DenseMatrix(const DenseMatrix &other);
+    DenseMatrix &operator=(const DenseMatrix &other);
+
+    /** Move; the source is left empty. */
+    DenseMatrix(DenseMatrix &&other) noexcept;
+    DenseMatrix &operator=(DenseMatrix &&other) noexcept;
 
     /** Row count. */
     uint64_t rows() const { return rows_; }
     /** Column count. */
     uint64_t cols() const { return cols_; }
     /** Total element count. */
-    uint64_t size() const { return data_.size(); }
+    uint64_t size() const { return rows_ * cols_; }
+    /** Elements the current allocation can hold without reallocating. */
+    uint64_t capacity() const { return capacity_; }
+
+    /**
+     * Reshape to rows x cols and zero the contents. Keeps the current
+     * allocation when it already has the capacity (the common case
+     * for kernel output buffers reused across calls/layers), so no
+     * allocation happens on repeat invocations with same-or-smaller
+     * shapes.
+     */
+    void resize(uint64_t rows, uint64_t cols);
+
+    /**
+     * Reshape without the zero-fill. Only for callers with full
+     * overwrite semantics (every element is written before any read):
+     * the vectorized SpMM/GEMM entry points store into every output
+     * slot, so zeroing first would just double the write traffic.
+     * Contents are unspecified after the call.
+     */
+    void resizeForOverwrite(uint64_t rows, uint64_t cols);
 
     /** Element access (bounds-checked via assertion). */
     float &
@@ -80,7 +108,7 @@ class DenseMatrix
     row(uint64_t r)
     {
         PGCN_ASSERT(r < rows_, "row " << r << " out of " << rows_);
-        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+        return {data_.get() + r * cols_, static_cast<size_t>(cols_)};
     }
 
     /** Const view of row @p r. */
@@ -88,13 +116,13 @@ class DenseMatrix
     row(uint64_t r) const
     {
         PGCN_ASSERT(r < rows_, "row " << r << " out of " << rows_);
-        return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+        return {data_.get() + r * cols_, static_cast<size_t>(cols_)};
     }
 
-    /** Raw contiguous storage. */
-    float *data() { return data_.data(); }
+    /** Raw contiguous storage (64-byte aligned). */
+    float *data() { return data_.get(); }
     /** Raw contiguous storage (const). */
-    const float *data() const { return data_.data(); }
+    const float *data() const { return data_.get(); }
 
     /** Set all elements to @p value. */
     void fill(float value);
@@ -107,13 +135,14 @@ class DenseMatrix
      */
     void fillRandom(uint64_t seed, float scale = 1.0f);
 
-    /** Total storage footprint in bytes. */
-    uint64_t bytes() const { return data_.size() * sizeof(float); }
+    /** Total storage footprint in bytes (live elements). */
+    uint64_t bytes() const { return size() * sizeof(float); }
 
   private:
     uint64_t rows_ = 0;
     uint64_t cols_ = 0;
-    std::vector<float> data_;
+    uint64_t capacity_ = 0;
+    kernels::simd::AlignedBuffer data_;
 };
 
 /**

@@ -2,17 +2,45 @@
 
 #include <algorithm>
 
+#include "kernels/simd.hpp"
+
 namespace pgcn::tensor {
 
+namespace {
+
 void
-denseMmReference(const DenseMatrix &a, const DenseMatrix &b,
-                 DenseMatrix &out)
+checkGemmShapes(const DenseMatrix &a, const DenseMatrix &b)
 {
     PGCN_ASSERT(a.cols() == b.rows(),
                 "gemm shape mismatch: " << a.rows() << "x" << a.cols()
                                         << " * " << b.rows() << "x"
                                         << b.cols());
-    out = DenseMatrix(a.rows(), b.cols());
+}
+
+/**
+ * Per-thread pack scratch, reused across GEMM calls so repeated
+ * layer updates do not re-allocate (and re-fault) panel storage.
+ */
+float *
+packScratch(uint64_t elems)
+{
+    thread_local kernels::simd::AlignedBuffer buf;
+    thread_local uint64_t buf_elems = 0;
+    if (elems > buf_elems) {
+        buf = kernels::simd::makeAlignedBuffer(elems);
+        buf_elems = elems;
+    }
+    return buf.get();
+}
+
+} // namespace
+
+void
+denseMmReference(const DenseMatrix &a, const DenseMatrix &b,
+                 DenseMatrix &out)
+{
+    checkGemmShapes(a, b);
+    out.resize(a.rows(), b.cols());
     for (uint64_t i = 0; i < a.rows(); ++i) {
         for (uint64_t k = 0; k < a.cols(); ++k) {
             const float aik = a.at(i, k);
@@ -30,15 +58,32 @@ void
 denseMmBlocked(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
                uint64_t block)
 {
-    PGCN_ASSERT(a.cols() == b.rows(),
-                "gemm shape mismatch: " << a.rows() << "x" << a.cols()
-                                        << " * " << b.rows() << "x"
-                                        << b.cols());
+    (void)block;
+    checkGemmShapes(a, b);
+    const uint64_t m = a.rows();
+    const uint64_t kk = a.cols();
+    const uint64_t n = b.cols();
+    out.resizeForOverwrite(m, n);
+    if (m == 0 || n == 0)
+        return;
+
+    const auto &ops = kernels::simd::ops();
+    float *pack = packScratch(kernels::simd::gemmPackBufferElems(n, kk));
+    ops.gemmPackB(b.data(), n, n, kk, pack);
+    ops.gemmPrepacked(a.data(), kk, pack, out.data(), n, m, n, kk,
+                      /*accumulate=*/false);
+}
+
+void
+denseMmBlockedScalar(const DenseMatrix &a, const DenseMatrix &b,
+                     DenseMatrix &out, uint64_t block)
+{
+    checkGemmShapes(a, b);
     PGCN_ASSERT(block > 0, "gemm block must be positive");
     const uint64_t m = a.rows();
     const uint64_t kk = a.cols();
     const uint64_t n = b.cols();
-    out = DenseMatrix(m, n);
+    out.resize(m, n);
 
     for (uint64_t i0 = 0; i0 < m; i0 += block) {
         const uint64_t i1 = std::min(i0 + block, m);
@@ -60,9 +105,7 @@ denseMmBlocked(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &out,
 void
 reluInPlace(DenseMatrix &m)
 {
-    float *p = m.data();
-    for (uint64_t i = 0; i < m.size(); ++i)
-        p[i] = std::max(p[i], 0.0f);
+    kernels::simd::ops().relu(m.data(), m.size());
 }
 
 void
@@ -70,11 +113,7 @@ addBiasInPlace(DenseMatrix &m, std::span<const float> bias)
 {
     PGCN_ASSERT(bias.size() == m.cols(),
                 "bias length " << bias.size() << " != cols " << m.cols());
-    for (uint64_t r = 0; r < m.rows(); ++r) {
-        auto row = m.row(r);
-        for (uint64_t c = 0; c < m.cols(); ++c)
-            row[c] += bias[c];
-    }
+    kernels::simd::ops().addBias(m.data(), bias.data(), m.rows(), m.cols());
 }
 
 } // namespace pgcn::tensor

@@ -2,6 +2,13 @@
  * @file
  * Dense matrix multiplication (the GCN "update" phase, (.)W in the
  * paper) and elementwise activations (the "glue" sigma).
+ *
+ * The production GEMM is a packed, register-tiled kernel dispatched
+ * through the runtime SIMD layer (kernels/simd.hpp): B is packed into
+ * NR-column panels and the inner microkernel computes a ~6 x 16
+ * register tile of C with FMA. The previous cache-blocked scalar loop
+ * is kept as denseMmBlockedScalar for A/B benchmarking and as a
+ * second correctness oracle.
  */
 #ifndef PGCN_TENSOR_DENSE_MM_HPP
 #define PGCN_TENSOR_DENSE_MM_HPP
@@ -12,33 +19,44 @@ namespace pgcn::tensor {
 
 /**
  * Reference triple-loop GEMM: out = a * b. Simple and obviously
- * correct; used to validate the blocked kernel.
+ * correct; used to validate the optimized kernels.
  *
  * @param a Left operand (m x k).
  * @param b Right operand (k x n).
- * @param out Result (m x n); resized/zeroed by the call.
+ * @param out Result (m x n); resized (capacity kept) by the call.
  */
 void denseMmReference(const DenseMatrix &a, const DenseMatrix &b,
                       DenseMatrix &out);
 
 /**
- * Cache-blocked GEMM with an i-k-j inner ordering so the innermost
- * loop streams rows of b and out. This is the production dense-update
- * kernel for the CPU platform.
+ * Production dense-update GEMM: packed, register-tiled, SIMD-
+ * dispatched (AVX-512 / AVX2 / scalar chosen at runtime). B is
+ * packed once per call into panel scratch reused across calls on the
+ * same thread.
  *
  * @param a Left operand (m x k).
  * @param b Right operand (k x n).
- * @param out Result (m x n); resized/zeroed by the call.
- * @param block Cache-block edge in elements (default tuned for L1/L2).
+ * @param out Result (m x n); resized (capacity kept) by the call.
+ * @param block Unused legacy parameter, kept so existing call sites
+ *        compile; cache blocking is now internal (KC panels).
  */
 void denseMmBlocked(const DenseMatrix &a, const DenseMatrix &b,
                     DenseMatrix &out, uint64_t block = 64);
 
-/** In-place ReLU: x = max(x, 0). */
+/**
+ * The previous cache-blocked scalar GEMM (i-k-j inner ordering).
+ * Kept as a comparison baseline for the packed kernel's speedup and
+ * as an independent oracle in tests.
+ */
+void denseMmBlockedScalar(const DenseMatrix &a, const DenseMatrix &b,
+                          DenseMatrix &out, uint64_t block = 64);
+
+/** In-place ReLU: x = max(x, 0). Vectorized via the SIMD layer. */
 void reluInPlace(DenseMatrix &m);
 
 /**
- * In-place row-wise bias add: m[r, :] += bias.
+ * In-place row-wise bias add: m[r, :] += bias. Vectorized via the
+ * SIMD layer.
  *
  * @param m Matrix to update.
  * @param bias Bias vector of length m.cols().

@@ -145,6 +145,48 @@ TEST_F(GcnInference, EdgeParallelAgreesWithVertexParallel)
     EXPECT_TRUE(allClose(a, b, 1e-3f, 1e-4f));
 }
 
+TEST_F(GcnInference, AllSpmmKindsAgreeInBothLayerOrders)
+{
+    GcnModelConfig cfg;
+    cfg.inputDim = 32;
+    cfg.hiddenDim = 8;
+    cfg.outputDim = 8;
+    for (const auto order : {LayerOrder::TransformThenAggregate,
+                             LayerOrder::AggregateThenTransform}) {
+        cfg.order = order;
+        GcnModel model(cfg);
+        parallel::ThreadPool pool(4);
+        const auto ref =
+            model.infer(*adjacency_, features_, pool,
+                        CpuSpmmKind::VertexParallel);
+        for (const auto kind :
+             {CpuSpmmKind::EdgeParallel, CpuSpmmKind::NnzBalanced,
+              CpuSpmmKind::Fused}) {
+            const auto out =
+                model.infer(*adjacency_, features_, pool, kind);
+            EXPECT_TRUE(allClose(ref, out, 1e-3f, 1e-4f))
+                << "kind " << static_cast<int>(kind) << ", order "
+                << static_cast<int>(order) << ", max diff "
+                << maxAbsDiff(ref, out);
+        }
+    }
+}
+
+TEST_F(GcnInference, FusedBreakdownSplitsAcrossSpmmAndDense)
+{
+    GcnModelConfig cfg;
+    cfg.inputDim = 32;
+    cfg.hiddenDim = 16;
+    cfg.outputDim = 4;
+    cfg.order = LayerOrder::AggregateThenTransform;
+    GcnModel model(cfg);
+    parallel::ThreadPool pool(2);
+    KernelBreakdown bd;
+    model.infer(*adjacency_, features_, pool, CpuSpmmKind::Fused, &bd);
+    EXPECT_GT(bd.spmmNs, 0.0);
+    EXPECT_GT(bd.denseNs, 0.0);
+}
+
 TEST_F(GcnInference, BreakdownCoversAllCategories)
 {
     GcnModelConfig cfg;

@@ -272,3 +272,232 @@ TEST(TiledSpmm, RejectsMismatchedWidth)
 }
 
 } // namespace
+
+// ------------------------------- adversarial cross-variant property
+// Every SpMM variant and both GEMMs against the scalar references, on
+// inputs built to break tail paths and partitioners: empty rows, one
+// dense row, degenerate graphs, widths straddling every SIMD tail
+// regime — each repeated with dispatch pinned to every tier this host
+// offers (so the force-scalar path is always exercised explicitly).
+
+#include "kernels/fused_gcn.hpp"
+#include "kernels/simd.hpp"
+#include "tensor/dense_mm.hpp"
+
+namespace {
+
+using namespace pgcn;
+using graph::Coo;
+using graph::Csr;
+using kernels::simd::Tier;
+using tensor::DenseMatrix;
+
+/** Row 0 dense, interleaved + trailing empty rows, a few self loops. */
+Csr
+adversarialGraph()
+{
+    const graph::VertexId n = 33;
+    Coo coo(n);
+    for (graph::VertexId v = 0; v < n; ++v)
+        coo.addEdge(0, v, 0.25f + 0.01f * static_cast<float>(v));
+    // Odd rows stay empty; even rows (>= 2) get a couple of edges.
+    for (graph::VertexId u = 2; u + 4 < n; u += 2) {
+        coo.addEdge(u, u, 1.0f);
+        coo.addEdge(u, u + 3, -0.5f);
+    }
+    return Csr(coo);
+}
+
+/** Dispatch pinned to a tier for the test's lifetime. */
+class SpmmVariantProperty
+    : public ::testing::TestWithParam<std::tuple<Tier, uint64_t>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        kernels::simd::forceTier(std::get<0>(GetParam()));
+    }
+    void
+    TearDown() override
+    {
+        kernels::simd::resetTier();
+    }
+    uint64_t
+    k() const
+    {
+        return std::get<1>(GetParam());
+    }
+
+    void
+    expectAllVariantsMatch(const Csr &a, unsigned threads)
+    {
+        DenseMatrix h(a.numVertices(), k());
+        h.fillRandom(13);
+        DenseMatrix ref;
+        kernels::spmmReference(a, h, ref);
+        parallel::ThreadPool pool(threads);
+
+        DenseMatrix out;
+        kernels::spmmVertexParallel(a, h, out, pool, 4);
+        EXPECT_TRUE(allClose(ref, out, 1e-4f, 1e-5f))
+            << "vertex-parallel, max diff " << maxAbsDiff(ref, out);
+
+        kernels::spmmEdgeParallel(a, h, out, pool);
+        EXPECT_TRUE(allClose(ref, out, 1e-3f, 1e-4f))
+            << "edge-parallel, max diff " << maxAbsDiff(ref, out);
+
+        kernels::spmmNnzBalanced(a, h, out, pool);
+        EXPECT_TRUE(allClose(ref, out, 1e-4f, 1e-5f))
+            << "nnz-balanced, max diff " << maxAbsDiff(ref, out);
+
+        if (k() > 0) {
+            kernels::TiledSpmm tiled(a, k(),
+                                     /*cache_budget=*/8.0 * k() * 4);
+            tiled.apply(h, out, pool);
+            EXPECT_TRUE(allClose(ref, out, 1e-3f, 1e-4f))
+                << "tiled, max diff " << maxAbsDiff(ref, out);
+        }
+    }
+};
+
+TEST_P(SpmmVariantProperty, AdversarialGraphAllVariantsAgree)
+{
+    expectAllVariantsMatch(adversarialGraph(), 4);
+}
+
+TEST_P(SpmmVariantProperty, OneDenseRowSwallowsEveryPartition)
+{
+    // A single row holding all non-zeros: every NNZ-balanced chunk
+    // boundary collapses onto it and most chunks come out empty.
+    Coo coo(16);
+    for (graph::VertexId v = 0; v < 16; ++v)
+        coo.addEdge(7, v, 1.0f / (1.0f + static_cast<float>(v)));
+    expectAllVariantsMatch(Csr(coo), 8);
+}
+
+TEST_P(SpmmVariantProperty, ZeroVertexGraph)
+{
+    expectAllVariantsMatch(Csr(Coo(0)), 2);
+}
+
+TEST_P(SpmmVariantProperty, OneVertexNoEdges)
+{
+    expectAllVariantsMatch(Csr(Coo(1)), 3);
+}
+
+TEST_P(SpmmVariantProperty, OneVertexSelfLoop)
+{
+    Coo coo(1);
+    coo.addEdge(0, 0, 0.5f);
+    expectAllVariantsMatch(Csr(coo), 3);
+}
+
+TEST_P(SpmmVariantProperty, FusedLayerMatchesUnfusedPipeline)
+{
+    const Csr a = adversarialGraph();
+    const uint64_t k_out = 19; // odd: exercises GEMM panel tails
+    DenseMatrix h(a.numVertices(), k());
+    h.fillRandom(17);
+    DenseMatrix w(k(), k_out);
+    w.fillRandom(18);
+
+    DenseMatrix ah, ref;
+    kernels::spmmReference(a, h, ah);
+    tensor::denseMmReference(ah, w, ref);
+
+    parallel::ThreadPool pool(4);
+    DenseMatrix out;
+    for (bool relu : {false, true}) {
+        DenseMatrix want = ref;
+        if (relu)
+            tensor::reluInPlace(want);
+        // tile_rows=5 forces many partial tiles on a 33-row graph.
+        kernels::fusedSpmmGemm(a, h, w, out, pool, relu,
+                               /*tile_rows=*/5);
+        EXPECT_TRUE(allClose(want, out, 1e-3f, 1e-4f))
+            << "fused relu=" << relu << ", max diff "
+            << maxAbsDiff(want, out);
+    }
+}
+
+TEST_P(SpmmVariantProperty, PackedGemmMatchesBothScalarOracles)
+{
+    // m x kk x n with every dimension off the blocking grid.
+    const uint64_t m = 23, kk = k() > 0 ? k() : 1, n = 21;
+    DenseMatrix a(m, kk), b(kk, n);
+    a.fillRandom(19);
+    b.fillRandom(20);
+    DenseMatrix ref, blocked_scalar, packed;
+    tensor::denseMmReference(a, b, ref);
+    tensor::denseMmBlockedScalar(a, b, blocked_scalar, 16);
+    tensor::denseMmBlocked(a, b, packed);
+    EXPECT_TRUE(allClose(ref, blocked_scalar, 1e-4f, 1e-5f));
+    EXPECT_TRUE(allClose(ref, packed, 1e-4f, 1e-5f))
+        << "packed GEMM, max diff " << maxAbsDiff(ref, packed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TierAndWidthSweep, SpmmVariantProperty,
+    ::testing::Combine(
+        ::testing::ValuesIn(kernels::simd::availableTiers()),
+        ::testing::Values(uint64_t{1}, uint64_t{7}, uint64_t{32},
+                          uint64_t{257})),
+    [](const ::testing::TestParamInfo<std::tuple<Tier, uint64_t>>
+           &info) {
+        return std::string(
+                   kernels::simd::tierName(std::get<0>(info.param))) +
+               "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SpmmNnzChunks, BalancedOnUniformRows)
+{
+    // 8 rows x 4 nnz each, 4 parts -> exact 2-row chunks.
+    std::vector<graph::EdgeId> offsets;
+    for (graph::EdgeId i = 0; i <= 8; ++i)
+        offsets.push_back(i * 4);
+    const auto bounds = kernels::nnzBalancedRowChunks(offsets, 4);
+    ASSERT_EQ(bounds.size(), 5u);
+    EXPECT_EQ(bounds[0], 0u);
+    EXPECT_EQ(bounds[1], 2u);
+    EXPECT_EQ(bounds[2], 4u);
+    EXPECT_EQ(bounds[3], 6u);
+    EXPECT_EQ(bounds[4], 8u);
+}
+
+TEST(SpmmNnzChunks, MonotoneAndCoveringOnSkew)
+{
+    // One huge row then a tail of tiny ones.
+    std::vector<graph::EdgeId> offsets = {0, 1000, 1001, 1002,
+                                          1003, 1004};
+    const auto bounds = kernels::nnzBalancedRowChunks(offsets, 4);
+    ASSERT_EQ(bounds.size(), 5u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), 5u);
+    for (size_t p = 1; p < bounds.size(); ++p)
+        EXPECT_LE(bounds[p - 1], bounds[p]);
+    // The huge row lands alone in the first chunk.
+    EXPECT_EQ(bounds[1], 1u);
+}
+
+TEST(SpmmNnzChunks, MorePartsThanRows)
+{
+    std::vector<graph::EdgeId> offsets = {0, 2, 4};
+    const auto bounds = kernels::nnzBalancedRowChunks(offsets, 16);
+    ASSERT_EQ(bounds.size(), 17u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), 2u);
+    for (size_t p = 1; p < bounds.size(); ++p)
+        EXPECT_LE(bounds[p - 1], bounds[p]);
+}
+
+TEST(SpmmNnzChunks, EmptyMatrix)
+{
+    std::vector<graph::EdgeId> offsets = {0};
+    const auto bounds = kernels::nnzBalancedRowChunks(offsets, 4);
+    ASSERT_EQ(bounds.size(), 5u);
+    for (const auto b : bounds)
+        EXPECT_EQ(b, 0u);
+}
+
+} // namespace

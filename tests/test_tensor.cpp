@@ -144,6 +144,90 @@ TEST(Bias, AddsPerColumn)
             EXPECT_FLOAT_EQ(m.at(r, c), bias[c]);
 }
 
+TEST(DenseMatrixStorage, DataIs64ByteAligned)
+{
+    for (uint64_t rows : {1u, 3u, 17u, 100u}) {
+        DenseMatrix m(rows, 5);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) % 64, 0u)
+            << rows << " rows";
+    }
+}
+
+TEST(DenseMatrixStorage, ResizeKeepsCapacityWhenShrinking)
+{
+    DenseMatrix m(100, 8);
+    m.fillRandom(1);
+    const float *before = m.data();
+    m.resize(10, 8); // fits existing capacity: no reallocation
+    EXPECT_EQ(m.data(), before);
+    EXPECT_EQ(m.rows(), 10u);
+    EXPECT_EQ(m.cols(), 8u);
+    // Content is reset, not carried over.
+    for (uint64_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], 0.0f);
+    // Growing back within original capacity still reuses the buffer.
+    m.resize(100, 8);
+    EXPECT_EQ(m.data(), before);
+    // Growing beyond it must reallocate.
+    m.resize(200, 8);
+    EXPECT_EQ(m.rows(), 200u);
+    for (uint64_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(DenseMatrixStorage, ResizeForOverwriteSkipsZeroFill)
+{
+    DenseMatrix m(16, 8);
+    m.fillRandom(2);
+    const float *before = m.data();
+    const float first = m.data()[0];
+    m.resizeForOverwrite(16, 8); // same shape: no realloc, no memset
+    EXPECT_EQ(m.data(), before);
+    EXPECT_EQ(m.data()[0], first);
+    m.resizeForOverwrite(4, 4); // shrink: buffer kept, shape updated
+    EXPECT_EQ(m.data(), before);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 4u);
+    m.resizeForOverwrite(64, 64); // grow past capacity: realloc
+    EXPECT_EQ(m.size(), 4096u);
+}
+
+TEST(DenseMatrixStorage, CopyAndMovePreserveContent)
+{
+    DenseMatrix a(7, 9);
+    a.fillRandom(5);
+    DenseMatrix copy = a;
+    EXPECT_TRUE(allClose(a, copy, 0.0f, 0.0f));
+    EXPECT_NE(copy.data(), a.data());
+
+    DenseMatrix assigned;
+    assigned = a;
+    EXPECT_TRUE(allClose(a, assigned, 0.0f, 0.0f));
+
+    const float *buf = copy.data();
+    DenseMatrix moved = std::move(copy);
+    EXPECT_EQ(moved.data(), buf); // steal, not copy
+    EXPECT_TRUE(allClose(a, moved, 0.0f, 0.0f));
+    EXPECT_EQ(copy.size(), 0u); // NOLINT: moved-from is empty
+
+    DenseMatrix move_assigned;
+    move_assigned = std::move(moved);
+    EXPECT_EQ(move_assigned.data(), buf);
+    EXPECT_TRUE(allClose(a, move_assigned, 0.0f, 0.0f));
+}
+
+TEST(DenseMatrixStorage, CopyAssignReusesCapacity)
+{
+    DenseMatrix big(64, 16);
+    big.fillRandom(3);
+    DenseMatrix small(4, 4);
+    small.fillRandom(4);
+    const float *buf = big.data();
+    big = small; // 16 floats into capacity 1024: reuse
+    EXPECT_EQ(big.data(), buf);
+    EXPECT_TRUE(allClose(big, small, 0.0f, 0.0f));
+}
+
 } // namespace
 
 // --------------------------------------------------- row-wise ops
