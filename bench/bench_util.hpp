@@ -86,6 +86,10 @@ struct BenchArgs
     bool resume = false; ///< --resume: reuse completed checkpoint points
     std::string sweepJsonPath;  ///< --sweep-json=: consolidated sweep JSON
     unsigned jobs = 1; ///< --jobs: sweep workers (0 = hw concurrency)
+    /// --model-only: skip host-kernel (wall-clock) points; record only
+    /// analytic/DES model points. For sanitizer CI runs, where host
+    /// timings are meaningless and slow.
+    bool modelOnly = false;
 
     /** True when any telemetry output was asked for. */
     bool
@@ -125,6 +129,8 @@ parseBenchArgs(int argc, char **argv)
             args.jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
         } else if (arg == "--jobs" && i + 1 < argc) {
             args.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--model-only") {
+            args.modelOnly = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown flag ignored: " << arg << "\n";
         } else if (positional == 0) {

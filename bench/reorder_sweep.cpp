@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Reordering ablation: how much locality can a vertex relabeling buy,
+ * measured in BOTH worlds from one sweep —
+ *
+ *  - host: wall-clock GF/s of the tiled and nnz-balanced SpMM kernels
+ *    on Table-I proxies under every reordering pass (graph/reorder.hpp),
+ *  - model: the PIUMA DES remote-access fraction and slice-traffic
+ *    skew for the same orderings, under both row placements (hashed =
+ *    the paper's order-blind DGAS; blocked + interleave off = the
+ *    placement that lets order matter, with owner-computes work
+ *    division).
+ *
+ * The honest baseline is a seeded SHUFFLE of each proxy, not the raw
+ * generator output: RMAT emits vertices in a near-sorted order that
+ * already flatters locality, so "identity" here means "shuffled ids",
+ * and every pass has to earn its locality back from that.
+ *
+ * CI gates on this bench via tools/bench_pr6.py: on every graph, the
+ * best of {island, rcm} must beat shuffle on host SpMM GF/s AND
+ * reduce the modeled remote-access fraction under blocked placement.
+ *
+ * Runs on the shared sweep driver (--jobs N / --checkpoint= /
+ * --resume / --sweep-json=). --model-only skips the host wall-clock
+ * points (sanitizer CI).
+ */
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/reorder.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/tiled_spmm.hpp"
+#include "parallel/thread_pool.hpp"
+#include "piuma/spmm_programs.hpp"
+#include "tensor/dense_matrix.hpp"
+
+using namespace pgcn;
+
+namespace {
+
+constexpr unsigned kHostDim = 128; ///< host kernel feature width
+constexpr unsigned kSimDim = 32;   ///< DES feature width (cheaper)
+constexpr double kTileBudget = 2.0 * 1024 * 1024; ///< tiled-SpMM LLC share
+
+/** One reordered view of a proxy graph, built once on the caller. */
+struct OrderedGraph
+{
+    graph::ReorderPass pass;
+    graph::Csr csr;                         ///< relabeled adjacency
+    std::vector<graph::VertexId> boundaries;///< island boundaries (new ids)
+};
+
+/**
+ * All reordering passes applied to the shuffled base graph. Identity
+ * is applied to the SHUFFLED graph (see file comment), so it and
+ * Shuffle bracket the honest do-nothing range.
+ */
+std::vector<OrderedGraph>
+orderedViews(const graph::Csr &base, graph::VertexId island_vertices)
+{
+    std::vector<OrderedGraph> views;
+    for (const graph::ReorderPass pass : graph::allReorderPasses()) {
+        auto isl = graph::makeOrder(pass, base, /*seed=*/1234,
+                                    island_vertices);
+        views.push_back(OrderedGraph{pass, isl.perm.applyToCsr(base),
+                                     std::move(isl.boundaries)});
+    }
+    return views;
+}
+
+/** Best-of-3 wall-clock seconds of @p fn after one warmup call. */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn)
+{
+    fn(); // warmup: faults pages, warms caches
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::SweepDriver driver(args);
+
+    struct GraphCase
+    {
+        std::string name;
+        std::vector<OrderedGraph> hostViews; ///< host-scale proxy
+        std::vector<OrderedGraph> simViews;  ///< DES-scale proxy
+    };
+    std::vector<GraphCase> cases;
+    for (const char *name : {"arxiv", "products"}) {
+        const auto &info = graph::datasetByName(name);
+        // Host-scale proxy, shuffled so the generator's near-sorted
+        // vertex order cannot masquerade as locality.
+        // Big enough that the baseline's feature gather spills the
+        // LLC — a cache-resident proxy would measure noise, not
+        // locality (and the CI gate would flap).
+        const auto host_proxy =
+            graph::buildProxy(info, graph::EdgeId{1} << 19, 42);
+        const graph::Csr host_base =
+            graph::shuffleOrder(host_proxy.adjacency.numVertices(), 7)
+                .applyToCsr(host_proxy.adjacency);
+        const auto sim_proxy =
+            graph::buildProxy(info, graph::EdgeId{1} << 15, 42);
+        const graph::Csr sim_base =
+            graph::shuffleOrder(sim_proxy.adjacency.numVertices(), 7)
+                .applyToCsr(sim_proxy.adjacency);
+
+        GraphCase c;
+        c.name = name;
+        c.hostViews = orderedViews(
+            host_base,
+            graph::islandCapacity(kTileBudget, kHostDim));
+        // DES islands sized so a few islands fit one blocked slice.
+        c.simViews = orderedViews(
+            sim_base,
+            std::max<graph::VertexId>(
+                1, sim_base.numVertices() / 32));
+        cases.push_back(std::move(c));
+        std::cout << name << ": host |V|=" << host_base.numVertices()
+                  << " |E|=" << host_base.numEdges()
+                  << ", sim |V|=" << sim_base.numVertices()
+                  << " |E|=" << sim_base.numEdges() << "\n";
+    }
+    std::cout << "\n";
+
+    struct PointRef
+    {
+        size_t graphIdx;
+        graph::ReorderPass pass;
+        size_t idx;
+    };
+    std::vector<std::vector<PointRef>> hostTiled(cases.size()),
+        hostNnz(cases.size()), locality(cases.size()),
+        simHashed(cases.size()), simBlocked(cases.size());
+
+    for (size_t g = 0; g < cases.size(); ++g) {
+        const GraphCase &c = cases[g];
+        for (const OrderedGraph &view : c.hostViews) {
+            const std::string order = graph::reorderPassName(view.pass);
+
+            if (!args.modelOnly) {
+                // Host kernels, single-threaded for stable CI numbers:
+                // the gate compares orderings, not thread scaling.
+                for (const char *kernel : {"tiled", "nnz"}) {
+                    const bool tiled = std::string(kernel) == "tiled";
+                    const std::string key = "host/" + c.name +
+                                            "/order=" + order +
+                                            "/kernel=" + kernel;
+                    const size_t idx = driver.add(
+                        key,
+                        [&view, tiled](const parallel::SweepContext &) {
+                            const graph::Csr &a = view.csr;
+                            parallel::ThreadPool pool(1);
+                            tensor::DenseMatrix h(a.numVertices(),
+                                                  kHostDim);
+                            h.fillRandom(99);
+                            tensor::DenseMatrix out;
+                            double secs = 0.0;
+                            if (tiled) {
+                                const bool island =
+                                    view.pass ==
+                                    graph::ReorderPass::Island;
+                                const kernels::TiledSpmm op =
+                                    island
+                                        ? kernels::TiledSpmm(
+                                              a, kHostDim,
+                                              view.boundaries)
+                                        : kernels::TiledSpmm(
+                                              a, kHostDim,
+                                              kTileBudget);
+                                secs = bestSeconds([&] {
+                                    op.apply(h, out, pool);
+                                });
+                            } else {
+                                secs = bestSeconds([&] {
+                                    kernels::spmmIslandBalanced(
+                                        a, view.boundaries, h, out,
+                                        pool);
+                                });
+                            }
+                            const double flop =
+                                2.0 * static_cast<double>(a.numEdges()) *
+                                kHostDim;
+                            return JsonlCheckpoint::Values{
+                                {"gflops", flop / secs / 1e9},
+                                {"seconds", secs}};
+                        });
+                    (tiled ? hostTiled : hostNnz)[g].push_back(
+                        PointRef{g, view.pass, idx});
+                }
+            }
+
+            // Locality metrics (order-dependent, cheap, deterministic).
+            const std::string lkey =
+                "locality/" + c.name + "/order=" + order;
+            const size_t lidx = driver.add(
+                lkey, [&view](const parallel::SweepContext &) {
+                    const auto stats = graph::localityStats(
+                        view.csr,
+                        graph::islandCapacity(kTileBudget, kHostDim));
+                    const double conductance = graph::islandConductance(
+                        view.csr, view.boundaries);
+                    return JsonlCheckpoint::Values{
+                        {"avg_neighbor_distance",
+                         stats.avgNeighborDistance},
+                        {"avg_tile_working_set",
+                         stats.avgTileWorkingSet},
+                        {"island_conductance", conductance}};
+                });
+            locality[g].push_back(PointRef{g, view.pass, lidx});
+        }
+
+        for (const OrderedGraph &view : c.simViews) {
+            const std::string order = graph::reorderPassName(view.pass);
+            for (const char *placement : {"hashed", "blocked"}) {
+                const bool blocked =
+                    std::string(placement) == "blocked";
+                const std::string key = "sim/" + c.name +
+                                        "/order=" + order +
+                                        "/placement=" + placement;
+                const size_t idx = driver.add(
+                    key,
+                    [&driver, &view,
+                     blocked](const parallel::SweepContext &ctx) {
+                        piuma::PiumaConfig cfg;
+                        cfg.numCores = 8;
+                        if (blocked) {
+                            cfg.rowPlacement =
+                                piuma::RowPlacement::Blocked;
+                            cfg.dgasFineInterleave = false;
+                        }
+                        const auto sim = piuma::simulateSpmm(
+                            view.csr, kSimDim, cfg,
+                            piuma::SpmmAlgorithm::Dma, ctx.session,
+                            ctx.controls);
+                        driver.throughput(ctx).add(sim);
+                        return JsonlCheckpoint::Values{
+                            {"remote_access_fraction",
+                             sim.remoteAccessFraction},
+                            {"max_slice_bytes_fraction",
+                             sim.maxSliceBytesFraction},
+                            {"makespan_ns", sim.makespanNs},
+                            {"gflops", sim.gflops}};
+                    });
+                (blocked ? simBlocked : simHashed)[g].push_back(
+                    PointRef{g, view.pass, idx});
+            }
+        }
+    }
+
+    driver.run();
+
+    Table table("Reordering: host kernels and modeled locality",
+                {"graph", "order", "tiled GF/s", "nnz GF/s",
+                 "nbr dist", "tile WS", "conduct",
+                 "remote% hash", "remote% blk", "slice skew blk"});
+    for (size_t g = 0; g < cases.size(); ++g) {
+        for (size_t i = 0; i < locality[g].size(); ++i) {
+            const graph::ReorderPass pass = locality[g][i].pass;
+            auto value = [&](const std::vector<PointRef> &refs,
+                             const char *name) {
+                if (i >= refs.size())
+                    return 0.0;
+                const auto *v = driver.result(refs[i].idx);
+                return v ? v->at(name) : 0.0;
+            };
+            table.row()
+                .cell(cases[g].name)
+                .cell(graph::reorderPassName(pass))
+                .cell(value(hostTiled[g], "gflops"), 2)
+                .cell(value(hostNnz[g], "gflops"), 2)
+                .cell(value(locality[g], "avg_neighbor_distance"), 0)
+                .cell(value(locality[g], "avg_tile_working_set"), 0)
+                .cell(value(locality[g], "island_conductance"), 3)
+                .cell(100.0 * value(simHashed[g],
+                                    "remote_access_fraction"), 1)
+                .cell(100.0 * value(simBlocked[g],
+                                    "remote_access_fraction"), 1)
+                .cell(value(simBlocked[g],
+                            "max_slice_bytes_fraction"), 2);
+        }
+    }
+    bench::emit(table, args.csvPath);
+    std::cout
+        << "Reading: hashed placement is order-blind (remote% flat "
+           "across rows) — the paper's DGAS argument. Blocked "
+           "placement + owner-computes lets islandization and RCM "
+           "keep neighbourhoods slice-local: remote% drops vs the "
+           "shuffled baseline, and the host kernels see the same "
+           "story as cache-resident tiles (tile WS down, GF/s up).\n";
+    driver.finish();
+    return driver.failed() == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBenchMain([&] { return benchMain(argc, argv); });
+}

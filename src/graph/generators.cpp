@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "graph/reorder.hpp"
 
 namespace pgcn::graph {
 
@@ -83,6 +84,12 @@ generateUniform(VertexId num_vertices, EdgeId num_edges, uint64_t seed)
         coo.addEdge(src, dst);
     }
     return coo;
+}
+
+Coo
+shuffleVertexIds(const Coo &coo, uint64_t seed)
+{
+    return shuffleOrder(coo.numVertices(), seed).applyToCoo(coo);
 }
 
 } // namespace pgcn::graph

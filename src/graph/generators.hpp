@@ -63,6 +63,22 @@ Coo generateRmat(uint32_t scale, EdgeId num_edges, const RmatParams &params,
  */
 Coo generateUniform(VertexId num_vertices, EdgeId num_edges, uint64_t seed);
 
+/**
+ * Relabel the vertices of @p coo with a seeded Fisher-Yates shuffle
+ * (edges keep their weights; only the ids change).
+ *
+ * RMAT and the uniform generator emit vertex ids whose numeric order
+ * correlates with the recursive quadrant structure, i.e. a near-sorted
+ * "natural" order that silently flatters locality measurements. Any
+ * experiment that treats the generated order as a baseline should
+ * shuffle first and let the reordering passes earn their locality
+ * back explicitly.
+ *
+ * @param coo  Edge list to relabel.
+ * @param seed RNG seed; equal seeds give identical relabelings.
+ */
+Coo shuffleVertexIds(const Coo &coo, uint64_t seed);
+
 } // namespace pgcn::graph
 
 #endif // PGCN_GRAPH_GENERATORS_HPP

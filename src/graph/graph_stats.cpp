@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/stats.hpp"
 
 namespace pgcn::graph {
@@ -44,6 +45,78 @@ degreeStats(const Csr &csr)
         out.gini = (2.0 * weighted) / (nn * total) - (nn + 1.0) / nn;
     }
     return out;
+}
+
+LocalityStats
+localityStats(const Csr &csr, VertexId tile_rows)
+{
+    PGCN_ASSERT(tile_rows >= 1, "tile_rows must be >= 1");
+    LocalityStats out;
+    out.tileRows = tile_rows;
+    const VertexId n = csr.numVertices();
+    if (n == 0 || csr.numEdges() == 0)
+        return out;
+
+    double distance_sum = 0.0;
+    for (VertexId u = 0; u < n; ++u)
+        for (VertexId v : csr.rowCols(u))
+            distance_sum += std::abs(static_cast<double>(u) -
+                                     static_cast<double>(v));
+    out.avgNeighborDistance =
+        distance_sum / static_cast<double>(csr.numEdges());
+
+    // Distinct columns per tile, via a stamp array (no per-tile
+    // clearing; one pass over the non-zeros total).
+    std::vector<VertexId> stamp(n, ~VertexId{0});
+    double working_set_sum = 0.0;
+    VertexId num_tiles = 0;
+    for (VertexId tile_begin = 0; tile_begin < n; tile_begin += tile_rows) {
+        const VertexId tile_end =
+            std::min<VertexId>(n, tile_begin + tile_rows);
+        uint64_t distinct = 0;
+        for (VertexId u = tile_begin; u < tile_end; ++u)
+            for (VertexId v : csr.rowCols(u))
+                if (stamp[v] != num_tiles) {
+                    stamp[v] = num_tiles;
+                    ++distinct;
+                }
+        working_set_sum += static_cast<double>(distinct);
+        ++num_tiles;
+    }
+    out.avgTileWorkingSet = working_set_sum / num_tiles;
+    return out;
+}
+
+double
+islandConductance(const Csr &csr, const std::vector<VertexId> &boundaries)
+{
+    PGCN_ASSERT(boundaries.size() >= 2 && boundaries.front() == 0 &&
+                    boundaries.back() == csr.numVertices(),
+                "island boundaries must span [0, |V|]");
+    const double total = static_cast<double>(csr.numEdges());
+    if (total == 0.0)
+        return 0.0;
+
+    double conductance_sum = 0.0;
+    size_t islands_counted = 0;
+    for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+        const VertexId begin = boundaries[i];
+        const VertexId end = boundaries[i + 1];
+        double vol = 0.0;
+        double cut = 0.0;
+        for (VertexId u = begin; u < end; ++u)
+            for (VertexId v : csr.rowCols(u)) {
+                vol += 1.0;
+                if (v < begin || v >= end)
+                    cut += 1.0;
+            }
+        if (vol == 0.0)
+            continue;
+        const double denom = std::min(vol, total - vol);
+        conductance_sum += denom > 0.0 ? cut / denom : 0.0;
+        ++islands_counted;
+    }
+    return islands_counted ? conductance_sum / islands_counted : 0.0;
 }
 
 } // namespace pgcn::graph

@@ -26,6 +26,59 @@ struct DegreeStats
  */
 DegreeStats degreeStats(const Csr &csr);
 
+/**
+ * Locality profile of a vertex ORDER (not just the topology): how
+ * cache- and slice-friendly the current id assignment is. All three
+ * numbers move when a reordering pass is applied, which is what makes
+ * orderings explainable — a pass that wins GF/s should show a smaller
+ * neighbor distance and per-tile working set here.
+ */
+struct LocalityStats
+{
+    /**
+     * Mean |u - v| over all stored non-zeros (u, v): the matrix
+     * "bandwidth" proxy. Small when neighbours have nearby ids (RCM's
+     * objective), ~|V|/3 for a random order.
+     */
+    double avgNeighborDistance = 0.0;
+
+    /**
+     * Mean, over row tiles of @p tile_rows rows, of the number of
+     * DISTINCT columns the tile touches — the feature rows a tiled
+     * SpMM must hold while processing the tile. Bounded by
+     * min(tile nnz, |V|); clustering shrinks it toward tile_rows.
+     */
+    double avgTileWorkingSet = 0.0;
+
+    /** Rows per tile used for avgTileWorkingSet. */
+    VertexId tileRows = 0;
+};
+
+/**
+ * Compute the locality profile of @p csr under its current vertex
+ * order.
+ *
+ * @param csr       Graph in the order being evaluated.
+ * @param tile_rows Tile height for the working-set statistic (>= 1).
+ */
+LocalityStats localityStats(const Csr &csr, VertexId tile_rows);
+
+/**
+ * Mean conductance of a contiguous island layout: for each island
+ * (row range [boundaries[i], boundaries[i+1])), cut / min(vol,
+ * total - vol), where vol is the island's non-zero count and cut is
+ * the number of its non-zeros pointing outside the island. Lower
+ * means islands capture more of their own edges; islandization
+ * should beat uniform blocks of any other order.
+ *
+ * @param boundaries Monotone row boundaries: 0 .. |V| inclusive,
+ *                   as produced by islandOrder / uniformIslands.
+ * @return Mean conductance over islands with non-zero volume (0 if
+ *         none).
+ */
+double islandConductance(const Csr &csr,
+                         const std::vector<VertexId> &boundaries);
+
 } // namespace pgcn::graph
 
 #endif // PGCN_GRAPH_GRAPH_STATS_HPP

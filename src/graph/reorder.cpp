@@ -1,0 +1,413 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pgcn::graph {
+
+namespace {
+
+/** Build the inverse array of a validated old->new map. */
+std::vector<VertexId>
+invertMap(const std::vector<VertexId> &new_of)
+{
+    std::vector<VertexId> old_of(new_of.size());
+    for (VertexId old_id = 0; old_id < new_of.size(); ++old_id)
+        old_of[new_of[old_id]] = old_id;
+    return old_of;
+}
+
+} // namespace
+
+Permutation
+Permutation::identity(VertexId n)
+{
+    Permutation p;
+    p.newOf_.resize(n);
+    std::iota(p.newOf_.begin(), p.newOf_.end(), VertexId{0});
+    p.oldOf_ = p.newOf_;
+    return p;
+}
+
+Permutation
+Permutation::fromNewIds(std::vector<VertexId> new_ids)
+{
+    const VertexId n = static_cast<VertexId>(new_ids.size());
+    std::vector<uint8_t> seen(n, 0);
+    for (VertexId old_id = 0; old_id < n; ++old_id) {
+        const VertexId v = new_ids[old_id];
+        if (v >= n)
+            PGCN_THROW(ShapeError, "permutation maps " << old_id << " to "
+                                       << v << ", outside [0, " << n << ")");
+        if (seen[v])
+            PGCN_THROW(ShapeError,
+                       "permutation is not a bijection: new id "
+                           << v << " assigned twice (second old id " << old_id
+                           << ")");
+        seen[v] = 1;
+    }
+    Permutation p;
+    p.newOf_ = std::move(new_ids);
+    p.oldOf_ = invertMap(p.newOf_);
+    return p;
+}
+
+Permutation
+Permutation::inverse() const
+{
+    Permutation p;
+    p.newOf_ = oldOf_;
+    p.oldOf_ = newOf_;
+    return p;
+}
+
+Permutation
+Permutation::then(const Permutation &next) const
+{
+    PGCN_ASSERT(size() == next.size(),
+                "composing permutations of sizes " << size() << " and "
+                                                   << next.size());
+    Permutation p;
+    p.newOf_.resize(size());
+    for (VertexId v = 0; v < size(); ++v)
+        p.newOf_[v] = next.newOf_[newOf_[v]];
+    p.oldOf_ = invertMap(p.newOf_);
+    return p;
+}
+
+bool
+Permutation::isIdentity() const
+{
+    for (VertexId v = 0; v < size(); ++v)
+        if (newOf_[v] != v)
+            return false;
+    return true;
+}
+
+Csr
+Permutation::applyToCsr(const Csr &a) const
+{
+    PGCN_ASSERT(a.numVertices() == size(),
+                "permutation size " << size() << " vs CSR with "
+                                    << a.numVertices() << " vertices");
+    const VertexId n = size();
+    std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+    for (VertexId new_row = 0; new_row < n; ++new_row)
+        offsets[new_row + 1] = offsets[new_row] + a.degree(oldOf_[new_row]);
+
+    std::vector<VertexId> cols(a.numEdges());
+    std::vector<Value> vals(a.numEdges());
+    // Per-row scratch: relabel, then sort by new column id so the
+    // result keeps the sorted-columns invariant Csr(Coo) establishes.
+    std::vector<std::pair<VertexId, Value>> row;
+    for (VertexId new_row = 0; new_row < n; ++new_row) {
+        const VertexId old_row = oldOf_[new_row];
+        const auto old_cols = a.rowCols(old_row);
+        const auto old_vals = a.rowVals(old_row);
+        row.resize(old_cols.size());
+        for (size_t i = 0; i < old_cols.size(); ++i)
+            row[i] = {newOf_[old_cols[i]], old_vals[i]};
+        std::sort(row.begin(), row.end(),
+                  [](const auto &x, const auto &y) { return x.first < y.first; });
+        EdgeId out = offsets[new_row];
+        for (const auto &[c, w] : row) {
+            cols[out] = c;
+            vals[out] = w;
+            ++out;
+        }
+    }
+    return Csr(n, std::move(offsets), std::move(cols), std::move(vals));
+}
+
+Coo
+Permutation::applyToCoo(const Coo &coo) const
+{
+    PGCN_ASSERT(coo.numVertices() == size(),
+                "permutation size " << size() << " vs COO with "
+                                    << coo.numVertices() << " vertices");
+    Coo out(coo.numVertices());
+    for (const Edge &e : coo.edges())
+        out.addEdge(newOf_[e.src], newOf_[e.dst], e.weight);
+    return out;
+}
+
+tensor::DenseMatrix
+Permutation::applyToFeatures(const tensor::DenseMatrix &h) const
+{
+    PGCN_ASSERT(h.rows() == size(),
+                "permutation size " << size() << " vs feature matrix with "
+                                    << h.rows() << " rows");
+    tensor::DenseMatrix out;
+    out.resizeForOverwrite(h.rows(), h.cols());
+    for (VertexId old_row = 0; old_row < size(); ++old_row)
+        std::memcpy(out.row(newOf_[old_row]).data(), h.row(old_row).data(),
+                    h.cols() * sizeof(float));
+    return out;
+}
+
+Permutation
+shuffleOrder(VertexId n, uint64_t seed)
+{
+    std::vector<VertexId> new_ids(n);
+    std::iota(new_ids.begin(), new_ids.end(), VertexId{0});
+    Rng rng(seed);
+    for (VertexId i = n; i > 1; --i)
+        std::swap(new_ids[i - 1],
+                  new_ids[static_cast<VertexId>(rng.uniformInt(i))]);
+    return Permutation::fromNewIds(std::move(new_ids));
+}
+
+Permutation
+degreeOrder(const Csr &a)
+{
+    const VertexId n = a.numVertices();
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+    std::sort(by_degree.begin(), by_degree.end(),
+              [&a](VertexId u, VertexId v) {
+                  if (a.degree(u) != a.degree(v))
+                      return a.degree(u) > a.degree(v);
+                  return u < v;
+              });
+    // by_degree is new->old; invert to the old->new convention.
+    std::vector<VertexId> new_ids(n);
+    for (VertexId new_id = 0; new_id < n; ++new_id)
+        new_ids[by_degree[new_id]] = new_id;
+    return Permutation::fromNewIds(std::move(new_ids));
+}
+
+Permutation
+rcmOrder(const Csr &a)
+{
+    const VertexId n = a.numVertices();
+    constexpr VertexId kUnvisited = ~VertexId{0};
+    std::vector<VertexId> new_ids(n, kUnvisited);
+    // Vertices sorted by (degree asc, id asc): component seeds are
+    // taken in this order, making the pass deterministic without a
+    // per-component min-degree scan.
+    std::vector<VertexId> seeds(n);
+    std::iota(seeds.begin(), seeds.end(), VertexId{0});
+    std::sort(seeds.begin(), seeds.end(), [&a](VertexId u, VertexId v) {
+        if (a.degree(u) != a.degree(v))
+            return a.degree(u) < a.degree(v);
+        return u < v;
+    });
+
+    std::vector<VertexId> queue;
+    queue.reserve(n);
+    std::vector<VertexId> frontier;
+    VertexId next_label = 0;
+    for (VertexId seed : seeds) {
+        if (new_ids[seed] != kUnvisited)
+            continue;
+        // Cuthill-McKee BFS of this component.
+        size_t head = queue.size();
+        queue.push_back(seed);
+        new_ids[seed] = next_label++;
+        while (head < queue.size()) {
+            const VertexId u = queue[head++];
+            frontier.clear();
+            for (VertexId v : a.rowCols(u))
+                if (new_ids[v] == kUnvisited) {
+                    new_ids[v] = 0; // mark; final label assigned below
+                    frontier.push_back(v);
+                }
+            std::sort(frontier.begin(), frontier.end(),
+                      [&a](VertexId x, VertexId y) {
+                          if (a.degree(x) != a.degree(y))
+                              return a.degree(x) < a.degree(y);
+                          return x < y;
+                      });
+            for (VertexId v : frontier) {
+                new_ids[v] = next_label++;
+                queue.push_back(v);
+            }
+        }
+    }
+    PGCN_ASSERT(next_label == n, "RCM missed " << (n - next_label)
+                                               << " vertices");
+    // Reverse: new id n-1-k for Cuthill-McKee label k.
+    for (VertexId v = 0; v < n; ++v)
+        new_ids[v] = n - 1 - new_ids[v];
+    return Permutation::fromNewIds(std::move(new_ids));
+}
+
+Permutation
+hubBucketOrder(const Csr &a)
+{
+    const VertexId n = a.numVertices();
+    // floor(log2(degree)) bucket per vertex; degree 0 gets its own
+    // lowest bucket. 64 buckets cover any EdgeId degree.
+    auto bucketOf = [&a](VertexId v) -> int {
+        const EdgeId d = a.degree(v);
+        if (d == 0)
+            return -1;
+        return 63 - std::countl_zero(d);
+    };
+    int max_bucket = -1;
+    for (VertexId v = 0; v < n; ++v)
+        max_bucket = std::max(max_bucket, bucketOf(v));
+
+    std::vector<VertexId> new_ids(n);
+    VertexId next_label = 0;
+    // Highest bucket first; vertex id order inside each bucket
+    // preserves whatever locality the input order had.
+    for (int b = max_bucket; b >= -1; --b)
+        for (VertexId v = 0; v < n; ++v)
+            if (bucketOf(v) == b)
+                new_ids[v] = next_label++;
+    PGCN_ASSERT(next_label == n, "hub bucket order missed vertices");
+    return Permutation::fromNewIds(std::move(new_ids));
+}
+
+Islandization
+islandOrder(const Csr &a, VertexId island_vertices)
+{
+    PGCN_ASSERT(island_vertices >= 1, "island capacity must be >= 1");
+    const VertexId n = a.numVertices();
+    constexpr VertexId kUnassigned = ~VertexId{0};
+    std::vector<VertexId> new_ids(n, kUnassigned);
+
+    // Hub seeds: degree desc, ties by id asc. A cursor walks this list
+    // whenever the current frontier runs dry.
+    std::vector<VertexId> hub_rank(n);
+    std::iota(hub_rank.begin(), hub_rank.end(), VertexId{0});
+    std::sort(hub_rank.begin(), hub_rank.end(),
+              [&a](VertexId u, VertexId v) {
+                  if (a.degree(u) != a.degree(v))
+                      return a.degree(u) > a.degree(v);
+                  return u < v;
+              });
+    size_t hub_cursor = 0;
+
+    std::vector<VertexId> queue;
+    queue.reserve(n);
+    size_t head = 0;
+
+    Islandization result;
+    result.boundaries.push_back(0);
+    VertexId next_label = 0;
+    VertexId in_island = 0;
+    while (next_label < n) {
+        if (head == queue.size()) {
+            // Frontier exhausted (start, or a component ran out):
+            // keep filling the current island from the next hub seed.
+            while (new_ids[hub_rank[hub_cursor]] != kUnassigned)
+                ++hub_cursor;
+            queue.push_back(hub_rank[hub_cursor]);
+            new_ids[hub_rank[hub_cursor]] = next_label++;
+            ++in_island;
+        } else {
+            const VertexId u = queue[head++];
+            for (VertexId v : a.rowCols(u)) {
+                if (new_ids[v] != kUnassigned)
+                    continue;
+                new_ids[v] = next_label++;
+                ++in_island;
+                queue.push_back(v);
+                if (in_island == island_vertices)
+                    break;
+            }
+        }
+        if (in_island == island_vertices) {
+            result.boundaries.push_back(next_label);
+            in_island = 0;
+            // A fresh island grows around a fresh hub; the leftover
+            // frontier of the previous island is dropped so islands
+            // stay hub-centred rather than one long BFS ribbon.
+            queue.clear();
+            head = 0;
+        }
+    }
+    if (result.boundaries.back() != n)
+        result.boundaries.push_back(n);
+    result.perm = Permutation::fromNewIds(std::move(new_ids));
+    return result;
+}
+
+VertexId
+islandCapacity(double cache_bytes, uint64_t embedding_dim)
+{
+    check::positive(cache_bytes, "cache_bytes");
+    PGCN_ASSERT(embedding_dim > 0, "embedding_dim must be > 0");
+    const double rows = cache_bytes / (sizeof(float) * embedding_dim);
+    return std::max<VertexId>(1, static_cast<VertexId>(rows));
+}
+
+std::vector<VertexId>
+uniformIslands(VertexId n, VertexId island_vertices)
+{
+    PGCN_ASSERT(island_vertices >= 1, "island capacity must be >= 1");
+    std::vector<VertexId> boundaries;
+    boundaries.push_back(0);
+    for (VertexId b = island_vertices; b < n; b += island_vertices)
+        boundaries.push_back(b);
+    boundaries.push_back(n);
+    return boundaries;
+}
+
+const char *
+reorderPassName(ReorderPass pass)
+{
+    switch (pass) {
+    case ReorderPass::Identity:
+        return "identity";
+    case ReorderPass::Shuffle:
+        return "shuffle";
+    case ReorderPass::DegreeSort:
+        return "degree";
+    case ReorderPass::Rcm:
+        return "rcm";
+    case ReorderPass::HubBucket:
+        return "hub";
+    case ReorderPass::Island:
+        return "island";
+    }
+    return "unknown";
+}
+
+const std::vector<ReorderPass> &
+allReorderPasses()
+{
+    static const std::vector<ReorderPass> kAll = {
+        ReorderPass::Identity,   ReorderPass::Shuffle,
+        ReorderPass::DegreeSort, ReorderPass::Rcm,
+        ReorderPass::HubBucket,  ReorderPass::Island,
+    };
+    return kAll;
+}
+
+Islandization
+makeOrder(ReorderPass pass, const Csr &a, uint64_t seed,
+          VertexId island_vertices)
+{
+    Islandization result;
+    switch (pass) {
+    case ReorderPass::Identity:
+        result.perm = Permutation::identity(a.numVertices());
+        break;
+    case ReorderPass::Shuffle:
+        result.perm = shuffleOrder(a.numVertices(), seed);
+        break;
+    case ReorderPass::DegreeSort:
+        result.perm = degreeOrder(a);
+        break;
+    case ReorderPass::Rcm:
+        result.perm = rcmOrder(a);
+        break;
+    case ReorderPass::HubBucket:
+        result.perm = hubBucketOrder(a);
+        break;
+    case ReorderPass::Island:
+        return islandOrder(a, island_vertices);
+    }
+    result.boundaries = uniformIslands(a.numVertices(), island_vertices);
+    return result;
+}
+
+} // namespace pgcn::graph

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Graph reordering: vertex permutations as a first-class locality
+ * lever (ROADMAP item 5).
+ *
+ * The paper's scalability story hinges on locality — PIUMA wins when
+ * accesses stay in the local DRAM slice, the Xeon wins when SpMM
+ * reuses cached feature rows — yet the vertex order that determines
+ * both is usually an accident of the input file. This module makes it
+ * explicit: an invertible Permutation type with apply/compose for
+ * CSR, COO and feature matrices, plus four classic reordering passes
+ *
+ *  - degreeOrder: descending degree sort (hubs to the front),
+ *  - rcmOrder: reverse Cuthill-McKee bandwidth reduction,
+ *  - hubBucketOrder: degree-bucketed hub-first order that keeps the
+ *    original relative order inside each power-of-two degree bucket,
+ *  - islandOrder: I-GCN-style islandization — greedy hub-seeded BFS
+ *    clustering into cache-sized islands laid out contiguously,
+ *
+ * and a seeded shuffleOrder that serves as the honest worst-case
+ * baseline (synthetic generators emit near-sorted ids that silently
+ * flatter locality). Every pass is deterministic: the same input and
+ * seed produce a byte-identical permutation.
+ */
+#ifndef PGCN_GRAPH_REORDER_HPP
+#define PGCN_GRAPH_REORDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace pgcn::graph {
+
+/**
+ * A bijective relabeling of [0, n). Stored with its inverse so both
+ * directions are O(1); construction validates bijectivity.
+ */
+class Permutation
+{
+  public:
+    /** Empty permutation (size 0); assign before use. */
+    Permutation() = default;
+
+    /** The identity permutation on @p n vertices. */
+    static Permutation identity(VertexId n);
+
+    /**
+     * Build from an old-id -> new-id map. Throws ShapeError unless
+     * @p new_ids is a bijection on [0, new_ids.size()).
+     */
+    static Permutation fromNewIds(std::vector<VertexId> new_ids);
+
+    /** Number of vertices the permutation acts on. */
+    VertexId size() const { return static_cast<VertexId>(newOf_.size()); }
+
+    /** New id of old vertex @p old_id. */
+    VertexId
+    newId(VertexId old_id) const
+    {
+        PGCN_ASSERT(old_id < size(), "permutation index out of range");
+        return newOf_[old_id];
+    }
+
+    /** Old id of new vertex @p new_id (the inverse map). */
+    VertexId
+    oldId(VertexId new_id) const
+    {
+        PGCN_ASSERT(new_id < size(), "permutation index out of range");
+        return oldOf_[new_id];
+    }
+
+    /** The full old-id -> new-id array. */
+    const std::vector<VertexId> &newIds() const { return newOf_; }
+
+    /** The inverse permutation (new-id -> old-id becomes forward). */
+    Permutation inverse() const;
+
+    /**
+     * Composition "this, then @p next": the returned permutation maps
+     * v to next.newId(this->newId(v)).
+     */
+    Permutation then(const Permutation &next) const;
+
+    /** True when every vertex maps to itself. */
+    bool isIdentity() const;
+
+    /**
+     * Relabel a CSR: row u becomes row newId(u) and every column v
+     * becomes newId(v); each output row's columns are re-sorted so the
+     * result satisfies the same ordering invariant Csr(Coo) produces.
+     * The result equals P A P^T as a matrix.
+     */
+    Csr applyToCsr(const Csr &a) const;
+
+    /** Relabel both endpoints of every edge (weights preserved). */
+    Coo applyToCoo(const Coo &coo) const;
+
+    /**
+     * Permute feature-matrix rows: output row newId(u) is input row
+     * u, so SpMM commutes with relabeling:
+     *   applyToCsr(A) * applyToFeatures(H) == applyToFeatures(A * H).
+     */
+    tensor::DenseMatrix applyToFeatures(const tensor::DenseMatrix &h) const;
+
+  private:
+    std::vector<VertexId> newOf_; ///< old id -> new id
+    std::vector<VertexId> oldOf_; ///< new id -> old id
+};
+
+/**
+ * Seeded Fisher-Yates shuffle of [0, n): the honest locality baseline
+ * (destroys any accidental order the generator or input file had).
+ */
+Permutation shuffleOrder(VertexId n, uint64_t seed);
+
+/**
+ * Descending degree sort, ties broken by ascending old id. Groups all
+ * hubs at the front (useful for hub-caching studies, hostile to
+ * neighborhood locality).
+ */
+Permutation degreeOrder(const Csr &a);
+
+/**
+ * Reverse Cuthill-McKee. Components are seeded from the
+ * minimum-degree unvisited vertex; BFS expands neighbors in ascending
+ * degree order (ties by old id); the final order is reversed. On
+ * symmetric matrices (the GCN-normalised adjacency) this minimises
+ * bandwidth, i.e. the average |newId(u) - newId(v)| over edges.
+ */
+Permutation rcmOrder(const Csr &a);
+
+/**
+ * Degree-bucketed hub-first order: vertices are grouped by
+ * floor(log2(degree)) bucket, buckets emitted from highest to lowest,
+ * and the ORIGINAL relative order is kept inside each bucket — a
+ * cheap compromise that separates hubs from the long tail without
+ * scrambling whatever locality the input order already had.
+ */
+Permutation hubBucketOrder(const Csr &a);
+
+/** Result of islandOrder: the permutation plus the island layout. */
+struct Islandization
+{
+    Permutation perm;
+    /**
+     * Island boundaries in NEW ids: island i is the contiguous row
+     * range [boundaries[i], boundaries[i+1]); boundaries.front() == 0
+     * and boundaries.back() == |V|.
+     */
+    std::vector<VertexId> boundaries;
+};
+
+/**
+ * I-GCN-style islandization: repeatedly seed a BFS from the
+ * highest-degree unassigned vertex (the "hub" the island forms
+ * around) and grow the island with unassigned neighbors, in CSR
+ * order, until it holds @p island_vertices vertices; when a frontier
+ * exhausts a component the island keeps filling from the next hub
+ * seed, so all islands except the last have exactly @p
+ * island_vertices vertices. Islands are laid out contiguously in
+ * creation order.
+ *
+ * @param a Graph (symmetric CSR gives the intended clustering).
+ * @param island_vertices Vertices per island (>= 1); pick via
+ *        islandCapacity() so one island's feature rows fit the LLC.
+ */
+Islandization islandOrder(const Csr &a, VertexId island_vertices);
+
+/**
+ * Island capacity (vertices) whose feature rows fit a cache budget:
+ * max(1, cache_bytes / (4 * embedding_dim)).
+ */
+VertexId islandCapacity(double cache_bytes, uint64_t embedding_dim);
+
+/**
+ * Uniform island layout of @p n vertices in blocks of @p
+ * island_vertices — the boundaries any non-islandized ordering
+ * implies when downstream consumers partition per-island; lets
+ * conductance and per-island chunking be compared across orderings.
+ */
+std::vector<VertexId> uniformIslands(VertexId n, VertexId island_vertices);
+
+/** The reordering passes, as a sweepable axis. */
+enum class ReorderPass
+{
+    Identity,  ///< keep the input order
+    Shuffle,   ///< seeded random relabeling (honest baseline)
+    DegreeSort,///< descending degree
+    Rcm,       ///< reverse Cuthill-McKee
+    HubBucket, ///< degree-bucketed hub-first
+    Island,    ///< I-GCN-style islandization
+};
+
+/** Name string for reports ("identity", "shuffle", ...). */
+const char *reorderPassName(ReorderPass pass);
+
+/** All passes, in sweep order. */
+const std::vector<ReorderPass> &allReorderPasses();
+
+/**
+ * Run one pass. @p seed feeds Shuffle; @p island_vertices feeds
+ * Island (also used to report uniform boundaries for other passes —
+ * see uniformIslands). Returns the permutation plus boundaries.
+ */
+Islandization makeOrder(ReorderPass pass, const Csr &a, uint64_t seed,
+                        VertexId island_vertices);
+
+} // namespace pgcn::graph
+
+#endif // PGCN_GRAPH_REORDER_HPP

@@ -52,6 +52,44 @@ nnzBalancedRowChunks(std::span<const EdgeId> row_offsets, unsigned parts)
     return bounds;
 }
 
+std::vector<VertexId>
+nnzBalancedRowChunksAligned(std::span<const EdgeId> row_offsets,
+                            std::span<const VertexId> boundaries,
+                            unsigned parts)
+{
+    PGCN_ASSERT(!row_offsets.empty(), "row offsets must have size rows+1");
+    PGCN_ASSERT(parts > 0, "nnz chunking needs at least one part");
+    const uint64_t rows = row_offsets.size() - 1;
+    PGCN_ASSERT(boundaries.size() >= 2 && boundaries.front() == 0 &&
+                    boundaries.back() == rows,
+                "island boundaries must span [0, rows]");
+    const EdgeId base = row_offsets.front();
+    const EdgeId nnz = row_offsets.back() - base;
+
+    // Cumulative non-zeros at each island boundary; the split targets
+    // are snapped to the boundary whose cumulative count is nearest.
+    std::vector<EdgeId> cum(boundaries.size());
+    for (size_t b = 0; b < boundaries.size(); ++b)
+        cum[b] = row_offsets[boundaries[b]] - base;
+
+    std::vector<VertexId> bounds(parts + 1);
+    bounds[0] = 0;
+    for (unsigned p = 1; p < parts; ++p) {
+        const EdgeId target = nnz * p / parts;
+        const auto it = std::lower_bound(cum.begin(), cum.end(), target);
+        size_t b = static_cast<size_t>(it - cum.begin());
+        // lower_bound gives the first boundary at/after the target;
+        // the one before may be closer.
+        if (b == cum.size())
+            b = cum.size() - 1;
+        else if (b > 0 && target - cum[b - 1] < cum[b] - target)
+            b -= 1;
+        bounds[p] = std::max(bounds[p - 1], boundaries[b]);
+    }
+    bounds[parts] = static_cast<VertexId>(rows);
+    return bounds;
+}
+
 void
 spmmReference(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out)
 {
@@ -186,6 +224,32 @@ spmmNnzBalanced(const Csr &a, const DenseMatrix &h_in, DenseMatrix &h_out,
     const auto &ops = simd::ops();
     const auto bounds =
         nnzBalancedRowChunks(a.rowOffsets(), pool.numThreads());
+    const uint64_t *offsets = a.rowOffsets().data();
+    const uint32_t *cols = a.cols().data();
+    const float *vals = a.vals().data();
+    float *out = h_out.data();
+    const float *in = h_in.data();
+
+    pool.parallelRegion([&](unsigned t) {
+        ops.spmmRowRange(out, in, k, offsets, cols, vals, bounds[t],
+                         bounds[t + 1], /*out_row_base=*/0);
+    });
+}
+
+void
+spmmIslandBalanced(const Csr &a, std::span<const VertexId> boundaries,
+                   const DenseMatrix &h_in, DenseMatrix &h_out,
+                   parallel::ThreadPool &pool)
+{
+    checkShapes(a, h_in);
+    const uint64_t k = h_in.cols();
+    h_out.resizeForOverwrite(a.numVertices(), k);
+    if (a.numVertices() == 0)
+        return;
+
+    const auto &ops = simd::ops();
+    const auto bounds = nnzBalancedRowChunksAligned(
+        a.rowOffsets(), boundaries, pool.numThreads());
     const uint64_t *offsets = a.rowOffsets().data();
     const uint32_t *cols = a.cols().data();
     const float *vals = a.vals().data();

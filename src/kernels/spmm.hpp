@@ -49,6 +49,28 @@ nnzBalancedRowChunks(std::span<const graph::EdgeId> row_offsets,
                      unsigned parts);
 
 /**
+ * Like nnzBalancedRowChunks, but every chunk boundary is snapped to
+ * the nearest island boundary (by non-zero count), so no island is
+ * ever split across two chunks. With islandized orderings this keeps
+ * each worker's feature working set equal to a whole number of
+ * cache-sized islands instead of straddling two of them.
+ *
+ * @param row_offsets CSR row-offset array (size rows + 1, monotone).
+ * @param boundaries  Monotone island row boundaries, 0 .. rows
+ *                    inclusive (islandOrder / uniformIslands format).
+ * @param parts Number of chunks (>= 1).
+ * @return parts + 1 monotone row boundaries, each an element of
+ *         @p boundaries (except that result[0] = 0 and
+ *         result[parts] = rows always hold). Chunks may be empty when
+ *         there are fewer islands than parts or one island dominates
+ *         the non-zero count.
+ */
+std::vector<graph::VertexId>
+nnzBalancedRowChunksAligned(std::span<const graph::EdgeId> row_offsets,
+                            std::span<const graph::VertexId> boundaries,
+                            unsigned parts);
+
+/**
  * Sequential reference SpMM.
  *
  * @param a Sparse |V| x |V| matrix.
@@ -106,6 +128,27 @@ void spmmEdgeParallel(const graph::Csr &a, const tensor::DenseMatrix &h_in,
 void spmmNnzBalanced(const graph::Csr &a, const tensor::DenseMatrix &h_in,
                      tensor::DenseMatrix &h_out,
                      parallel::ThreadPool &pool);
+
+/**
+ * Island-aligned SpMM: identical to spmmNnzBalanced except the static
+ * per-thread chunks are snapped to island boundaries
+ * (nnzBalancedRowChunksAligned), so each thread streams a whole
+ * number of islands and its input working set is the islands' own
+ * neighbourhoods. Only pays off when the CSR is actually islandized;
+ * with uniform boundaries it degrades gracefully to a slightly
+ * coarser nnz balance.
+ *
+ * @param a Sparse matrix (rows in island order).
+ * @param boundaries Island row boundaries (0 .. |V| inclusive).
+ * @param h_in Input features (|V| x K).
+ * @param h_out Output features; reshaped by the call.
+ * @param pool Thread pool to run on.
+ */
+void spmmIslandBalanced(const graph::Csr &a,
+                        std::span<const graph::VertexId> boundaries,
+                        const tensor::DenseMatrix &h_in,
+                        tensor::DenseMatrix &h_out,
+                        parallel::ThreadPool &pool);
 
 } // namespace pgcn::kernels
 

@@ -31,12 +31,45 @@ TiledSpmm::TiledSpmm(const Csr &a, uint64_t embedding_dim,
             ? 0
             : (numVertices_ + tile_width - 1) / tile_width;
     tiles_.resize(num_tiles);
+    std::vector<VertexId> tile_of_col(numVertices_);
     for (size_t t = 0; t < num_tiles; ++t) {
         tiles_[t].colBegin = static_cast<VertexId>(t * tile_width);
         tiles_[t].colEnd = static_cast<VertexId>(
             std::min<uint64_t>(numVertices_, (t + 1) * tile_width));
+        for (VertexId c = tiles_[t].colBegin; c < tiles_[t].colEnd; ++c)
+            tile_of_col[c] = static_cast<VertexId>(t);
     }
+    buildTiles(a, tile_of_col);
+}
 
+TiledSpmm::TiledSpmm(const Csr &a, uint64_t embedding_dim,
+                     const std::vector<VertexId> &boundaries)
+    : numVertices_(a.numVertices()), embeddingDim_(embedding_dim)
+{
+    if (embedding_dim == 0)
+        PGCN_THROW(ShapeError, "embedding dim must be positive");
+    if (boundaries.size() < 2 || boundaries.front() != 0 ||
+        boundaries.back() != numVertices_)
+        PGCN_THROW(ConfigError,
+                   "tile boundaries must span [0, |V|] inclusive");
+
+    tiles_.resize(boundaries.size() - 1);
+    std::vector<VertexId> tile_of_col(numVertices_);
+    for (size_t t = 0; t + 1 < boundaries.size(); ++t) {
+        if (boundaries[t + 1] < boundaries[t])
+            PGCN_THROW(ConfigError, "tile boundaries must be monotone");
+        tiles_[t].colBegin = boundaries[t];
+        tiles_[t].colEnd = boundaries[t + 1];
+        for (VertexId c = boundaries[t]; c < boundaries[t + 1]; ++c)
+            tile_of_col[c] = static_cast<VertexId>(t);
+    }
+    buildTiles(a, tile_of_col);
+}
+
+void
+TiledSpmm::buildTiles(const Csr &a,
+                      const std::vector<VertexId> &tile_of_col)
+{
     // Single structural pass: bucket each non-zero into its column
     // tile, tracking row boundaries as we go (rows arrive in order).
     const auto &offsets = a.rowOffsets();
@@ -44,7 +77,7 @@ TiledSpmm::TiledSpmm(const Csr &a, uint64_t embedding_dim,
     const auto &vals = a.vals();
     for (VertexId u = 0; u < numVertices_; ++u) {
         for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
-            Tile &tile = tiles_[cols[e] / tile_width];
+            Tile &tile = tiles_[tile_of_col[cols[e]]];
             if (tile.rowIds.empty() || tile.rowIds.back() != u) {
                 tile.rowIds.push_back(u);
                 tile.rowOffsets.push_back(tile.cols.size());

@@ -43,6 +43,22 @@ class TiledSpmm
     TiledSpmm(const graph::Csr &a, uint64_t embedding_dim,
               double cache_budget = 32.0 * 1024 * 1024);
 
+    /**
+     * Partition @p a into EXPLICIT column tiles — tile t covers
+     * columns [boundaries[t], boundaries[t+1]). Pass the boundaries
+     * of an islandized ordering (graph::islandOrder) to make each
+     * island one tile: the tile's feature slice is then the island's
+     * own vertices, which is the I-GCN locality argument in host
+     * form.
+     *
+     * @param a Sparse matrix.
+     * @param embedding_dim Width of the feature matrices.
+     * @param boundaries Monotone column boundaries, 0 .. |V|
+     *        inclusive (islandOrder / uniformIslands format).
+     */
+    TiledSpmm(const graph::Csr &a, uint64_t embedding_dim,
+              const std::vector<graph::VertexId> &boundaries);
+
     /** Number of column tiles chosen. */
     size_t numTiles() const { return tiles_.size(); }
 
@@ -72,6 +88,10 @@ class TiledSpmm
         std::vector<graph::VertexId> cols;
         std::vector<graph::Value> vals;
     };
+
+    /** Shared ctor body: bucket non-zeros into the prepared tiles_. */
+    void buildTiles(const graph::Csr &a,
+                    const std::vector<graph::VertexId> &tile_of_col);
 
     graph::VertexId numVertices_;
     uint64_t embeddingDim_;

@@ -1,0 +1,102 @@
+#include "parallel/numa.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pgcn::parallel {
+
+std::vector<unsigned>
+parseCpuList(const std::string &cpulist)
+{
+    std::vector<unsigned> cpus;
+    std::istringstream in(cpulist);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        // Trim whitespace/newline the sysfs read may carry.
+        while (!item.empty() && std::isspace(static_cast<unsigned char>(
+                                    item.back())))
+            item.pop_back();
+        if (item.empty())
+            continue;
+        const size_t dash = item.find('-');
+        try {
+            if (dash == std::string::npos) {
+                cpus.push_back(static_cast<unsigned>(std::stoul(item)));
+            } else {
+                const auto lo = static_cast<unsigned>(
+                    std::stoul(item.substr(0, dash)));
+                const auto hi = static_cast<unsigned>(
+                    std::stoul(item.substr(dash + 1)));
+                for (unsigned c = lo; c <= hi && c >= lo; ++c)
+                    cpus.push_back(c);
+            }
+        } catch (const std::exception &) {
+            // Malformed entry: skip it rather than fail detection.
+        }
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+NumaTopology
+detectNumaTopology()
+{
+    NumaTopology topo;
+#ifdef __linux__
+    // node ids are dense in practice but probe a generous range and
+    // stop at the first gap after having found at least one node.
+    for (unsigned node = 0; node < 1024; ++node) {
+        std::ifstream f("/sys/devices/system/node/node" +
+                        std::to_string(node) + "/cpulist");
+        if (!f.is_open()) {
+            if (!topo.nodeCpus.empty() || node > 0)
+                break;
+            continue;
+        }
+        std::string line;
+        std::getline(f, line);
+        auto cpus = parseCpuList(line);
+        if (!cpus.empty())
+            topo.nodeCpus.push_back(std::move(cpus));
+    }
+#endif
+    if (topo.nodeCpus.empty()) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        std::vector<unsigned> cpus(hw);
+        for (unsigned c = 0; c < hw; ++c)
+            cpus[c] = c;
+        topo.nodeCpus.push_back(std::move(cpus));
+    }
+    return topo;
+}
+
+bool
+pinCurrentThreadToCpus(const std::vector<unsigned> &cpus)
+{
+#ifdef __linux__
+    if (cpus.empty())
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (unsigned c : cpus) {
+        if (c < CPU_SETSIZE)
+            CPU_SET(c, &set);
+    }
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpus;
+    return false;
+#endif
+}
+
+} // namespace pgcn::parallel

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NUMA topology discovery and thread pinning, without a libnuma
+ * dependency.
+ *
+ * The paper's Xeon baseline is a dual-socket machine: past one socket,
+ * SpMM bandwidth depends on whether a worker's feature rows live in
+ * its own node's DRAM. The ThreadPool uses this module (opt-in via
+ * PGCN_NUMA=auto) to pin each worker to one node's cpuset and
+ * first-touch its scratch there. Topology comes straight from the
+ * sysfs files /sys/devices/system/node/node<k>/cpulist; on non-Linux
+ * hosts, or when sysfs is absent, detection reports a single node and
+ * everything degrades to the unpinned behaviour.
+ */
+#ifndef PGCN_PARALLEL_NUMA_HPP
+#define PGCN_PARALLEL_NUMA_HPP
+
+#include <string>
+#include <vector>
+
+namespace pgcn::parallel {
+
+/** CPU lists per NUMA node, in node-id order. */
+struct NumaTopology
+{
+    /** cpus[n] = logical CPU ids belonging to node n (sorted). */
+    std::vector<std::vector<unsigned>> nodeCpus;
+
+    /** Number of nodes that have at least one CPU. */
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(nodeCpus.size());
+    }
+
+    /** True when pinning can change anything (2+ nodes with CPUs). */
+    bool multiNode() const { return nodeCpus.size() > 1; }
+};
+
+/**
+ * Discover the NUMA topology from sysfs. Nodes without CPUs
+ * (CXL/HBM memory-only nodes) are skipped. Returns a single node
+ * holding CPUs [0, hardware_concurrency) when sysfs is unavailable
+ * (non-Linux, containers without /sys).
+ */
+NumaTopology detectNumaTopology();
+
+/**
+ * Parse one sysfs cpulist string ("0-3,8-11,15") into CPU ids.
+ * Malformed ranges are skipped; exposed for tests.
+ */
+std::vector<unsigned> parseCpuList(const std::string &cpulist);
+
+/**
+ * Pin the CALLING thread to the given CPUs (sched_setaffinity).
+ *
+ * @return true on success; false on failure or unsupported platforms
+ *         (the caller should continue unpinned).
+ */
+bool pinCurrentThreadToCpus(const std::vector<unsigned> &cpus);
+
+} // namespace pgcn::parallel
+
+#endif // PGCN_PARALLEL_NUMA_HPP

@@ -1,10 +1,33 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/logging.hpp"
 
 namespace pgcn::parallel {
+
+namespace {
+
+/** PGCN_NUMA env knob: "auto" opts in; anything else means off. */
+NumaMode
+numaModeFromEnv()
+{
+    const char *env = std::getenv("PGCN_NUMA");
+    if (env == nullptr || *env == '\0')
+        return NumaMode::Off;
+    const std::string v(env);
+    if (v == "auto")
+        return NumaMode::Auto;
+    if (v != "off")
+        warn("PGCN_NUMA=" + v + " is not recognised (auto|off); NUMA "
+                                "placement stays off");
+    return NumaMode::Off;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads)
 {
@@ -12,8 +35,22 @@ ThreadPool::ThreadPool(unsigned num_threads)
         num_threads = std::max(1u, std::thread::hardware_concurrency());
     }
     numThreads_ = num_threads;
+
+    // NUMA placement only activates when there is something to place:
+    // auto requested, 2+ nodes, 2+ threads. Everything else (including
+    // 1-core CI containers) is exactly the pre-NUMA pool.
+    if (numaModeFromEnv() == NumaMode::Auto && numThreads_ > 1) {
+        NumaTopology topo = detectNumaTopology();
+        if (topo.multiNode()) {
+            topology_ = std::move(topo);
+            numaPinned_ = true;
+        }
+    }
+
     scratch_.resize(numThreads_);
-    // Thread 0 is the caller; spawn the rest.
+    // Thread 0 is the caller; spawn the rest. Workers pin themselves
+    // to their node's cpuset at the top of workerLoop; the caller
+    // thread stays unpinned (affinity belongs to whoever created us).
     workers_.reserve(numThreads_ - 1);
     for (unsigned id = 1; id < numThreads_; ++id)
         workers_.emplace_back([this, id] { workerLoop(id); });
@@ -34,6 +71,12 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop(unsigned id)
 {
+    if (numaPinned_) {
+        // Pin to the whole cpuset of this worker's node (not one CPU:
+        // the OS scheduler still balances within the node). Failure is
+        // harmless — the worker just runs unpinned.
+        pinCurrentThreadToCpus(topology_.nodeCpus[numaNodeOf(id)]);
+    }
     uint64_t seen_generation = 0;
     for (;;) {
         std::function<void(unsigned)> task;
@@ -65,6 +108,12 @@ ThreadPool::scratchFloats(unsigned tid, uint64_t elems)
     if (slot.elems < elems) {
         slot.buf = kernels::simd::makeAlignedBuffer(elems);
         slot.elems = elems;
+        // First-touch under NUMA placement: the requesting thread is
+        // pinned to its node, so faulting the pages in here puts the
+        // scratch in node-local DRAM. (Callers treat the contents as
+        // unspecified, so the zero-fill is unobservable.)
+        if (numaPinned_)
+            std::memset(slot.buf.get(), 0, elems * sizeof(float));
     }
     return slot.buf.get();
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "kernels/simd.hpp"
+#include "parallel/numa.hpp"
 
 namespace pgcn::parallel {
 
@@ -26,6 +27,13 @@ enum class Schedule
 {
     Static,  ///< contiguous equal-size range per worker
     Dynamic, ///< chunked work stealing from a shared counter
+};
+
+/** NUMA placement policy, selected by the PGCN_NUMA env variable. */
+enum class NumaMode
+{
+    Off,  ///< no pinning, no placement (default)
+    Auto, ///< pin workers per node when the host has 2+ NUMA nodes
 };
 
 /**
@@ -38,6 +46,17 @@ class ThreadPool
   public:
     /**
      * Create a pool.
+     *
+     * NUMA placement is opt-in via the PGCN_NUMA environment variable
+     * ("auto" enables it, anything else — including unset — keeps it
+     * off; unrecognised values warn once). With auto on a host that
+     * actually has 2+ NUMA nodes, worker threads are split into
+     * contiguous per-node groups, each worker is pinned to its node's
+     * cpuset, and scratchFloats buffers are first-touched by their
+     * pinned owner so they allocate node-local. On single-node hosts
+     * (laptops, CI containers) auto detects nothing to do and the
+     * pool behaves identically to PGCN_NUMA=off — same thread count,
+     * same scheduling, bit-identical kernel results.
      *
      * @param num_threads Worker count including the calling thread;
      *        0 selects the hardware concurrency.
@@ -52,6 +71,36 @@ class ThreadPool
 
     /** Number of threads that participate in loops (>= 1). */
     unsigned numThreads() const { return numThreads_; }
+
+    /**
+     * True when NUMA placement is active: PGCN_NUMA=auto AND the host
+     * has 2+ NUMA nodes AND the pool has 2+ threads. False means the
+     * pool is running in the default (unpinned) mode.
+     */
+    bool numaPinned() const { return numaPinned_; }
+
+    /** NUMA nodes the pool spans (1 when placement is off). */
+    unsigned
+    numNumaNodes() const
+    {
+        return numaPinned_ ? topology_.numNodes() : 1;
+    }
+
+    /**
+     * NUMA node that thread @p tid is placed on (0 when placement is
+     * off). Threads are assigned to nodes in contiguous blocks, so
+     * the static chunks of parallelFor/spmmNnzBalanced line up with
+     * node boundaries.
+     */
+    unsigned
+    numaNodeOf(unsigned tid) const
+    {
+        return numaPinned_
+                   ? static_cast<unsigned>(
+                         static_cast<uint64_t>(tid) * topology_.numNodes() /
+                         numThreads_)
+                   : 0;
+    }
 
     /**
      * Execute body(thread_id, begin, end) over [0, count) split across
@@ -108,6 +157,8 @@ class ThreadPool
     };
 
     unsigned numThreads_;
+    bool numaPinned_ = false;
+    NumaTopology topology_; ///< populated only when numaPinned_
     std::vector<std::thread> workers_;
     std::vector<ScratchSlot> scratch_;
 

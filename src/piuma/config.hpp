@@ -20,6 +20,31 @@
 namespace pgcn::piuma {
 
 /**
+ * How CSR rows and feature rows are assigned to DRAM slices.
+ *
+ * Hashed is the PIUMA default and deliberately destroys locality: a
+ * splitmix hash of the vertex id spreads consecutive rows across the
+ * whole machine, trading remote traffic for immunity to skew.
+ * Blocked assigns contiguous vertex ranges to consecutive slices
+ * (slice = v * numCores / |V|), which is what makes a locality-aware
+ * vertex ORDER visible to the model: with the edge-parallel split,
+ * core c works on the rows that blocked placement stores in slice c,
+ * so an islandized/RCM order turns its neighbour accesses local.
+ */
+enum class RowPlacement
+{
+    Hashed,  ///< splitmix hash of the vertex id (default)
+    Blocked, ///< contiguous ranges: slice = v * numCores / |V|
+};
+
+/** Name string for reports ("hashed" | "blocked"). */
+inline const char *
+rowPlacementName(RowPlacement placement)
+{
+    return placement == RowPlacement::Hashed ? "hashed" : "blocked";
+}
+
+/**
  * Static description of a simulated PIUMA system. One DRAM slice per
  * core; cores grouped 8 to a die; dies connected by an optical
  * HyperX-like network (modelled as a two-level latency table).
@@ -84,6 +109,16 @@ struct PiumaConfig
     /// which lets high-degree hub vertices turn one DRAM controller
     /// into a hotspot — the ablation_dgas bench quantifies the cost.
     bool dgasFineInterleave = true;
+
+    /// Vertex-to-slice placement for CSR and feature rows. Hashed
+    /// reproduces the paper's DGAS behaviour with Algorithm 2's flat
+    /// edge-parallel work division. Blocked exposes the vertex order
+    /// to the model and switches work division to owner-computes
+    /// (each core processes the edges of its own row block), so a
+    /// locality-aware permutation reduces the remote-access fraction
+    /// while a bad one also shows up as load imbalance. The reorder
+    /// sweeps pair Blocked with dgasFineInterleave=false.
+    RowPlacement rowPlacement = RowPlacement::Hashed;
 
     /// Multipliers applied by sweep experiments (Figs. 6 and 7).
     double dramLatencyScale = 1.0;

@@ -153,6 +153,34 @@ class MemorySystem
     double bytesWritten() const { return bytesWritten_; }
 
     /**
+     * Slice transactions issued so far (always on, unlike telemetry).
+     * Striped objects count one transaction per 8-byte-interleave
+     * chunk, so the remote fraction reflects where the bytes actually
+     * went, not where the object nominally started.
+     */
+    uint64_t totalAccesses() const { return accesses_; }
+
+    /** Transactions whose requester core != serving slice. */
+    uint64_t remoteAccesses() const { return remoteAccesses_; }
+
+    /**
+     * Fraction of slice transactions that crossed the network — the
+     * DGAS-locality number the reorder x placement grid reports.
+     * 0 when nothing has been accessed yet.
+     */
+    double
+    remoteAccessFraction() const
+    {
+        return accesses_ == 0
+                   ? 0.0
+                   : static_cast<double>(remoteAccesses_) /
+                         static_cast<double>(accesses_);
+    }
+
+    /** Bytes served by slice @p i (per-slice traffic distribution). */
+    double sliceBytes(size_t i) const { return slices_[i].totalUnits(); }
+
+    /**
      * Total bytes the slice controllers actually serviced. By the
      * conservation invariant this equals bytesRead() + bytesWritten()
      * (up to floating-point accumulation error from striped chunk
@@ -237,6 +265,8 @@ class MemorySystem
     {
         PGCN_ASSERT(slice < slices_.size(),
                     "slice " << slice << " out of range");
+        ++accesses_;
+        remoteAccesses_ += requester_core != slice;
         // Table-driven oneWayLatencyNs(): two loads instead of two
         // integer divisions by coresPerDie.
         double net_lat =
@@ -326,6 +356,10 @@ class MemorySystem
     double portRate_ = 1.0;        ///< cached netPortBandwidthGBps
     double bytesRead_ = 0.0;
     double bytesWritten_ = 0.0;
+    // Always-on transaction counters (two integer adds per access;
+    // cheap enough to live outside the telemetry gate).
+    uint64_t accesses_ = 0;
+    uint64_t remoteAccesses_ = 0;
     // Telemetry sinks; null (the default) keeps the access hot path
     // to one predictable branch per wrapper.
     telemetry::Counter *tlmReads_ = nullptr;

@@ -1,8 +1,10 @@
 #include "piuma/spmm_programs.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -92,13 +94,53 @@ struct RunContext
     }
 
     /// First slice of the (8-byte-interleaved) feature/output row of
-    /// vertex @p v; hashed so structure in vertex ids cannot align
-    /// hot rows onto the same slice.
+    /// vertex @p v. Hashed placement (the default) spreads structure
+    /// in vertex ids so hot rows cannot align onto one slice; blocked
+    /// placement maps contiguous id ranges to consecutive slices,
+    /// which is what lets a locality-aware reordering reduce the
+    /// remote-access fraction (cfg.rowPlacement).
     unsigned
     rowSlice(VertexId v) const
     {
+        if (cfg.rowPlacement == RowPlacement::Blocked) {
+            return static_cast<unsigned>(static_cast<uint64_t>(v) *
+                                         cfg.numCores /
+                                         csr.numVertices());
+        }
         uint64_t h = v;
         return static_cast<unsigned>(pgcn::splitMix64(h) % cfg.numCores);
+    }
+
+    /**
+     * Edge range of thread @p tid. Hashed placement keeps Algorithm
+     * 2's flat edge-parallel split (bit-identical to older builds).
+     * Blocked placement goes owner-computes: each core processes
+     * exactly the edges of the row block it hosts, and the core's
+     * threads split that block's edges evenly. Locality then follows
+     * placement, and load balance is surrendered to the vertex
+     * ordering — the trade the reorder sweeps measure.
+     */
+    std::pair<EdgeId, EdgeId>
+    threadEdgeRange(unsigned tid) const
+    {
+        const EdgeId nnz = csr.numEdges();
+        const unsigned total = cfg.totalThreads();
+        if (cfg.rowPlacement != RowPlacement::Blocked)
+            return {nnz * tid / total, nnz * (tid + 1) / total};
+        const unsigned tpc = cfg.mtpsPerCore * cfg.threadsPerMtp;
+        const unsigned core = coreOfThread(tid);
+        const unsigned lane = tid % tpc;
+        const uint64_t n = csr.numVertices();
+        // First row owned by slice c is ceil(c * n / numCores): the
+        // inverse image of rowSlice(v) = v * numCores / n.
+        const auto block_start = [&](unsigned c) {
+            return (static_cast<uint64_t>(c) * n + cfg.numCores - 1) /
+                   cfg.numCores;
+        };
+        const EdgeId lo = csr.rowOffsets()[block_start(core)];
+        const EdgeId hi = csr.rowOffsets()[block_start(core + 1)];
+        return {lo + (hi - lo) * lane / tpc,
+                lo + (hi - lo) * (lane + 1) / tpc};
     }
 
     uint64_t
@@ -121,10 +163,7 @@ struct RunContext
 sim::Process
 dmaThreadProc(RunContext &ctx, unsigned tid)
 {
-    const unsigned total_threads = ctx.cfg.totalThreads();
-    const EdgeId nnz = ctx.csr.numEdges();
-    const EdgeId start = nnz * tid / total_threads;
-    const EdgeId stop = nnz * (tid + 1) / total_threads;
+    const auto [start, stop] = ctx.threadEdgeRange(tid);
     const unsigned core = ctx.coreOfThread(tid);
     co_await ctx.engine.announce("core" + std::to_string(core) +
                                  ".thread" + std::to_string(tid));
@@ -235,10 +274,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
 sim::Process
 loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
 {
-    const unsigned total_threads = ctx.cfg.totalThreads();
-    const EdgeId nnz = ctx.csr.numEdges();
-    const EdgeId start = nnz * tid / total_threads;
-    const EdgeId stop = nnz * (tid + 1) / total_threads;
+    const auto [start, stop] = ctx.threadEdgeRange(tid);
     const unsigned core = ctx.coreOfThread(tid);
     co_await ctx.engine.announce("core" + std::to_string(core) +
                                  ".thread" + std::to_string(tid));
@@ -325,10 +361,16 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                                          l * ctx.cfg.cacheLineBytes);
                 // Consecutive lines of the row live on consecutive
                 // slices (8-byte DGAS interleave rounds to lines at
-                // this access size).
-                const MemoryAccess acc = ctx.memory.readStriped(
-                    core, (ctx.rowSlice(cols[e]) + l) % ctx.cfg.numCores,
-                    chunk);
+                // this access size). Without interleaving the whole
+                // row lives on its placement slice, so every line of
+                // it goes there — that is exactly what makes blocked
+                // placement + a clustered ordering local.
+                const unsigned line_slice =
+                    ctx.cfg.dgasFineInterleave
+                        ? (ctx.rowSlice(cols[e]) + l) % ctx.cfg.numCores
+                        : ctx.rowSlice(cols[e]);
+                const MemoryAccess acc =
+                    ctx.memory.readStriped(core, line_slice, chunk);
                 co_await ctx.engine.delayUntil(acc.responseAt);
                 ctx.featureStallNs += ctx.engine.now() - t0;
             }
@@ -487,6 +529,17 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
     stats.maxMemUtilization = ctx.memory.maxSliceUtilization(makespan);
     stats.netUtilization = ctx.memory.averageNetworkUtilization(makespan);
+    stats.memAccesses = ctx.memory.totalAccesses();
+    stats.memRemoteAccesses = ctx.memory.remoteAccesses();
+    stats.remoteAccessFraction = ctx.memory.remoteAccessFraction();
+    if (stats.bytesServed > 0.0) {
+        double max_slice = 0.0;
+        for (size_t i = 0; i < ctx.memory.numSlices(); ++i)
+            max_slice = std::max(max_slice, ctx.memory.sliceBytes(i));
+        stats.maxSliceBytesFraction =
+            max_slice * static_cast<double>(ctx.memory.numSlices()) /
+            stats.bytesServed;
+    }
     stats.nnzStallNs = ctx.nnzStallNs;
     stats.rowOffsetStallNs = ctx.rowOffsetStallNs;
     stats.featureStallNs = ctx.featureStallNs;

@@ -61,6 +61,15 @@ struct SpmmRunStats
     double maxMemUtilization = 0.0; ///< hottest slice utilisation
     double netUtilization = 0.0;  ///< mean network-port utilisation
 
+    /// DGAS locality counters (always on; see MemorySystem). Striped
+    /// objects count one transaction per interleave chunk.
+    uint64_t memAccesses = 0;       ///< slice transactions issued
+    uint64_t memRemoteAccesses = 0; ///< transactions crossing the net
+    double remoteAccessFraction = 0.0; ///< remote / total
+    /// Hottest slice's served bytes over the per-slice mean (1.0 ==
+    /// perfectly even traffic; grows when placement concentrates load).
+    double maxSliceBytesFraction = 0.0;
+
     /// Per-thread stall attribution, summed over all threads (ns).
     double nnzStallNs = 0.0;      ///< waiting on NNZ (col/val) reads
     double rowOffsetStallNs = 0.0;///< waiting on row-offset reads

@@ -7,11 +7,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "common/error.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
+#include "graph/reorder.hpp"
 #include "kernels/spmm.hpp"
 
 namespace {
@@ -498,6 +500,84 @@ TEST(SpmmNnzChunks, EmptyMatrix)
     ASSERT_EQ(bounds.size(), 5u);
     for (const auto b : bounds)
         EXPECT_EQ(b, 0u);
+}
+
+/**
+ * The chunking invariants (monotone, covering, balanced-ish) must
+ * survive any relabeling of the graph — reordered CSRs are the normal
+ * input after the reorder sweeps.
+ */
+TEST(SpmmNnzChunks, InvariantsHoldOnPermutedAndIslandizedCsrs)
+{
+    const Csr a = graph::normalizedAdjacency(
+        graph::generateRmat(8, 4000, graph::rmatSkewed(), 19));
+    for (uint64_t seed : {1u, 2u}) {
+        const Csr shuffled =
+            graph::shuffleOrder(a.numVertices(), seed).applyToCsr(a);
+        for (unsigned parts : {1u, 3u, 8u, 64u}) {
+            const auto bounds =
+                kernels::nnzBalancedRowChunks(shuffled.rowOffsets(),
+                                              parts);
+            ASSERT_EQ(bounds.size(), parts + 1u);
+            EXPECT_EQ(bounds.front(), 0u);
+            EXPECT_EQ(bounds.back(), shuffled.numVertices());
+            EXPECT_TRUE(
+                std::is_sorted(bounds.begin(), bounds.end()));
+        }
+    }
+    const auto isl = graph::islandOrder(a, 32);
+    const Csr islandized = isl.perm.applyToCsr(a);
+    const auto aligned = kernels::nnzBalancedRowChunksAligned(
+        islandized.rowOffsets(), isl.boundaries, 8);
+    EXPECT_EQ(aligned.front(), 0u);
+    EXPECT_EQ(aligned.back(), islandized.numVertices());
+    EXPECT_TRUE(std::is_sorted(aligned.begin(), aligned.end()));
+}
+
+TEST(SpmmNnzChunks, AlignedWithEmptyIslands)
+{
+    // Middle islands are empty row ranges (boundaries repeat).
+    std::vector<graph::EdgeId> offsets = {0, 4, 8, 8, 8, 12, 16};
+    const std::vector<graph::VertexId> islands = {0, 2, 2, 4, 4, 6};
+    const auto bounds =
+        kernels::nnzBalancedRowChunksAligned(offsets, islands, 4);
+    ASSERT_EQ(bounds.size(), 5u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), 6u);
+    EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(SpmmNnzChunks, AlignedSingleHubIsland)
+{
+    // One island owns all non-zeros: every split snaps around it and
+    // the other chunks come out empty but valid.
+    std::vector<graph::EdgeId> offsets = {0, 500, 500, 500, 500};
+    const std::vector<graph::VertexId> islands = {0, 1, 2, 3, 4};
+    const auto bounds =
+        kernels::nnzBalancedRowChunksAligned(offsets, islands, 4);
+    ASSERT_EQ(bounds.size(), 5u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), 4u);
+    EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+    // Every split lands on an island boundary, so exactly one chunk
+    // holds the hub island [0, 1) and it is never split.
+    for (const auto b : bounds)
+        EXPECT_NE(std::find(islands.begin(), islands.end(), b),
+                  islands.end());
+    EXPECT_NE(std::find(bounds.begin(), bounds.end(), 1u),
+              bounds.end());
+}
+
+TEST(SpmmNnzChunks, AlignedMorePartsThanNonemptyRows)
+{
+    std::vector<graph::EdgeId> offsets = {0, 2, 2, 4};
+    const std::vector<graph::VertexId> islands = {0, 1, 2, 3};
+    const auto bounds =
+        kernels::nnzBalancedRowChunksAligned(offsets, islands, 12);
+    ASSERT_EQ(bounds.size(), 13u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), 3u);
+    EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
 }
 
 } // namespace

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "parallel/atomic_float.hpp"
+#include "parallel/numa.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -102,6 +105,134 @@ TEST(ParallelFor, SumMatchesSequential)
                          sum += local;
                      });
     EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+namespace {
+
+/** RAII env-var override so a failed EXPECT cannot leak state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+float poolSum(ThreadPool &pool, uint64_t n)
+{
+    std::vector<float> partial(pool.numThreads(), 0.0f);
+    pool.parallelFor(n, Schedule::Static, 64,
+                     [&](unsigned id, uint64_t begin, uint64_t end) {
+                         float *scratch = pool.scratchFloats(id, 8);
+                         scratch[0] = 0.0f;
+                         for (uint64_t i = begin; i < end; ++i)
+                             scratch[0] += float(i % 17) * 0.25f;
+                         partial[id] = scratch[0];
+                     });
+    float total = 0.0f;
+    for (const float p : partial)
+        total += p;
+    return total;
+}
+
+} // namespace
+
+TEST(ThreadPoolNuma, AutoFallsBackCleanlyOnSingleNodeHost)
+{
+    // CI containers (and this host) expose a single NUMA node. Auto
+    // must detect nothing to do and behave exactly like Off: same
+    // thread count, no pinning, single reported node.
+    const NumaTopology topo = detectNumaTopology();
+    ScopedEnv env("PGCN_NUMA", "auto");
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4u);
+    if (!topo.multiNode()) {
+        EXPECT_FALSE(pool.numaPinned());
+        EXPECT_EQ(pool.numNumaNodes(), 1u);
+        for (unsigned tid = 0; tid < 4; ++tid)
+            EXPECT_EQ(pool.numaNodeOf(tid), 0u);
+    } else {
+        EXPECT_TRUE(pool.numaPinned());
+        EXPECT_GE(pool.numNumaNodes(), 2u);
+    }
+}
+
+TEST(ThreadPoolNuma, AutoMatchesOffExactly)
+{
+    // Pinning relocates threads and memory but must never change what
+    // is computed: identical float results, identical coverage.
+    const uint64_t n = 20000;
+    float off_sum = 0.0f;
+    float auto_sum = 0.0f;
+    {
+        ScopedEnv env("PGCN_NUMA", "off");
+        ThreadPool pool(4);
+        off_sum = poolSum(pool, n);
+    }
+    {
+        ScopedEnv env("PGCN_NUMA", "auto");
+        ThreadPool pool(4);
+        auto_sum = poolSum(pool, n);
+    }
+    EXPECT_EQ(off_sum, auto_sum);
+}
+
+TEST(ThreadPoolNuma, SingleThreadPoolNeverPins)
+{
+    // The inline (num_threads == 1) path must not pin the caller even
+    // on a multi-node host: the caller's affinity is not ours to own.
+    ScopedEnv env("PGCN_NUMA", "auto");
+    ThreadPool pool(1);
+    EXPECT_FALSE(pool.numaPinned());
+    EXPECT_EQ(pool.numNumaNodes(), 1u);
+    int calls = 0;
+    pool.parallelRegion([&](unsigned) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolNuma, UnknownValueWarnsAndStaysOff)
+{
+    ScopedEnv env("PGCN_NUMA", "banana");
+    ThreadPool pool(2);
+    EXPECT_FALSE(pool.numaPinned());
+    EXPECT_EQ(pool.numNumaNodes(), 1u);
+}
+
+TEST(NumaTopology, ParseCpuListHandlesRangesAndSingles)
+{
+    const auto cpus = parseCpuList("0-3,8,10-11");
+    const std::vector<unsigned> expect = {0, 1, 2, 3, 8, 10, 11};
+    EXPECT_EQ(cpus, expect);
+    EXPECT_TRUE(parseCpuList("").empty());
+    EXPECT_TRUE(parseCpuList("   \n").empty());
+}
+
+TEST(NumaTopology, DetectionAlwaysYieldsUsableTopology)
+{
+    const NumaTopology topo = detectNumaTopology();
+    ASSERT_GE(topo.numNodes(), 1u);
+    for (const auto &cpus : topo.nodeCpus)
+        EXPECT_FALSE(cpus.empty());
 }
 
 TEST(AtomicFloat, SingleThreadAdds)

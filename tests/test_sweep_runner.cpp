@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -145,6 +146,29 @@ TEST(SweepRunner, JobsCountInvariantBytes)
     EXPECT_EQ(runSweep(8, pgcn_test::testPath("j8.jsonl"),
                        pgcn_test::testPath("j8.json")),
               golden);
+}
+
+TEST(SweepRunner, JobsInvariantHoldsUnderNumaAuto)
+{
+    // NUMA pinning moves threads around; the ordered writer must still
+    // produce byte-identical output for any worker count. On
+    // single-node hosts auto is a no-op by design — the test then
+    // degenerates to JobsCountInvariantBytes, which is the point: the
+    // env knob must never change bytes either way.
+    const char *old = getenv("PGCN_NUMA");
+    const std::string saved = old != nullptr ? old : "";
+    setenv("PGCN_NUMA", "auto", 1);
+    const std::string golden =
+        runSweep(1, pgcn_test::testPath("n1.jsonl"),
+                 pgcn_test::testPath("n1.json"));
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(runSweep(6, pgcn_test::testPath("n6.jsonl"),
+                       pgcn_test::testPath("n6.json")),
+              golden);
+    if (old != nullptr)
+        setenv("PGCN_NUMA", saved.c_str(), 1);
+    else
+        unsetenv("PGCN_NUMA");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Gate the reorder_sweep output and distil it into BENCH_PR6.json.
+
+Input is the consolidated sweep JSON written by
+
+  reorder_sweep --checkpoint=... --sweep-json=<in.json>
+
+with point keys
+
+  host/<graph>/order=<o>/kernel=<tiled|nnz>   {gflops, seconds}
+  locality/<graph>/order=<o>                  {avg_neighbor_distance, ...}
+  sim/<graph>/order=<o>/placement=<hashed|blocked>
+                                              {remote_access_fraction, ...}
+
+The CI gate, per graph:
+
+  1. host: for each kernel, the best of {island, rcm} GF/s must beat
+     the shuffled baseline (reordering pays on the wall clock), and
+  2. model: the best of {island, rcm} remote-access fraction under
+     blocked placement must be below shuffle's (reordering pays in
+     the DES locality model).
+
+Hashed-placement points are recorded but not gated: hashed placement
+is order-blind by design, so gating on it would be noise.
+
+Usage: bench_pr6.py <sweep.json> <BENCH_PR6.json>
+"""
+
+import json
+import sys
+
+CANDIDATES = ("island", "rcm")
+BASELINE = "shuffle"
+
+
+def parse_key(key):
+    """Split 'a/b/k=v/k2=v2' into (prefix_parts, dict_of_kv)."""
+    parts = key.split("/")
+    fixed = [p for p in parts if "=" not in p]
+    kv = dict(p.split("=", 1) for p in parts if "=" in p)
+    return fixed, kv
+
+
+def collect(points):
+    """Nest the flat point map: kind -> graph -> order -> values."""
+    out = {"host": {}, "locality": {}, "sim": {}}
+    for key, values in points.items():
+        fixed, kv = parse_key(key)
+        kind, graph = fixed[0], fixed[1]
+        order = kv["order"]
+        node = out[kind].setdefault(graph, {}).setdefault(order, {})
+        if kind == "host":
+            node[kv["kernel"]] = values
+        elif kind == "sim":
+            node[kv["placement"]] = values
+        else:
+            node.update(values)
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    with open(argv[1]) as f:
+        points = json.load(f)["points"]
+    data = collect(points)
+
+    failures = []
+    report = {"graphs": {}, "gate": {}}
+    graphs = sorted(set(data["sim"]) | set(data["host"]))
+    for graph in graphs:
+        host = data["host"].get(graph, {})
+        sim = data["sim"].get(graph, {})
+        entry = {"host": host, "sim": sim,
+                 "locality": data["locality"].get(graph, {})}
+        report["graphs"][graph] = entry
+
+        if host:
+            for kernel in ("tiled", "nnz"):
+                base = host[BASELINE][kernel]["gflops"]
+                best_order, best = max(
+                    ((o, host[o][kernel]["gflops"])
+                     for o in CANDIDATES if o in host),
+                    key=lambda p: p[1])
+                ok = best > base
+                report["gate"][f"{graph}/{kernel}"] = {
+                    "baseline_gflops": base,
+                    "best_order": best_order,
+                    "best_gflops": best,
+                    "speedup": best / base,
+                    "pass": ok,
+                }
+                if not ok:
+                    failures.append(
+                        f"{graph}/{kernel}: best reorder "
+                        f"({best_order}, {best:.2f} GF/s) does not "
+                        f"beat {BASELINE} ({base:.2f} GF/s)")
+
+        if sim:
+            base = sim[BASELINE]["blocked"]["remote_access_fraction"]
+            best_order, best = min(
+                ((o, sim[o]["blocked"]["remote_access_fraction"])
+                 for o in CANDIDATES if o in sim),
+                key=lambda p: p[1])
+            ok = best < base
+            report["gate"][f"{graph}/remote_fraction"] = {
+                "baseline": base,
+                "best_order": best_order,
+                "best": best,
+                "reduction": 1.0 - best / base if base else 0.0,
+                "pass": ok,
+            }
+            if not ok:
+                failures.append(
+                    f"{graph}: best blocked remote fraction "
+                    f"({best_order}, {best:.3f}) not below "
+                    f"{BASELINE} ({base:.3f})")
+
+    report["pass"] = not failures
+    with open(argv[2], "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for name, g in sorted(report["gate"].items()):
+        verdict = "ok" if g["pass"] else "FAIL"
+        if "best_gflops" in g:
+            print(f"{name}: {g['baseline_gflops']:.2f} -> "
+                  f"{g['best_gflops']:.2f} GF/s via {g['best_order']} "
+                  f"({g['speedup']:.2f}x) [{verdict}]")
+        else:
+            print(f"{name}: remote {g['baseline']:.3f} -> "
+                  f"{g['best']:.3f} via {g['best_order']} "
+                  f"(-{100 * g['reduction']:.1f}%) [{verdict}]")
+    if failures:
+        print("\ngate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("\ngate passed")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
