@@ -10,10 +10,15 @@
  * Perfetto-loadable trace plus a metrics time series, the sweep
  * robustness flags (--checkpoint=<jsonl>, --resume,
  * --sweep-json=<path>) that make long sweeps restartable after a
- * crash with only the missing points recomputed, and the parallel
+ * crash with only the missing points recomputed, the parallel
  * sweep driver (--jobs N) that spreads independent sweep points
  * across worker threads while keeping the checkpoint and consolidated
- * JSON byte-identical to a serial run (see parallel/sweep_runner.hpp).
+ * JSON byte-identical to a serial run (see parallel/sweep_runner.hpp),
+ * and run provenance (--history=<jsonl>) that appends one RunManifest
+ * line per bench invocation — git SHA, build flags, SIMD tier, NUMA
+ * topology, config/graph digests, per-point metrics — which
+ * tools/pgcn_report.py turns into scalability reports and regression
+ * gates.
  */
 #ifndef PGCN_BENCH_BENCH_UTIL_HPP
 #define PGCN_BENCH_BENCH_UTIL_HPP
@@ -30,14 +35,21 @@
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "common/checkpoint.hpp"
 #include "common/error.hpp"
+#include "common/manifest.hpp"
 #include "common/table.hpp"
+#include "common/version.hpp"
 #include "core/gcn_config.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
+#include "kernels/simd.hpp"
+#include "parallel/numa.hpp"
 #include "parallel/sweep_runner.hpp"
+#include "telemetry/model_bind.hpp"
 #include "telemetry/session.hpp"
 
 namespace pgcn::bench {
@@ -76,6 +88,7 @@ jsonPathFromArgs(int argc, char **argv)
  */
 struct BenchArgs
 {
+    std::string benchName;   ///< basename of argv[0] (manifest key)
     std::string csvPath;     ///< positional 1: table CSV
     std::string jsonPath;    ///< positional 2: throughput JSON
     std::string tracePath;   ///< --trace=: Chrome-trace JSON
@@ -90,6 +103,14 @@ struct BenchArgs
     /// analytic/DES model points. For sanitizer CI runs, where host
     /// timings are meaningless and slow.
     bool modelOnly = false;
+    /// --history=: append one RunManifest JSONL line per invocation.
+    std::string historyPath;
+    /// --occupancy=: per-resource occupancy-timeline CSV (benches that
+    /// attach a sim::MonitorHub, e.g. fig8).
+    std::string occupancyPath;
+    /// --no-monitors clears this: skip attaching span monitors even
+    /// where the bench supports them (A/B runs, overhead checks).
+    bool monitors = true;
 
     /** True when any telemetry output was asked for. */
     bool
@@ -108,6 +129,12 @@ inline BenchArgs
 parseBenchArgs(int argc, char **argv)
 {
     BenchArgs args;
+    if (argc > 0 && argv[0] != nullptr) {
+        const std::string self = argv[0];
+        const size_t slash = self.find_last_of('/');
+        args.benchName =
+            slash == std::string::npos ? self : self.substr(slash + 1);
+    }
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -131,6 +158,12 @@ parseBenchArgs(int argc, char **argv)
             args.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg == "--model-only") {
             args.modelOnly = true;
+        } else if (arg.rfind("--history=", 0) == 0) {
+            args.historyPath = arg.substr(10);
+        } else if (arg.rfind("--occupancy=", 0) == 0) {
+            args.occupancyPath = arg.substr(12);
+        } else if (arg == "--no-monitors") {
+            args.monitors = false;
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown flag ignored: " << arg << "\n";
         } else if (positional == 0) {
@@ -323,6 +356,35 @@ class SimThroughput
 };
 
 /**
+ * True for metric names that measure the host, not the simulation.
+ * These are excluded from the manifest's counter digest so that the
+ * digest agrees across machines whenever the simulated results do.
+ */
+inline bool
+hostDependentMetric(const std::string &name)
+{
+    return name.find("wall") != std::string::npos ||
+           name.find("per_sec") != std::string::npos ||
+           name.find("host") != std::string::npos;
+}
+
+/**
+ * Structural digest of a CSR graph (hex) for RunManifest::graphHash:
+ * vertex/edge counts plus the row-offset and column arrays. Values
+ * are omitted — normalisation weights are a function of structure.
+ */
+inline std::string
+graphDigest(const graph::Csr &g)
+{
+    uint64_t h = fnv1a64(static_cast<uint64_t>(g.numVertices()));
+    h = fnv1a64(static_cast<uint64_t>(g.numEdges()), h);
+    h = fnv1a64(g.rowOffsets().data(),
+                g.rowOffsets().size() * sizeof(g.rowOffsets()[0]), h);
+    h = fnv1a64(g.cols().data(), g.cols().size() * sizeof(g.cols()[0]), h);
+    return hashHex(h);
+}
+
+/**
  * The shared sweep driver every figure/ablation bench runs on: one
  * object wrapping the checkpoint, the parallel sweep runner, the
  * telemetry session and the per-worker simulator-throughput
@@ -362,13 +424,36 @@ class SweepDriver
         if (args.jobs != 1)
             std::cout << "(sweep running " << runner_.jobs()
                       << " points wide)\n";
+        // Calling-thread model evaluations (calibration runs, table
+        // rendering that re-queries the models) record into the bench
+        // session; pool workers re-bind to their own sessions.
+        if (session_)
+            telemetry::bindModelTelemetry(&session_->registry());
     }
 
     /** Enqueue one keyed point; returns its submission index. */
     size_t
     add(const std::string &key, parallel::SweepRunner::Compute compute)
     {
+        keys_.push_back(key);
         return runner_.add(key, std::move(compute));
+    }
+
+    /** Record the input graph's structural digest for the manifest. */
+    void
+    noteGraph(const graph::Csr &g)
+    {
+        manifestGraphHash_ = graphDigest(g);
+    }
+
+    /** Record the synthetic-input RNG seed for the manifest. */
+    void noteSeed(uint64_t seed) { manifestSeed_ = seed; }
+
+    /** Attach a free-form key/value annotation to the manifest. */
+    void
+    annotate(const std::string &key, const std::string &value)
+    {
+        manifestExtra_.emplace_back(key, value);
     }
 
     /** The executing worker's throughput accumulator (race-free). */
@@ -433,10 +518,77 @@ class SweepDriver
         if (session_) {
             runner_.mergeTelemetryInto(*session_);
             finishSession(*session_, args_);
+            telemetry::bindModelTelemetry(nullptr);
         }
+        if (!args_.historyPath.empty())
+            emitManifest(total);
     }
 
   private:
+    /**
+     * Append one RunManifest line to --history=. Metrics are every
+     * point's checkpoint values keyed "pointKey/metric"; the counter
+     * digest folds only host-independent metrics so bit-identical
+     * simulations produce the same digest on any machine.
+     */
+    void
+    emitManifest(const SimThroughput &total)
+    {
+        RunManifest m;
+        m.bench = args_.benchName;
+        m.timestamp = nowIso8601();
+        m.gitSha = version::kGitSha;
+        m.gitDirty = version::kGitDirty;
+        m.buildType = version::kBuildType;
+        m.compiler = version::kCompiler;
+#ifdef PGCN_NO_TELEMETRY
+        m.telemetryCompiled = false;
+#endif
+        m.simdTier =
+            kernels::simd::tierName(kernels::simd::activeTier());
+        m.numaNodes = parallel::detectNumaTopology().numNodes();
+        m.hostThreads = std::thread::hardware_concurrency();
+        m.graphHash = manifestGraphHash_;
+        m.seed = manifestSeed_;
+
+        uint64_t cfg_hash = kFnv1aOffset;
+        for (const std::string &key : keys_)
+            cfg_hash = fnv1a64(key, cfg_hash);
+        cfg_hash = fnv1a64(uint64_t{args_.modelOnly}, cfg_hash);
+        m.configHash = hashHex(cfg_hash);
+
+        uint64_t digest = kFnv1aOffset;
+        for (size_t i = 0; i < keys_.size(); ++i) {
+            const JsonlCheckpoint::Values *vals = result(i);
+            if (vals == nullptr)
+                continue;
+            for (const auto &[name, value] : *vals) {
+                m.metrics.emplace_back(keys_[i] + "/" + name, value);
+                if (!hostDependentMetric(name)) {
+                    digest = fnv1a64(keys_[i] + "/" + name, digest);
+                    digest = fnv1a64(value, digest);
+                }
+            }
+        }
+        m.counterDigest = hashHex(digest);
+
+        if (total.runs() > 0) {
+            m.metrics.emplace_back("sim/events",
+                                   static_cast<double>(total.events()));
+            m.metrics.emplace_back("sim/events_per_sec",
+                                   total.eventsPerSec());
+            m.metrics.emplace_back("sim/wall_seconds",
+                                   total.wallSeconds());
+        }
+        m.extra.emplace_back("jobs", std::to_string(runner_.jobs()));
+        for (const auto &kv : manifestExtra_)
+            m.extra.push_back(kv);
+
+        if (m.appendTo(args_.historyPath))
+            std::cout << "(run manifest appended to " << args_.historyPath
+                      << ")\n";
+    }
+
     static parallel::SweepOptions
     makeOptions(const BenchArgs &args)
     {
@@ -454,6 +606,10 @@ class SweepDriver
     parallel::SweepRunner runner_;
     std::vector<SimThroughput> throughput_;
     parallel::SweepRunner::Outcome outcome_;
+    std::vector<std::string> keys_;
+    std::string manifestGraphHash_;
+    uint64_t manifestSeed_ = 0;
+    std::vector<std::pair<std::string, std::string>> manifestExtra_;
 };
 
 /**

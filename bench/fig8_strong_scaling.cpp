@@ -18,7 +18,18 @@
  * simulations) and --jobs N (independent points run on worker
  * threads; the checkpoint and consolidated JSON stay byte-identical
  * to a serial run, see bench::SweepDriver).
+ *
+ * Every DES point runs with a sim::MonitorHub attached (disable with
+ * --no-monitors), so the middle panel also reports, per core count:
+ * issue-slot occupancy, the stall-attribution breakdown (memory vs
+ * network wait per thread), latency-hiding effectiveness (fraction of
+ * stall time covered by runnable threads), critical-path parallelism,
+ * and which bound limits scaling at that point (critical-path vs a
+ * saturated resource vs latency). --occupancy=<csv> dumps the raw
+ * per-resource occupancy timelines; --history=<jsonl> appends the run
+ * manifest consumed by tools/pgcn_report.py.
  */
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,6 +37,7 @@
 #include "bench_util.hpp"
 #include "model/spmm_model.hpp"
 #include "piuma/spmm_programs.hpp"
+#include "sim/monitor.hpp"
 #include "xeon/timing.hpp"
 
 using namespace pgcn;
@@ -61,37 +73,70 @@ benchMain(int argc, char **argv)
               << " |E|=" << proxy.adjacency.numEdges()
               << " (scale factor " << proxy.scaleFactor << ")\n\n";
 
+    driver.noteGraph(proxy.adjacency);
+
     // ---- Enqueue the DES points for the middle and right panels.
+    // One MonitorHub per point, preallocated so worker threads write
+    // disjoint hubs; the occupancy CSV is then dumped in submission
+    // order on the calling thread (resumed points leave empty hubs —
+    // their simulations never re-ran).
     constexpr unsigned kDim = 256;
     const std::vector<unsigned> scaling_cores{1u, 2u, 4u, 8u, 16u, 32u};
+    const std::vector<unsigned> right_dims{8u, 64u, 256u};
+    std::vector<sim::MonitorHub> hubs(scaling_cores.size() +
+                                      right_dims.size());
+
     std::vector<size_t> middle_idx;
-    for (unsigned cores : scaling_cores) {
+    for (size_t i = 0; i < scaling_cores.size(); ++i) {
+        const unsigned cores = scaling_cores[i];
+        sim::MonitorHub *hub = args.monitors ? &hubs[i] : nullptr;
         middle_idx.push_back(driver.add(
             "middle/cores=" + std::to_string(cores),
-            [&driver, &proxy, cores](const parallel::SweepContext &ctx) {
+            [&driver, &proxy, cores,
+             hub](const parallel::SweepContext &ctx) {
                 piuma::PiumaConfig pcfg;
                 pcfg.numCores = cores;
+                sim::SimControls controls = *ctx.controls;
+                controls.monitor = hub;
                 const auto sim =
                     simulateSpmm(proxy.adjacency, kDim, pcfg,
                                  SpmmAlgorithm::Dma, ctx.session,
-                                 ctx.controls);
+                                 &controls);
                 driver.throughput(ctx).add(sim);
-                return JsonlCheckpoint::Values{{"gflops", sim.gflops}};
+                return JsonlCheckpoint::Values{
+                    {"gflops", sim.gflops},
+                    {"makespan_ns", sim.makespanNs},
+                    {"issue_util", sim.issueUtilization},
+                    {"dma_util", sim.dmaUtilization},
+                    {"mem_util", sim.maxMemUtilization},
+                    {"net_util", sim.netUtilization},
+                    {"stall_mem_ns", sim.stallMemoryNs},
+                    {"stall_net_ns", sim.stallNetworkNs},
+                    {"cp_events",
+                     static_cast<double>(sim.criticalPathEvents)},
+                    {"cp_parallelism", sim.criticalPathParallelism},
+                    {"latency_hiding", sim.latencyHidingEffectiveness},
+                    {"exposed_stall_ns", sim.exposedStallNs},
+                };
             }));
     }
 
-    const std::vector<unsigned> right_dims{8u, 64u, 256u};
     std::vector<size_t> right_idx;
-    for (unsigned k : right_dims) {
+    for (size_t i = 0; i < right_dims.size(); ++i) {
+        const unsigned k = right_dims[i];
+        sim::MonitorHub *hub =
+            args.monitors ? &hubs[scaling_cores.size() + i] : nullptr;
         right_idx.push_back(driver.add(
             "right/k=" + std::to_string(k),
-            [&driver, &proxy, k](const parallel::SweepContext &ctx) {
+            [&driver, &proxy, k, hub](const parallel::SweepContext &ctx) {
                 piuma::PiumaConfig pcfg;
                 pcfg.numCores = 16;
+                sim::SimControls controls = *ctx.controls;
+                controls.monitor = hub;
                 const auto sim =
                     simulateSpmm(proxy.adjacency, k, pcfg,
                                  SpmmAlgorithm::Dma, ctx.session,
-                                 ctx.controls);
+                                 &controls);
                 driver.throughput(ctx).add(sim);
                 return JsonlCheckpoint::Values{
                     {"bytes_read", sim.bytesRead},
@@ -99,16 +144,23 @@ benchMain(int argc, char **argv)
                     {"makespan_ns", sim.makespanNs},
                     {"nnz_reads", static_cast<double>(sim.nnzReads)},
                     {"nnz_stall_ns", sim.nnzStallNs},
+                    {"stall_mem_ns", sim.stallMemoryNs},
+                    {"stall_net_ns", sim.stallNetworkNs},
                 };
             }));
     }
 
     driver.run();
 
-    // ---- Middle: SpMM strong scaling on products, K=256.
+    // ---- Middle: SpMM strong scaling on products, K=256, with the
+    // per-core-count observability columns: occupancy, stall
+    // attribution, latency hiding, critical-path parallelism, and the
+    // scaling bound the run diagnosed.
     Table middle("Fig 8 (middle): SpMM strong scaling on products, "
                  "K=256 (normalised to 1-core PIUMA)",
-                 {"cores", "piuma (sim)", "xeon (model)"});
+                 {"cores", "piuma (sim)", "xeon (model)", "occupancy",
+                  "mem stall/thr us", "net stall/thr us", "lat.hide",
+                  "cp ||ism", "bound"});
     double piuma_base = 0.0;
     const model::SpmmWorkload full{products.numVertices,
                                    products.numEdges, kDim};
@@ -117,6 +169,12 @@ benchMain(int argc, char **argv)
         const auto *point = driver.result(middle_idx[i]);
         if (!point)
             continue;
+        // Old-checkpoint resumes may lack the observability metrics;
+        // degrade those cells instead of aborting the table.
+        const auto get = [point](const char *name, double fallback) {
+            const auto it = point->find(name);
+            return it != point->end() ? it->second : fallback;
+        };
         const double gflops = point->at("gflops");
         if (cores == 1)
             piuma_base = gflops;
@@ -127,10 +185,32 @@ benchMain(int argc, char **argv)
         const double xeon_gflops =
             2.0 * static_cast<double>(products.numEdges) * kDim /
             xeon_ns;
-        middle.row()
+
+        piuma::PiumaConfig pcfg;
+        pcfg.numCores = cores;
+        const double threads = pcfg.totalThreads();
+        piuma::SpmmRunStats bound_stats{};
+        bound_stats.criticalPathParallelism =
+            get("cp_parallelism", 0.0);
+        bound_stats.maxMemUtilization = get("mem_util", 0.0);
+        bound_stats.netUtilization = get("net_util", 0.0);
+        bound_stats.issueUtilization = get("issue_util", 0.0);
+        bound_stats.dmaUtilization = get("dma_util", 0.0);
+        const double hiding = get("latency_hiding", -1.0);
+
+        auto &row = middle.row()
             .cell(static_cast<uint64_t>(cores))
             .cell(gflops / piuma_base, 2)
-            .cell(xeon_gflops / piuma_base, 2);
+            .cell(xeon_gflops / piuma_base, 2)
+            .cell(get("issue_util", 0.0), 3)
+            .cell(get("stall_mem_ns", 0.0) / threads / 1e3, 2)
+            .cell(get("stall_net_ns", 0.0) / threads / 1e3, 2);
+        if (hiding >= 0.0)
+            row.cell(hiding, 3);
+        else
+            row.cell("-");
+        row.cell(get("cp_parallelism", 0.0), 1)
+            .cell(piuma::scalingBoundName(bound_stats, pcfg.totalThreads()));
     }
     bench::emit(middle, csv.empty() ? csv : "middle_" + csv);
 
@@ -164,6 +244,34 @@ benchMain(int argc, char **argv)
             .cell(est.timeNs / point->at("makespan_ns"), 2);
     }
     bench::emit(right, csv.empty() ? csv : "right_" + csv);
+
+    // ---- Raw occupancy timelines (one row per non-empty bucket per
+    // resource, prefixed with the owning sweep point).
+    if (!args.occupancyPath.empty() && args.monitors) {
+        std::ofstream occ(args.occupancyPath);
+        occ << "point," << sim::MonitorHub::csvHeader() << '\n';
+        const auto dump = [&](size_t hub_idx, size_t point_idx,
+                              const std::string &key) {
+            const auto *point = driver.result(point_idx);
+            if (point == nullptr)
+                return;
+            const auto it = point->find("makespan_ns");
+            if (it == point->end())
+                return;
+            hubs[hub_idx].writeCsv(occ, it->second, key + ",");
+        };
+        for (size_t i = 0; i < scaling_cores.size(); ++i)
+            dump(i, middle_idx[i],
+                 "middle/cores=" + std::to_string(scaling_cores[i]));
+        for (size_t i = 0; i < right_dims.size(); ++i)
+            dump(scaling_cores.size() + i, right_idx[i],
+                 "right/k=" + std::to_string(right_dims[i]));
+        std::cout << "(occupancy csv written to " << args.occupancyPath
+                  << ")\n";
+    }
+
+    driver.annotate("graph", "products-proxy");
+    driver.annotate("algorithm", "dma");
     driver.finish();
     return 0;
 }

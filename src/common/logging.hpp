@@ -7,10 +7,11 @@
  * (bad configuration, impossible parameters). Both terminate;
  * warn()/inform()/debug() never do.
  *
- * Non-fatal messages are severity-filtered: the PIUMA_LOG environment
+ * Non-fatal messages are severity-filtered: the PGCN_LOG environment
  * variable (error | warn | info | debug, case-insensitive) sets the
- * maximum severity printed, defaulting to info. panic/fatal output is
- * never suppressed.
+ * maximum severity printed, defaulting to info. The legacy PIUMA_LOG
+ * name is honoured as a deprecated alias (with a one-time warning)
+ * when PGCN_LOG is unset. panic/fatal output is never suppressed.
  */
 #ifndef PGCN_COMMON_LOGGING_HPP
 #define PGCN_COMMON_LOGGING_HPP
@@ -53,20 +54,22 @@ enum class LogLevel
 };
 
 /**
- * The active log level. Initialised from the PIUMA_LOG environment
- * variable on first use; overridable with setLogLevel().
+ * The active log level. Initialised from the PGCN_LOG environment
+ * variable (or its deprecated PIUMA_LOG alias) on first use;
+ * overridable with setLogLevel().
  */
 LogLevel logLevel();
 
 /**
  * Override the active log level programmatically (takes precedence
- * over PIUMA_LOG until refreshLogLevelFromEnv() is called).
+ * over PGCN_LOG until refreshLogLevelFromEnv() is called).
  */
 void setLogLevel(LogLevel level);
 
 /**
- * Re-read PIUMA_LOG and make it the active level (missing or
- * unparsable values fall back to Info).
+ * Re-read PGCN_LOG (falling back to the deprecated PIUMA_LOG alias)
+ * and make it the active level (missing or unparsable values fall
+ * back to Info).
  */
 void refreshLogLevelFromEnv();
 
@@ -99,7 +102,7 @@ void inform(const std::string &message);
 
 /**
  * Print a debugging trace message to stderr; suppressed unless
- * PIUMA_LOG=debug (or setLogLevel(LogLevel::Debug)).
+ * PGCN_LOG=debug (or setLogLevel(LogLevel::Debug)).
  *
  * @param message The trace text.
  */

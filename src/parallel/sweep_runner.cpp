@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "parallel/thread_pool.hpp"
+#include "telemetry/model_bind.hpp"
 
 namespace pgcn::parallel {
 
@@ -95,6 +96,12 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
                 ctx.session =
                     options_.telemetry ? sessions_[tid].get() : nullptr;
                 ctx.controls = &controls;
+                // Point the analytic models' thread-local sinks at this
+                // worker's session, so model evaluations inside the
+                // compute land next to the point's simulation metrics.
+                telemetry::bindModelTelemetry(
+                    ctx.session != nullptr ? &ctx.session->registry()
+                                           : nullptr);
                 // Worker-local capture: a throwing point resolves as a
                 // skip so the commit cursor (and the pool) moves on.
                 try {

@@ -82,6 +82,8 @@ DmaEngine::run()
         stats_.bytesMoved += desc.bytes;
         stats_.busyNs += engine_.now() - started;
 #ifndef PGCN_NO_TELEMETRY
+        if (monitor_ != nullptr) [[unlikely]]
+            monitor_->addSpan(started, engine_.now());
         if (session_ != nullptr) [[unlikely]] {
             const sim::SimTime now = engine_.now();
             tlmDescriptors_->increment();

@@ -95,6 +95,21 @@ class DmaEngine
     void setFaultInjector(sim::FaultInjector *faults) { faults_ = faults; }
 
     /**
+     * Mirror per-descriptor busy spans (the same spans stats_.busyNs
+     * accumulates) onto @p timeline. Null detaches; no-op under
+     * PGCN_NO_TELEMETRY.
+     */
+    void
+    attachMonitor(sim::Timeline *timeline)
+    {
+#ifndef PGCN_NO_TELEMETRY
+        monitor_ = timeline;
+#else
+        (void)timeline;
+#endif
+    }
+
+    /**
      * Start the consumer process. Runs until a Terminate descriptor
      * arrives. Call exactly once per simulation.
      */
@@ -114,6 +129,9 @@ class DmaEngine
     Histogram *tlmDescNs_ = nullptr;
     telemetry::TraceWriter::NameId spanName_ = 0;
     bool detailedTrace_ = false;
+#ifndef PGCN_NO_TELEMETRY
+    sim::Timeline *monitor_ = nullptr; ///< busy-span occupancy sink
+#endif
     /// Fault injector; null keeps the configured dispatch overhead.
     sim::FaultInjector *faults_ = nullptr;
 };

@@ -19,6 +19,7 @@
 #include "piuma/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/monitor.hpp"
 #include "sim/resource.hpp"
 
 namespace pgcn {
@@ -227,6 +228,31 @@ class MemorySystem
      * Pass null (or never call) to leave the hot path untouched.
      */
     void attachTelemetry(telemetry::Session *session);
+
+    /**
+     * Mirror every slice-controller and network-port reservation onto
+     * @p hub's occupancy timelines (one per slice and per port). The
+     * hub must already be sized by MonitorHub::beginRun for this
+     * system's core count. No-op under PGCN_NO_TELEMETRY.
+     */
+    void
+    attachMonitor(sim::MonitorHub *hub)
+    {
+#ifndef PGCN_NO_TELEMETRY
+        for (size_t i = 0; i < slices_.size(); ++i) {
+            slices_[i].attachMonitor(
+                hub != nullptr
+                    ? hub->sliceTimeline(static_cast<unsigned>(i))
+                    : nullptr);
+            netPorts_[i].attachMonitor(
+                hub != nullptr
+                    ? hub->portTimeline(static_cast<unsigned>(i))
+                    : nullptr);
+        }
+#else
+        (void)hub;
+#endif
+    }
 
     /** Number of DRAM slices (== cores). */
     size_t numSlices() const { return slices_.size(); }

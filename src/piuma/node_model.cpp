@@ -6,14 +6,22 @@
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
 #include "piuma/spmm_programs.hpp"
+#include "telemetry/model_bind.hpp"
 #include "telemetry/registry.hpp"
 
 namespace pgcn::piuma {
 
 namespace {
 
-/** Attached metric sink; null = model evaluations record nothing. */
-telemetry::Registry *g_model_registry = nullptr;
+/** Attached metric sink; null = model evaluations record nothing.
+ *  Thread-local: sweep workers bind their own Session's registry via
+ *  telemetry::bindModelTelemetry, so concurrent sweep points never
+ *  share (or race on) a sink. */
+thread_local telemetry::Registry *g_model_registry = nullptr;
+
+/** Expose this TU's setter to the thread-binding rendezvous. */
+[[maybe_unused]] const bool g_binder_registered =
+    telemetry::registerModelTelemetryBinder(&setNodeModelTelemetry);
 
 /** Accumulate one model evaluation into the attached registry. */
 double

@@ -29,7 +29,10 @@ namespace pgcn::piuma {
  * times into the piuma.model.{spmm,dense,glue}_ns counters (plus a
  * .calls counter each). Null detaches. Counter deltas around a
  * timeGcn() evaluation give the per-kernel breakdown without
- * re-deriving it from returned structs (fig10 consumes this).
+ * re-deriving it from returned structs (fig10 consumes this). The
+ * binding is per-thread: sweep workers each bind their own session
+ * registry (telemetry::bindModelTelemetry does this for all models at
+ * once), and unbound threads record nothing.
  */
 void setNodeModelTelemetry(telemetry::Registry *registry);
 

@@ -12,6 +12,7 @@
 #include "piuma/dma.hpp"
 #include "piuma/memory.hpp"
 #include "sim/engine.hpp"
+#include "sim/monitor.hpp"
 #include "sim/resource.hpp"
 #include "telemetry/session.hpp"
 
@@ -31,6 +32,32 @@ spmmAlgorithmName(SpmmAlgorithm alg)
         return "dma";
     }
     PGCN_PANIC("unknown SpMM algorithm");
+}
+
+const char *
+scalingBoundName(const SpmmRunStats &stats, unsigned total_threads)
+{
+    // A saturated resource is the bottleneck no matter what the event
+    // graph's shape says: serialised event chains behind a full queue
+    // are a symptom of the saturation, not the cause (a bandwidth
+    // -bound SpMM shows a short critical path *because* every thread
+    // is parked behind the same DRAM slice).
+    constexpr double kSaturated = 0.85;
+    if (stats.maxMemUtilization >= kSaturated)
+        return "resource:mem";
+    if (stats.netUtilization >= kSaturated)
+        return "resource:net";
+    if (stats.issueUtilization >= kSaturated)
+        return "resource:issue";
+    if (stats.dmaUtilization >= kSaturated)
+        return "resource:dma";
+    // No resource saturated but fewer independent event chains than
+    // hardware threads: adding threads cannot help.
+    if (stats.criticalPathParallelism > 0.0 &&
+        stats.criticalPathParallelism <
+            static_cast<double>(total_threads))
+        return "critical-path";
+    return "latency";
 }
 
 namespace {
@@ -64,6 +91,9 @@ struct RunContext
     std::vector<sim::BandwidthResource> mtpIssue;
     std::vector<DmaEngine> dmaEngines;
     std::vector<unsigned> liveThreadsPerCore;
+    /// Occupancy/stall monitor; null leaves the wait sites at one
+    /// predictable branch each.
+    sim::MonitorHub *monitor = nullptr;
 
     // Stall attribution, summed over threads.
     double nnzStallNs = 0.0;
@@ -71,8 +101,60 @@ struct RunContext
     double featureStallNs = 0.0;
     double dmaQueueStallNs = 0.0;
     double issueNs = 0.0;
+    // Taxonomy re-bucketing of the same waits by where they were
+    // served (always on: one branch + one add per wait).
+    double stallMemNs = 0.0;
+    double stallNetNs = 0.0;
     double nnzLatencySum = 0.0;
     uint64_t nnzReads = 0;
+
+    /// Credit a resolved memory wait to the locality taxonomy and,
+    /// when a monitor is attached, to the core's stall timeline.
+    /// Striped accesses are classified by their first slice.
+    void
+    noteMemWait(unsigned core, unsigned slice, sim::SimTime t0,
+                double waited)
+    {
+        const bool local = slice == core;
+        (local ? stallMemNs : stallNetNs) += waited;
+#ifndef PGCN_NO_TELEMETRY
+        if (monitor != nullptr) [[unlikely]] {
+            monitor->endWait(core,
+                             local ? sim::StallCause::MemoryWait
+                                   : sim::StallCause::NetworkWait,
+                             t0, engine.now());
+        }
+#else
+        (void)t0;
+#endif
+    }
+
+    /// Monitor hook before a blocking wait begins (no-op unattached).
+    void
+    beginWait(unsigned core, sim::SimTime t0)
+    {
+#ifndef PGCN_NO_TELEMETRY
+        if (monitor != nullptr) [[unlikely]]
+            monitor->beginWait(core, t0);
+#else
+        (void)core;
+        (void)t0;
+#endif
+    }
+
+    /// Close a queue-full backpressure wait on the monitor.
+    void
+    noteQueueWait(unsigned core, sim::SimTime t0)
+    {
+#ifndef PGCN_NO_TELEMETRY
+        if (monitor != nullptr) [[unlikely]]
+            monitor->endWait(core, sim::StallCause::QueueFull, t0,
+                             engine.now());
+#else
+        (void)core;
+        (void)t0;
+#endif
+    }
 
     unsigned
     coreOfThread(unsigned tid) const
@@ -185,11 +267,15 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             co_await issue.transfer(2.0); // compare + load
             const uint64_t line =
                 pgcn::splitMix64(probe_seed) % row_lines;
+            const unsigned slice = ctx.lineSlice(line);
             const sim::SimTime t0 = ctx.engine.now();
+            ctx.beginWait(core, t0);
             const MemoryAccess acc = ctx.memory.read(
-                core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+                core, slice, ctx.cfg.cacheLineBytes);
             co_await ctx.engine.delayUntil(acc.responseAt);
-            ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+            const double waited = ctx.engine.now() - t0;
+            ctx.rowOffsetStallNs += waited;
+            ctx.noteMemWait(core, slice, t0, waited);
         }
 
         VertexId u = ctx.csr.rowOfEdge(start);
@@ -211,14 +297,17 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             if (line != cur_nnz_line) {
                 cur_nnz_line = line;
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
+                const unsigned slice = ctx.lineSlice(line);
                 const sim::SimTime t0 = ctx.engine.now();
+                ctx.beginWait(core, t0);
                 const MemoryAccess acc = ctx.memory.read(
-                    core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+                    core, slice, ctx.cfg.cacheLineBytes);
                 co_await ctx.engine.delayUntil(acc.responseAt);
                 const double waited = ctx.engine.now() - t0;
                 ctx.nnzStallNs += waited;
                 ctx.nnzLatencySum += waited;
                 ++ctx.nnzReads;
+                ctx.noteMemWait(core, slice, t0, waited);
             }
 
             // Row boundary: flush the accumulation buffer (atomic
@@ -226,22 +315,27 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             while (e >= offsets[u + 1]) {
                 co_await issue.transfer(ctx.cfg.issueCostPerDescriptor);
                 sim::SimTime t0 = ctx.engine.now();
+                ctx.beginWait(core, t0);
                 co_await queue.push(DmaDescriptor{
                     DmaDescriptor::Op::WriteRow, ctx.rowSlice(u),
                     row_bytes});
                 ctx.dmaQueueStallNs += ctx.engine.now() - t0;
+                ctx.noteQueueWait(core, t0);
                 ++u;
                 const uint64_t rl = (u + 1) / rows_per_line;
                 if (rl != cur_row_line) {
                     cur_row_line = rl;
                     co_await issue.transfer(
                         ctx.cfg.issueCostPerLineLoad);
+                    const unsigned slice = ctx.lineSlice(rl);
                     t0 = ctx.engine.now();
+                    ctx.beginWait(core, t0);
                     const MemoryAccess acc = ctx.memory.read(
-                        core, ctx.lineSlice(rl),
-                        ctx.cfg.cacheLineBytes);
+                        core, slice, ctx.cfg.cacheLineBytes);
                     co_await ctx.engine.delayUntil(acc.responseAt);
-                    ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+                    const double waited = ctx.engine.now() - t0;
+                    ctx.rowOffsetStallNs += waited;
+                    ctx.noteMemWait(core, slice, t0, waited);
                 }
             }
 
@@ -249,10 +343,12 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             co_await issue.transfer(ctx.cfg.issueCostPerEdge +
                                     ctx.cfg.issueCostPerDescriptor);
             const sim::SimTime t0 = ctx.engine.now();
+            ctx.beginWait(core, t0);
             co_await queue.push(DmaDescriptor{
                 DmaDescriptor::Op::ReadMulAcc, ctx.rowSlice(cols[e]),
                 row_bytes});
             ctx.dmaQueueStallNs += ctx.engine.now() - t0;
+            ctx.noteQueueWait(core, t0);
         }
 
         // Final flush of the last (possibly shared) row.
@@ -295,11 +391,15 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             co_await issue.transfer(2.0);
             const uint64_t line =
                 pgcn::splitMix64(probe_seed) % row_lines;
+            const unsigned slice = ctx.lineSlice(line);
             const sim::SimTime t0 = ctx.engine.now();
+            ctx.beginWait(core, t0);
             const MemoryAccess acc = ctx.memory.read(
-                core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+                core, slice, ctx.cfg.cacheLineBytes);
             co_await ctx.engine.delayUntil(acc.responseAt);
-            ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+            const double waited = ctx.engine.now() - t0;
+            ctx.rowOffsetStallNs += waited;
+            ctx.noteMemWait(core, slice, t0, waited);
         }
 
         VertexId u = ctx.csr.rowOfEdge(start);
@@ -318,14 +418,17 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             if (line != cur_nnz_line) {
                 cur_nnz_line = line;
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
+                const unsigned slice = ctx.lineSlice(line);
                 const sim::SimTime t0 = ctx.engine.now();
+                ctx.beginWait(core, t0);
                 const MemoryAccess acc = ctx.memory.read(
-                    core, ctx.lineSlice(line), ctx.cfg.cacheLineBytes);
+                    core, slice, ctx.cfg.cacheLineBytes);
                 co_await ctx.engine.delayUntil(acc.responseAt);
                 const double waited = ctx.engine.now() - t0;
                 ctx.nnzStallNs += waited;
                 ctx.nnzLatencySum += waited;
                 ++ctx.nnzReads;
+                ctx.noteMemWait(core, slice, t0, waited);
             }
 
             while (e >= offsets[u + 1]) {
@@ -339,12 +442,15 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                     cur_row_line = rl;
                     co_await issue.transfer(
                         ctx.cfg.issueCostPerLineLoad);
+                    const unsigned slice = ctx.lineSlice(rl);
                     const sim::SimTime t0 = ctx.engine.now();
+                    ctx.beginWait(core, t0);
                     const MemoryAccess acc = ctx.memory.read(
-                        core, ctx.lineSlice(rl),
-                        ctx.cfg.cacheLineBytes);
+                        core, slice, ctx.cfg.cacheLineBytes);
                     co_await ctx.engine.delayUntil(acc.responseAt);
-                    ctx.rowOffsetStallNs += ctx.engine.now() - t0;
+                    const double waited = ctx.engine.now() - t0;
+                    ctx.rowOffsetStallNs += waited;
+                    ctx.noteMemWait(core, slice, t0, waited);
                 }
             }
 
@@ -369,10 +475,13 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                     ctx.cfg.dgasFineInterleave
                         ? (ctx.rowSlice(cols[e]) + l) % ctx.cfg.numCores
                         : ctx.rowSlice(cols[e]);
+                ctx.beginWait(core, t0);
                 const MemoryAccess acc =
                     ctx.memory.readStriped(core, line_slice, chunk);
                 co_await ctx.engine.delayUntil(acc.responseAt);
-                ctx.featureStallNs += ctx.engine.now() - t0;
+                const double waited = ctx.engine.now() - t0;
+                ctx.featureStallNs += waited;
+                ctx.noteMemWait(core, line_slice, t0, waited);
             }
 
             // Scale-and-accumulate on the scalar pipeline.
@@ -451,6 +560,11 @@ publishRunCounters(const SpmmRunStats &stats, telemetry::Registry &reg)
     reg.counter("piuma.spmm.stall.dma_queue_ns")
         .add(stats.dmaQueueStallNs);
     reg.counter("piuma.spmm.issue_ns").add(stats.issueNs);
+    // Stall-attribution taxonomy + critical path (PR 7 observability).
+    reg.counter("piuma.spmm.stall.memory_ns").add(stats.stallMemoryNs);
+    reg.counter("piuma.spmm.stall.network_ns").add(stats.stallNetworkNs);
+    reg.counter("sim.critical_path_events")
+        .add(static_cast<double>(stats.criticalPathEvents));
     reg.counter("sim.events").add(static_cast<double>(stats.simEvents));
 }
 
@@ -472,6 +586,22 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     if (controls != nullptr) {
         ctx.memory.setFaultInjector(controls->faults);
         ctx.engine.setRunLimits(controls->limits);
+#ifndef PGCN_NO_TELEMETRY
+        if (controls->monitor != nullptr) {
+            // Monitors observe spans the model computes anyway and
+            // never schedule events, so the simulated result stays
+            // bit-identical (the determinism tests pin this).
+            sim::MonitorHub &hub = *controls->monitor;
+            hub.beginRun(cfg.numCores, cfg.mtpsPerCore);
+            ctx.monitor = &hub;
+            for (unsigned m = 0;
+                 m < static_cast<unsigned>(ctx.mtpIssue.size()); ++m) {
+                ctx.mtpIssue[m].attachMonitor(
+                    hub.issueTimeline(m / cfg.mtpsPerCore));
+            }
+            ctx.memory.attachMonitor(&hub);
+        }
+#endif
     }
 
     if (session != nullptr) {
@@ -496,6 +626,13 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
             for (auto &engine : ctx.dmaEngines)
                 engine.setFaultInjector(controls->faults);
         }
+#ifndef PGCN_NO_TELEMETRY
+        if (ctx.monitor != nullptr) {
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                ctx.dmaEngines[c].attachMonitor(
+                    ctx.monitor->dmaTimeline(c));
+        }
+#endif
         for (auto &engine : ctx.dmaEngines)
             engine.run();
         for (unsigned tid = 0; tid < cfg.totalThreads(); ++tid)
@@ -545,6 +682,38 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     stats.featureStallNs = ctx.featureStallNs;
     stats.dmaQueueStallNs = ctx.dmaQueueStallNs;
     stats.issueNs = ctx.issueNs;
+    stats.stallMemoryNs = ctx.stallMemNs;
+    stats.stallNetworkNs = ctx.stallNetNs;
+    if (makespan > 0.0) {
+        double issue_busy = 0.0;
+        for (const auto &r : ctx.mtpIssue)
+            issue_busy += r.busyTime();
+        stats.issueUtilization =
+            issue_busy /
+            (static_cast<double>(ctx.mtpIssue.size()) * makespan);
+        double dma_busy = 0.0;
+        for (const auto &engine : ctx.dmaEngines)
+            dma_busy += engine.stats().busyNs;
+        if (!ctx.dmaEngines.empty()) {
+            stats.dmaUtilization =
+                dma_busy /
+                (static_cast<double>(ctx.dmaEngines.size()) * makespan);
+        }
+    }
+    stats.criticalPathEvents = ctx.engine.criticalPathEvents();
+    stats.criticalPathParallelism =
+        stats.criticalPathEvents > 0
+            ? static_cast<double>(ctx.engine.eventsProcessed()) /
+                  static_cast<double>(stats.criticalPathEvents)
+            : 0.0;
+#ifndef PGCN_NO_TELEMETRY
+    if (ctx.monitor != nullptr) {
+        const sim::OccupancyReport rep = ctx.monitor->report(makespan);
+        stats.latencyHidingEffectiveness =
+            rep.latencyHidingEffectiveness;
+        stats.exposedStallNs = rep.exposedStallNs;
+    }
+#endif
     stats.nnzReads = ctx.nnzReads;
     stats.avgNnzLatencyNs =
         ctx.nnzReads ? ctx.nnzLatencySum / static_cast<double>(ctx.nnzReads)

@@ -77,6 +77,35 @@ struct SpmmRunStats
     double dmaQueueStallNs = 0.0; ///< blocked pushing DMA descriptors
     double issueNs = 0.0;         ///< pipeline issue (incl. MACs)
 
+    /// Stall-attribution taxonomy (always on, like the DGAS locality
+    /// counters): the per-site stalls above re-bucketed by *where* the
+    /// wait was served. Memory = local slice, network = crossed the
+    /// interconnect (classified by the access's first slice), queue =
+    /// dmaQueueStallNs. stallMemoryNs + stallNetworkNs ==
+    /// nnzStallNs + rowOffsetStallNs + featureStallNs exactly.
+    double stallMemoryNs = 0.0;  ///< thread-waits served locally
+    double stallNetworkNs = 0.0; ///< thread-waits that crossed the net
+
+    /// Mean MTP issue-slot utilisation over the makespan (always on).
+    double issueUtilization = 0.0;
+    /// Mean DMA-engine busy fraction over the makespan (always on;
+    /// 0 for the loop-unrolled algorithm).
+    double dmaUtilization = 0.0;
+
+    /// Event-graph critical path (always on): length of the longest
+    /// dependency chain of events, and total events over it — the
+    /// run's available parallelism, an upper bound on achievable
+    /// speedup independent of any resource.
+    uint64_t criticalPathEvents = 0;
+    double criticalPathParallelism = 0.0; ///< simEvents / cpEvents
+
+    /// Latency-hiding effectiveness (monitor-only; -1 when no
+    /// MonitorHub was attached): the fraction of per-core stall-window
+    /// time covered by issue activity on the same core. The exposed
+    /// remainder is the StallCause::NoRunnable bucket in ns.
+    double latencyHidingEffectiveness = -1.0;
+    double exposedStallNs = 0.0;
+
     double avgNnzLatencyNs = 0.0; ///< mean observed NNZ read latency
     uint64_t nnzReads = 0;        ///< NNZ line fetches
     uint64_t dmaDescriptors = 0;  ///< DMA data descriptors processed
@@ -114,6 +143,18 @@ SpmmRunStats simulateSpmm(const graph::Csr &csr, unsigned embedding_dim,
                           const PiumaConfig &cfg, SpmmAlgorithm alg,
                           telemetry::Session *session = nullptr,
                           const sim::SimControls *controls = nullptr);
+
+/**
+ * Classify what bounds further scaling of @p stats' run: a saturated
+ * resource ("resource:mem|net|issue|dma", any utilisation >= 85%,
+ * checked first because a full resource serialises the event graph as
+ * a side effect), else the event graph itself ("critical-path" —
+ * fewer independent event chains than threads to fill), else
+ * "latency" (the run is dominated by unhidden access latency). This
+ * is the fig8 `bound` column.
+ */
+const char *scalingBoundName(const SpmmRunStats &stats,
+                             unsigned total_threads);
 
 } // namespace pgcn::piuma
 

@@ -42,6 +42,20 @@
  * number at schedule time, and run() always dispatches the minimum
  * (when, seq) across all arenas, so the observable order is exactly
  * the seed engine's single-priority-queue order.
+ *
+ * Critical-path tracking: every event also carries the length of the
+ * dependency chain that produced it — an event scheduled while
+ * dispatching an event of depth d gets depth d+1 (events scheduled
+ * outside run(), i.e. from setup code, start a chain at depth 1).
+ * The maximum depth ever dispatched is the event-graph critical path:
+ * no execution order, sequential or parallel, can finish in fewer
+ * dependent steps. Resource-queueing delays (BandwidthResource
+ * reservations) are deliberately *not* edges in this graph — they are
+ * contention, not dataflow — so comparing total events to the
+ * critical path separates "the algorithm ran out of parallelism"
+ * from "a resource saturated". The cost is one integer store per
+ * dispatch and one per schedule, cheap enough to stay always-on
+ * (same budget class as the PR 6 remote-access counters).
  */
 #ifndef PGCN_SIM_ENGINE_HPP
 #define PGCN_SIM_ENGINE_HPP
@@ -338,6 +352,15 @@ class Engine
     /** Largest number of pending events observed. */
     size_t peakQueueDepth() const { return peakQueueDepth_; }
 
+    /**
+     * Length (in events) of the longest dependency chain dispatched
+     * so far — the event-graph critical path. eventsProcessed() /
+     * criticalPathEvents() is the run's available parallelism: an
+     * upper bound on the speedup any execution of this event graph
+     * can achieve.
+     */
+    uint64_t criticalPathEvents() const { return maxDepth_; }
+
     /** Events currently pending (all arenas). */
     size_t queueDepth() const { return pending_; }
 
@@ -444,6 +467,8 @@ class Engine
             const uintptr_t tag = ev.payload & kTagMask;
             if (tag == 0) {
                 ++coroutineEvents_;
+                curDepth_ = ev.depth;
+                maxDepth_ = std::max<uint64_t>(maxDepth_, ev.depth);
                 std::coroutine_handle<>::from_address(
                     reinterpret_cast<void *>(ev.payload))
                     .resume();
@@ -453,15 +478,22 @@ class Engine
                 PGCN_ASSERT(se.when == ev.when && se.seq == ev.seq,
                             "stream head out of sync");
                 // Re-arm the stream's next wait before resuming: the
-                // resumed coroutine may append to this stream.
+                // resumed coroutine may append to this stream. The far
+                // node carries the parked wait's own depth (dispatch
+                // reads it back from the FIFO, but keeping the copies
+                // consistent costs nothing).
                 if (!st.fifo.empty()) {
                     const StreamEvent &nx = st.fifo.front();
-                    farPush(Key{nx.when, nx.seq}, ev.payload);
+                    farPush(Key{nx.when, nx.seq}, ev.payload, nx.depth);
                 }
                 ++coroutineEvents_;
+                curDepth_ = se.depth;
+                maxDepth_ = std::max<uint64_t>(maxDepth_, se.depth);
                 std::coroutine_handle<>::from_address(se.frame).resume();
             } else {
                 ++callbackEvents_;
+                curDepth_ = ev.depth;
+                maxDepth_ = std::max<uint64_t>(maxDepth_, ev.depth);
                 const size_t slot = ev.payload >> 2;
                 // Move out before invoking: the callback may schedule
                 // further events and recycle slab slots.
@@ -632,6 +664,7 @@ class Engine
         SimTime when;
         uint64_t seq;
         void *frame;
+        uint32_t depth; ///< dependency-chain length of this event
     };
 
     /** One completion stream: (when, seq)-sorted FIFO of waits. */
@@ -653,6 +686,7 @@ class Engine
         SimTime when;
         uint64_t seq;
         Payload payload;
+        uint32_t depth; ///< dependency-chain length of this event
     };
 
     /** Strict (when, seq) dispatch order — the determinism contract. */
@@ -670,15 +704,16 @@ class Engine
         PGCN_ASSERT(delay >= 0.0, "negative event delay " << delay);
         const SimTime when = now_ + delay;
         const uint64_t seq = nextSeq_++;
+        const uint32_t depth = curDepth_ + 1;
         if (delay == 0.0) {
             // Invariant: with non-negative delays every pending event
             // has when >= now_, so zero-delay events are always ready
             // and FIFO-ordered among themselves — a plain queue slot.
             if (nowQ_.size() == nowQ_.capacity())
                 ++arenaGrowths_;
-            nowQ_.push_back(Event{when, seq, p});
+            nowQ_.push_back(Event{when, seq, p, depth});
         } else {
-            farPush(Key{when, seq}, p);
+            farPush(Key{when, seq}, p, depth);
         }
         ++pending_;
         peakQueueDepth_ = std::max(peakQueueDepth_, pending_);
@@ -698,16 +733,18 @@ class Engine
         PGCN_ASSERT(ns > 0.0, "stream wait must be in the future");
         const SimTime when = now_ + ns;
         const uint64_t seq = nextSeq_++;
+        const uint32_t depth = curDepth_ + 1;
         Stream &st = streams_[sid];
         if (!st.fifo.empty() && when < st.fifo.back().when) {
             farPush(Key{when, seq},
-                    reinterpret_cast<uintptr_t>(h.address()));
+                    reinterpret_cast<uintptr_t>(h.address()), depth);
         } else {
             if (st.fifo.empty()) {
                 farPush(Key{when, seq},
-                        (static_cast<uintptr_t>(sid) << 2) | kStreamTag);
+                        (static_cast<uintptr_t>(sid) << 2) | kStreamTag,
+                        depth);
             }
-            st.fifo.push_back(StreamEvent{when, seq, h.address()});
+            st.fifo.push_back(StreamEvent{when, seq, h.address(), depth});
         }
         ++pending_;
         peakQueueDepth_ = std::max(peakQueueDepth_, pending_);
@@ -723,7 +760,7 @@ class Engine
     /** File an event in the far wheel. O(1), allocation-free once the
      *  slab has reached its high-water mark. */
     void
-    farPush(const Key &k, Payload p)
+    farPush(const Key &k, Payload p, uint32_t depth)
     {
         int32_t n;
         if (farFree_ >= 0) {
@@ -737,7 +774,7 @@ class Engine
         }
         const uint64_t bucket = bucketOf(k.when);
         const size_t slot = static_cast<size_t>(bucket) & slotMask_;
-        farArena_[n] = FarNode{k.when, k.seq, p, slotHeads_[slot]};
+        farArena_[n] = FarNode{k.when, k.seq, p, slotHeads_[slot], depth};
         slotHeads_[slot] = n;
         // The dispatch cursor may have scanned ahead of now_ while
         // locating a minimum that lost the merge against the now
@@ -825,7 +862,7 @@ class Engine
     {
         farLocateMin();
         FarNode &nd = farArena_[minNode_];
-        const Event ev{nd.when, nd.seq, nd.payload};
+        const Event ev{nd.when, nd.seq, nd.payload, nd.depth};
         if (minPrev_ < 0)
             slotHeads_[minSlot_] = nd.next;
         else
@@ -882,13 +919,16 @@ class Engine
         minValid_ = false;
     }
 
-    /** One far event: sort key, payload, and intrusive bucket link. */
+    /** One far event: sort key, payload, and intrusive bucket link.
+     *  The depth field occupies what was padding — FarNode stays 32
+     *  bytes, so critical-path tracking costs the far wheel nothing. */
     struct FarNode
     {
         SimTime when;
         uint64_t seq;
         Payload payload;
         int32_t next; ///< next node in bucket chain / free list (-1 end)
+        uint32_t depth; ///< dependency-chain length of this event
     };
 
     static constexpr size_t kInitialSlots = 1024;
@@ -931,6 +971,8 @@ class Engine
     static constexpr uint32_t kWallCheckPeriod = 4096;
     SimTime now_ = 0.0;
     uint64_t nextSeq_ = 0;
+    uint32_t curDepth_ = 0;  ///< depth of the event being dispatched
+    uint64_t maxDepth_ = 0;  ///< longest dependency chain seen (critical path)
     uint64_t eventsProcessed_ = 0;
     uint64_t coroutineEvents_ = 0;
     uint64_t callbackEvents_ = 0;

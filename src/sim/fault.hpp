@@ -26,6 +26,8 @@
 
 namespace pgcn::sim {
 
+class MonitorHub;
+
 /**
  * Fault-injection parameters. Each jitter j perturbs its target value
  * v multiplicatively into [v*(1-j), v*(1+j)]; 0 disables that fault
@@ -162,7 +164,8 @@ class FaultInjector
 
 /**
  * Optional per-run controls bundled so simulation entry points keep
- * one trailing parameter: fault injection and watchdog budgets.
+ * one trailing parameter: fault injection, watchdog budgets, and
+ * occupancy monitoring.
  */
 struct SimControls
 {
@@ -170,6 +173,9 @@ struct SimControls
     FaultInjector *faults = nullptr;
     /// Watchdog budgets applied to the run; zeros mean unlimited.
     Engine::RunLimits limits{};
+    /// Occupancy/stall monitor; null disables span tracking. The run
+    /// calls MonitorHub::beginRun and wires every resource itself.
+    MonitorHub *monitor = nullptr;
 };
 
 } // namespace pgcn::sim

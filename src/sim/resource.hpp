@@ -19,6 +19,7 @@
 
 #include "common/logging.hpp"
 #include "sim/engine.hpp"
+#include "sim/monitor.hpp"
 
 namespace pgcn::sim {
 
@@ -83,7 +84,28 @@ class BandwidthResource
         busyTime_ += duration;
         totalUnits_ += amount;
         ++requests_;
+#ifndef PGCN_NO_TELEMETRY
+        // The (start, nextFree_) pair is exactly the busy span an
+        // occupancy monitor wants; recording it cannot affect timing.
+        if (monitor_ != nullptr) [[unlikely]]
+            monitor_->addSpan(start, nextFree_);
+#endif
         return nextFree_;
+    }
+
+    /**
+     * Mirror every reservation's busy span onto @p timeline (pass
+     * nullptr to detach). Follows the telemetry idiom: one predictable
+     * branch when unattached, compiled out under PGCN_NO_TELEMETRY.
+     */
+    void
+    attachMonitor(Timeline *timeline)
+    {
+#ifndef PGCN_NO_TELEMETRY
+        monitor_ = timeline;
+#else
+        (void)timeline;
+#endif
     }
 
     /**
@@ -128,6 +150,9 @@ class BandwidthResource
     double rate_;
     Engine::StreamId stream_; ///< completion stream for transfer()
     std::string name_;
+#ifndef PGCN_NO_TELEMETRY
+    Timeline *monitor_ = nullptr; ///< busy-span sink (occupancy)
+#endif
     SimTime nextFree_ = 0.0;
     double busyTime_ = 0.0;
     double totalUnits_ = 0.0;

@@ -1,0 +1,53 @@
+#include "telemetry/model_bind.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace pgcn::telemetry {
+
+namespace {
+
+/** Registered binders behind a Meyers singleton: model TUs register
+ *  during static initialisation, whose cross-TU order is unspecified,
+ *  so the container must construct on first use. The mutex covers the
+ *  (unlikely but legal) case of a binder registering after threads
+ *  exist, e.g. a dlopen'd extension. */
+struct BinderList
+{
+    std::mutex mutex;
+    std::vector<ModelTelemetryBinder> binders;
+};
+
+BinderList &
+binderList()
+{
+    static BinderList list;
+    return list;
+}
+
+} // namespace
+
+bool
+registerModelTelemetryBinder(ModelTelemetryBinder binder)
+{
+    if (binder == nullptr)
+        return true;
+    BinderList &list = binderList();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    if (std::find(list.binders.begin(), list.binders.end(), binder) ==
+        list.binders.end())
+        list.binders.push_back(binder);
+    return true;
+}
+
+void
+bindModelTelemetry(Registry *registry)
+{
+    BinderList &list = binderList();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    for (ModelTelemetryBinder binder : list.binders)
+        binder(registry);
+}
+
+} // namespace pgcn::telemetry

@@ -4,14 +4,22 @@
 #include <cmath>
 #include <string>
 
+#include "telemetry/model_bind.hpp"
 #include "telemetry/registry.hpp"
 
 namespace pgcn::xeon {
 
 namespace {
 
-/** Attached metric sink; null = model evaluations record nothing. */
-telemetry::Registry *g_model_registry = nullptr;
+/** Attached metric sink; null = model evaluations record nothing.
+ *  Thread-local: sweep workers bind their own Session's registry via
+ *  telemetry::bindModelTelemetry, so concurrent sweep points never
+ *  share (or race on) a sink. */
+thread_local telemetry::Registry *g_model_registry = nullptr;
+
+/** Expose this TU's setter to the thread-binding rendezvous. */
+[[maybe_unused]] const bool g_binder_registered =
+    telemetry::registerModelTelemetryBinder(&setTelemetryRegistry);
 
 /** Accumulate one model evaluation into the attached registry. */
 double

@@ -22,7 +22,9 @@ namespace pgcn::xeon {
  * spmmTimeNs / denseMmTimeNs / glueTimeNs accumulate into the
  * xeon.model.{spmm,dense,glue}_ns counters (plus a .calls counter
  * each), and spmmTrafficBytes into xeon.model.spmm_traffic_bytes.
- * Null detaches.
+ * Null detaches. The binding is per-thread: sweep workers each bind
+ * their own session registry (telemetry::bindModelTelemetry does this
+ * for all models at once), and unbound threads record nothing.
  */
 void setTelemetryRegistry(telemetry::Registry *registry);
 

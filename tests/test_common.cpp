@@ -231,16 +231,35 @@ TEST(LogLevel, SeverityFilter)
 TEST(LogLevel, EnvVariableControlsLevel)
 {
     const LogLevel saved = logLevel();
-    ::setenv("PIUMA_LOG", "error", 1);
+    ::unsetenv("PIUMA_LOG");
+    ::setenv("PGCN_LOG", "error", 1);
     refreshLogLevelFromEnv();
     EXPECT_EQ(logLevel(), LogLevel::Error);
     EXPECT_FALSE(logEnabled(LogLevel::Info));
-    ::setenv("PIUMA_LOG", "debug", 1);
+    ::setenv("PGCN_LOG", "debug", 1);
     refreshLogLevelFromEnv();
     EXPECT_EQ(logLevel(), LogLevel::Debug);
-    ::unsetenv("PIUMA_LOG");
+    ::unsetenv("PGCN_LOG");
     refreshLogLevelFromEnv();
     EXPECT_EQ(logLevel(), LogLevel::Info); // default
+    setLogLevel(saved);
+}
+
+TEST(LogLevel, DeprecatedPiumaLogAliasStillWorks)
+{
+    const LogLevel saved = logLevel();
+    ::unsetenv("PGCN_LOG");
+    ::setenv("PIUMA_LOG", "error", 1);
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    // The canonical name wins when both are set.
+    ::setenv("PGCN_LOG", "debug", 1);
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    ::unsetenv("PGCN_LOG");
+    ::unsetenv("PIUMA_LOG");
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Info);
     setLogLevel(saved);
 }
 

@@ -1,0 +1,367 @@
+#!/usr/bin/env python3
+"""Fold results/history.jsonl run manifests into reports and CI gates.
+
+Every bench invoked with --history=<jsonl> appends one RunManifest
+line (provenance + per-point metrics, see src/common/manifest.hpp).
+This tool is the consumer:
+
+  report  render a markdown scalability report from the newest
+          manifest of a bench: provenance header, strong-scaling
+          table with stall attribution and critical-path columns,
+          and (with --occupancy) a per-core-count occupancy heatmap.
+
+  diff    compare the two newest manifests of a bench metric by
+          metric, flagging provenance changes (git SHA, SIMD tier,
+          build type) alongside the numeric drift.
+
+  check   CI regression gate: compare the newest manifest against a
+          committed baseline (results/BENCH_PR7.json). Deterministic
+          simulation metrics (gflops, makespans, stall counters) must
+          stay within --tolerance (default 10%); the host-dependent
+          events/sec throughput within --events-tolerance (default
+          60%, machines differ). Writes the gate verdict JSON, exits
+          non-zero on failure. --update-baseline rewrites the
+          baseline from the newest manifest instead of checking.
+
+Usage:
+  pgcn_report.py report <history.jsonl> [--bench B] [--occupancy CSV]
+                 [--out report.md]
+  pgcn_report.py diff <history.jsonl> [--bench B]
+  pgcn_report.py check <history.jsonl> --baseline BASE.json
+                 [--bench B] [--out GATE.json] [--tolerance 0.10]
+                 [--events-tolerance 0.60] [--update-baseline]
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+HEAT_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def load_history(path, bench=None):
+    """All manifests in file order, optionally filtered by bench name."""
+    entries = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not valid JSON ({e})")
+            for field in ("bench", "git_sha", "metrics", "counter_digest"):
+                if field not in entry:
+                    sys.exit(f"{path}:{lineno}: manifest missing "
+                             f"'{field}' (schema drift?)")
+            if bench is None or entry["bench"] == bench:
+                entries.append(entry)
+    if not entries:
+        target = f"bench '{bench}'" if bench else "any bench"
+        sys.exit(f"{path}: no manifests for {target}")
+    return entries
+
+
+def split_metrics(metrics):
+    """Group 'point/metric' keys: point -> {metric: value}."""
+    points = {}
+    for key, value in metrics.items():
+        point, _, metric = key.rpartition("/")
+        if not point:
+            point = "(run)"
+        points.setdefault(point, {})[metric] = value
+    return points
+
+
+def point_sort_key(point):
+    """Order sweep points numerically on their k=v suffixes."""
+    parts = []
+    for part in point.split("/"):
+        if "=" in part:
+            name, _, val = part.partition("=")
+            try:
+                parts.append((name, float(val)))
+                continue
+            except ValueError:
+                pass
+        parts.append((part, 0.0))
+    return parts
+
+
+def is_deterministic(name):
+    """Host-independent metric? Mirrors bench_util's manifest digest."""
+    return not any(s in name for s in ("wall", "per_sec", "host"))
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if abs(value) >= 1e6 or (value != 0 and abs(value) < 1e-3):
+        return f"{value:.3e}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+# ---------------------------------------------------------------- report
+
+def load_occupancy(path):
+    """occ.csv -> point -> core index -> list of (bucket, busy_frac)."""
+    heat = {}
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            if row["kind"] != "issue":
+                continue
+            bucket_ns = float(row["bucket_ns"])
+            frac = float(row["busy_ns"]) / bucket_ns if bucket_ns else 0.0
+            heat.setdefault(row["point"], {}).setdefault(
+                int(row["index"]), []).append((int(row["bucket"]), frac))
+    return heat
+
+
+def heat_line(buckets, width=64):
+    """Render sparse (bucket, frac) samples as a block-char strip."""
+    if not buckets:
+        return ""
+    n = max(b for b, _ in buckets) + 1
+    dense = [0.0] * n
+    for b, frac in buckets:
+        dense[b] = frac
+    peak = max(dense) or 1.0
+    cells = dense[:width]
+    return "".join(
+        HEAT_BLOCKS[min(len(HEAT_BLOCKS) - 1,
+                        int(f / peak * (len(HEAT_BLOCKS) - 1) + 0.5))]
+        for f in cells)
+
+
+def md_table(headers, rows):
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def cmd_report(args):
+    entry = load_history(args.history, args.bench)[-1]
+    points = split_metrics(entry["metrics"])
+    lines = [f"# Scalability report: {entry['bench']}", ""]
+
+    prov = [("timestamp", entry.get("timestamp", "-")),
+            ("git", entry["git_sha"] +
+             (" (dirty)" if entry.get("git_dirty") else "")),
+            ("build", f"{entry.get('build_type', '-')} / "
+                      f"{entry.get('compiler', '-')}"),
+            ("simd tier", entry.get("simd_tier", "-")),
+            ("numa nodes / host threads",
+             f"{entry.get('numa_nodes', '-')} / "
+             f"{entry.get('host_threads', '-')}"),
+            ("config / graph hash",
+             f"{entry.get('config_hash', '-')} / "
+             f"{entry.get('graph_hash', '-')}"),
+            ("counter digest", entry["counter_digest"])]
+    lines.append(md_table(["provenance", "value"],
+                          [[k, str(v)] for k, v in prov]))
+    lines += ["", "## Sweep points", ""]
+
+    # Columns: union of per-point metric names, scaling ones first.
+    preferred = ["gflops", "issue_util", "stall_mem_ns", "stall_net_ns",
+                 "latency_hiding", "exposed_stall_ns", "cp_parallelism",
+                 "cp_events", "makespan_ns"]
+    names = sorted({n for vals in points.values() for n in vals})
+    cols = [n for n in preferred if n in names] + \
+           [n for n in names if n not in preferred]
+    rows = []
+    for point in sorted(points, key=point_sort_key):
+        rows.append([point] +
+                    [fmt(points[point].get(n)) for n in cols])
+    lines.append(md_table(["point"] + cols, rows))
+
+    # Stall-attribution shares, where the fig8-style counters exist.
+    stall_rows = []
+    for point in sorted(points, key=point_sort_key):
+        vals = points[point]
+        mem = vals.get("stall_mem_ns")
+        net = vals.get("stall_net_ns")
+        if mem is None or net is None:
+            continue
+        total = mem + net
+        stall_rows.append(
+            [point,
+             fmt(100.0 * mem / total if total else 0.0),
+             fmt(100.0 * net / total if total else 0.0),
+             fmt(vals.get("latency_hiding")),
+             fmt(vals.get("cp_parallelism"))])
+    if stall_rows:
+        lines += ["", "## Stall attribution", "",
+                  md_table(["point", "memory wait %", "network wait %",
+                            "latency hiding", "critical-path parallelism"],
+                           stall_rows)]
+
+    if args.occupancy:
+        heat = load_occupancy(args.occupancy)
+        lines += ["", "## Issue-slot occupancy heatmap",
+                  "", "One strip per core; darker = busier bucket "
+                      "(normalised per point).", ""]
+        for point in sorted(heat, key=point_sort_key):
+            lines.append(f"### {point}")
+            lines.append("```")
+            for core in sorted(heat[point]):
+                lines.append(f"core {core:3d} "
+                             f"|{heat_line(heat[point][core])}|")
+            lines.append("```")
+
+    text = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text, end="")
+
+
+# ------------------------------------------------------------------ diff
+
+def cmd_diff(args):
+    entries = load_history(args.history, args.bench)
+    if len(entries) < 2:
+        sys.exit("diff needs at least two manifests for the bench")
+    old, new = entries[-2], entries[-1]
+
+    for field in ("git_sha", "build_type", "compiler", "simd_tier",
+                  "config_hash", "graph_hash", "counter_digest"):
+        if old.get(field) != new.get(field):
+            print(f"{field}: {old.get(field)} -> {new.get(field)}")
+
+    names = sorted(set(old["metrics"]) | set(new["metrics"]))
+    changed = 0
+    for name in names:
+        a, b = old["metrics"].get(name), new["metrics"].get(name)
+        if a is None or b is None:
+            print(f"{name}: {'added' if a is None else 'removed'} "
+                  f"({fmt(b if a is None else a)})")
+            changed += 1
+        elif a != b:
+            pct = (b - a) / a * 100.0 if a else float("inf")
+            print(f"{name}: {fmt(a)} -> {fmt(b)} ({pct:+.2f}%)")
+            changed += 1
+    if not changed:
+        print("metrics identical "
+              f"(counter digest {new['counter_digest']})")
+
+
+# ----------------------------------------------------------------- check
+
+def cmd_check(args):
+    entry = load_history(args.history, args.bench)[-1]
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as f:
+            json.dump({"bench": entry["bench"],
+                       "git_sha": entry["git_sha"],
+                       "config_hash": entry.get("config_hash", ""),
+                       "graph_hash": entry.get("graph_hash", ""),
+                       "counter_digest": entry["counter_digest"],
+                       "metrics": entry["metrics"]}, f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated from {entry['git_sha']} "
+              f"-> {args.baseline}")
+        return
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    failures, checks = [], []
+    if base.get("config_hash") and entry.get("config_hash") and \
+            base["config_hash"] != entry["config_hash"]:
+        print(f"note: config hash changed "
+              f"({base['config_hash']} -> {entry['config_hash']}); "
+              f"comparing the overlapping metrics")
+    digest_match = base["counter_digest"] == entry["counter_digest"]
+
+    for name, ref in sorted(base["metrics"].items()):
+        now = entry["metrics"].get(name)
+        deterministic = is_deterministic(name)
+        # Gate throughputs (bigger = better): simulated GF/s strictly,
+        # host events/sec loosely. Other counters are informational —
+        # the digest plus the gflops gate already catch drift, and
+        # "stall ns went down" must not fail CI.
+        gated = name.endswith("gflops") or name.endswith("per_sec")
+        if not gated:
+            continue
+        tol = args.tolerance if deterministic else args.events_tolerance
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            checks.append({"metric": name, "baseline": ref,
+                           "current": None, "pass": False})
+            continue
+        ok = now >= ref * (1.0 - tol)
+        checks.append({"metric": name, "baseline": ref, "current": now,
+                       "tolerance": tol, "pass": ok})
+        verdict = "ok" if ok else "FAIL"
+        print(f"{name}: {fmt(ref)} -> {fmt(now)} "
+              f"(floor {fmt(ref * (1.0 - tol))}) [{verdict}]")
+        if not ok:
+            failures.append(
+                f"{name}: {fmt(now)} below baseline {fmt(ref)} "
+                f"- {tol:.0%} tolerance")
+
+    if not digest_match:
+        print(f"note: counter digest changed "
+              f"({base['counter_digest']} -> {entry['counter_digest']})"
+              f" — simulated numerics moved; refresh the baseline if "
+              f"intentional")
+
+    result = {"bench": entry["bench"],
+              "baseline_sha": base.get("git_sha", ""),
+              "current_sha": entry["git_sha"],
+              "digest_match": digest_match,
+              "checks": checks,
+              "pass": not failures}
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(result, f, indent=2)
+            f.write("\n")
+        print(f"gate verdict written to {args.out}")
+
+    if failures:
+        print("\ngate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("\ngate passed")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("report")
+    p.add_argument("history")
+    p.add_argument("--bench")
+    p.add_argument("--occupancy")
+    p.add_argument("--out")
+
+    p = sub.add_parser("diff")
+    p.add_argument("history")
+    p.add_argument("--bench")
+
+    p = sub.add_parser("check")
+    p.add_argument("history")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--bench")
+    p.add_argument("--out")
+    p.add_argument("--tolerance", type=float, default=0.10)
+    p.add_argument("--events-tolerance", type=float, default=0.60)
+    p.add_argument("--update-baseline", action="store_true")
+
+    args = parser.parse_args(argv[1:])
+    {"report": cmd_report, "diff": cmd_diff, "check": cmd_check}[args.cmd](args)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
