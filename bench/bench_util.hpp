@@ -14,6 +14,9 @@
  * sweep driver (--jobs N) that spreads independent sweep points
  * across worker threads while keeping the checkpoint and consolidated
  * JSON byte-identical to a serial run (see parallel/sweep_runner.hpp),
+ * the shared fault-injection spec (--faults=dram_drop=1e-5,... — one
+ * parser for every sweep driver, see parseFaultSpec) with
+ * --retries=N bounding in-process self-healing of transient failures,
  * and run provenance (--history=<jsonl>) that appends one RunManifest
  * line per bench invocation — git SHA, build flags, SIMD tier, NUMA
  * topology, config/graph digests, per-point metrics — which
@@ -49,6 +52,7 @@
 #include "kernels/simd.hpp"
 #include "parallel/numa.hpp"
 #include "parallel/sweep_runner.hpp"
+#include "sim/fault.hpp"
 #include "telemetry/model_bind.hpp"
 #include "telemetry/session.hpp"
 
@@ -111,6 +115,12 @@ struct BenchArgs
     /// --no-monitors clears this: skip attaching span monitors even
     /// where the bench supports them (A/B runs, overhead checks).
     bool monitors = true;
+    /// --faults=: base fault-injection config for every sweep point
+    /// (see parseFaultSpec); unset = no injection.
+    std::optional<sim::FaultConfig> faults;
+    /// --retries=: in-process attempts per sweep point for transient
+    /// failures (SweepOptions::pointAttempts).
+    unsigned pointAttempts = 3;
 
     /** True when any telemetry output was asked for. */
     bool
@@ -119,6 +129,93 @@ struct BenchArgs
         return !tracePath.empty() || !metricsPath.empty();
     }
 };
+
+/**
+ * Parse a --faults= specification: comma-separated key=value pairs,
+ * e.g. "dram_drop=1e-5,net_drop=1e-4,timeout_ns=500,max_retries=8".
+ * One implementation shared by every sweep driver so the vocabulary
+ * cannot drift between benches.
+ *
+ * Keys: seed, dram_jitter, service_jitter, net_jitter, dma_jitter,
+ * dram_drop, net_drop, dma_drop, stuck_core, timeout_ns, backoff_ns,
+ * max_retries, stuck_reset_ns.
+ *
+ * @throws ConfigError on an unknown key, a malformed pair, or a value
+ *         FaultConfig::validate() rejects.
+ */
+inline sim::FaultConfig
+parseFaultSpec(const std::string &spec)
+{
+    sim::FaultConfig cfg;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            PGCN_THROW(ConfigError, "--faults item '"
+                                        << item << "' is not key=value");
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        size_t used = 0;
+        double v = 0.0;
+        try {
+            v = std::stod(value, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != value.size() || value.empty()) {
+            PGCN_THROW(ConfigError, "--faults " << key << ": '" << value
+                                                << "' is not a number");
+        }
+        if (key == "seed")
+            cfg.seed = static_cast<uint64_t>(v);
+        else if (key == "dram_jitter")
+            cfg.dramLatencyJitter = v;
+        else if (key == "service_jitter")
+            cfg.serviceRateJitter = v;
+        else if (key == "net_jitter")
+            cfg.networkLatencyJitter = v;
+        else if (key == "dma_jitter")
+            cfg.dmaOverheadJitter = v;
+        else if (key == "dram_drop")
+            cfg.dramDropRate = v;
+        else if (key == "net_drop")
+            cfg.netDropRate = v;
+        else if (key == "dma_drop")
+            cfg.dmaDropRate = v;
+        else if (key == "stuck_core")
+            cfg.stuckCoreRate = v;
+        else if (key == "timeout_ns")
+            cfg.timeoutNs = v;
+        else if (key == "backoff_ns")
+            cfg.backoffNs = v;
+        else if (key == "max_retries")
+            cfg.maxRetries = static_cast<unsigned>(v);
+        else if (key == "stuck_reset_ns")
+            cfg.stuckResetNs = v;
+        else {
+            PGCN_THROW(ConfigError,
+                       "--faults: unknown key '"
+                           << key
+                           << "' (known: seed, dram_jitter, "
+                              "service_jitter, net_jitter, dma_jitter, "
+                              "dram_drop, net_drop, dma_drop, "
+                              "stuck_core, timeout_ns, backoff_ns, "
+                              "max_retries, stuck_reset_ns)");
+        }
+    }
+    // Per-field range validation (check::probability & friends) with
+    // the same messages a programmatic misconfiguration would get.
+    cfg.validate();
+    return cfg;
+}
 
 /**
  * Parse positionals + telemetry flags. Unknown --flags are reported
@@ -164,6 +261,11 @@ parseBenchArgs(int argc, char **argv)
             args.occupancyPath = arg.substr(12);
         } else if (arg == "--no-monitors") {
             args.monitors = false;
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            args.faults = parseFaultSpec(arg.substr(9));
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            args.pointAttempts =
+                static_cast<unsigned>(std::stoul(arg.substr(10)));
         } else if (arg.rfind("--", 0) == 0) {
             std::cerr << "unknown flag ignored: " << arg << "\n";
         } else if (positional == 0) {
@@ -482,6 +584,13 @@ class SweepDriver
         if (outcome_.reused > 0)
             std::cout << "(resume: " << outcome_.reused << " of "
                       << runner_.size() << " points reused)\n";
+        if (outcome_.quarantined > 0)
+            std::cout << "(quarantine: " << outcome_.quarantined
+                      << " poisoned point(s) skipped, not re-run)\n";
+        if (outcome_.retried > 0)
+            std::cout << "(self-heal: " << outcome_.retried
+                      << " transient in-process retr"
+                      << (outcome_.retried == 1 ? "y" : "ies") << ")\n";
         for (const auto &err : outcome_.errors)
             std::cerr << "sweep point '" << err.key
                       << "' failed: " << err.message
@@ -597,6 +706,8 @@ class SweepDriver
         opt.telemetry = args.telemetryRequested();
         opt.sessionOptions.samplePeriodNs = args.samplePeriodNs;
         opt.sessionOptions.detailedTrace = args.traceDetail;
+        opt.faults = args.faults;
+        opt.pointAttempts = args.pointAttempts;
         return opt;
     }
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -20,30 +22,51 @@ formatDouble(double v)
     return buf;
 }
 
-/** Minimal JSON string escaping for sweep-point keys. */
+/** Minimal JSON string escaping for sweep-point keys and quarantine
+ *  messages (which, unlike keys, may carry newlines and tabs from
+ *  multi-line error strings — a raw newline would tear the record). */
 std::string
 escapeJson(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
-        if (c == '"' || c == '\\')
+        switch (c) {
+        case '"':
+        case '\\':
             out.push_back('\\');
-        out.push_back(c);
+            out.push_back(c);
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            out.push_back(c);
+        }
     }
     return out;
 }
 
 /**
  * Parse one checkpoint line of the restricted grammar this class
- * writes: {"key":"...","name":number,...}. Returns false on any
- * malformed content (most commonly the truncated last line of a
- * crashed run) so the caller can skip it.
+ * writes: {"key":"...","name":number,...} for completed points, or
+ * {"key":"...","quarantined":"message"} for poisoned ones (in which
+ * case @p quarantined is set and @p values left empty). Returns false
+ * on any malformed content (most commonly the truncated last line of
+ * a crashed run) so the caller can skip it.
  */
 bool
 parseLine(const std::string &line, std::string &key,
-          JsonlCheckpoint::Values &values)
+          JsonlCheckpoint::Values &values,
+          std::optional<std::string> &quarantined)
 {
+    quarantined.reset();
     const char *p = line.c_str();
     auto skipWs = [&] {
         while (*p == ' ' || *p == '\t')
@@ -59,8 +82,24 @@ parseLine(const std::string &line, std::string &key,
                 return false;
             if (*p == '\\') {
                 ++p;
-                if (*p == '\0')
+                switch (*p) {
+                case '\0':
                     return false;
+                case 'n':
+                    out.push_back('\n');
+                    ++p;
+                    continue;
+                case 't':
+                    out.push_back('\t');
+                    ++p;
+                    continue;
+                case 'r':
+                    out.push_back('\r');
+                    ++p;
+                    continue;
+                default:
+                    break; // \" and \\ fall through verbatim
+                }
             }
             out.push_back(*p++);
         }
@@ -92,6 +131,16 @@ parseLine(const std::string &line, std::string &key,
         if (*p++ != ':')
             return false;
         skipWs();
+        if (*p == '"') {
+            // The only string-valued field the grammar admits is a
+            // quarantine message.
+            std::string message;
+            if (name != "quarantined" || !parseString(message))
+                return false;
+            quarantined = std::move(message);
+            skipWs();
+            continue;
+        }
         char *end = nullptr;
         const double v = std::strtod(p, &end);
         if (end == p)
@@ -122,8 +171,19 @@ JsonlCheckpoint::JsonlCheckpoint(const std::string &path, bool resume)
                     continue;
                 std::string key;
                 Values values;
-                if (parseLine(line, key, values)) {
-                    points_[key] = std::move(values);
+                std::optional<std::string> quarantined;
+                if (parseLine(line, key, values, quarantined)) {
+                    if (quarantined) {
+                        // Poisoned point: remember the failure so a
+                        // resume never re-runs it. Last line wins, so
+                        // a quarantine supersedes an (impossible in
+                        // practice) earlier success and vice versa.
+                        points_.erase(key);
+                        failures_[key] = std::move(*quarantined);
+                    } else {
+                        failures_.erase(key);
+                        points_[key] = std::move(values);
+                    }
                 } else {
                     // Almost always the torn final line of a crashed
                     // run; the point is recomputed, nothing is lost.
@@ -154,7 +214,23 @@ JsonlCheckpoint::record(const std::string &key, const Values &values)
     out_.flush();
     if (!out_)
         PGCN_THROW(IoError, "I/O error writing checkpoint: " << path_);
+    failures_.erase(key); // a success lifts any standing quarantine
     points_[key] = values;
+}
+
+void
+JsonlCheckpoint::quarantine(const std::string &key,
+                            const std::string &message)
+{
+    if (!enabled())
+        return;
+    out_ << "{\"key\":\"" << escapeJson(key) << "\",\"quarantined\":\""
+         << escapeJson(message) << "\"}\n";
+    out_.flush();
+    if (!out_)
+        PGCN_THROW(IoError, "I/O error writing checkpoint: " << path_);
+    points_.erase(key);
+    failures_[key] = message;
 }
 
 void
@@ -180,7 +256,23 @@ JsonlCheckpoint::writeFinalJson(const std::string &path) const
         }
         out << "}";
     }
-    out << "\n  }\n}\n";
+    out << "\n  }";
+    if (!failures_.empty()) {
+        // Quarantined points are reported, not silently dropped: the
+        // consolidated JSON names every configuration that never
+        // produced values and why.
+        out << ",\n  \"quarantined\": {\n";
+        bool first = true;
+        for (const auto &[key, message] : failures_) {
+            if (!first)
+                out << ",\n";
+            first = false;
+            out << "    \"" << escapeJson(key) << "\": \""
+                << escapeJson(message) << "\"";
+        }
+        out << "\n  }";
+    }
+    out << "\n}\n";
     if (!out)
         PGCN_THROW(IoError, "I/O error writing sweep JSON: " << path);
 }
@@ -198,7 +290,8 @@ OrderedCheckpointWriter::commit(size_t index, const std::string &key,
     std::lock_guard<std::mutex> lock(mutex_);
     PGCN_ASSERT(index >= next_ && !pending_.count(index),
                 "sweep point resolved twice");
-    pending_[index] = Pending { true, key, std::move(values) };
+    pending_[index] =
+        Pending{Pending::Kind::Write, key, std::move(values), {}};
     flushLocked();
 }
 
@@ -209,6 +302,18 @@ OrderedCheckpointWriter::skip(size_t index)
     PGCN_ASSERT(index >= next_ && !pending_.count(index),
                 "sweep point resolved twice");
     pending_[index] = Pending {};
+    flushLocked();
+}
+
+void
+OrderedCheckpointWriter::fail(size_t index, const std::string &key,
+                              std::string message)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PGCN_ASSERT(index >= next_ && !pending_.count(index),
+                "sweep point resolved twice");
+    pending_[index] =
+        Pending{Pending::Kind::Quarantine, key, {}, std::move(message)};
     flushLocked();
 }
 
@@ -231,8 +336,16 @@ OrderedCheckpointWriter::flushLocked()
 {
     auto it = pending_.begin();
     while (it != pending_.end() && it->first == next_) {
-        if (it->second.written)
+        switch (it->second.kind) {
+        case Pending::Kind::Write:
             ckpt_.record(it->second.key, it->second.values);
+            break;
+        case Pending::Kind::Quarantine:
+            ckpt_.quarantine(it->second.key, it->second.message);
+            break;
+        case Pending::Kind::Skip:
+            break;
+        }
         it = pending_.erase(it);
         ++next_;
     }

@@ -16,11 +16,20 @@
  *   {"key":"middle/cores=4","gflops":1.2345,...}
  * A truncated final line (the crash happened mid-write) is skipped
  * with a warning; that point is simply recomputed.
+ *
+ * Poisoned points — configurations whose run fails permanently (e.g.
+ * an unrecoverable injected fault) — are *quarantined* instead:
+ *   {"key":"middle/cores=4","quarantined":"error message"}
+ * A --resume run sees the quarantine record and never re-executes the
+ * point, so one poisoned configuration cannot wedge every subsequent
+ * resume. A later successful record() for the same key supersedes the
+ * quarantine (the loader keeps the last occurrence).
  */
 #ifndef PGCN_COMMON_CHECKPOINT_HPP
 #define PGCN_COMMON_CHECKPOINT_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -52,7 +61,8 @@ class JsonlCheckpoint
     /** True when constructed with a path. */
     bool enabled() const { return !path_.empty(); }
 
-    /** Completed points loaded or recorded so far. */
+    /** Completed points loaded or recorded so far (quarantined points
+     *  are tracked separately; see quarantinedCount()). */
     size_t size() const { return points_.size(); }
 
     /** The values of point @p key, or nullptr if not yet completed. */
@@ -63,6 +73,18 @@ class JsonlCheckpoint
         return it == points_.end() ? nullptr : &it->second;
     }
 
+    /** The quarantine message of point @p key, or nullptr when the
+     *  point is not quarantined. */
+    const std::string *
+    findFailure(const std::string &key) const
+    {
+        const auto it = failures_.find(key);
+        return it == failures_.end() ? nullptr : &it->second;
+    }
+
+    /** Quarantined points loaded or recorded so far. */
+    size_t quarantinedCount() const { return failures_.size(); }
+
     /**
      * Record a completed point: stores it and appends one flushed
      * JSONL line so the point survives a crash immediately after.
@@ -71,6 +93,15 @@ class JsonlCheckpoint
      * keeps the last occurrence).
      */
     void record(const std::string &key, const Values &values);
+
+    /**
+     * Quarantine a permanently failing point: appends one flushed
+     * {"key":...,"quarantined":"message"} line so a --resume run skips
+     * the point instead of re-running it into the same failure. No-op
+     * on a disabled checkpoint. record()ing the same key later lifts
+     * the quarantine.
+     */
+    void quarantine(const std::string &key, const std::string &message);
 
     /**
      * Write every completed point as one consolidated JSON document,
@@ -85,6 +116,9 @@ class JsonlCheckpoint
   private:
     std::string path_;
     std::map<std::string, Values> points_;
+    /// Quarantined point -> error message (kept out of points_ so
+    /// size()/find() keep meaning "completed").
+    std::map<std::string, std::string> failures_;
     std::ofstream out_;
 };
 
@@ -125,6 +159,11 @@ class OrderedCheckpointWriter
      *  from any thread. */
     void skip(size_t index);
 
+    /** Resolve point @p index as permanently failed: a quarantine
+     *  record is appended (in order) so --resume never re-runs it.
+     *  Safe to call from any thread. */
+    void fail(size_t index, const std::string &key, std::string message);
+
     /** Points flushed to the checkpoint or skipped so far. */
     size_t resolved() const;
 
@@ -132,12 +171,19 @@ class OrderedCheckpointWriter
     bool done() const;
 
   private:
-    /// One buffered resolution; written == false means skip.
+    /// One buffered resolution.
     struct Pending
     {
-        bool written = false;
+        enum class Kind : uint8_t
+        {
+            Skip,       ///< write nothing
+            Write,      ///< record key/values
+            Quarantine, ///< quarantine key with message
+        };
+        Kind kind = Kind::Skip;
         std::string key;
         JsonlCheckpoint::Values values;
+        std::string message;
     };
 
     /// Drain the contiguous resolved prefix starting at next_.

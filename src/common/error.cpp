@@ -39,6 +39,15 @@ unitInterval(double value, const char *name)
 }
 
 void
+probability(double value, const char *name)
+{
+    finite(value, name);
+    if (value < 0.0 || value > 1.0)
+        PGCN_THROW(ConfigError,
+                   name << " must be in [0, 1], got " << value);
+}
+
+void
 nonZero(unsigned value, const char *name)
 {
     if (value == 0)

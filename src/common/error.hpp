@@ -99,6 +99,9 @@ void nonNegative(double value, const char *name);
 /** @p value must be finite and inside (0, 1]. */
 void unitInterval(double value, const char *name);
 
+/** @p value must be finite and inside [0, 1] (a probability). */
+void probability(double value, const char *name);
+
 /** @p value (a count) must be non-zero. */
 void nonZero(unsigned value, const char *name);
 

@@ -1,15 +1,41 @@
 #include "parallel/sweep_runner.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <exception>
+#include <string_view>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/diagnostics.hpp"
 #include "telemetry/model_bind.hpp"
 
 namespace pgcn::parallel {
+
+namespace {
+
+/**
+ * Would re-running the same point plausibly succeed? Host I/O errors
+ * (a full disk, a flaky filesystem) and wall-clock budget breaches (a
+ * loaded machine) are environmental; everything else — config/shape
+ * errors, unrecoverable injected faults, deterministic event/sim-time
+ * budget breaches — fails identically on every attempt.
+ */
+bool
+isTransient(const Error &e)
+{
+    if (dynamic_cast<const IoError *>(&e) != nullptr)
+        return true;
+    if (const auto *lim = dynamic_cast<const sim::SimLimitError *>(&e))
+        return std::string_view(lim->what()).find("wall-clock") !=
+               std::string_view::npos;
+    return false;
+}
+
+} // namespace
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(options)
 {
@@ -45,10 +71,13 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
     out.results.resize(n);
     std::vector<uint8_t> point_failed(n, 0);
     std::vector<std::string> point_errors(n);
+    std::atomic<size_t> retried{0};
 
     // Resolve resume hits up front on the calling thread: their values
     // are already in the checkpoint, and skipping them in submission
-    // order lets later computed points flush past them.
+    // order lets later computed points flush past them. Quarantined
+    // points likewise resolve here — a poisoned configuration is never
+    // re-executed; it is reported as an error with its recorded cause.
     OrderedCheckpointWriter writer(ckpt, n);
     std::vector<uint8_t> todo(n, 1);
     for (size_t i = 0; i < n; ++i) {
@@ -58,6 +87,13 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
             writer.skip(i);
             todo[i] = 0;
             ++out.reused;
+        } else if (const std::string *cause =
+                       ckpt.findFailure(points_[i].key)) {
+            point_failed[i] = 1;
+            point_errors[i] = "quarantined: " + *cause;
+            writer.skip(i);
+            todo[i] = 0;
+            ++out.quarantined;
         }
     }
 
@@ -79,45 +115,80 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
             for (uint64_t i = begin; i < end; ++i) {
                 if (!todo[i])
                     continue;
-                // Per-POINT injector: seeding by submission index (not
-                // worker) keeps perturbed timings schedule-independent.
-                std::optional<sim::FaultInjector> faults;
-                sim::SimControls controls;
-                controls.limits = options_.limits;
-                if (options_.faults) {
-                    sim::FaultConfig cfg = *options_.faults;
-                    cfg.seed += static_cast<uint64_t>(i);
-                    faults.emplace(cfg);
-                    controls.faults = &*faults;
-                }
                 SweepContext ctx;
                 ctx.worker = tid;
                 ctx.pointIndex = i;
                 ctx.session =
                     options_.telemetry ? sessions_[tid].get() : nullptr;
-                ctx.controls = &controls;
                 // Point the analytic models' thread-local sinks at this
                 // worker's session, so model evaluations inside the
                 // compute land next to the point's simulation metrics.
                 telemetry::bindModelTelemetry(
                     ctx.session != nullptr ? &ctx.session->registry()
                                            : nullptr);
-                // Worker-local capture: a throwing point resolves as a
-                // skip so the commit cursor (and the pool) moves on.
-                try {
-                    JsonlCheckpoint::Values values =
-                        points_[i].compute(ctx);
-                    writer.commit(i, points_[i].key, values);
-                    out.results[i] = std::move(values);
-                } catch (const Error &e) {
-                    point_failed[i] = 1;
-                    point_errors[i] = e.what();
-                    writer.skip(i);
-                } catch (const std::exception &e) {
-                    point_failed[i] = 1;
-                    point_errors[i] = std::string("unexpected: ") +
-                                      e.what();
-                    writer.skip(i);
+                // Worker-local capture plus self-healing: transient
+                // errors retry in-process with exponential backoff;
+                // permanent ones resolve as a quarantine so --resume
+                // never re-runs a poisoned point. Either way the
+                // commit cursor (and the pool) moves on.
+                const unsigned attempts =
+                    options_.pointAttempts != 0 ? options_.pointAttempts
+                                                : 1;
+                for (unsigned attempt = 0;; ++attempt) {
+                    // Fresh per-POINT injector each attempt: seeding by
+                    // submission index (not worker, not attempt) keeps
+                    // perturbed timings schedule-independent and makes
+                    // injected faults deterministic — which is exactly
+                    // why they classify as permanent.
+                    std::optional<sim::FaultInjector> faults;
+                    sim::SimControls controls;
+                    controls.limits = options_.limits;
+                    if (options_.faults) {
+                        sim::FaultConfig cfg = *options_.faults;
+                        cfg.seed += static_cast<uint64_t>(i);
+                        faults.emplace(cfg);
+                        controls.faults = &*faults;
+                    }
+                    ctx.controls = &controls;
+                    try {
+                        JsonlCheckpoint::Values values =
+                            points_[i].compute(ctx);
+                        writer.commit(i, points_[i].key, values);
+                        out.results[i] = std::move(values);
+                        break;
+                    } catch (const Error &e) {
+                        if (isTransient(e) && attempt + 1 < attempts) {
+                            warn("sweep point '" + points_[i].key +
+                                 "' failed transiently (attempt " +
+                                 std::to_string(attempt + 1) + "/" +
+                                 std::to_string(attempts) +
+                                 "), retrying: " + e.what());
+                            retried.fetch_add(1,
+                                              std::memory_order_relaxed);
+                            std::this_thread::sleep_for(
+                                std::chrono::duration<double>(
+                                    options_.retryBackoffSeconds *
+                                    static_cast<double>(uint64_t{1}
+                                                        << attempt)));
+                            continue;
+                        }
+                        point_failed[i] = 1;
+                        point_errors[i] = e.what();
+                        if (isTransient(e)) {
+                            // Environmental failure: do not poison the
+                            // checkpoint, a later resume may succeed.
+                            writer.skip(i);
+                        } else {
+                            writer.fail(i, points_[i].key, e.what());
+                        }
+                        break;
+                    } catch (const std::exception &e) {
+                        point_failed[i] = 1;
+                        point_errors[i] =
+                            std::string("unexpected: ") + e.what();
+                        writer.fail(i, points_[i].key, point_errors[i]);
+                        break;
+                    }
                 }
             }
         });
@@ -125,12 +196,15 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
 
     for (size_t i = 0; i < n; ++i) {
         if (point_failed[i]) {
-            ++out.failed;
             out.errors.push_back(
                 PointError{points_[i].key, point_errors[i]});
         }
     }
-    out.computed = n - out.reused - out.failed;
+    // quarantined counts resume-time skips; fresh failures (permanent
+    // or retry-exhausted transients) count as failed.
+    out.failed = out.errors.size() - out.quarantined;
+    out.computed = n - out.reused - out.failed - out.quarantined;
+    out.retried = retried.load(std::memory_order_relaxed);
     return out;
 }
 

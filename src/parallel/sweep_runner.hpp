@@ -20,7 +20,12 @@
  *    buffers out-of-order finishes and appends in submission order;
  *  - typed per-point errors are captured worker-locally and reported
  *    after the pool drains, in submission order — one diverging point
- *    neither poisons its siblings nor stalls the pool.
+ *    neither poisons its siblings nor stalls the pool;
+ *  - failures self-heal where that can help: transient errors (host
+ *    I/O, wall-clock budget breaches) get bounded in-process retries
+ *    with exponential backoff, while permanent ones (config errors,
+ *    unrecoverable injected faults) are quarantined into the
+ *    checkpoint so a --resume run never re-executes a poisoned point.
  *
  * The result: `--jobs 8` and `--jobs 1` produce byte-identical
  * checkpoint and consolidated-JSON files, differing only in wall
@@ -70,6 +75,14 @@ struct SweepOptions
     std::optional<sim::FaultConfig> faults;
     /// Watchdog budgets applied to every point (zeros = unlimited).
     sim::Engine::RunLimits limits{};
+    /// Self-healing: in-process attempts per point for *transient*
+    /// failures (host I/O errors, wall-clock budget breaches). 1 =
+    /// fail fast. Permanent failures (config errors, unrecoverable
+    /// injected faults, deterministic budget breaches) never retry —
+    /// they would fail identically — and are quarantined instead.
+    unsigned pointAttempts = 3;
+    /// Host-side exponential backoff base between transient retries.
+    double retryBackoffSeconds = 0.1;
 };
 
 /**
@@ -98,14 +111,21 @@ class SweepRunner
         /// Per-point values in submission-index order; nullopt = the
         /// point failed with a captured error.
         std::vector<std::optional<JsonlCheckpoint::Values>> results;
-        /// Every failed point, in submission order.
+        /// Every failed point, in submission order (quarantine skips
+        /// carry a "quarantined: " message prefix).
         std::vector<PointError> errors;
         /// Points computed this run.
         size_t computed = 0;
         /// Points served from the resume checkpoint without recompute.
         size_t reused = 0;
-        /// Points that failed with a typed error (logged, skipped).
+        /// Points that failed this run (logged; permanent failures are
+        /// additionally quarantined in the checkpoint).
         size_t failed = 0;
+        /// Points skipped because a prior run quarantined them; a
+        /// --resume never re-executes a poisoned point.
+        size_t quarantined = 0;
+        /// Transient in-process retries spent across all points.
+        size_t retried = 0;
     };
 
     explicit SweepRunner(SweepOptions options);

@@ -30,6 +30,28 @@ struct DenseContext
     const PiumaConfig &cfg;
     MemorySystem memory;
     std::vector<sim::BandwidthResource> mtpIssue;
+
+    /// Fault machinery (null / zero without injection). Coroutines
+    /// record unrecoverable faults here and bail; simulateDenseMm
+    /// raises SimFaultError after the run drains.
+    sim::FaultInjector *faults = nullptr;
+    double recoveryNs = 0.0;
+    uint64_t stuckResets = 0;
+    bool faulted = false;
+    std::string faultSite;
+    sim::SimTime faultWhenNs = 0.0;
+
+    /** First unrecoverable fault wins (the run throws anyway). */
+    void
+    recordFault(const char *what, unsigned core, unsigned slice)
+    {
+        if (faulted)
+            return;
+        faulted = true;
+        faultSite = "core" + std::to_string(core) + " " + what +
+                    " on slice " + std::to_string(slice);
+        faultWhenNs = engine.now();
+    }
 };
 
 /**
@@ -51,6 +73,16 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
     const double macs_per_row =
         static_cast<double>(k_in) * static_cast<double>(k_out);
 
+    // Stuck-core hazard: drawn once per thread at start; the watchdog
+    // reset costs stuckResetNs before the thread makes progress.
+    if (ctx.faults != nullptr) [[unlikely]] {
+        if (ctx.faults->stuckCore()) {
+            co_await ctx.engine.delay(ctx.faults->config().stuckResetNs);
+            ctx.recoveryNs += ctx.faults->config().stuckResetNs;
+            ++ctx.stuckResets;
+        }
+    }
+
     for (uint64_t row = row_begin; row < row_end; ++row) {
         uint64_t h = row;
         const auto slice = static_cast<unsigned>(
@@ -60,15 +92,26 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
         const MemoryAccess read = ctx.memory.readStriped(
             core, slice, in_bytes, /*pipelined=*/true);
         co_await ctx.engine.delayUntil(read.serviceDoneAt);
+        ctx.recoveryNs += read.recoveryNs;
+        if (read.failed) [[unlikely]] {
+            ctx.recordFault("input-row read", core, slice);
+            co_return;
+        }
 
         // The MAC loop on the scalar pipeline (loop-unrolled; see
         // PiumaConfig::issueCostPerMac).
         co_await issue.transfer(ctx.cfg.issueCostPerMac * macs_per_row +
                                 ctx.cfg.issueCostPerEdge);
 
-        // Posted result-row write.
-        ctx.memory.writeStriped(core, slice, out_bytes,
-                                /*pipelined=*/true);
+        // Posted result-row write: the thread does not wait, but an
+        // unrecoverable drop of it is still a lost result.
+        const MemoryAccess write = ctx.memory.writeStriped(
+            core, slice, out_bytes, /*pipelined=*/true);
+        ctx.recoveryNs += write.recoveryNs;
+        if (write.failed) [[unlikely]] {
+            ctx.recordFault("result-row write", core, slice);
+            co_return;
+        }
     }
 }
 
@@ -76,13 +119,20 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
 
 DenseRunStats
 simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
-                const PiumaConfig &cfg, telemetry::Session *session)
+                const PiumaConfig &cfg, telemetry::Session *session,
+                const sim::SimControls *controls)
 {
     cfg.validate();
     if (num_vertices == 0 || k_in == 0 || k_out == 0)
         PGCN_THROW(ShapeError, "dense MM needs positive dimensions");
 
     DenseContext ctx(cfg);
+
+    if (controls != nullptr) {
+        ctx.memory.setFaultInjector(controls->faults);
+        ctx.faults = controls->faults;
+        ctx.engine.setRunLimits(controls->limits);
+    }
 
     if (session != nullptr) {
         session->beginKernel("dense/k_in=" + std::to_string(k_in) +
@@ -121,6 +171,15 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
 
+    // Typed fault surfaces only after the run drains (coroutines never
+    // throw through the engine).
+    if (ctx.faulted) {
+        throw sim::SimFaultError(
+            ctx.faultSite, ctx.faultWhenNs,
+            ctx.faults != nullptr ? ctx.faults->config().maxRetries + 1
+                                  : 1);
+    }
+
     DenseRunStats stats;
     stats.makespanNs = makespan;
     stats.flop = 2.0 * static_cast<double>(num_vertices) *
@@ -132,6 +191,10 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
         issue_busy += mtp.utilization(makespan);
     stats.issueUtilization =
         issue_busy / static_cast<double>(ctx.mtpIssue.size());
+    stats.retries = ctx.memory.retries();
+    stats.timeoutsFired = ctx.memory.timeoutsFired() + ctx.stuckResets;
+    stats.goodputBytes = ctx.memory.bytesRead() + ctx.memory.bytesWritten();
+    stats.recoveryNs = ctx.recoveryNs;
     stats.simEvents = ctx.engine.eventsProcessed();
     stats.wallSeconds = wall;
     stats.eventsPerSec =

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "piuma/config.hpp"
+#include "sim/fault.hpp"
 
 namespace pgcn::telemetry {
 class Session;
@@ -32,6 +33,13 @@ struct DenseRunStats
     double memUtilization = 0.0; ///< slice-controller utilisation
     double issueUtilization = 0.0; ///< mean MTP issue-slot occupancy
     uint64_t simEvents = 0;      ///< DES events executed
+
+    /// Recovery counters (always on; all zero without fault
+    /// injection). Same semantics as SpmmRunStats.
+    uint64_t retries = 0;       ///< transaction re-issues
+    uint64_t timeoutsFired = 0; ///< drop timeouts + stuck-core resets
+    double goodputBytes = 0.0;  ///< demanded traffic delivered
+    double recoveryNs = 0.0;    ///< modeled timeout + backoff time
 
     // Simulator (host) throughput, measured around Engine::run().
     double wallSeconds = 0.0;      ///< host wall-clock of the run
@@ -51,10 +59,20 @@ struct DenseRunStats
  * @param cfg PIUMA system description.
  * @param session Optional telemetry sink (kernel span, counters and
  *        gauge time series); null disables all recording.
+ * @param controls Optional robustness controls (fault injector and
+ *        Engine::RunLimits), as for simulateSpmm. Null means no
+ *        perturbation and no limits, bit-identical to builds
+ *        predating this parameter.
+ *
+ * @throws ConfigError / ShapeError on invalid inputs,
+ *         sim::SimLimitError on an armed budget breach, and
+ *         sim::SimFaultError when an injected fault exhausts its
+ *         retry budget (raised after the run drains).
  */
 DenseRunStats simulateDenseMm(uint64_t num_vertices, uint64_t k_in,
                               uint64_t k_out, const PiumaConfig &cfg,
-                              telemetry::Session *session = nullptr);
+                              telemetry::Session *session = nullptr,
+                              const sim::SimControls *controls = nullptr);
 
 } // namespace pgcn::piuma
 

@@ -33,6 +33,16 @@ DmaEngine::attachTelemetry(telemetry::Session *session)
     }
 }
 
+void
+DmaEngine::noteTransferFault(const char *op, unsigned slice)
+{
+    if (stats_.failed)
+        return;
+    stats_.failed = true;
+    stats_.failedDetail = "core" + std::to_string(core_) + " dma " +
+                          op + " on slice " + std::to_string(slice);
+}
+
 sim::Process
 DmaEngine::run()
 {
@@ -53,8 +63,43 @@ DmaEngine::run()
         const sim::SimTime started = engine_.now();
         // Serial dispatch overhead, then wait for a free window slot.
         double overhead = cfg_.dmaDescriptorOverheadNs;
-        if (faults_ != nullptr) [[unlikely]]
+        if (faults_ != nullptr) [[unlikely]] {
             overhead = faults_->dmaOverhead(overhead);
+            // Descriptor fetch/execution faults: re-issue under
+            // timeout + exponential backoff, bounded by the retry
+            // budget. On exhaustion record the failure and *skip* the
+            // descriptor but keep consuming the queue — a dead engine
+            // would wedge its producers, and an unrecoverable fault
+            // must surface as SimFaultError, never as a deadlock.
+            bool abandoned = false;
+            for (unsigned attempt = 0; faults_->dropDescriptor();
+                 ++attempt) {
+                ++stats_.timeoutsFired;
+                const sim::FaultConfig &fc = faults_->config();
+                if (attempt >= fc.maxRetries) {
+                    if (!stats_.failed) {
+                        stats_.failed = true;
+                        stats_.failedDetail =
+                            "core" + std::to_string(core_) +
+                            " dma descriptor (slice " +
+                            std::to_string(desc.slice) + ")";
+                    }
+                    // The final timeout still elapses before the
+                    // watchdog declares the descriptor dead.
+                    co_await engine_.delay(fc.timeoutNs);
+                    stats_.recoveryNs += fc.timeoutNs;
+                    abandoned = true;
+                    break;
+                }
+                const sim::SimTime r0 = engine_.now();
+                co_await engine_.delay(fc.timeoutNs +
+                                       faults_->backoffDelay(attempt));
+                stats_.recoveryNs += engine_.now() - r0;
+                ++stats_.retries;
+            }
+            if (abandoned)
+                continue;
+        }
         co_await engine_.delay(overhead);
         co_await engine_.delayUntil(inflight[slot]);
 
@@ -66,12 +111,18 @@ DmaEngine::run()
             const MemoryAccess acc =
                 memory_.readStriped(core_, desc.slice, desc.bytes,
                                     /*pipelined=*/true);
+            if (acc.failed) [[unlikely]]
+                noteTransferFault("read", desc.slice);
+            stats_.recoveryNs += acc.recoveryNs;
             done = acc.serviceDoneAt +
                    desc.bytes / cfg_.spadBandwidthGBps;
         } else {
             const MemoryAccess acc =
                 memory_.writeStriped(core_, desc.slice, desc.bytes,
                                      /*pipelined=*/true);
+            if (acc.failed) [[unlikely]]
+                noteTransferFault("write", desc.slice);
+            stats_.recoveryNs += acc.recoveryNs;
             done = acc.serviceDoneAt;
         }
         inflight[slot] = done;

@@ -50,6 +50,21 @@ struct DmaStats
     uint64_t descriptors = 0; ///< data descriptors processed
     double busyNs = 0.0;      ///< time spent processing descriptors
     double bytesMoved = 0.0;  ///< payload bytes transferred
+
+    /// Descriptor re-issues after injected faults.
+    uint64_t retries = 0;
+    /// Descriptor timeouts fired (== retries unless a fault was
+    /// unrecoverable).
+    uint64_t timeoutsFired = 0;
+    /// Engine time in recovery: descriptor timeout/backoff plus the
+    /// recovery portion of its memory transfers.
+    double recoveryNs = 0.0;
+    /// A descriptor (or one of its memory transfers) exhausted the
+    /// retry budget; failedDetail names it. The engine keeps draining
+    /// its queue so producers never block forever — the entry point
+    /// raises SimFaultError after the run.
+    bool failed = false;
+    std::string failedDetail;
 };
 
 /**
@@ -90,7 +105,10 @@ class DmaEngine
 
     /**
      * Attach a fault injector perturbing the per-descriptor dispatch
-     * overhead. Null (the default) keeps the configured overhead.
+     * overhead and, when a DMA drop rate is configured, failing
+     * descriptors that the engine then re-issues under the modeled
+     * timeout/backoff protocol. Null (the default) keeps the
+     * configured overhead and a fault-free descriptor stream.
      */
     void setFaultInjector(sim::FaultInjector *faults) { faults_ = faults; }
 
@@ -116,6 +134,10 @@ class DmaEngine
     sim::Process run();
 
   private:
+    /** Cold path: record an unrecoverable memory fault of one of this
+     *  engine's transfers (first one wins; the run throws anyway). */
+    void noteTransferFault(const char *op, unsigned slice);
+
     sim::Engine &engine_;
     MemorySystem &memory_;
     const PiumaConfig &cfg_;

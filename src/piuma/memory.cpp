@@ -92,6 +92,61 @@ MemorySystem::noteAccess(telemetry::Counter &op, bool local,
     tlmLatency_->add(acc.responseAt - engine_.now());
 }
 
+MemoryAccess
+MemorySystem::accessWithRecovery(unsigned requester_core, unsigned slice,
+                                 double bytes, sim::SimTime slice_dur,
+                                 sim::SimTime port_dur, bool pipelined,
+                                 double net_lat, double dram_lat)
+{
+    // The drop schedule for one request is fully determined at issue
+    // time (the Bernoulli stream is consumed in model order), so the
+    // entire recovery chain can be laid out synchronously: each
+    // attempt reserves bandwidth at its future issue time, and the
+    // caller co_awaits one final responseAt exactly as on the clean
+    // path. A dropped attempt still consumed slice (and port)
+    // bandwidth — the response was lost *after* service — which is
+    // what makes retry amplification a bandwidth story, not just a
+    // latency story.
+    const bool remote = requester_core != slice;
+    const sim::FaultConfig &fc = faults_->config();
+    sim::SimTime issue = engine_.now();
+    MemoryAccess result{};
+    for (uint32_t attempt = 0;; ++attempt) {
+        const sim::SimTime start = issue + (pipelined ? 0.0 : net_lat);
+        sim::SimTime service_done =
+            slices_[slice].reserveFor(bytes, slice_dur, start);
+        if (remote) {
+            service_done = std::max(
+                service_done,
+                netPorts_[slice].reserveFor(bytes, port_dur, start));
+        }
+        if (!faults_->dropTransaction(remote)) {
+            result.serviceDoneAt = service_done;
+            result.responseAt = service_done + dram_lat + net_lat;
+            return result;
+        }
+        // Response lost. The timeout armed at issue fires, and the
+        // requester either backs off and re-issues or — once the
+        // budget is spent — reports the fault as unrecoverable.
+        ++result.timeouts;
+        ++timeouts_;
+        const sim::SimTime detect = issue + fc.timeoutNs;
+        if (attempt >= fc.maxRetries) {
+            result.failed = true;
+            result.serviceDoneAt = detect;
+            result.responseAt = detect;
+            result.recoveryNs += fc.timeoutNs;
+            return result;
+        }
+        const sim::SimTime backoff = faults_->backoffDelay(attempt);
+        result.recoveryNs += fc.timeoutNs + backoff;
+        ++result.retries;
+        ++retries_;
+        retriedBytes_ += bytes;
+        issue = detect + backoff;
+    }
+}
+
 double
 MemorySystem::averageNetworkUtilization(sim::SimTime end) const
 {

@@ -47,6 +47,21 @@ struct MemoryAccess
      * A stall-on-use MTP thread waits for this.
      */
     sim::SimTime responseAt;
+
+    /// Re-issues after dropped responses (0 on the clean path).
+    uint32_t retries = 0;
+    /// Timeouts that fired, including the final one of a failed
+    /// request (== retries on a recovered request).
+    uint32_t timeouts = 0;
+    /// Portion of [issue, responseAt] spent in the recovery protocol
+    /// (timeout detection + backoff) rather than queueing/transfer.
+    /// For striped objects: the slowest chunk's recovery (chunks
+    /// recover concurrently).
+    sim::SimTime recoveryNs = 0.0;
+    /// Retry budget exhausted: responseAt is the final timeout, no
+    /// data arrived, and the caller must record the fault and bail
+    /// out (never throw from inside a coroutine).
+    bool failed = false;
 };
 
 /**
@@ -184,9 +199,10 @@ class MemorySystem
     /**
      * Total bytes the slice controllers actually serviced. By the
      * conservation invariant this equals bytesRead() + bytesWritten()
-     * (up to floating-point accumulation error from striped chunk
-     * splits) — fault injection perturbs *when* bytes move, never
-     * whether they move.
+     * + retriedBytes() (up to floating-point accumulation error from
+     * striped chunk splits) — jitter perturbs *when* bytes move, and
+     * hard faults re-move them, but demanded bytes plus retried bytes
+     * always equals serviced bytes.
      */
     double
     sliceBytesServed() const
@@ -197,12 +213,34 @@ class MemorySystem
         return total;
     }
 
+    /** Transaction re-issues after dropped responses (always on). */
+    uint64_t retries() const { return retries_; }
+
+    /** Request timeouts fired, including unrecoverable finals. */
+    uint64_t timeoutsFired() const { return timeouts_; }
+
+    /**
+     * Bytes serviced a second (or later) time because the first
+     * response was dropped: the retry-amplification side of the
+     * conservation invariant.
+     */
+    double retriedBytes() const { return retriedBytes_; }
+
     /**
      * Attach a fault injector perturbing DRAM latency, service
-     * durations, and remote-network latency on every access. Null
+     * durations, and remote-network latency on every access, and —
+     * when drop rates are configured — injecting dropped transactions
+     * that the modeled timeout/retry/backoff protocol recovers. Null
      * (the default) restores the exact unperturbed timings.
      */
-    void setFaultInjector(sim::FaultInjector *faults) { faults_ = faults; }
+    void
+    setFaultInjector(sim::FaultInjector *faults)
+    {
+        faults_ = faults;
+        dropsEnabled_ =
+            faults != nullptr && (faults->config().dramDropRate > 0.0 ||
+                                  faults->config().netDropRate > 0.0);
+    }
 
     /**
      * Mean utilisation of the slice controllers over [0, end].
@@ -312,6 +350,12 @@ class MemorySystem
                 net_lat = faults_->networkLatency(net_lat);
         }
 
+        if (dropsEnabled_) [[unlikely]] {
+            return accessWithRecovery(requester_core, slice, bytes,
+                                      slice_dur, port_dur, pipelined,
+                                      net_lat, dram_lat);
+        }
+
         // A stall-on-use request first travels to the slice; a
         // pipelined requester has the request in flight already, so
         // only bandwidth gates the service start. Remote transfers
@@ -333,6 +377,19 @@ class MemorySystem
             service_done + dram_lat + net_lat,
         };
     }
+
+    /**
+     * Cold path taken only when transaction-drop rates are enabled:
+     * models the whole drop -> timeout -> backoff -> re-issue chain
+     * synchronously (reservations may start in the simulated future),
+     * so requesters keep co_awaiting a single responseAt.
+     * Defined in memory.cpp.
+     */
+    MemoryAccess
+    accessWithRecovery(unsigned requester_core, unsigned slice,
+                       double bytes, sim::SimTime slice_dur,
+                       sim::SimTime port_dur, bool pipelined,
+                       double net_lat, double dram_lat);
 
     MemoryAccess
     accessStriped(unsigned requester_core, unsigned start_slice,
@@ -363,6 +420,16 @@ class MemorySystem
             result.serviceDoneAt =
                 std::max(result.serviceDoneAt, acc.serviceDoneAt);
             result.responseAt = std::max(result.responseAt, acc.responseAt);
+            if (dropsEnabled_) [[unlikely]] {
+                // Chunks recover independently and concurrently: sum
+                // the event counts, but the object's recovery time is
+                // governed by its slowest chunk.
+                result.retries += acc.retries;
+                result.timeouts += acc.timeouts;
+                result.recoveryNs =
+                    std::max(result.recoveryNs, acc.recoveryNs);
+                result.failed = result.failed || acc.failed;
+            }
             // Wrap without the per-chunk modulo.
             if (++slice == cfg_.numCores)
                 slice = 0;
@@ -386,6 +453,11 @@ class MemorySystem
     // cheap enough to live outside the telemetry gate).
     uint64_t accesses_ = 0;
     uint64_t remoteAccesses_ = 0;
+    // Recovery accounting, touched only on the accessWithRecovery
+    // cold path (always zero when drops are disabled).
+    uint64_t retries_ = 0;
+    uint64_t timeouts_ = 0;
+    double retriedBytes_ = 0.0;
     // Telemetry sinks; null (the default) keeps the access hot path
     // to one predictable branch per wrapper.
     telemetry::Counter *tlmReads_ = nullptr;
@@ -394,6 +466,9 @@ class MemorySystem
     Histogram *tlmLatency_ = nullptr;
     /// Fault injector; null (the default) keeps timings exact.
     sim::FaultInjector *faults_ = nullptr;
+    /// Cached "any transaction-drop class enabled" test so the hot
+    /// path pays one predictable branch, not three config loads.
+    bool dropsEnabled_ = false;
 };
 
 } // namespace pgcn::piuma

@@ -94,6 +94,9 @@ struct RunContext
     /// Occupancy/stall monitor; null leaves the wait sites at one
     /// predictable branch each.
     sim::MonitorHub *monitor = nullptr;
+    /// Fault injector shared with memory/DMA; null disables the
+    /// stuck-core hazard draw at thread start.
+    sim::FaultInjector *faults = nullptr;
 
     // Stall attribution, summed over threads.
     double nnzStallNs = 0.0;
@@ -107,26 +110,74 @@ struct RunContext
     double stallNetNs = 0.0;
     double nnzLatencySum = 0.0;
     uint64_t nnzReads = 0;
+    // Recovery accounting: thread time inside the modeled protocol
+    // (timeout + backoff + watchdog resets), carved out of the
+    // memory/network stall taxonomy so hidden retries and exposed
+    // retries stay distinguishable.
+    double recoveryStallNs = 0.0;
+    uint64_t stuckResets = 0;
+    // First unrecoverable fault of the run. Coroutines must never
+    // throw through the engine, so the thread that hits a failed
+    // access records it here, bails out of its work loop, and
+    // simulateSpmm raises SimFaultError after the run drains.
+    bool faulted = false;
+    std::string faultSite;
+    sim::SimTime faultWhenNs = 0.0;
 
     /// Credit a resolved memory wait to the locality taxonomy and,
     /// when a monitor is attached, to the core's stall timeline.
-    /// Striped accesses are classified by their first slice.
+    /// Striped accesses are classified by their first slice. The
+    /// recovery portion of the wait (timeout/backoff re-issues) is
+    /// credited to RecoveryWait instead of memory/network, so the
+    /// taxonomy reads: site sums == memory + network + recovery.
     void
     noteMemWait(unsigned core, unsigned slice, sim::SimTime t0,
-                double waited)
+                double waited, double recovery)
     {
         const bool local = slice == core;
-        (local ? stallMemNs : stallNetNs) += waited;
+        (local ? stallMemNs : stallNetNs) += waited - recovery;
+        recoveryStallNs += recovery;
 #ifndef PGCN_NO_TELEMETRY
         if (monitor != nullptr) [[unlikely]] {
+            if (recovery > 0.0)
+                monitor->noteRecovery(core, t0, t0 + recovery);
             monitor->endWait(core,
                              local ? sim::StallCause::MemoryWait
                                    : sim::StallCause::NetworkWait,
-                             t0, engine.now());
+                             t0 + recovery, engine.now());
         }
 #else
         (void)t0;
 #endif
+    }
+
+    /// Close a stuck-core watchdog-reset wait (RecoveryWait cause).
+    void
+    noteStuckReset(unsigned core, sim::SimTime t0)
+    {
+        recoveryStallNs += engine.now() - t0;
+        ++stuckResets;
+#ifndef PGCN_NO_TELEMETRY
+        if (monitor != nullptr) [[unlikely]] {
+            monitor->endWait(core, sim::StallCause::RecoveryWait, t0,
+                             engine.now());
+        }
+#else
+        (void)core;
+        (void)t0;
+#endif
+    }
+
+    /// Record the run's first unrecoverable fault (cold path).
+    void
+    recordFault(const char *what, unsigned core, unsigned slice)
+    {
+        if (faulted)
+            return;
+        faulted = true;
+        faultSite = "core" + std::to_string(core) + " " + what +
+                    " on slice " + std::to_string(slice);
+        faultWhenNs = engine.now();
     }
 
     /// Monitor hook before a blocking wait begins (no-op unattached).
@@ -255,6 +306,24 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
     const auto &offsets = ctx.csr.rowOffsets();
     const auto &cols = ctx.csr.cols();
 
+    if (ctx.faults != nullptr) [[unlikely]] {
+        if (ctx.faults->stuckCore()) {
+            // Stuck hardware context: the watchdog resets it before
+            // it can issue its first instruction.
+            const sim::SimTime t0 = ctx.engine.now();
+            ctx.beginWait(core, t0);
+            co_await ctx.engine.delay(
+                ctx.faults->config().stuckResetNs);
+            ctx.noteStuckReset(core, t0);
+        }
+    }
+
+    // Set when a memory access exhausts its retry budget: the thread
+    // records the fault and bails out of its work (a coroutine cannot
+    // throw through the engine), but still runs the terminate
+    // epilogue so the run drains cleanly.
+    bool dead = false;
+
     if (start < stop) {
         // Binary search for the starting row (Algorithm 2 line 4):
         // ~log2(|V|) dependent row-offset line reads.
@@ -275,7 +344,12 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             co_await ctx.engine.delayUntil(acc.responseAt);
             const double waited = ctx.engine.now() - t0;
             ctx.rowOffsetStallNs += waited;
-            ctx.noteMemWait(core, slice, t0, waited);
+            ctx.noteMemWait(core, slice, t0, waited, acc.recoveryNs);
+            if (acc.failed) [[unlikely]] {
+                ctx.recordFault("row-offset read", core, slice);
+                dead = true;
+                break;
+            }
         }
 
         VertexId u = ctx.csr.rowOfEdge(start);
@@ -288,7 +362,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
         uint64_t line = start / edges_per_line;
         uint64_t line_end = (line + 1) * edges_per_line;
 
-        for (EdgeId e = start; e < stop; ++e) {
+        for (EdgeId e = start; e < stop && !dead; ++e) {
             // NNZ (column + value) read, one line per 8 edges.
             if (e >= line_end) {
                 ++line;
@@ -307,7 +381,13 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                 ctx.nnzStallNs += waited;
                 ctx.nnzLatencySum += waited;
                 ++ctx.nnzReads;
-                ctx.noteMemWait(core, slice, t0, waited);
+                ctx.noteMemWait(core, slice, t0, waited,
+                                acc.recoveryNs);
+                if (acc.failed) [[unlikely]] {
+                    ctx.recordFault("nnz read", core, slice);
+                    dead = true;
+                    break;
+                }
             }
 
             // Row boundary: flush the accumulation buffer (atomic
@@ -335,9 +415,17 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                     co_await ctx.engine.delayUntil(acc.responseAt);
                     const double waited = ctx.engine.now() - t0;
                     ctx.rowOffsetStallNs += waited;
-                    ctx.noteMemWait(core, slice, t0, waited);
+                    ctx.noteMemWait(core, slice, t0, waited,
+                                    acc.recoveryNs);
+                    if (acc.failed) [[unlikely]] {
+                        ctx.recordFault("row-offset read", core, slice);
+                        dead = true;
+                        break;
+                    }
                 }
             }
+            if (dead)
+                break;
 
             // Emit the read-multiply-accumulate descriptor.
             co_await issue.transfer(ctx.cfg.issueCostPerEdge +
@@ -351,10 +439,13 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             ctx.noteQueueWait(core, t0);
         }
 
-        // Final flush of the last (possibly shared) row.
-        co_await issue.transfer(ctx.cfg.issueCostPerDescriptor);
-        co_await queue.push(DmaDescriptor{DmaDescriptor::Op::WriteRow,
-                                          ctx.rowSlice(u), row_bytes});
+        if (!dead) {
+            // Final flush of the last (possibly shared) row.
+            co_await issue.transfer(ctx.cfg.issueCostPerDescriptor);
+            co_await queue.push(DmaDescriptor{
+                DmaDescriptor::Op::WriteRow, ctx.rowSlice(u),
+                row_bytes});
+        }
     }
 
     if (--ctx.liveThreadsPerCore[core] == 0) {
@@ -381,6 +472,18 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
     const auto &offsets = ctx.csr.rowOffsets();
     const auto &cols = ctx.csr.cols();
 
+    if (ctx.faults != nullptr) [[unlikely]] {
+        if (ctx.faults->stuckCore()) {
+            const sim::SimTime t0 = ctx.engine.now();
+            ctx.beginWait(core, t0);
+            co_await ctx.engine.delay(
+                ctx.faults->config().stuckResetNs);
+            ctx.noteStuckReset(core, t0);
+        }
+    }
+
+    bool dead = false;
+
     if (start < stop) {
         const unsigned steps = static_cast<unsigned>(std::ceil(
             std::log2(std::max<double>(2.0, ctx.csr.numVertices()))));
@@ -399,7 +502,12 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             co_await ctx.engine.delayUntil(acc.responseAt);
             const double waited = ctx.engine.now() - t0;
             ctx.rowOffsetStallNs += waited;
-            ctx.noteMemWait(core, slice, t0, waited);
+            ctx.noteMemWait(core, slice, t0, waited, acc.recoveryNs);
+            if (acc.failed) [[unlikely]] {
+                ctx.recordFault("row-offset read", core, slice);
+                dead = true;
+                break;
+            }
         }
 
         VertexId u = ctx.csr.rowOfEdge(start);
@@ -410,7 +518,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
         uint64_t line = start / edges_per_line;
         uint64_t line_end = (line + 1) * edges_per_line;
 
-        for (EdgeId e = start; e < stop; ++e) {
+        for (EdgeId e = start; e < stop && !dead; ++e) {
             if (e >= line_end) {
                 ++line;
                 line_end += edges_per_line;
@@ -428,7 +536,12 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                 ctx.nnzStallNs += waited;
                 ctx.nnzLatencySum += waited;
                 ++ctx.nnzReads;
-                ctx.noteMemWait(core, slice, t0, waited);
+                ctx.noteMemWait(core, slice, t0, waited,
+                                acc.recoveryNs);
+                if (acc.failed) [[unlikely]] {
+                    ctx.recordFault("nnz read", core, slice);
+                    break;
+                }
             }
 
             while (e >= offsets[u + 1]) {
@@ -450,9 +563,17 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                     co_await ctx.engine.delayUntil(acc.responseAt);
                     const double waited = ctx.engine.now() - t0;
                     ctx.rowOffsetStallNs += waited;
-                    ctx.noteMemWait(core, slice, t0, waited);
+                    ctx.noteMemWait(core, slice, t0, waited,
+                                    acc.recoveryNs);
+                    if (acc.failed) [[unlikely]] {
+                        ctx.recordFault("row-offset read", core, slice);
+                        dead = true;
+                        break;
+                    }
                 }
             }
+            if (dead)
+                break;
 
             // Stall-on-use feature-vector line loads: the unrolled
             // loop requests one full cache line at a time, and the
@@ -481,8 +602,16 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                 co_await ctx.engine.delayUntil(acc.responseAt);
                 const double waited = ctx.engine.now() - t0;
                 ctx.featureStallNs += waited;
-                ctx.noteMemWait(core, line_slice, t0, waited);
+                ctx.noteMemWait(core, line_slice, t0, waited,
+                                acc.recoveryNs);
+                if (acc.failed) [[unlikely]] {
+                    ctx.recordFault("feature read", core, line_slice);
+                    dead = true;
+                    break;
+                }
             }
+            if (dead)
+                break;
 
             // Scale-and-accumulate on the scalar pipeline.
             const sim::SimTime t0 = ctx.engine.now();
@@ -491,9 +620,11 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             ctx.issueNs += ctx.engine.now() - t0;
         }
 
-        // Final row flush.
-        co_await issue.transfer(static_cast<double>(lines_per_row));
-        ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
+        if (!dead) {
+            // Final row flush.
+            co_await issue.transfer(static_cast<double>(lines_per_row));
+            ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
+        }
     }
 
     --ctx.liveThreadsPerCore[core];
@@ -585,6 +716,7 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
 
     if (controls != nullptr) {
         ctx.memory.setFaultInjector(controls->faults);
+        ctx.faults = controls->faults;
         ctx.engine.setRunLimits(controls->limits);
 #ifndef PGCN_NO_TELEMETRY
         if (controls->monitor != nullptr) {
@@ -656,6 +788,26 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
                                       wall_start)
             .count();
 
+    // Unrecoverable faults surface *after* the run drains: coroutines
+    // never throw through the engine (that would std::terminate), they
+    // record the fault, bail, and let the entry point raise the typed
+    // error here. The queues were drained on the way out, so there is
+    // no deadlock to race against.
+    if (ctx.faulted) {
+        throw sim::SimFaultError(
+            ctx.faultSite, ctx.faultWhenNs,
+            ctx.faults != nullptr ? ctx.faults->config().maxRetries + 1
+                                  : 1);
+    }
+    for (const auto &engine : ctx.dmaEngines) {
+        if (engine.stats().failed) {
+            throw sim::SimFaultError(
+                engine.stats().failedDetail, makespan,
+                ctx.faults != nullptr ? ctx.faults->config().maxRetries + 1
+                                      : 1);
+        }
+    }
+
     SpmmRunStats stats;
     stats.makespanNs = makespan;
     stats.flop = 2.0 * static_cast<double>(csr.numEdges()) * embedding_dim;
@@ -720,6 +872,23 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
                      : 0.0;
     for (const auto &engine : ctx.dmaEngines)
         stats.dmaDescriptors += engine.stats().descriptors;
+    // Recovery accounting: memory counters own transaction-level
+    // retries/timeouts; DMA engines add their descriptor re-issues.
+    // Goodput is demanded traffic only — bytesServed additionally
+    // counts the bandwidth retries burned, and the conservation
+    // invariant bytesServed == goodputBytes + retriedBytes is what
+    // the soak test pins.
+    stats.retries = ctx.memory.retries();
+    stats.timeoutsFired = ctx.memory.timeoutsFired() + ctx.stuckResets;
+    stats.recoveryNs = ctx.recoveryStallNs;
+    for (const auto &engine : ctx.dmaEngines) {
+        stats.retries += engine.stats().retries;
+        stats.timeoutsFired += engine.stats().timeoutsFired;
+        stats.recoveryNs += engine.stats().recoveryNs;
+    }
+    stats.retriedBytes = ctx.memory.retriedBytes();
+    stats.goodputBytes = stats.bytesRead + stats.bytesWritten;
+    stats.stuckResets = ctx.stuckResets;
     stats.simEvents = ctx.engine.eventsProcessed();
     stats.wallSeconds = wall;
     stats.eventsPerSec =

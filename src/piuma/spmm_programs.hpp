@@ -54,8 +54,11 @@ struct SpmmRunStats
     double bytesRead = 0.0;      ///< DRAM read traffic
     double bytesWritten = 0.0;   ///< DRAM write traffic
     /// Bytes the slice controllers serviced; conservation requires
-    /// bytesServed == bytesRead + bytesWritten (fp tolerance), with
-    /// or without fault injection.
+    /// bytesServed == goodputBytes + retriedBytes (fp tolerance) —
+    /// dropped attempts still burned bandwidth, so with fault
+    /// injection bytesServed exceeds the demanded traffic by exactly
+    /// the retried bytes. Without faults retriedBytes == 0 and this
+    /// collapses to bytesServed == bytesRead + bytesWritten.
     double bytesServed = 0.0;
     double memUtilization = 0.0; ///< mean slice-controller utilisation
     double maxMemUtilization = 0.0; ///< hottest slice utilisation
@@ -81,8 +84,11 @@ struct SpmmRunStats
     /// counters): the per-site stalls above re-bucketed by *where* the
     /// wait was served. Memory = local slice, network = crossed the
     /// interconnect (classified by the access's first slice), queue =
-    /// dmaQueueStallNs. stallMemoryNs + stallNetworkNs ==
-    /// nnzStallNs + rowOffsetStallNs + featureStallNs exactly.
+    /// dmaQueueStallNs. The recovery portion of each wait (timeouts +
+    /// backoffs of injected drops) is carved out into its own bucket,
+    /// so stallMemoryNs + stallNetworkNs + thread-recovery ==
+    /// nnzStallNs + rowOffsetStallNs + featureStallNs exactly; without
+    /// faults the recovery term is zero and the old identity holds.
     double stallMemoryNs = 0.0;  ///< thread-waits served locally
     double stallNetworkNs = 0.0; ///< thread-waits that crossed the net
 
@@ -111,6 +117,24 @@ struct SpmmRunStats
     uint64_t dmaDescriptors = 0;  ///< DMA data descriptors processed
     uint64_t simEvents = 0;       ///< DES events executed
 
+    /// Recovery counters (always on; all zero without fault injection).
+    /// Memory transaction re-issues plus DMA descriptor re-issues.
+    uint64_t retries = 0;
+    /// Timeouts fired: one per dropped transaction/descriptor, plus
+    /// one per stuck-core watchdog reset.
+    uint64_t timeoutsFired = 0;
+    /// Stuck-core hazards recovered by the watchdog reset.
+    uint64_t stuckResets = 0;
+    /// Demanded traffic actually delivered (bytesRead + bytesWritten);
+    /// the degradation-envelope campaign divides by makespan for
+    /// goodput GB/s.
+    double goodputBytes = 0.0;
+    /// Bandwidth burned by re-issued transactions; see bytesServed.
+    double retriedBytes = 0.0;
+    /// Total modeled recovery time (timeout + backoff spans) summed
+    /// over threads and DMA engines (ns).
+    double recoveryNs = 0.0;
+
     // Simulator (host) throughput, measured around Engine::run().
     double wallSeconds = 0.0;      ///< host wall-clock of the run
     double eventsPerSec = 0.0;     ///< simEvents / wallSeconds
@@ -130,14 +154,19 @@ struct SpmmRunStats
  *        not change the simulated result (the determinism tests pin
  *        this).
  * @param controls Optional robustness controls: a seeded fault
- *        injector perturbing model timings, and watchdog budgets
+ *        injector perturbing model timings and/or dropping
+ *        transactions, descriptors, and threads (recovered under the
+ *        modeled timeout/retry/backoff protocol), and watchdog budgets
  *        (Engine::RunLimits) for the run. Null (the default) means no
  *        perturbation and no limits, with bit-identical results to
  *        builds predating this parameter.
  *
  * @throws ConfigError / ShapeError on invalid inputs,
- *         sim::SimDeadlockError if the model wedges, and
- *         sim::SimLimitError when an armed watchdog budget is hit.
+ *         sim::SimDeadlockError if the model wedges,
+ *         sim::SimLimitError when an armed watchdog budget is hit, and
+ *         sim::SimFaultError when an injected fault exhausts its retry
+ *         budget (raised after the run drains — a drop schedule can
+ *         degrade the run but never deadlock it).
  */
 SpmmRunStats simulateSpmm(const graph::Csr &csr, unsigned embedding_dim,
                           const PiumaConfig &cfg, SpmmAlgorithm alg,

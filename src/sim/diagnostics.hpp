@@ -15,6 +15,12 @@
  *  - SimLimitError: a watchdog budget (simulated time, wall-clock
  *    time, or event count — Engine::RunLimits) was exceeded. Carries a
  *    diagnostic snapshot of the engine state at the moment of breach.
+ *  - SimFaultError: an injected hard fault exhausted its modeled
+ *    retry budget (FaultConfig::maxRetries). The programs record the
+ *    failure, drain the run cleanly, and the entry point throws this
+ *    after Engine::run() returns — a coroutine must never throw
+ *    through the engine, and an unrecoverable fault must surface as a
+ *    typed error, never as a deadlock.
  */
 #ifndef PGCN_SIM_DIAGNOSTICS_HPP
 #define PGCN_SIM_DIAGNOSTICS_HPP
@@ -100,6 +106,47 @@ class SimLimitError : public SimError
 
   private:
     std::string snapshot_;
+};
+
+/**
+ * An injected hard fault was unrecoverable: the modeled recovery
+ * protocol (timeout + exponential backoff) exhausted its retry budget
+ * on one request/descriptor. Deterministic given (seed, workload) —
+ * the same configuration fails at the same simulated time with the
+ * same site string on every run.
+ */
+class SimFaultError : public SimError
+{
+  public:
+    SimFaultError(std::string site, double when_ns, unsigned attempts)
+        : SimError(format(site, when_ns, attempts)),
+          site_(std::move(site)), whenNs_(when_ns), attempts_(attempts)
+    {
+    }
+
+    /** The faulting site ("core3 feature read on slice 12"). */
+    const std::string &site() const { return site_; }
+
+    /** Simulated time at which the retry budget ran out. */
+    double whenNs() const { return whenNs_; }
+
+    /** Issue attempts consumed (retry budget + 1). */
+    unsigned attempts() const { return attempts_; }
+
+  private:
+    static std::string
+    format(const std::string &site, double when_ns, unsigned attempts)
+    {
+        std::ostringstream os;
+        os << "unrecoverable fault at t=" << when_ns << " ns: " << site
+           << " failed after " << attempts
+           << " attempt(s); retry budget exhausted";
+        return os.str();
+    }
+
+    std::string site_;
+    double whenNs_ = 0.0;
+    unsigned attempts_ = 0;
 };
 
 } // namespace pgcn::sim

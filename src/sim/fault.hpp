@@ -29,10 +29,22 @@ namespace pgcn::sim {
 class MonitorHub;
 
 /**
- * Fault-injection parameters. Each jitter j perturbs its target value
- * v multiplicatively into [v*(1-j), v*(1+j)]; 0 disables that fault
- * class. Jitters must lie in [0, 1) so perturbed durations stay
- * positive.
+ * Fault-injection parameters. Two families share one seeded stream:
+ *
+ *  - Jitters perturb a target value v multiplicatively into
+ *    [v*(1-j), v*(1+j)]; 0 disables that class. Jitters must lie in
+ *    [0, 1) so perturbed durations stay positive.
+ *  - Drop rates are per-event Bernoulli probabilities for *hard*
+ *    faults: a dropped memory transaction (response lost after DRAM
+ *    service), a lost remote-network packet, a failed DMA descriptor,
+ *    and a stuck hardware context at thread start. Rates lie in
+ *    [0, 1]; 1 is legal (every event fails — useful for forcing the
+ *    unrecoverable path in tests).
+ *
+ * Recovery policy knobs describe the modeled protocol the PIUMA
+ * programs run when a hard fault fires: a timeout armed on issue,
+ * exponential backoff between re-issues, and a bounded retry budget
+ * after which the fault is unrecoverable (typed SimFaultError).
  */
 struct FaultConfig
 {
@@ -49,15 +61,48 @@ struct FaultConfig
     /// Jitter on the DMA descriptor dispatch overhead.
     double dmaOverheadJitter = 0.0;
 
+    /// Per-transaction probability that a DRAM slice drops the
+    /// response after service (refresh collision, ECC retry storm).
+    double dramDropRate = 0.0;
+    /// Additional per-transaction drop probability for *remote*
+    /// accesses (HyperX packet lost in a link retrain window).
+    double netDropRate = 0.0;
+    /// Per-descriptor probability that a DMA engine faults on fetch
+    /// or execution and must re-issue the descriptor.
+    double dmaDropRate = 0.0;
+    /// Per-thread probability that a hardware context is stuck at
+    /// start and needs a watchdog reset before issuing work.
+    double stuckCoreRate = 0.0;
+
+    /// Timeout armed when a request is issued; a dropped response is
+    /// detected this long after issue.
+    double timeoutNs = 500.0;
+    /// Base backoff before the first re-issue; doubles per retry.
+    double backoffNs = 100.0;
+    /// Re-issue budget per request/descriptor. Attempt maxRetries+1
+    /// failing makes the fault unrecoverable (SimFaultError).
+    unsigned maxRetries = 8;
+    /// Watchdog reset time for a stuck hardware context.
+    double stuckResetNs = 10000.0;
+
     /** True when at least one fault class is enabled. */
     bool
     any() const
     {
         return dramLatencyJitter > 0.0 || serviceRateJitter > 0.0 ||
-               networkLatencyJitter > 0.0 || dmaOverheadJitter > 0.0;
+               networkLatencyJitter > 0.0 || dmaOverheadJitter > 0.0 ||
+               anyDrops();
     }
 
-    /** Throws ConfigError on out-of-range jitter. */
+    /** True when at least one *hard* fault class is enabled. */
+    bool
+    anyDrops() const
+    {
+        return dramDropRate > 0.0 || netDropRate > 0.0 ||
+               dmaDropRate > 0.0 || stuckCoreRate > 0.0;
+    }
+
+    /** Throws ConfigError on out-of-range parameters. */
     void
     validate() const
     {
@@ -65,6 +110,13 @@ struct FaultConfig
         checkJitter(serviceRateJitter, "fault.serviceRateJitter");
         checkJitter(networkLatencyJitter, "fault.networkLatencyJitter");
         checkJitter(dmaOverheadJitter, "fault.dmaOverheadJitter");
+        check::probability(dramDropRate, "fault.dramDropRate");
+        check::probability(netDropRate, "fault.netDropRate");
+        check::probability(dmaDropRate, "fault.dmaDropRate");
+        check::probability(stuckCoreRate, "fault.stuckCoreRate");
+        check::positive(timeoutNs, "fault.timeoutNs");
+        check::nonNegative(backoffNs, "fault.backoffNs");
+        check::positive(stuckResetNs, "fault.stuckResetNs");
     }
 
   private:
@@ -132,7 +184,51 @@ class FaultInjector
         return jitter(ns, cfg_.dmaOverheadJitter);
     }
 
+    /**
+     * Did a memory transaction lose its response? Remote accesses are
+     * additionally exposed to the network drop class. A disabled class
+     * (rate 0) consumes no draws, preserving the stream — and thus the
+     * timings of every other class — exactly.
+     */
+    bool
+    dropTransaction(bool remote)
+    {
+        bool dropped = bernoulli(cfg_.dramDropRate);
+        if (remote)
+            dropped = bernoulli(cfg_.netDropRate) || dropped;
+        return dropped;
+    }
+
+    /** Did a DMA descriptor fault on fetch/execution? */
+    bool dropDescriptor() { return bernoulli(cfg_.dmaDropRate); }
+
+    /** Is this hardware context stuck at start (watchdog reset)? */
+    bool stuckCore() { return bernoulli(cfg_.stuckCoreRate); }
+
+    /**
+     * Backoff before re-issue number @p attempt (0-based): exponential
+     * doubling from the configured base, capped so a deep retry chain
+     * cannot overflow the simulated clock.
+     */
+    double
+    backoffDelay(unsigned attempt) const
+    {
+        const double scale =
+            static_cast<double>(uint64_t{1} << (attempt < 32 ? attempt : 32));
+        return cfg_.backoffNs * scale;
+    }
+
   private:
+    /** One Bernoulli draw; consumes stream state only when p > 0. */
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        ++draws_;
+        return nextUnit() < p;
+    }
+
     /** v -> v * (1 + j * u), u uniform in [-1, 1). No-op when j == 0. */
     double
     jitter(double v, double j)

@@ -46,21 +46,22 @@
 namespace pgcn::sim {
 
 /**
- * Why a simulated thread was not issuing. The first three are
+ * Why a simulated thread was not issuing. The first four are
  * measured directly at the wait sites; NoRunnable is derived at
  * report time as the part of the stall window no runnable thread
  * covered (exposed stall).
  */
 enum class StallCause : uint8_t
 {
-    MemoryWait = 0,  ///< waiting on a local DRAM slice access
-    NetworkWait = 1, ///< waiting on a remote (cross-core) access
-    QueueFull = 2,   ///< backpressure pushing into a full DMA queue
-    NoRunnable = 3,  ///< derived: stall time not hidden by any thread
+    MemoryWait = 0,   ///< waiting on a local DRAM slice access
+    NetworkWait = 1,  ///< waiting on a remote (cross-core) access
+    QueueFull = 2,    ///< backpressure pushing into a full DMA queue
+    RecoveryWait = 3, ///< timeout/backoff re-issuing dropped requests
+    NoRunnable = 4,   ///< derived: stall time not hidden by any thread
 };
 
 /** Number of directly-measured stall causes (excludes NoRunnable). */
-inline constexpr size_t kMeasuredStallCauses = 3;
+inline constexpr size_t kMeasuredStallCauses = 4;
 
 /** Human-readable StallCause name. */
 inline const char *
@@ -70,6 +71,7 @@ stallCauseName(StallCause c)
     case StallCause::MemoryWait: return "memory_wait";
     case StallCause::NetworkWait: return "network_wait";
     case StallCause::QueueFull: return "queue_full";
+    case StallCause::RecoveryWait: return "recovery_wait";
     case StallCause::NoRunnable: return "no_runnable";
     }
     return "unknown";
@@ -190,6 +192,8 @@ struct OccupancyReport
         double stallMemNs = 0.0;   ///< thread-time waiting on local DRAM
         double stallNetNs = 0.0;   ///< thread-time waiting cross-core
         double stallQueueNs = 0.0; ///< thread-time blocked on DMA queues
+        /// thread-time in modeled fault recovery (timeout + backoff)
+        double stallRecoveryNs = 0.0;
         double windowNs = 0.0;     ///< wall (sim) time ≥1 thread stalled
         double coveredNs = 0.0;    ///< window time with issue activity
     };
@@ -298,6 +302,22 @@ class MonitorHub
     }
 
     /**
+     * Credit [begin, end) to RecoveryWait without touching the wait
+     * window. Used when one blocking wait splits into a recovery
+     * portion (timeout + backoff before the final re-issue) and a
+     * residual memory/network portion: the caller keeps the single
+     * beginWait/endWait pair for the window and attributes the
+     * recovery slice through this hook.
+     */
+    void
+    noteRecovery(unsigned core, SimTime begin, SimTime end)
+    {
+        cores_[core]
+            .stall[static_cast<size_t>(StallCause::RecoveryWait)]
+            .addSpan(begin, end);
+    }
+
+    /**
      * Roll the recorded spans up into occupancies and the
      * latency-hiding metric over the window [0, makespan]. Cores with
      * waits still open contribute their window up to the makespan.
@@ -323,6 +343,9 @@ class MonitorHub
                     .total();
             out.stallQueueNs =
                 c.stall[static_cast<size_t>(StallCause::QueueFull)]
+                    .total();
+            out.stallRecoveryNs =
+                c.stall[static_cast<size_t>(StallCause::RecoveryWait)]
                     .total();
             out.windowNs = c.window.total();
             // Bucket-level overlap: within one bucket a core cannot
@@ -372,6 +395,9 @@ class MonitorHub
             writeRows(
                 os, prefix, "stall_queue", i,
                 c.stall[static_cast<size_t>(StallCause::QueueFull)]);
+            writeRows(
+                os, prefix, "stall_recovery", i,
+                c.stall[static_cast<size_t>(StallCause::RecoveryWait)]);
             writeRows(os, prefix, "stall_window", i, c.window);
         }
         for (size_t i = 0; i < slices_.size(); ++i)

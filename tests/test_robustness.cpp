@@ -135,6 +135,30 @@ TEST(Deadlock, UnnamedAgentGetsFallbackName)
 // ---------------------------------------------------------------------------
 // Watchdog budgets
 
+/**
+ * Every budget breach must carry the full postmortem snapshot: where
+ * simulated time stood, how many events had dispatched, and how deep
+ * the pending queue was at the moment of breach.
+ */
+void
+checkBreachSnapshot(const SimLimitError &e, const char *budget_name)
+{
+    // what() names the breached budget (so logs are greppable by
+    // budget kind) and embeds the snapshot.
+    const std::string what = e.what();
+    EXPECT_NE(what.find(budget_name), std::string::npos)
+        << "what() does not name the breached budget: " << what;
+    EXPECT_NE(what.find("budget exceeded"), std::string::npos);
+    // snapshot() exposes the engine state on its own for log files.
+    const std::string &snap = e.snapshot();
+    EXPECT_FALSE(snap.empty());
+    EXPECT_NE(snap.find("simulated time:"), std::string::npos);
+    EXPECT_NE(snap.find("events dispatched:"), std::string::npos);
+    EXPECT_NE(snap.find("pending events:"), std::string::npos);
+    EXPECT_NE(what.find(snap), std::string::npos)
+        << "what() must embed the snapshot";
+}
+
 TEST(RunLimits, MaxEventsBreachThrowsWithSnapshot)
 {
     Engine engine;
@@ -147,15 +171,11 @@ TEST(RunLimits, MaxEventsBreachThrowsWithSnapshot)
         engine.run();
         FAIL() << "expected SimLimitError";
     } catch (const SimLimitError &e) {
-        const std::string what = e.what();
-        EXPECT_NE(what.find("event"), std::string::npos);
-        EXPECT_FALSE(e.snapshot().empty());
-        // The snapshot reports queue/arena state for postmortems.
-        EXPECT_NE(e.snapshot().find("events"), std::string::npos);
+        checkBreachSnapshot(e, "event budget");
     }
 }
 
-TEST(RunLimits, MaxSimTimeBreachThrows)
+TEST(RunLimits, MaxSimTimeBreachThrowsWithSnapshot)
 {
     Engine engine;
     std::function<void()> tick = [&] { engine.schedule(10.0, tick); };
@@ -163,19 +183,32 @@ TEST(RunLimits, MaxSimTimeBreachThrows)
     Engine::RunLimits limits;
     limits.maxSimTimeNs = 55.0;
     engine.setRunLimits(limits);
-    EXPECT_THROW(engine.run(), SimLimitError);
+    try {
+        engine.run();
+        FAIL() << "expected SimLimitError";
+    } catch (const SimLimitError &e) {
+        checkBreachSnapshot(e, "simulated-time budget");
+    }
     EXPECT_LE(engine.now(), 70.0);
 }
 
-TEST(RunLimits, MaxWallSecondsBreachThrows)
+TEST(RunLimits, MaxWallSecondsBreachThrowsWithSnapshot)
 {
+    // The wall clock is sampled every few thousand events, so the
+    // ever-ticking agent guarantees the check is eventually reached;
+    // the 1 ns budget is breached by the first sample.
     Engine engine;
     std::function<void()> tick = [&] { engine.schedule(1.0, tick); };
     engine.schedule(1.0, tick);
     Engine::RunLimits limits;
-    limits.maxWallSeconds = 1e-9; // breached by the first wall check
+    limits.maxWallSeconds = 1e-9;
     engine.setRunLimits(limits);
-    EXPECT_THROW(engine.run(), SimLimitError);
+    try {
+        engine.run();
+        FAIL() << "expected SimLimitError";
+    } catch (const SimLimitError &e) {
+        checkBreachSnapshot(e, "wall-clock budget");
+    }
 }
 
 TEST(RunLimits, GenerousLimitsDoNotFire)

@@ -10,6 +10,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -341,6 +342,166 @@ TEST(SweepRunner, JobsZeroResolvesToHardwareConcurrency)
     options.jobs = 0;
     SweepRunner runner(options);
     EXPECT_GE(runner.jobs(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: transient in-process retries, permanent quarantine
+
+TEST(SweepRunner, TransientFailureHealsInProcess)
+{
+    SweepOptions options;
+    options.pointAttempts = 3;
+    options.retryBackoffSeconds = 0.0; // keep the test fast
+    SweepRunner runner(options);
+    std::atomic<int> calls{0};
+    runner.add("flaky",
+               [&calls](const SweepContext &) -> JsonlCheckpoint::Values {
+                   if (calls.fetch_add(1) < 2)
+                       throw IoError("disk hiccup");
+                   return {{"ok", 1.0}};
+               });
+    JsonlCheckpoint ckpt(pgcn_test::testPath("heal.jsonl"),
+                         /*resume=*/false);
+    const auto outcome = runner.run(ckpt);
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(outcome.computed, 1u);
+    EXPECT_EQ(outcome.failed, 0u);
+    EXPECT_EQ(outcome.retried, 2u);
+    ASSERT_NE(ckpt.find("flaky"), nullptr);
+}
+
+TEST(SweepRunner, TransientExhaustionSkipsWithoutPoisoning)
+{
+    SweepOptions options;
+    options.pointAttempts = 2;
+    options.retryBackoffSeconds = 0.0;
+    SweepRunner runner(options);
+    std::atomic<int> calls{0};
+    runner.add("cursed",
+               [&calls](const SweepContext &) -> JsonlCheckpoint::Values {
+                   calls.fetch_add(1);
+                   throw IoError("disk always full");
+               });
+    JsonlCheckpoint ckpt;
+    const auto outcome = runner.run(ckpt);
+    EXPECT_EQ(calls.load(), 2); // initial attempt + one retry
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_EQ(outcome.quarantined, 0u);
+    EXPECT_EQ(outcome.retried, 1u);
+    // Environmental failures never poison the checkpoint: a later
+    // resume gets to try again.
+    EXPECT_EQ(ckpt.findFailure("cursed"), nullptr);
+}
+
+TEST(SweepRunner, PermanentFailureQuarantinedNeverReRun)
+{
+    const std::string path = pgcn_test::testPath("quarantine.jsonl");
+    const auto addPoints = [](SweepRunner &runner,
+                              std::atomic<int> &poison_calls) {
+        runner.add("good/0", [](const SweepContext &) {
+            return JsonlCheckpoint::Values{{"v", 0.0}};
+        });
+        runner.add("poison",
+                   [&poison_calls](
+                       const SweepContext &) -> JsonlCheckpoint::Values {
+                       poison_calls.fetch_add(1);
+                       throw ConfigError("bad shape: deterministic");
+                   });
+        runner.add("good/2", [](const SweepContext &) {
+            return JsonlCheckpoint::Values{{"v", 2.0}};
+        });
+    };
+
+    std::atomic<int> poison_calls{0};
+    {
+        SweepOptions options;
+        options.pointAttempts = 3; // permanent: must NOT retry
+        options.retryBackoffSeconds = 0.0;
+        SweepRunner runner(options);
+        addPoints(runner, poison_calls);
+        JsonlCheckpoint ckpt(path, /*resume=*/false);
+        const auto outcome = runner.run(ckpt);
+        EXPECT_EQ(poison_calls.load(), 1);
+        EXPECT_EQ(outcome.failed, 1u);
+        EXPECT_EQ(outcome.quarantined, 0u);
+        EXPECT_EQ(outcome.retried, 0u);
+        // The failure is poisoned into the checkpoint with its cause.
+        const std::string *cause = ckpt.findFailure("poison");
+        ASSERT_NE(cause, nullptr);
+        EXPECT_NE(cause->find("bad shape"), std::string::npos);
+    }
+
+    // Resume: the poisoned point is skipped outright — its compute is
+    // never invoked again — and reported with its recorded cause.
+    {
+        SweepOptions options;
+        options.jobs = 4;
+        SweepRunner runner(options);
+        addPoints(runner, poison_calls);
+        JsonlCheckpoint ckpt(path, /*resume=*/true);
+        const auto outcome = runner.run(ckpt);
+        EXPECT_EQ(poison_calls.load(), 1); // unchanged: never re-run
+        EXPECT_EQ(outcome.reused, 2u);
+        EXPECT_EQ(outcome.quarantined, 1u);
+        EXPECT_EQ(outcome.failed, 0u);
+        EXPECT_EQ(outcome.computed, 0u);
+        ASSERT_EQ(outcome.errors.size(), 1u);
+        EXPECT_EQ(outcome.errors[0].key, "poison");
+        EXPECT_NE(outcome.errors[0].message.find("quarantined: "),
+                  std::string::npos);
+        EXPECT_NE(outcome.errors[0].message.find("bad shape"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepRunner, QuarantineJsonlSurvivesRoundTripWithEscapes)
+{
+    const std::string path = pgcn_test::testPath("qescape.jsonl");
+    {
+        JsonlCheckpoint ckpt(path, /*resume=*/false);
+        ckpt.record("alive", {{"v", 1.0}});
+        ckpt.quarantine("dead", "line one\nline \"two\"\twith tab");
+        EXPECT_EQ(ckpt.size(), 1u);
+        EXPECT_EQ(ckpt.quarantinedCount(), 1u);
+    }
+    JsonlCheckpoint back(path, /*resume=*/true);
+    EXPECT_EQ(back.size(), 1u);
+    ASSERT_NE(back.find("alive"), nullptr);
+    const std::string *cause = back.findFailure("dead");
+    ASSERT_NE(cause, nullptr);
+    EXPECT_EQ(*cause, "line one\nline \"two\"\twith tab");
+    // A later successful record lifts the quarantine (last line wins).
+    back.record("dead", {{"v", 2.0}});
+    EXPECT_EQ(back.findFailure("dead"), nullptr);
+    ASSERT_NE(back.find("dead"), nullptr);
+
+    JsonlCheckpoint lifted(path, /*resume=*/true);
+    EXPECT_EQ(lifted.findFailure("dead"), nullptr);
+    ASSERT_NE(lifted.find("dead"), nullptr);
+    EXPECT_EQ(lifted.quarantinedCount(), 0u);
+}
+
+TEST(SweepRunner, QuarantineSectionInFinalJsonOnlyWhenPresent)
+{
+    const std::string clean_json = pgcn_test::testPath("qclean.json");
+    const std::string dirty_json = pgcn_test::testPath("qdirty.json");
+    {
+        JsonlCheckpoint ckpt(pgcn_test::testPath("qclean.jsonl"),
+                             /*resume=*/false);
+        ckpt.record("a", {{"v", 1.0}});
+        ckpt.writeFinalJson(clean_json);
+    }
+    EXPECT_EQ(slurp(clean_json).find("quarantined"), std::string::npos);
+    {
+        JsonlCheckpoint ckpt(pgcn_test::testPath("qdirty.jsonl"),
+                             /*resume=*/false);
+        ckpt.record("a", {{"v", 1.0}});
+        ckpt.quarantine("b", "unrecoverable fault");
+        ckpt.writeFinalJson(dirty_json);
+    }
+    const std::string dirty = slurp(dirty_json);
+    EXPECT_NE(dirty.find("\"quarantined\""), std::string::npos);
+    EXPECT_NE(dirty.find("unrecoverable fault"), std::string::npos);
 }
 
 } // namespace

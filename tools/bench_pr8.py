@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Gate the fault_envelope output and distil it into BENCH_PR8.json.
+
+Input is the consolidated sweep JSON written by
+
+  fault_envelope --checkpoint=... --sweep-json=<in.json>
+
+with point keys
+
+  <graph>/<policy>/rate=<r>   {makespan_ns, goodput_bytes,
+                               retried_bytes, bytes_served, retries,
+                               timeouts, stuck_resets, recovery_ns,
+                               latency_hiding, exposed_stall_ns}
+
+plus an optional "quarantined" section for points whose drop schedule
+exhausted the retry budget (the envelope edge — expected, not a gate
+failure).
+
+The CI gate, per (graph, policy):
+
+  1. the fault-free baseline (rate=0) delivers goodput > 0 and fires
+     zero timeouts (faults off must mean faults off),
+  2. conservation holds at every surviving point:
+     bytes_served == goodput_bytes + retried_bytes,
+  3. every surviving point with rate > 0 records retries > 0
+     (injection is live, not silently disabled), and
+  4. globally: at least one (graph, policy) reaches the knee where
+     makespan inflation exceeds 2x — the degradation envelope the PR
+     exists to measure is actually visible.
+
+Usage: bench_pr8.py <sweep.json> <BENCH_PR8.json>
+"""
+
+import json
+import sys
+
+KNEE_INFLATION = 2.0
+
+
+def parse_key(key):
+    parts = key.split("/")
+    kv = dict(p.split("=", 1) for p in parts if "=" in p)
+    fixed = [p for p in parts if "=" not in p]
+    return fixed, kv
+
+
+def collect(points):
+    """Nest the flat point map: graph -> policy -> rate -> values."""
+    out = {}
+    for key, values in points.items():
+        fixed, kv = parse_key(key)
+        if fixed[0] == "poison":
+            continue  # poisoned points never succeed; see quarantined
+        graph, policy = fixed[0], fixed[1]
+        out.setdefault(graph, {}).setdefault(policy, {})[
+            float(kv["rate"])] = values
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    with open(argv[1]) as f:
+        sweep = json.load(f)
+    data = collect(sweep["points"])
+    quarantined = sweep.get("quarantined", {})
+
+    failures = []
+    knees = {}
+    report = {"graphs": {}, "gate": {}, "knees": knees,
+              "quarantined": quarantined}
+    for graph, policies in sorted(data.items()):
+        report["graphs"][graph] = policies
+        for policy, by_rate in sorted(policies.items()):
+            name = f"{graph}/{policy}"
+            rates = sorted(by_rate)
+            if 0.0 not in by_rate:
+                failures.append(f"{name}: no fault-free baseline point")
+                continue
+            base = by_rate[0.0]
+            base_makespan = base["makespan_ns"]
+            goodput_gbs = (base["goodput_bytes"] / base_makespan
+                           if base_makespan else 0.0)
+            entry = {"baseline_goodput_gbs": goodput_gbs,
+                     "baseline_timeouts": base["timeouts"],
+                     "points": len(rates), "pass": True}
+            if goodput_gbs <= 0.0:
+                failures.append(f"{name}: baseline goodput is zero")
+                entry["pass"] = False
+            if base["timeouts"] != 0 or base["retries"] != 0:
+                failures.append(
+                    f"{name}: fault-free baseline fired "
+                    f"{base['timeouts']:.0f} timeouts / "
+                    f"{base['retries']:.0f} retries")
+                entry["pass"] = False
+
+            knee = None
+            for rate in rates:
+                v = by_rate[rate]
+                served = v["bytes_served"]
+                expect = v["goodput_bytes"] + v["retried_bytes"]
+                if abs(served - expect) > 1e-6 * max(served, 1.0):
+                    failures.append(
+                        f"{name}/rate={rate:g}: conservation violated "
+                        f"(served {served:.0f} != demanded+retried "
+                        f"{expect:.0f})")
+                    entry["pass"] = False
+                if rate > 0.0 and v["retries"] <= 0:
+                    failures.append(
+                        f"{name}/rate={rate:g}: rate > 0 but zero "
+                        f"retries recorded — injection inactive?")
+                    entry["pass"] = False
+                inflation = (v["makespan_ns"] / base_makespan
+                             if base_makespan else 0.0)
+                if knee is None and rate > 0.0 and \
+                        inflation > KNEE_INFLATION:
+                    knee = {"rate": rate, "inflation": inflation}
+            knees[name] = knee
+            report["gate"][name] = entry
+
+    if not any(k is not None for k in knees.values()):
+        failures.append(
+            f"no (graph, policy) reached the {KNEE_INFLATION:g}x "
+            f"makespan-inflation knee in the swept range")
+
+    report["pass"] = not failures
+    with open(argv[2], "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for name, g in sorted(report["gate"].items()):
+        verdict = "ok" if g["pass"] else "FAIL"
+        knee = knees.get(name)
+        where = (f"knee at rate {knee['rate']:g} "
+                 f"({knee['inflation']:.2f}x)" if knee
+                 else "knee not reached")
+        print(f"{name}: baseline {g['baseline_goodput_gbs']:.2f} GB/s, "
+              f"{g['points']} rates, {where} [{verdict}]")
+    for key, cause in sorted(quarantined.items()):
+        print(f"{key}: quarantined ({cause.splitlines()[0]})")
+    if failures:
+        print("\ngate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("\ngate passed")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

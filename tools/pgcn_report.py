@@ -41,26 +41,43 @@ HEAT_BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
 def load_history(path, bench=None):
-    """All manifests in file order, optionally filtered by bench name."""
+    """All manifests in file order, optionally filtered by bench name.
+
+    Degrades gracefully on the failure modes a crash-interrupted bench
+    leaves behind: a missing or empty history file reads as "no runs
+    recorded", and a torn (or otherwise unparsable) record — most
+    commonly the last line of a run killed mid-append — is skipped
+    with a warning instead of aborting the whole report.
+    """
     entries = []
-    with open(path) as f:
+    try:
+        f = open(path)
+    except OSError:
+        sys.exit(f"{path}: no runs recorded (history file missing)")
+    with f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
-            except json.JSONDecodeError as e:
-                sys.exit(f"{path}:{lineno}: not valid JSON ({e})")
-            for field in ("bench", "git_sha", "metrics", "counter_digest"):
-                if field not in entry:
-                    sys.exit(f"{path}:{lineno}: manifest missing "
-                             f"'{field}' (schema drift?)")
+            except json.JSONDecodeError:
+                print(f"warning: {path}:{lineno}: skipping torn/invalid "
+                      f"record", file=sys.stderr)
+                continue
+            missing = [field for field in
+                       ("bench", "git_sha", "metrics", "counter_digest")
+                       if field not in entry]
+            if missing:
+                print(f"warning: {path}:{lineno}: skipping manifest "
+                      f"missing {missing} (schema drift?)",
+                      file=sys.stderr)
+                continue
             if bench is None or entry["bench"] == bench:
                 entries.append(entry)
     if not entries:
         target = f"bench '{bench}'" if bench else "any bench"
-        sys.exit(f"{path}: no manifests for {target}")
+        sys.exit(f"{path}: no runs recorded for {target}")
     return entries
 
 
@@ -270,8 +287,17 @@ def cmd_check(args):
               f"-> {args.baseline}")
         return
 
-    with open(args.baseline) as f:
-        base = json.load(f)
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except OSError:
+        print(f"{args.baseline}: baseline not found — record one with "
+              f"--update-baseline before gating", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"{args.baseline}: baseline is not valid JSON ({e})",
+              file=sys.stderr)
+        sys.exit(2)
 
     failures, checks = [], []
     if base.get("config_hash") and entry.get("config_hash") and \
