@@ -103,6 +103,11 @@ struct BenchArgs
     bool resume = false; ///< --resume: reuse completed checkpoint points
     std::string sweepJsonPath;  ///< --sweep-json=: consolidated sweep JSON
     unsigned jobs = 1; ///< --jobs: sweep workers (0 = hw concurrency)
+    /// --domains=: event domains each simulated point shards its
+    /// machine into. Output is bit-identical for any value (the CI
+    /// smoke `cmp`s the sweep JSON across counts); composes freely
+    /// with --jobs (points in parallel × domains within a point).
+    unsigned domains = 1;
     /// --model-only: skip host-kernel (wall-clock) points; record only
     /// analytic/DES model points. For sanitizer CI runs, where host
     /// timings are meaningless and slow.
@@ -253,6 +258,11 @@ parseBenchArgs(int argc, char **argv)
             args.jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
         } else if (arg == "--jobs" && i + 1 < argc) {
             args.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg.rfind("--domains=", 0) == 0) {
+            args.domains =
+                static_cast<unsigned>(std::stoul(arg.substr(10)));
+        } else if (arg == "--domains" && i + 1 < argc) {
+            args.domains = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg == "--model-only") {
             args.modelOnly = true;
         } else if (arg.rfind("--history=", 0) == 0) {
@@ -689,7 +699,12 @@ class SweepDriver
             m.metrics.emplace_back("sim/wall_seconds",
                                    total.wallSeconds());
         }
+        // Host-execution provenance only: jobs/domains shape wall
+        // clock, never results, so they belong in the manifest (and
+        // pgcn_report's provenance line) but NOT in the sweep JSON —
+        // the cross-count `cmp` smoke depends on that.
         m.extra.emplace_back("jobs", std::to_string(runner_.jobs()));
+        m.extra.emplace_back("domains", std::to_string(args_.domains));
         for (const auto &kv : manifestExtra_)
             m.extra.push_back(kv);
 
@@ -708,6 +723,7 @@ class SweepDriver
         opt.sessionOptions.detailedTrace = args.traceDetail;
         opt.faults = args.faults;
         opt.pointAttempts = args.pointAttempts;
+        opt.domains = args.domains;
         return opt;
     }
 

@@ -15,7 +15,9 @@
  * so it supports --checkpoint=<jsonl> / --resume / --sweep-json=<path>
  * for crash-resilient restarts and --jobs N to spread the independent
  * points across worker threads (identical output, see
- * bench::SweepDriver).
+ * bench::SweepDriver). --domains N additionally shards each simulated
+ * machine into per-node event domains (sim::DomainSet); output stays
+ * byte-identical for any count — the two knobs compose.
  */
 #include <iostream>
 #include <string>

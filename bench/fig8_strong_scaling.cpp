@@ -17,7 +17,10 @@
  * --sweep-json=<path> (a killed sweep recomputes only the missing
  * simulations) and --jobs N (independent points run on worker
  * threads; the checkpoint and consolidated JSON stay byte-identical
- * to a serial run, see bench::SweepDriver).
+ * to a serial run, see bench::SweepDriver). --domains N shards each
+ * simulated machine into per-node event domains (sim::DomainSet),
+ * again with byte-identical output — the CI smoke `cmp`s the sweep
+ * JSON of --domains 4 against --domains 1.
  *
  * Every DES point runs with a sim::MonitorHub attached (disable with
  * --no-monitors), so the middle panel also reports, per core count:

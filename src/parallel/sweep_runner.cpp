@@ -143,6 +143,7 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
                     std::optional<sim::FaultInjector> faults;
                     sim::SimControls controls;
                     controls.limits = options_.limits;
+                    controls.domains = options_.domains;
                     if (options_.faults) {
                         sim::FaultConfig cfg = *options_.faults;
                         cfg.seed += static_cast<uint64_t>(i);

@@ -83,6 +83,11 @@ struct SweepOptions
     unsigned pointAttempts = 3;
     /// Host-side exponential backoff base between transient retries.
     double retryBackoffSeconds = 0.1;
+    /// Event domains each simulated point shards its machine into.
+    /// Purely a wall-clock/architecture knob: point output is
+    /// bit-identical for any value (see sim/domain.hpp), which the
+    /// domain differential tests pin against the checkpoint bytes.
+    unsigned domains = 1;
 };
 
 /**

@@ -51,8 +51,11 @@ DmaEngine::run()
     // Completion times of the in-flight transfer window. Descriptors
     // dispatch in strict arrival order, but up to dmaMaxInflight
     // transfers overlap, which is what makes the engine tolerate
-    // memory latency.
+    // memory latency. Each slot also remembers which domain computed
+    // its completion, so a sharded run routes the wake as a
+    // cross-domain event from the serving slice's domain.
     std::vector<sim::SimTime> inflight(cfg_.dmaMaxInflight, 0.0);
+    std::vector<unsigned> inflightDom(cfg_.dmaMaxInflight, homeDomain_);
     size_t slot = 0;
 
     for (;;) {
@@ -101,7 +104,13 @@ DmaEngine::run()
                 continue;
         }
         co_await engine_.delay(overhead);
-        co_await engine_.delayUntil(inflight[slot]);
+        if (domains_ != nullptr) {
+            co_await domains_->awaitResponse(inflightDom[slot],
+                                             homeDomain_,
+                                             inflight[slot]);
+        } else {
+            co_await engine_.delayUntil(inflight[slot]);
+        }
 
         sim::SimTime done;
         if (desc.op == DmaDescriptor::Op::ReadMulAcc) {
@@ -126,6 +135,7 @@ DmaEngine::run()
             done = acc.serviceDoneAt;
         }
         inflight[slot] = done;
+        inflightDom[slot] = sliceDomain(desc.slice);
         if (++slot == inflight.size())
             slot = 0;
 
@@ -152,9 +162,16 @@ DmaEngine::run()
 
     // Drain: the engine is not finished until its last transfers
     // complete, so the simulation makespan covers them.
-    const sim::SimTime last =
-        *std::max_element(inflight.begin(), inflight.end());
-    co_await engine_.delayUntil(last);
+    size_t last = 0;
+    for (size_t i = 1; i < inflight.size(); ++i)
+        if (inflight[i] > inflight[last])
+            last = i;
+    if (domains_ != nullptr) {
+        co_await domains_->awaitResponse(inflightDom[last], homeDomain_,
+                                         inflight[last]);
+    } else {
+        co_await engine_.delayUntil(inflight[last]);
+    }
 }
 
 } // namespace pgcn::piuma

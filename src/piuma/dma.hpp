@@ -24,6 +24,7 @@
 #include <string>
 
 #include "piuma/memory.hpp"
+#include "sim/domain.hpp"
 #include "sim/queue.hpp"
 #include "telemetry/session.hpp"
 
@@ -128,6 +129,21 @@ class DmaEngine
     }
 
     /**
+     * Route this engine's transfer-completion waits through @p set:
+     * a completion computed by a remote DRAM slice wakes this engine
+     * as a cross-domain event from the slice's domain. Unbound (the
+     * default) waits go through the local engine directly — the
+     * timing and event order are identical either way (the domain
+     * router replicates Engine::delayUntil bit-for-bit).
+     */
+    void
+    bindDomains(sim::DomainSet *set, unsigned home_domain)
+    {
+        domains_ = set;
+        homeDomain_ = home_domain;
+    }
+
+    /**
      * Start the consumer process. Runs until a Terminate descriptor
      * arrives. Call exactly once per simulation.
      */
@@ -137,6 +153,17 @@ class DmaEngine
     /** Cold path: record an unrecoverable memory fault of one of this
      *  engine's transfers (first one wins; the run throws anyway). */
     void noteTransferFault(const char *op, unsigned slice);
+
+    /** Domain owning DRAM slice @p slice (slice i lives with core i). */
+    unsigned
+    sliceDomain(unsigned slice) const
+    {
+        return domains_ != nullptr
+                   ? static_cast<unsigned>(static_cast<uint64_t>(slice) *
+                                           domains_->domains() /
+                                           cfg_.numCores)
+                   : 0;
+    }
 
     sim::Engine &engine_;
     MemorySystem &memory_;
@@ -156,6 +183,9 @@ class DmaEngine
 #endif
     /// Fault injector; null keeps the configured dispatch overhead.
     sim::FaultInjector *faults_ = nullptr;
+    /// Cross-domain wake router; null keeps plain local waits.
+    sim::DomainSet *domains_ = nullptr;
+    unsigned homeDomain_ = 0; ///< domain this engine's core lives in
 };
 
 } // namespace pgcn::piuma

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "piuma/dma.hpp"
 #include "piuma/memory.hpp"
+#include "sim/domain.hpp"
 #include "sim/engine.hpp"
 #include "sim/monitor.hpp"
 #include "sim/resource.hpp"
@@ -66,24 +67,68 @@ namespace {
 constexpr double kNnzBytesPerEdge = 8.0; // 4B column + 4B value
 
 /**
- * Everything one simulated SpMM run shares: the engine, the memory
- * system, per-MTP issue resources, per-core DMA engines and the stat
- * accumulators the thread coroutines write into.
+ * Everything one simulated SpMM run shares: the event domains, the
+ * memory system, per-MTP issue resources, per-core DMA engines and
+ * the stat accumulators the thread coroutines write into.
+ *
+ * Sharding layout: cores are split into `domains` contiguous groups
+ * (a domain stands in for one PIUMA node / DRAM-slice group); every
+ * core's agents, issue resources and DMA queue live on the core's
+ * domain engine, and memory-response wakes are routed from the
+ * serving slice's domain to the requester's. The set runs in
+ * Sequenced mode — one shared clock and sequence counter — so the
+ * event order, every stat and every output byte are identical for
+ * any domain count (see sim/domain.hpp for why the PIUMA model
+ * cannot shard with true threads without breaking bit-identity).
+ *
+ * Declared first so the engines outlive every queue/resource/monitor
+ * that registers against them.
  */
 struct RunContext
 {
-    RunContext(const Csr &csr_in, unsigned k_in, const PiumaConfig &cfg_in)
-        : csr(csr_in), k(k_in), cfg(cfg_in), memory(engine, cfg_in)
+    RunContext(const Csr &csr_in, unsigned k_in, const PiumaConfig &cfg_in,
+               unsigned domain_count)
+        : domains(domain_count), engine(domains.engine(0)), csr(csr_in),
+          k(k_in), cfg(cfg_in), memory(engine, cfg_in)
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
         for (unsigned m = 0; m < total_mtps; ++m)
-            mtpIssue.emplace_back(engine, cfg.clockGhz);
+            mtpIssue.emplace_back(engineOfCore(m / cfg.mtpsPerCore),
+                                  cfg.clockGhz);
         liveThreadsPerCore.assign(cfg.numCores,
                                   cfg.mtpsPerCore * cfg.threadsPerMtp);
     }
 
-    sim::Engine engine;
+    /// Domain owning @p core (and DRAM slice `core`, the slices being
+    /// core-attached). Contiguous blocks: core c -> c * D / numCores.
+    unsigned
+    domainOfCore(unsigned core) const
+    {
+        return static_cast<unsigned>(static_cast<uint64_t>(core) *
+                                     domains.domains() / cfg.numCores);
+    }
+
+    /// The event-domain engine hosting @p core's agents.
+    sim::Engine &
+    engineOfCore(unsigned core)
+    {
+        return domains.engine(domainOfCore(core));
+    }
+
+    /// Await a memory response due at absolute time @p when: the wake
+    /// is routed from the serving slice's domain to the requesting
+    /// core's domain (bit-identical to Engine::delayUntil by the
+    /// DomainSet contract).
+    auto
+    awaitMem(unsigned core, unsigned slice, sim::SimTime when)
+    {
+        return domains.awaitResponse(domainOfCore(slice),
+                                     domainOfCore(core), when);
+    }
+
+    sim::DomainSet domains;
+    sim::Engine &engine; ///< domain 0's engine (shared clock access)
     const Csr &csr;
     unsigned k;
     const PiumaConfig &cfg;
@@ -298,8 +343,12 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
 {
     const auto [start, stop] = ctx.threadEdgeRange(tid);
     const unsigned core = ctx.coreOfThread(tid);
-    co_await ctx.engine.announce("core" + std::to_string(core) +
-                                 ".thread" + std::to_string(tid));
+    // All of this thread's events live on its core's domain engine;
+    // announcing there is what lets a cross-domain deadlock report
+    // still resolve the agent's name.
+    sim::Engine &eng = ctx.engineOfCore(core);
+    co_await eng.announce("core" + std::to_string(core) + ".thread" +
+                          std::to_string(tid));
     auto &issue = ctx.mtpIssue[ctx.mtpOfThread(tid)];
     auto &queue = ctx.dmaEngines[core].queue();
     const double row_bytes = 4.0 * ctx.k;
@@ -312,8 +361,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             // it can issue its first instruction.
             const sim::SimTime t0 = ctx.engine.now();
             ctx.beginWait(core, t0);
-            co_await ctx.engine.delay(
-                ctx.faults->config().stuckResetNs);
+            co_await eng.delay(ctx.faults->config().stuckResetNs);
             ctx.noteStuckReset(core, t0);
         }
     }
@@ -341,7 +389,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             ctx.beginWait(core, t0);
             const MemoryAccess acc = ctx.memory.read(
                 core, slice, ctx.cfg.cacheLineBytes);
-            co_await ctx.engine.delayUntil(acc.responseAt);
+            co_await ctx.awaitMem(core, slice, acc.responseAt);
             const double waited = ctx.engine.now() - t0;
             ctx.rowOffsetStallNs += waited;
             ctx.noteMemWait(core, slice, t0, waited, acc.recoveryNs);
@@ -376,7 +424,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                 ctx.beginWait(core, t0);
                 const MemoryAccess acc = ctx.memory.read(
                     core, slice, ctx.cfg.cacheLineBytes);
-                co_await ctx.engine.delayUntil(acc.responseAt);
+                co_await ctx.awaitMem(core, slice, acc.responseAt);
                 const double waited = ctx.engine.now() - t0;
                 ctx.nnzStallNs += waited;
                 ctx.nnzLatencySum += waited;
@@ -412,7 +460,7 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                     ctx.beginWait(core, t0);
                     const MemoryAccess acc = ctx.memory.read(
                         core, slice, ctx.cfg.cacheLineBytes);
-                    co_await ctx.engine.delayUntil(acc.responseAt);
+                    co_await ctx.awaitMem(core, slice, acc.responseAt);
                     const double waited = ctx.engine.now() - t0;
                     ctx.rowOffsetStallNs += waited;
                     ctx.noteMemWait(core, slice, t0, waited,
@@ -463,8 +511,9 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
 {
     const auto [start, stop] = ctx.threadEdgeRange(tid);
     const unsigned core = ctx.coreOfThread(tid);
-    co_await ctx.engine.announce("core" + std::to_string(core) +
-                                 ".thread" + std::to_string(tid));
+    sim::Engine &eng = ctx.engineOfCore(core);
+    co_await eng.announce("core" + std::to_string(core) + ".thread" +
+                          std::to_string(tid));
     auto &issue = ctx.mtpIssue[ctx.mtpOfThread(tid)];
     const double row_bytes = 4.0 * ctx.k;
     const auto lines_per_row = static_cast<unsigned>(
@@ -476,8 +525,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
         if (ctx.faults->stuckCore()) {
             const sim::SimTime t0 = ctx.engine.now();
             ctx.beginWait(core, t0);
-            co_await ctx.engine.delay(
-                ctx.faults->config().stuckResetNs);
+            co_await eng.delay(ctx.faults->config().stuckResetNs);
             ctx.noteStuckReset(core, t0);
         }
     }
@@ -499,7 +547,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             ctx.beginWait(core, t0);
             const MemoryAccess acc = ctx.memory.read(
                 core, slice, ctx.cfg.cacheLineBytes);
-            co_await ctx.engine.delayUntil(acc.responseAt);
+            co_await ctx.awaitMem(core, slice, acc.responseAt);
             const double waited = ctx.engine.now() - t0;
             ctx.rowOffsetStallNs += waited;
             ctx.noteMemWait(core, slice, t0, waited, acc.recoveryNs);
@@ -531,7 +579,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                 ctx.beginWait(core, t0);
                 const MemoryAccess acc = ctx.memory.read(
                     core, slice, ctx.cfg.cacheLineBytes);
-                co_await ctx.engine.delayUntil(acc.responseAt);
+                co_await ctx.awaitMem(core, slice, acc.responseAt);
                 const double waited = ctx.engine.now() - t0;
                 ctx.nnzStallNs += waited;
                 ctx.nnzLatencySum += waited;
@@ -560,7 +608,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                     ctx.beginWait(core, t0);
                     const MemoryAccess acc = ctx.memory.read(
                         core, slice, ctx.cfg.cacheLineBytes);
-                    co_await ctx.engine.delayUntil(acc.responseAt);
+                    co_await ctx.awaitMem(core, slice, acc.responseAt);
                     const double waited = ctx.engine.now() - t0;
                     ctx.rowOffsetStallNs += waited;
                     ctx.noteMemWait(core, slice, t0, waited,
@@ -599,7 +647,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                 ctx.beginWait(core, t0);
                 const MemoryAccess acc =
                     ctx.memory.readStriped(core, line_slice, chunk);
-                co_await ctx.engine.delayUntil(acc.responseAt);
+                co_await ctx.awaitMem(core, line_slice, acc.responseAt);
                 const double waited = ctx.engine.now() - t0;
                 ctx.featureStallNs += waited;
                 ctx.noteMemWait(core, line_slice, t0, waited,
@@ -712,12 +760,14 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     if (csr.numVertices() == 0)
         PGCN_THROW(ShapeError, "cannot simulate SpMM on an empty matrix");
 
-    RunContext ctx(csr, embedding_dim, cfg);
+    const unsigned domain_count =
+        controls != nullptr ? std::max(1u, controls->domains) : 1;
+    RunContext ctx(csr, embedding_dim, cfg, domain_count);
 
     if (controls != nullptr) {
         ctx.memory.setFaultInjector(controls->faults);
         ctx.faults = controls->faults;
-        ctx.engine.setRunLimits(controls->limits);
+        ctx.domains.setRunLimits(controls->limits);
 #ifndef PGCN_NO_TELEMETRY
         if (controls->monitor != nullptr) {
             // Monitors observe spans the model computes anyway and
@@ -746,8 +796,12 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
 
     if (alg == SpmmAlgorithm::Dma) {
         ctx.dmaEngines.reserve(cfg.numCores);
-        for (unsigned c = 0; c < cfg.numCores; ++c)
-            ctx.dmaEngines.emplace_back(ctx.engine, ctx.memory, cfg, c);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            ctx.dmaEngines.emplace_back(ctx.engineOfCore(c), ctx.memory,
+                                        cfg, c);
+            ctx.dmaEngines.back().bindDomains(&ctx.domains,
+                                              ctx.domainOfCore(c));
+        }
         // Attach after every engine is emplaced: the gauges capture
         // `this`, which must not move again.
         if (session != nullptr) {
@@ -777,12 +831,12 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     // The sampler rides the dispatch loop (it never schedules events),
     // so the run still ends exactly when the workload drains.
     if (session != nullptr && session->samplePeriodNs() > 0.0) {
-        ctx.engine.attachObserver(&session->sampler(),
-                                  session->samplePeriodNs());
+        ctx.domains.attachObserver(&session->sampler(),
+                                   session->samplePeriodNs());
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const sim::SimTime makespan = ctx.engine.run();
+    const sim::SimTime makespan = ctx.domains.run();
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)

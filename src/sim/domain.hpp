@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Sharded event domains over the DES core (ROADMAP item 4).
+ *
+ * A DomainSet splits one simulated machine into N event domains —
+ * one per PIUMA node or DRAM-slice group — each backed by its own
+ * Engine (its own calendar wheel, now queue, completion streams and
+ * waitables). Two execution modes share that layout:
+ *
+ *  - **Sequenced** (the default, used by the PIUMA model): every
+ *    shard is bound to one Engine::SharedState — one clock, one
+ *    global sequence counter, one stat block — and run() dispatches
+ *    the global minimum (when, seq) across all shards each step.
+ *    Because sequence numbers are assigned globally at schedule time
+ *    exactly as in the serial engine, the dispatch order is the
+ *    serial order *by construction*, independent of which shard's
+ *    arena holds an event: `--domains N` output is bit-identical to
+ *    `--domains 1` for any N. This is the mode that keeps every
+ *    always-on stat (criticalPathEvents, stall taxonomy, fault retry
+ *    accounting) and the determinism goldens unchanged.
+ *
+ *  - **Parallel**: each shard keeps its own state block and runs on
+ *    its own std::thread under a conservative-lookahead window
+ *    protocol (Chandy–Misra in barrier form). Let m be the minimum
+ *    next-event time across all domains and L the lookahead — the
+ *    minimum latency of any cross-domain interaction (for PIUMA, the
+ *    minimum inter-node network latency from PiumaConfig). Every
+ *    domain may safely dispatch all events strictly before
+ *    H = m + L: any message sent during the window is sent at time
+ *    >= m and arrives at >= m + L = H, so nothing dispatched inside
+ *    the window can be invalidated. Cross-domain events travel
+ *    through bounded SPSC mailboxes (one per ordered domain pair)
+ *    and are merged at each window boundary in deterministic
+ *    (timestamp, source domain, source sequence) order. An idle
+ *    domain publishes +inf as its next-event time and keeps
+ *    participating in the barriers — the null-message/idle-advance
+ *    path — so a neighbor going quiet can never deadlock the set.
+ *
+ * Why the PIUMA model uses Sequenced mode: MemorySystem::accessFor
+ * resolves DRAM-slice and network-port bandwidth reservations
+ * *synchronously at issue time* (the PR 8 recovery protocol depends
+ * on this), which is a zero-lookahead coupling between any two
+ * domains that share a resource. True parallel execution would have
+ * to either break bit-identity or serialize on every access — so the
+ * model keeps the sequenced merge (same event count, same output
+ * bytes) and the Parallel mode serves message-coupled workloads
+ * whose cross-domain interactions all carry real latency. See
+ * DESIGN.md §15 for the full argument.
+ */
+#ifndef PGCN_SIM_DOMAIN_HPP
+#define PGCN_SIM_DOMAIN_HPP
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pgcn::sim {
+
+/**
+ * A set of event domains simulating one machine. Owns one Engine per
+ * domain plus the cross-domain plumbing (shared clock block or
+ * mailboxes + barriers, depending on mode).
+ */
+class DomainSet
+{
+  public:
+    /** How the domains execute relative to each other. */
+    enum class Mode
+    {
+        /// One shared clock/sequence block; deterministic K-way merge
+        /// on a single thread. Bit-identical to a serial engine.
+        Sequenced,
+        /// One thread per domain; conservative-lookahead windows with
+        /// mailbox hand-off. Requires every cross-domain interaction
+        /// to carry at least lookaheadNs of latency.
+        Parallel,
+    };
+
+    struct Options
+    {
+        /// Number of event domains (>= 1).
+        unsigned domains = 1;
+        Mode mode = Mode::Sequenced;
+        /// Minimum cross-domain latency (ns); the safe-window margin
+        /// in Parallel mode. Unused by Sequenced mode.
+        double lookaheadNs = 1.0;
+    };
+
+    explicit DomainSet(const Options &opts);
+
+    /** Sequenced set with @p domains shards (the model's entry point). */
+    explicit DomainSet(unsigned domains)
+        : DomainSet(Options{domains, Mode::Sequenced, 1.0})
+    {
+    }
+
+    DomainSet() : DomainSet(1u) {}
+
+    DomainSet(const DomainSet &) = delete;
+    DomainSet &operator=(const DomainSet &) = delete;
+
+    /** Number of domains. */
+    unsigned
+    domains() const
+    {
+        return static_cast<unsigned>(engines_.size());
+    }
+
+    Mode mode() const { return mode_; }
+
+    double lookaheadNs() const { return lookaheadNs_; }
+
+    /** The engine backing domain @p d. */
+    Engine &
+    engine(unsigned d)
+    {
+        PGCN_ASSERT(d < engines_.size(), "domain " << d << " out of range");
+        return *engines_[d];
+    }
+
+    const Engine &
+    engine(unsigned d) const
+    {
+        PGCN_ASSERT(d < engines_.size(), "domain " << d << " out of range");
+        return *engines_[d];
+    }
+
+    /**
+     * Run the set until every domain's queue drains. Returns the
+     * final simulated time (the shared clock in Sequenced mode, the
+     * maximum domain clock in Parallel mode).
+     *
+     * @throws SimDeadlockError naming blocked agents *across all
+     *         domains* when the queues drained with agents still
+     *         suspended on any domain's waitables.
+     * @throws SimLimitError / anything a dispatched event throws.
+     */
+    SimTime run();
+
+    /**
+     * Awaitable: suspend the calling agent (which runs in domain
+     * @p dst_domain) until absolute time @p when, where the wake is
+     * caused by domain @p src_domain (e.g. a memory response computed
+     * by a remote slice). Timing, sequence-number consumption and the
+     * past-deadline fast path replicate Engine::delayUntil exactly,
+     * so a sequenced run is bit-identical whether an await is routed
+     * through the set or the plain engine. Cross-domain wakes are
+     * counted per domain (see crossDomainPosts()).
+     */
+    auto
+    awaitResponse(unsigned src_domain, unsigned dst_domain, SimTime when)
+    {
+        struct Awaiter
+        {
+            DomainSet &set;
+            unsigned src;
+            unsigned dst;
+            SimTime when;
+
+            bool
+            await_ready() const noexcept
+            {
+                // Same fast path as delayUntil: a response already
+                // due costs no event and no sequence number.
+                return when - set.engine(dst).now() <= 0.0;
+            }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                set.postWake(src, dst, when, h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, src_domain, dst_domain, when};
+    }
+
+    /**
+     * Deliver @p fn to domain @p dst_domain at absolute time @p when,
+     * sent by domain @p src_domain. In Sequenced mode (and for
+     * same-domain posts) this files the event directly; in Parallel
+     * mode a cross-domain post enqueues into the (src, dst) mailbox —
+     * it must be called from src's worker thread, and @p when must
+     * respect the lookahead: when >= src clock + lookaheadNs.
+     */
+    void post(unsigned src_domain, unsigned dst_domain, SimTime when,
+              std::function<void()> fn);
+
+    /**
+     * Arm watchdog budgets. Sequenced mode arms the shared block
+     * (any domain's dispatch can trip it); Parallel mode arms every
+     * domain independently.
+     */
+    void setRunLimits(const Engine::RunLimits &limits);
+
+    /**
+     * Attach a telemetry observer. Sequenced mode samples on the
+     * shared clock — the hook fires at the same global events as a
+     * serial run. Parallel mode samples domain 0 only.
+     */
+    void attachObserver(Engine::Observer *observer, SimTime first_sample);
+
+    /** Current simulated time (shared clock / max domain clock). */
+    SimTime now() const;
+
+    /** Total events dispatched across the set. */
+    uint64_t eventsProcessed() const;
+
+    /**
+     * Cross-domain wakes and posts delivered so far. Deliberately
+     * kept out of SpmmRunStats and telemetry counters: it depends on
+     * the domain count, and everything in those channels must be
+     * bit-identical across `--domains N`.
+     */
+    uint64_t crossDomainPosts() const;
+
+  private:
+    /** A cross-domain message parked in a mailbox. */
+    struct Msg
+    {
+        SimTime when;
+        unsigned srcDomain;
+        uint64_t srcSeq; ///< per-source post counter: the merge tiebreak
+        uint32_t depth;
+        std::function<void()> fn;
+    };
+
+    /**
+     * Bounded SPSC mailbox for one ordered (src, dst) domain pair: a
+     * fixed ring for the common case plus a spill vector so a bursty
+     * window can never drop or block. The window protocol guarantees
+     * the producer (src's thread, during a dispatch window) and the
+     * consumer (dst's thread, during the post-barrier drain) never
+     * run concurrently, and the barrier's mutex orders their memory
+     * accesses — plain indices, no atomics needed.
+     */
+    class Mailbox
+    {
+      public:
+        void
+        push(Msg m)
+        {
+            if (size_ < kCapacity) {
+                ring_[(head_ + size_) % kCapacity] = std::move(m);
+                ++size_;
+            } else {
+                spill_.push_back(std::move(m));
+            }
+        }
+
+        void
+        drainTo(std::vector<Msg> &out)
+        {
+            for (size_t i = 0; i < size_; ++i)
+                out.push_back(std::move(ring_[(head_ + i) % kCapacity]));
+            head_ = 0;
+            size_ = 0;
+            for (Msg &m : spill_)
+                out.push_back(std::move(m));
+            spill_.clear();
+        }
+
+      private:
+        static constexpr size_t kCapacity = 256;
+        std::vector<Msg> ring_ = std::vector<Msg>(kCapacity);
+        size_t head_ = 0;
+        size_t size_ = 0;
+        std::vector<Msg> spill_;
+    };
+
+    /** File a coroutine wake in dst, replicating delayUntil timing. */
+    void postWake(unsigned src, unsigned dst, SimTime when,
+                  std::coroutine_handle<> h);
+
+    SimTime runSequenced();
+    SimTime runParallel();
+
+    /** Drain every mailbox addressed to @p dst, in merge order. */
+    void drainInbox(unsigned dst, std::vector<Msg> &scratch);
+
+    /** Drain and discard @p dst's mailboxes (failed-domain path). */
+    void drainDiscard(unsigned dst, std::vector<Msg> &scratch);
+
+    /** Throw SimDeadlockError if any domain still has blocked agents. */
+    void raiseIfBlockedAnywhere(SimTime at) const;
+
+    Mode mode_;
+    double lookaheadNs_;
+    Engine::SharedState shared_{}; ///< the one clock block (Sequenced)
+    std::vector<std::unique_ptr<Engine>> engines_;
+    std::vector<Mailbox> boxes_;       ///< [src * D + dst], Parallel mode
+    std::vector<uint64_t> postSeq_;    ///< per-src mailbox sequence
+    std::vector<uint64_t> crossPosts_; ///< per-executing-domain tally
+};
+
+} // namespace pgcn::sim
+
+#endif // PGCN_SIM_DOMAIN_HPP

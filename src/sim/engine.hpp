@@ -43,6 +43,17 @@
  * (when, seq) across all arenas, so the observable order is exactly
  * the seed engine's single-priority-queue order.
  *
+ * Sharded event domains (sim/domain.hpp): several Engine instances
+ * can be bound to one SharedState — a shared clock, sequence counter
+ * and stat block — while each keeps its own event arenas. A DomainSet
+ * then either merges the shards deterministically (dispatching the
+ * global minimum (when, seq) each step, bit-identical to a single
+ * engine by the contract above) or runs them on real threads under a
+ * conservative-lookahead window protocol. The hooks this needs —
+ * hasPending()/runUntil() plus the private peek/pop/dispatch/inject
+ * primitives — are exactly the old run() loop split at its seams; a
+ * solo engine's run() composes them back into the identical loop.
+ *
  * Critical-path tracking: every event also carries the length of the
  * dependency chain that produced it — an event scheduled while
  * dispatching an event of depth d gets depth d+1 (events scheduled
@@ -80,6 +91,8 @@ namespace pgcn::sim {
 
 /** Simulated time in nanoseconds. */
 using SimTime = double;
+
+class DomainSet;
 
 /**
  * A detached simulation process. Any function returning Process and
@@ -158,6 +171,39 @@ class Engine
         uint64_t maxEvents = 0;
     };
 
+    /**
+     * The per-run mutable state that must be *common* to every shard
+     * of a sharded simulation for bit-identity: the clock, the global
+     * sequence counter, the critical-path/dispatch counters, and the
+     * observer/watchdog hooks (sampling and budget checks must fire at
+     * the same global event no matter which shard dispatches it).
+     * A standalone engine owns a private instance; DomainSet binds all
+     * of its shards to one (sequenced mode) or leaves each shard its
+     * own (parallel mode, aggregated at the end).
+     */
+    struct SharedState
+    {
+        static constexpr uint32_t kWallCheckPeriod = 4096;
+
+        SimTime now = 0.0;
+        uint64_t nextSeq = 0;
+        uint32_t curDepth = 0; ///< depth of the event being dispatched
+        uint64_t maxDepth = 0; ///< longest dependency chain (critical path)
+        uint64_t eventsProcessed = 0;
+        uint64_t coroutineEvents = 0;
+        uint64_t callbackEvents = 0;
+        size_t pending = 0;
+        size_t peakQueueDepth = 0;
+#ifndef PGCN_NO_TELEMETRY
+        Observer *observer = nullptr; ///< telemetry sample hook
+        SimTime observerNext = 0.0;   ///< next requested sample time
+#endif
+        RunLimits limits{};
+        bool limitsActive = false;
+        std::chrono::steady_clock::time_point wallStart{};
+        uint32_t wallCheckCountdown = kWallCheckPeriod;
+    };
+
     Engine() = default;
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
@@ -183,6 +229,23 @@ class Engine
                     st.fifo.pop_front().frame)
                     .destroy();
     }
+
+    /**
+     * Bind this engine to an external SharedState (sharded operation;
+     * see DomainSet). Must be called before anything is scheduled —
+     * the engine's own (now abandoned) state block must be untouched.
+     */
+    void
+    bindShared(SharedState &shared)
+    {
+        PGCN_ASSERT(own_.nextSeq == 0 && own_.eventsProcessed == 0 &&
+                        own_.pending == 0,
+                    "bindShared() after events were scheduled");
+        ctx_ = &shared;
+    }
+
+    /** The state block this engine dispatches against. */
+    const SharedState &shared() const { return *ctx_; }
 
     /** Track @p waitable for deadlock reporting. */
     void registerWaitable(Waitable *waitable)
@@ -263,17 +326,18 @@ class Engine
     /**
      * Arm (or, with a default-constructed RunLimits, disarm) the
      * watchdog budgets for subsequent run() calls. The wall clock
-     * starts counting here.
+     * starts counting here. Under a shared state block the budgets
+     * are global: any shard's dispatch can trip them.
      */
     void
     setRunLimits(const RunLimits &limits)
     {
-        limits_ = limits;
-        limitsActive_ = limits.maxSimTimeNs > 0.0 ||
-                        limits.maxWallSeconds > 0.0 ||
-                        limits.maxEvents > 0;
-        wallStart_ = std::chrono::steady_clock::now();
-        wallCheckCountdown_ = kWallCheckPeriod;
+        ctx_->limits = limits;
+        ctx_->limitsActive = limits.maxSimTimeNs > 0.0 ||
+                             limits.maxWallSeconds > 0.0 ||
+                             limits.maxEvents > 0;
+        ctx_->wallStart = std::chrono::steady_clock::now();
+        ctx_->wallCheckCountdown = SharedState::kWallCheckPeriod;
     }
 
     /**
@@ -286,13 +350,13 @@ class Engine
     {
         std::ostringstream os;
         os << "--- engine snapshot ---\n"
-           << "simulated time: " << now_ << " ns\n"
-           << "events dispatched: " << eventsProcessed_ << " (coroutine "
-           << coroutineEvents_ << ", callback " << callbackEvents_
-           << ")\n"
-           << "pending events: " << pending_ << " (now-queue "
+           << "simulated time: " << ctx_->now << " ns\n"
+           << "events dispatched: " << ctx_->eventsProcessed
+           << " (coroutine " << ctx_->coroutineEvents << ", callback "
+           << ctx_->callbackEvents << ")\n"
+           << "pending events: " << ctx_->pending << " (now-queue "
            << (nowQ_.size() - nowHead_) << ", far wheel " << farCount_
-           << "; peak " << peakQueueDepth_ << ")\n";
+           << "; peak " << ctx_->peakQueueDepth << ")\n";
         size_t stream_waits = 0;
         for (const Stream &st : streams_)
             stream_waits += st.fifo.size();
@@ -321,8 +385,8 @@ class Engine
     attachObserver(Observer *observer, SimTime first_sample)
     {
 #ifndef PGCN_NO_TELEMETRY
-        observer_ = observer;
-        observerNext_ = first_sample;
+        ctx_->observer = observer;
+        ctx_->observerNext = first_sample;
 #else
         (void)observer;
         (void)first_sample;
@@ -330,16 +394,16 @@ class Engine
     }
 
     /** Current simulated time (ns). */
-    SimTime now() const { return now_; }
+    SimTime now() const { return ctx_->now; }
 
     /** Total events dispatched so far. */
-    uint64_t eventsProcessed() const { return eventsProcessed_; }
+    uint64_t eventsProcessed() const { return ctx_->eventsProcessed; }
 
     /** Dispatched events that resumed a coroutine directly. */
-    uint64_t coroutineEvents() const { return coroutineEvents_; }
+    uint64_t coroutineEvents() const { return ctx_->coroutineEvents; }
 
     /** Dispatched events that went through the callback slab. */
-    uint64_t callbackEvents() const { return callbackEvents_; }
+    uint64_t callbackEvents() const { return ctx_->callbackEvents; }
 
     /**
      * Times any event arena (now queue, far-wheel slab, callback
@@ -350,7 +414,7 @@ class Engine
     uint64_t arenaGrowths() const { return arenaGrowths_; }
 
     /** Largest number of pending events observed. */
-    size_t peakQueueDepth() const { return peakQueueDepth_; }
+    size_t peakQueueDepth() const { return ctx_->peakQueueDepth; }
 
     /**
      * Length (in events) of the longest dependency chain dispatched
@@ -359,10 +423,17 @@ class Engine
      * upper bound on the speedup any execution of this event graph
      * can achieve.
      */
-    uint64_t criticalPathEvents() const { return maxDepth_; }
+    uint64_t criticalPathEvents() const { return ctx_->maxDepth; }
 
     /** Events currently pending (all arenas). */
-    size_t queueDepth() const { return pending_; }
+    size_t queueDepth() const { return ctx_->pending; }
+
+    /** Events pending in *this* engine's local arenas. */
+    bool
+    hasPending() const
+    {
+        return nowHead_ < nowQ_.size() || farCount_ > 0;
+    }
 
     /**
      * Pre-size the event arenas so a run of known magnitude never
@@ -396,18 +467,7 @@ class Engine
     void
     schedule(SimTime delay, std::function<void()> fn)
     {
-        uintptr_t slot;
-        if (!freeCallbackSlots_.empty()) {
-            slot = freeCallbackSlots_.back();
-            freeCallbackSlots_.pop_back();
-            callbackSlab_[slot] = std::move(fn);
-        } else {
-            slot = callbackSlab_.size();
-            if (callbackSlab_.size() == callbackSlab_.capacity())
-                ++arenaGrowths_;
-            callbackSlab_.push_back(std::move(fn));
-        }
-        push(delay, (slot << 2) | kCallbackTag);
+        push(delay, internCallback(std::move(fn)));
     }
 
     /**
@@ -422,99 +482,52 @@ class Engine
     SimTime
     run()
     {
-        for (;;) {
-            Event ev{};
-            if (nowHead_ < nowQ_.size()) {
-                // Zero-delay events share now_'s timestamp; a far
-                // event dispatches first only if it carries the same
-                // timestamp with an earlier sequence number.
-                const Event &nf = nowQ_[nowHead_];
-                if (farCount_ > 0 &&
-                    before(farMinKey(), Key{nf.when, nf.seq})) {
-                    ev = farPop();
-                } else {
-                    ev = nf;
-                    if (++nowHead_ == nowQ_.size()) {
-                        nowQ_.clear();
-                        nowHead_ = 0;
-                    }
-                }
-            } else if (farCount_ > 0) {
-                ev = farPop();
-            } else {
-                break;
-            }
-
-            // Monotonicity is the bedrock invariant: delays are
-            // non-negative, so the global minimum can never precede
-            // the current time. A violation means arena corruption.
-            PGCN_ASSERT(ev.when >= now_,
-                        "simulated time ran backwards: dispatching t="
-                            << ev.when << " at t=" << now_);
-            now_ = ev.when;
-            if (limitsActive_) [[unlikely]]
-                enforceLimits();
-#ifndef PGCN_NO_TELEMETRY
-            // Telemetry sampling rides the dispatch loop instead of
-            // scheduling its own events, so an attached observer can
-            // never alter event order or keep the queue alive.
-            if (observer_ != nullptr && now_ >= observerNext_)
-                [[unlikely]]
-                observerNext_ = observer_->onSample(now_, *this);
-#endif
-            ++eventsProcessed_;
-            --pending_;
-            const uintptr_t tag = ev.payload & kTagMask;
-            if (tag == 0) {
-                ++coroutineEvents_;
-                curDepth_ = ev.depth;
-                maxDepth_ = std::max<uint64_t>(maxDepth_, ev.depth);
-                std::coroutine_handle<>::from_address(
-                    reinterpret_cast<void *>(ev.payload))
-                    .resume();
-            } else if (tag == kStreamTag) {
-                Stream &st = streams_[ev.payload >> 2];
-                const StreamEvent se = st.fifo.pop_front();
-                PGCN_ASSERT(se.when == ev.when && se.seq == ev.seq,
-                            "stream head out of sync");
-                // Re-arm the stream's next wait before resuming: the
-                // resumed coroutine may append to this stream. The far
-                // node carries the parked wait's own depth (dispatch
-                // reads it back from the FIFO, but keeping the copies
-                // consistent costs nothing).
-                if (!st.fifo.empty()) {
-                    const StreamEvent &nx = st.fifo.front();
-                    farPush(Key{nx.when, nx.seq}, ev.payload, nx.depth);
-                }
-                ++coroutineEvents_;
-                curDepth_ = se.depth;
-                maxDepth_ = std::max<uint64_t>(maxDepth_, se.depth);
-                std::coroutine_handle<>::from_address(se.frame).resume();
-            } else {
-                ++callbackEvents_;
-                curDepth_ = ev.depth;
-                maxDepth_ = std::max<uint64_t>(maxDepth_, ev.depth);
-                const size_t slot = ev.payload >> 2;
-                // Move out before invoking: the callback may schedule
-                // further events and recycle slab slots.
-                std::function<void()> fn = std::move(callbackSlab_[slot]);
-                callbackSlab_[slot] = nullptr;
-                freeCallbackSlots_.push_back(slot);
-                fn();
-            }
-        }
+        while (hasPending())
+            dispatchEvent(popMinLocal());
         // The queue drained — but "no events" only means "finished"
         // if no agent is still suspended on a blocking primitive.
+        if (blockedWaiters() > 0) [[unlikely]] {
+            std::vector<BlockedAgent> agents;
+            appendBlockedAgents(agents);
+            throw SimDeadlockError(ctx_->now, std::move(agents));
+        }
+        return ctx_->now;
+    }
+
+    /**
+     * Dispatch local events strictly before @p horizon, then stop
+     * (the conservative-lookahead window of a parallel domain; see
+     * DomainSet). Events this window schedules inside the horizon are
+     * dispatched too. Returns the clock after the last dispatch.
+     */
+    SimTime
+    runUntil(SimTime horizon)
+    {
+        while (hasPending()) {
+            const Key k = peekMinKey();
+            if (!(k.when < horizon))
+                break;
+            dispatchEvent(popMinLocal());
+        }
+        return ctx_->now;
+    }
+
+    /** Coroutines suspended on this engine's registered Waitables. */
+    size_t
+    blockedWaiters() const
+    {
         size_t blocked = 0;
         for (const Waitable *w : waitables_)
             blocked += w->blockedCount();
-        if (blocked > 0) [[unlikely]] {
-            std::vector<BlockedAgent> agents;
-            for (const Waitable *w : waitables_)
-                w->appendBlocked(agents);
-            throw SimDeadlockError(now_, std::move(agents));
-        }
-        return now_;
+        return blocked;
+    }
+
+    /** Append every blocked agent on this engine's Waitables. */
+    void
+    appendBlockedAgents(std::vector<BlockedAgent> &out) const
+    {
+        for (const Waitable *w : waitables_)
+            w->appendBlocked(out);
     }
 
     /**
@@ -547,7 +560,7 @@ class Engine
     auto
     delayUntil(SimTime when)
     {
-        return delay(when - now_);
+        return delay(when - ctx_->now);
     }
 
     /** Identifies one completion stream; see createStream(). */
@@ -594,41 +607,46 @@ class Engine
     auto
     streamDelayUntil(StreamId sid, SimTime when)
     {
-        return streamDelay(sid, when - now_);
+        return streamDelay(sid, when - ctx_->now);
     }
 
   private:
+    friend class DomainSet;
+
     /**
      * Enforce armed RunLimits; called once per dispatched event
-     * behind the single limitsActive_ branch. The wall clock is only
+     * behind the single limitsActive branch. The wall clock is only
      * sampled every kWallCheckPeriod events so the watchdog adds no
      * syscall-class cost to the hot loop.
      */
     void
     enforceLimits()
     {
-        if (limits_.maxSimTimeNs > 0.0 && now_ > limits_.maxSimTimeNs) {
+        if (ctx_->limits.maxSimTimeNs > 0.0 &&
+            ctx_->now > ctx_->limits.maxSimTimeNs) {
             std::ostringstream os;
-            os << "simulated-time budget exceeded: t=" << now_
-               << " ns > limit " << limits_.maxSimTimeNs << " ns";
+            os << "simulated-time budget exceeded: t=" << ctx_->now
+               << " ns > limit " << ctx_->limits.maxSimTimeNs << " ns";
             throw SimLimitError(os.str(), snapshot());
         }
-        if (limits_.maxEvents > 0 && eventsProcessed_ >= limits_.maxEvents) {
+        if (ctx_->limits.maxEvents > 0 &&
+            ctx_->eventsProcessed >= ctx_->limits.maxEvents) {
             std::ostringstream os;
-            os << "event budget exceeded: " << eventsProcessed_
-               << " events dispatched >= limit " << limits_.maxEvents;
+            os << "event budget exceeded: " << ctx_->eventsProcessed
+               << " events dispatched >= limit " << ctx_->limits.maxEvents;
             throw SimLimitError(os.str(), snapshot());
         }
-        if (limits_.maxWallSeconds > 0.0 && --wallCheckCountdown_ == 0) {
-            wallCheckCountdown_ = kWallCheckPeriod;
+        if (ctx_->limits.maxWallSeconds > 0.0 &&
+            --ctx_->wallCheckCountdown == 0) {
+            ctx_->wallCheckCountdown = SharedState::kWallCheckPeriod;
             const double elapsed =
                 std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - wallStart_)
+                    std::chrono::steady_clock::now() - ctx_->wallStart)
                     .count();
-            if (elapsed > limits_.maxWallSeconds) {
+            if (elapsed > ctx_->limits.maxWallSeconds) {
                 std::ostringstream os;
                 os << "wall-clock budget exceeded: " << elapsed
-                   << " s > limit " << limits_.maxWallSeconds << " s";
+                   << " s > limit " << ctx_->limits.maxWallSeconds << " s";
                 throw SimLimitError(os.str(), snapshot());
             }
         }
@@ -698,16 +716,34 @@ class Engine
         return a.seq < b.seq;
     }
 
+    /** Park @p fn in the callback slab; returns its tagged payload. */
+    Payload
+    internCallback(std::function<void()> fn)
+    {
+        uintptr_t slot;
+        if (!freeCallbackSlots_.empty()) {
+            slot = freeCallbackSlots_.back();
+            freeCallbackSlots_.pop_back();
+            callbackSlab_[slot] = std::move(fn);
+        } else {
+            slot = callbackSlab_.size();
+            if (callbackSlab_.size() == callbackSlab_.capacity())
+                ++arenaGrowths_;
+            callbackSlab_.push_back(std::move(fn));
+        }
+        return (slot << 2) | kCallbackTag;
+    }
+
     void
     push(SimTime delay, Payload p)
     {
         PGCN_ASSERT(delay >= 0.0, "negative event delay " << delay);
-        const SimTime when = now_ + delay;
-        const uint64_t seq = nextSeq_++;
-        const uint32_t depth = curDepth_ + 1;
+        const SimTime when = ctx_->now + delay;
+        const uint64_t seq = ctx_->nextSeq++;
+        const uint32_t depth = ctx_->curDepth + 1;
         if (delay == 0.0) {
             // Invariant: with non-negative delays every pending event
-            // has when >= now_, so zero-delay events are always ready
+            // has when >= now, so zero-delay events are always ready
             // and FIFO-ordered among themselves — a plain queue slot.
             if (nowQ_.size() == nowQ_.capacity())
                 ++arenaGrowths_;
@@ -715,8 +751,145 @@ class Engine
         } else {
             farPush(Key{when, seq}, p, depth);
         }
-        ++pending_;
-        peakQueueDepth_ = std::max(peakQueueDepth_, pending_);
+        ++ctx_->pending;
+        ctx_->peakQueueDepth = std::max(ctx_->peakQueueDepth, ctx_->pending);
+    }
+
+    /**
+     * File an event at *absolute* time @p when with an explicit depth
+     * — the cross-domain injection path (DomainSet). The event takes
+     * the next sequence number from the bound state block, exactly as
+     * a local push would; under a shared block this is what keeps a
+     * sequenced merge bit-identical to the serial engine.
+     */
+    void
+    injectAbsolute(SimTime when, Payload p, uint32_t depth)
+    {
+        PGCN_ASSERT(when >= ctx_->now,
+                    "cross-domain event at t=" << when
+                        << " is behind the clock t=" << ctx_->now);
+        const uint64_t seq = ctx_->nextSeq++;
+        if (when == ctx_->now) {
+            if (nowQ_.size() == nowQ_.capacity())
+                ++arenaGrowths_;
+            nowQ_.push_back(Event{when, seq, p, depth});
+        } else {
+            farPush(Key{when, seq}, p, depth);
+        }
+        ++ctx_->pending;
+        ctx_->peakQueueDepth = std::max(ctx_->peakQueueDepth, ctx_->pending);
+    }
+
+    /**
+     * Sort key of this engine's earliest local event (now queue vs far
+     * wheel). Requires hasPending().
+     */
+    Key
+    peekMinKey()
+    {
+        if (nowHead_ < nowQ_.size()) {
+            const Event &nf = nowQ_[nowHead_];
+            const Key nk{nf.when, nf.seq};
+            if (farCount_ > 0) {
+                const Key fk = farMinKey();
+                if (before(fk, nk))
+                    return fk;
+            }
+            return nk;
+        }
+        return farMinKey();
+    }
+
+    /**
+     * Remove and return this engine's earliest local event — the
+     * now-queue head unless a far event carries the same timestamp
+     * with an earlier sequence number. Requires hasPending().
+     */
+    Event
+    popMinLocal()
+    {
+        if (nowHead_ < nowQ_.size()) {
+            // Zero-delay events share the clock's timestamp; a far
+            // event dispatches first only if it carries the same
+            // timestamp with an earlier sequence number.
+            const Event &nf = nowQ_[nowHead_];
+            if (farCount_ > 0 && before(farMinKey(), Key{nf.when, nf.seq}))
+                return farPop();
+            const Event ev = nf;
+            if (++nowHead_ == nowQ_.size()) {
+                nowQ_.clear();
+                nowHead_ = 0;
+            }
+            return ev;
+        }
+        return farPop();
+    }
+
+    /**
+     * Advance the clock to @p ev and execute it: the body of the old
+     * monolithic run() loop, shared verbatim by run(), runUntil() and
+     * the DomainSet sequenced merge.
+     */
+    void
+    dispatchEvent(const Event &ev)
+    {
+        // Monotonicity is the bedrock invariant: delays are
+        // non-negative, so the global minimum can never precede
+        // the current time. A violation means arena corruption.
+        PGCN_ASSERT(ev.when >= ctx_->now,
+                    "simulated time ran backwards: dispatching t="
+                        << ev.when << " at t=" << ctx_->now);
+        ctx_->now = ev.when;
+        if (ctx_->limitsActive) [[unlikely]]
+            enforceLimits();
+#ifndef PGCN_NO_TELEMETRY
+        // Telemetry sampling rides the dispatch loop instead of
+        // scheduling its own events, so an attached observer can
+        // never alter event order or keep the queue alive.
+        if (ctx_->observer != nullptr && ctx_->now >= ctx_->observerNext)
+            [[unlikely]]
+            ctx_->observerNext = ctx_->observer->onSample(ctx_->now, *this);
+#endif
+        ++ctx_->eventsProcessed;
+        --ctx_->pending;
+        const uintptr_t tag = ev.payload & kTagMask;
+        if (tag == 0) {
+            ++ctx_->coroutineEvents;
+            ctx_->curDepth = ev.depth;
+            ctx_->maxDepth = std::max<uint64_t>(ctx_->maxDepth, ev.depth);
+            std::coroutine_handle<>::from_address(
+                reinterpret_cast<void *>(ev.payload))
+                .resume();
+        } else if (tag == kStreamTag) {
+            Stream &st = streams_[ev.payload >> 2];
+            const StreamEvent se = st.fifo.pop_front();
+            PGCN_ASSERT(se.when == ev.when && se.seq == ev.seq,
+                        "stream head out of sync");
+            // Re-arm the stream's next wait before resuming: the
+            // resumed coroutine may append to this stream. The far
+            // node carries the parked wait's own depth (dispatch
+            // reads it back from the FIFO, but keeping the copies
+            // consistent costs nothing).
+            if (!st.fifo.empty()) {
+                const StreamEvent &nx = st.fifo.front();
+                farPush(Key{nx.when, nx.seq}, ev.payload, nx.depth);
+            }
+            ++ctx_->coroutineEvents;
+            ctx_->curDepth = se.depth;
+            ctx_->maxDepth = std::max<uint64_t>(ctx_->maxDepth, se.depth);
+            std::coroutine_handle<>::from_address(se.frame).resume();
+        } else {
+            ++ctx_->callbackEvents;
+            ctx_->curDepth = ev.depth;
+            ctx_->maxDepth = std::max<uint64_t>(ctx_->maxDepth, ev.depth);
+            const size_t slot = ev.payload >> 2;
+            // Move out before invoking: the callback may schedule
+            // further events and recycle slab slots.
+            std::function<void()> fn = std::move(callbackSlab_[slot]);
+            callbackSlab_[slot] = nullptr;
+            freeCallbackSlots_.push_back(slot);
+            fn();
+        }
     }
 
     /**
@@ -731,9 +904,9 @@ class Engine
     scheduleOnStream(StreamId sid, SimTime ns, std::coroutine_handle<> h)
     {
         PGCN_ASSERT(ns > 0.0, "stream wait must be in the future");
-        const SimTime when = now_ + ns;
-        const uint64_t seq = nextSeq_++;
-        const uint32_t depth = curDepth_ + 1;
+        const SimTime when = ctx_->now + ns;
+        const uint64_t seq = ctx_->nextSeq++;
+        const uint32_t depth = ctx_->curDepth + 1;
         Stream &st = streams_[sid];
         if (!st.fifo.empty() && when < st.fifo.back().when) {
             farPush(Key{when, seq},
@@ -746,8 +919,8 @@ class Engine
             }
             st.fifo.push_back(StreamEvent{when, seq, h.address(), depth});
         }
-        ++pending_;
-        peakQueueDepth_ = std::max(peakQueueDepth_, pending_);
+        ++ctx_->pending;
+        ctx_->peakQueueDepth = std::max(ctx_->peakQueueDepth, ctx_->pending);
     }
 
     /** Absolute calendar-bucket index of @p when. Monotone in when. */
@@ -776,7 +949,7 @@ class Engine
         const size_t slot = static_cast<size_t>(bucket) & slotMask_;
         farArena_[n] = FarNode{k.when, k.seq, p, slotHeads_[slot], depth};
         slotHeads_[slot] = n;
-        // The dispatch cursor may have scanned ahead of now_ while
+        // The dispatch cursor may have scanned ahead of now while
         // locating a minimum that lost the merge against the now
         // queue; a push landing behind it pulls it back so the new
         // event is seen (bucketOf is monotone, so bucket >= the
@@ -908,7 +1081,7 @@ class Engine
         wheelInvWidth_ = 1.0 / target;
         slotHeads_.assign(nb, -1);
         slotMask_ = nb - 1;
-        curBucket_ = bucketOf(now_);
+        curBucket_ = bucketOf(ctx_->now);
         for (const int32_t i : retuneScratch_) {
             const size_t slot =
                 static_cast<size_t>(bucketOf(farArena_[i].when)) &
@@ -958,27 +1131,13 @@ class Engine
     std::vector<std::function<void()>> callbackSlab_;
     std::vector<size_t> freeCallbackSlots_;
     std::vector<Stream> streams_;       ///< completion streams
-#ifndef PGCN_NO_TELEMETRY
-    Observer *observer_ = nullptr;      ///< telemetry sample hook
-    SimTime observerNext_ = 0.0;        ///< next requested sample time
-#endif
     std::vector<Waitable *> waitables_; ///< deadlock-report registry
     std::unordered_map<void *, std::string> agentNames_;
-    RunLimits limits_{};
-    bool limitsActive_ = false;
-    std::chrono::steady_clock::time_point wallStart_{};
-    uint32_t wallCheckCountdown_ = kWallCheckPeriod;
-    static constexpr uint32_t kWallCheckPeriod = 4096;
-    SimTime now_ = 0.0;
-    uint64_t nextSeq_ = 0;
-    uint32_t curDepth_ = 0;  ///< depth of the event being dispatched
-    uint64_t maxDepth_ = 0;  ///< longest dependency chain seen (critical path)
-    uint64_t eventsProcessed_ = 0;
-    uint64_t coroutineEvents_ = 0;
-    uint64_t callbackEvents_ = 0;
     uint64_t arenaGrowths_ = 0;
-    size_t pending_ = 0;
-    size_t peakQueueDepth_ = 0;
+    /// Clock/sequence/counter block: private by default, shared when
+    /// this engine is one shard of a DomainSet (see bindShared).
+    SharedState own_{};
+    SharedState *ctx_ = &own_;
 };
 
 } // namespace pgcn::sim

@@ -272,6 +272,9 @@ struct SimControls
     /// Occupancy/stall monitor; null disables span tracking. The run
     /// calls MonitorHub::beginRun and wires every resource itself.
     MonitorHub *monitor = nullptr;
+    /// Event domains to shard the simulated machine into (>= 1).
+    /// Output is bit-identical for any value (see sim/domain.hpp).
+    unsigned domains = 1;
 };
 
 } // namespace pgcn::sim

@@ -1,0 +1,823 @@
+/**
+ * @file
+ * Differential determinism harness for sharded event domains
+ * (sim::DomainSet). Four guarantees are pinned here:
+ *
+ *  1. Bit-identity: `--domains N` produces byte/bit-identical results
+ *     to `--domains 1` — on the determinism goldens (full
+ *     SpmmRunStats field equality plus the hardcoded golden values at
+ *     N > 1), on telemetry counters, and on a ~50-config fig8-style
+ *     fault soak whose checkpoint JSONL files are compared byte for
+ *     byte across N in {1, 2, 4, 8}.
+ *
+ *  2. The conservative clock protocol (Parallel mode): randomized
+ *     micro-topologies with cross-domain messages at the lookahead
+ *     boundary execute every event at exactly its timestamp, in
+ *     non-decreasing order per domain, for adversarial lookahead
+ *     values including 1 ns; an idle neighbor never deadlocks the set
+ *     (null-message idle-advance), and SimDeadlockError still names
+ *     blocked agents across domains.
+ *
+ *  3. The (timestamp, source domain, source sequence) mailbox-merge
+ *     tiebreak for zero-delay/equal-timestamp cross-domain events.
+ *
+ *  4. The clock plumbing itself: Engine::runUntil horizon strictness
+ *     and the DomainSet::awaitResponse fast path, which must consume
+ *     no event and no sequence number (bit-for-bit the same as
+ *     Engine::delayUntil).
+ *
+ * Note on lookahead and the model: the PIUMA programs always run in
+ * Sequenced mode, whose merge order is independent of lookahead by
+ * construction (see sim/domain.hpp), so the adversarial lookahead
+ * sweep lives in the Parallel-mode property tests where lookahead is
+ * load-bearing. lookaheadNs = 1.0 *is* the 1 ns adversarial case.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/checkpoint.hpp"
+#include "graph/generators.hpp"
+#include "graph/normalize.hpp"
+#include "parallel/sweep_runner.hpp"
+#include "piuma/spmm_programs.hpp"
+#include "sim/domain.hpp"
+#include "sim/queue.hpp"
+#include "telemetry/session.hpp"
+#include "test_paths.hpp"
+
+namespace {
+
+using namespace pgcn;
+using namespace pgcn::piuma;
+using namespace pgcn::sim;
+
+graph::Csr
+goldenGraph(uint32_t scale, graph::EdgeId edges, uint64_t seed)
+{
+    return graph::normalizedAdjacency(
+        graph::generateRmat(scale, edges, graph::rmatSkewed(), seed));
+}
+
+PiumaConfig
+twoCores()
+{
+    PiumaConfig cfg;
+    cfg.numCores = 2;
+    return cfg;
+}
+
+/** Run one SpMM with @p domains event domains (optionally faulted). */
+SpmmRunStats
+runSharded(const graph::Csr &csr, unsigned k, const PiumaConfig &cfg,
+           SpmmAlgorithm alg, unsigned domains,
+           const FaultConfig *fault_cfg = nullptr,
+           telemetry::Session *session = nullptr)
+{
+    std::optional<FaultInjector> faults;
+    SimControls controls;
+    controls.domains = domains;
+    if (fault_cfg != nullptr) {
+        faults.emplace(*fault_cfg);
+        controls.faults = &*faults;
+    }
+    return simulateSpmm(csr, k, cfg, alg, session, &controls);
+}
+
+/**
+ * Every deterministic SpmmRunStats field must match bit for bit
+ * (EXPECT_EQ on double is exact equality, not a tolerance). Only the
+ * host-measured fields (wallSeconds, eventsPerSec) are exempt.
+ */
+void
+expectStatsIdentical(const SpmmRunStats &a, const SpmmRunStats &b)
+{
+    EXPECT_EQ(a.makespanNs, b.makespanNs);
+    EXPECT_EQ(a.flop, b.flop);
+    EXPECT_EQ(a.gflops, b.gflops);
+    EXPECT_EQ(a.bytesRead, b.bytesRead);
+    EXPECT_EQ(a.bytesWritten, b.bytesWritten);
+    EXPECT_EQ(a.bytesServed, b.bytesServed);
+    EXPECT_EQ(a.memUtilization, b.memUtilization);
+    EXPECT_EQ(a.maxMemUtilization, b.maxMemUtilization);
+    EXPECT_EQ(a.netUtilization, b.netUtilization);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.memRemoteAccesses, b.memRemoteAccesses);
+    EXPECT_EQ(a.remoteAccessFraction, b.remoteAccessFraction);
+    EXPECT_EQ(a.maxSliceBytesFraction, b.maxSliceBytesFraction);
+    EXPECT_EQ(a.nnzStallNs, b.nnzStallNs);
+    EXPECT_EQ(a.rowOffsetStallNs, b.rowOffsetStallNs);
+    EXPECT_EQ(a.featureStallNs, b.featureStallNs);
+    EXPECT_EQ(a.dmaQueueStallNs, b.dmaQueueStallNs);
+    EXPECT_EQ(a.issueNs, b.issueNs);
+    EXPECT_EQ(a.stallMemoryNs, b.stallMemoryNs);
+    EXPECT_EQ(a.stallNetworkNs, b.stallNetworkNs);
+    EXPECT_EQ(a.issueUtilization, b.issueUtilization);
+    EXPECT_EQ(a.dmaUtilization, b.dmaUtilization);
+    EXPECT_EQ(a.criticalPathEvents, b.criticalPathEvents);
+    EXPECT_EQ(a.criticalPathParallelism, b.criticalPathParallelism);
+    EXPECT_EQ(a.latencyHidingEffectiveness,
+              b.latencyHidingEffectiveness);
+    EXPECT_EQ(a.exposedStallNs, b.exposedStallNs);
+    EXPECT_EQ(a.avgNnzLatencyNs, b.avgNnzLatencyNs);
+    EXPECT_EQ(a.nnzReads, b.nnzReads);
+    EXPECT_EQ(a.dmaDescriptors, b.dmaDescriptors);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.timeoutsFired, b.timeoutsFired);
+    EXPECT_EQ(a.stuckResets, b.stuckResets);
+    EXPECT_EQ(a.goodputBytes, b.goodputBytes);
+    EXPECT_EQ(a.retriedBytes, b.retriedBytes);
+    EXPECT_EQ(a.recoveryNs, b.recoveryNs);
+    EXPECT_EQ(a.peakEventQueueDepth, b.peakEventQueueDepth);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// 1. Sequenced bit-identity on the determinism goldens
+
+// The golden DMA SpMM constants from test_determinism.cpp must
+// reproduce *at four domains*: same graph, same K, same bits.
+TEST(DomainSequenced, GoldenDmaSpmmAtFourDomains)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    const SpmmRunStats s =
+        runSharded(csr, 16, twoCores(), SpmmAlgorithm::Dma, 4);
+
+    EXPECT_DOUBLE_EQ(s.makespanNs, 10732.8571428572);
+    EXPECT_EQ(s.simEvents, 14444u);
+    EXPECT_EQ(s.dmaDescriptors, 3142u);
+    EXPECT_DOUBLE_EQ(s.nnzStallNs, 444798.86607144319);
+    EXPECT_DOUBLE_EQ(s.rowOffsetStallNs, 325573.85714286141);
+    EXPECT_DOUBLE_EQ(s.featureStallNs, 0.0);
+    EXPECT_DOUBLE_EQ(s.dmaQueueStallNs, 223379.10714288783);
+    EXPECT_DOUBLE_EQ(s.issueNs, 0.0);
+    EXPECT_DOUBLE_EQ(s.bytesRead, 274048.0);
+    EXPECT_DOUBLE_EQ(s.bytesWritten, 23936.0);
+}
+
+// All-field differential: domains in {2, 4, 8} vs the serial engine,
+// both algorithms. Note 8 domains > 2 cores: domains with no cores
+// bound to them must stay inert.
+TEST(DomainSequenced, BitIdenticalAcrossDomainCounts)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    const PiumaConfig cfg = twoCores();
+    for (const SpmmAlgorithm alg :
+         {SpmmAlgorithm::Dma, SpmmAlgorithm::LoopUnrolled}) {
+        const unsigned k = alg == SpmmAlgorithm::Dma ? 16u : 8u;
+        const SpmmRunStats serial = runSharded(csr, k, cfg, alg, 1);
+        for (const unsigned d : {2u, 4u, 8u}) {
+            SCOPED_TRACE("alg=" + std::string(spmmAlgorithmName(alg)) +
+                         " domains=" + std::to_string(d));
+            expectStatsIdentical(serial, runSharded(csr, k, cfg, alg, d));
+        }
+    }
+}
+
+// Same differential with the full fault machinery live: jitters
+// perturbing every modeled latency plus hard drops exercising the
+// timeout/retry/backoff recovery protocol.
+TEST(DomainSequenced, BitIdenticalWithFaultsInjected)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    const PiumaConfig cfg = twoCores();
+    FaultConfig fc;
+    fc.seed = 17;
+    fc.dramLatencyJitter = 0.2;
+    fc.serviceRateJitter = 0.1;
+    fc.dmaOverheadJitter = 0.1;
+    fc.dramDropRate = 0.02;
+    fc.dmaDropRate = 0.01;
+    const SpmmRunStats serial =
+        runSharded(csr, 16, cfg, SpmmAlgorithm::Dma, 1, &fc);
+    EXPECT_GT(serial.retries, 0u); // the soak must actually fault
+    for (const unsigned d : {2u, 4u, 8u}) {
+        SCOPED_TRACE("domains=" + std::to_string(d));
+        expectStatsIdentical(
+            serial, runSharded(csr, 16, cfg, SpmmAlgorithm::Dma, d, &fc));
+    }
+}
+
+// Telemetry counters — the source of the manifest's counter digest —
+// must agree name for name and bit for bit across domain counts.
+TEST(DomainSequenced, TelemetryCountersIdentical)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    const PiumaConfig cfg = twoCores();
+    using Counters = std::vector<std::pair<std::string, double>>;
+    const auto collect = [&](unsigned domains) {
+        telemetry::Session session;
+        runSharded(csr, 16, cfg, SpmmAlgorithm::Dma, domains, nullptr,
+                   &session);
+        Counters out;
+        session.registry().forEachCounter(
+            [&out](const std::string &name,
+                   const telemetry::Counter &c) {
+                out.emplace_back(name, c.value());
+            });
+        return out;
+    };
+    const Counters serial = collect(1);
+    EXPECT_FALSE(serial.empty());
+    const Counters sharded = collect(4);
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].first, sharded[i].first);
+        EXPECT_EQ(serial[i].second, sharded[i].second)
+            << "counter " << serial[i].first;
+    }
+}
+
+// Watchdog budgets are armed on the shared clock block: an event
+// budget must trip at the same global event — same message — no
+// matter how many shards dispatch the run.
+TEST(DomainSequenced, EventBudgetTripsAtSameGlobalEvent)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    const PiumaConfig cfg = twoCores();
+    const auto breachLine = [&](unsigned domains) {
+        SimControls controls;
+        controls.domains = domains;
+        controls.limits.maxEvents = 2000;
+        try {
+            simulateSpmm(csr, 16, cfg, SpmmAlgorithm::Dma, nullptr,
+                         &controls);
+        } catch (const SimLimitError &e) {
+            const std::string what = e.what();
+            return what.substr(0, what.find('\n'));
+        }
+        return std::string("no breach");
+    };
+    const std::string serial = breachLine(1);
+    EXPECT_NE(serial, "no breach");
+    EXPECT_EQ(serial, breachLine(4));
+}
+
+TEST(DomainSequenced, ZeroDomainsClampsToOne)
+{
+    DomainSet set(0u);
+    EXPECT_EQ(set.domains(), 1u);
+    EXPECT_EQ(set.run(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Fig8-style fault soak: checkpoint JSONL bytes across domain counts
+
+/** One soak point: a small fig8-ish configuration. */
+struct SoakConfig
+{
+    unsigned cores;
+    unsigned k;
+    SpmmAlgorithm alg;
+    double latScale;
+};
+
+const std::vector<SoakConfig> &
+soakConfigs()
+{
+    static const std::vector<SoakConfig> configs = {
+        {1, 8, SpmmAlgorithm::Dma, 1.0},
+        {1, 16, SpmmAlgorithm::Dma, 1.0},
+        {2, 8, SpmmAlgorithm::Dma, 1.0},
+        {2, 16, SpmmAlgorithm::Dma, 1.0},
+        {2, 8, SpmmAlgorithm::LoopUnrolled, 1.0},
+        {4, 8, SpmmAlgorithm::Dma, 1.0},
+        {2, 16, SpmmAlgorithm::Dma, 4.0},
+    };
+    return configs;
+}
+
+void
+addSoakPoints(parallel::SweepRunner &runner, const graph::Csr &csr)
+{
+    for (const SoakConfig &sc : soakConfigs()) {
+        const std::string key =
+            "soak/cores=" + std::to_string(sc.cores) +
+            "/k=" + std::to_string(sc.k) +
+            "/alg=" + spmmAlgorithmName(sc.alg) +
+            "/lat=" + std::to_string(static_cast<unsigned>(sc.latScale));
+        runner.add(key, [&csr, sc](const parallel::SweepContext &ctx) {
+            PiumaConfig cfg;
+            cfg.numCores = sc.cores;
+            cfg.dramLatencyScale = sc.latScale;
+            const SpmmRunStats s = simulateSpmm(
+                csr, sc.k, cfg, sc.alg, ctx.session, ctx.controls);
+            return JsonlCheckpoint::Values{
+                {"makespan_ns", s.makespanNs},
+                {"sim_events", static_cast<double>(s.simEvents)},
+                {"nnz_stall_ns", s.nnzStallNs},
+                {"row_offset_stall_ns", s.rowOffsetStallNs},
+                {"feature_stall_ns", s.featureStallNs},
+                {"dma_queue_stall_ns", s.dmaQueueStallNs},
+                {"bytes_served", s.bytesServed},
+                {"retries", static_cast<double>(s.retries)},
+                {"recovery_ns", s.recoveryNs},
+                {"critical_path_events",
+                 static_cast<double>(s.criticalPathEvents)},
+            };
+        });
+    }
+}
+
+// 7 configs x {faults off, faults on} x domains {1, 2, 4, 8} = 56
+// simulations. For each fault mode the four checkpoint JSONL files
+// must be byte-identical — the same property the CI fig8 smoke pins
+// with cmp, here under fault injection too.
+TEST(DomainSoak, CheckpointBytesInvariantAcrossDomainCounts)
+{
+    const graph::Csr csr = goldenGraph(7, 1200, 3);
+    for (const bool faulted : {false, true}) {
+        std::vector<std::string> files;
+        for (const unsigned d : {1u, 2u, 4u, 8u}) {
+            const std::string path = pgcn_test::testPath(
+                std::string(faulted ? "soak_faulted_d" : "soak_clean_d") +
+                std::to_string(d) + ".jsonl");
+            parallel::SweepOptions options;
+            options.jobs = 1;
+            options.domains = d;
+            if (faulted) {
+                FaultConfig fc;
+                fc.seed = 7;
+                fc.dramLatencyJitter = 0.15;
+                fc.dramDropRate = 0.01;
+                fc.dmaDropRate = 0.01;
+                options.faults = fc;
+            }
+            parallel::SweepRunner runner(options);
+            addSoakPoints(runner, csr);
+            JsonlCheckpoint ckpt(path, /*resume=*/false);
+            const parallel::SweepRunner::Outcome out = runner.run(ckpt);
+            EXPECT_EQ(out.computed, soakConfigs().size());
+            EXPECT_TRUE(out.errors.empty());
+            files.push_back(path);
+        }
+        const std::string serial_bytes = slurp(files[0]);
+        EXPECT_FALSE(serial_bytes.empty());
+        for (size_t i = 1; i < files.size(); ++i) {
+            SCOPED_TRACE(files[i]);
+            EXPECT_EQ(serial_bytes, slurp(files[i]));
+        }
+    }
+}
+
+// --domains composes with --jobs: sharded points under a parallel
+// sweep still reproduce the serial sweep's checkpoint bytes.
+TEST(DomainSoak, ComposesWithParallelSweepJobs)
+{
+    const graph::Csr csr = goldenGraph(7, 1200, 3);
+    const auto sweepBytes = [&](unsigned jobs, unsigned domains) {
+        const std::string path = pgcn_test::testPath(
+            "compose_j" + std::to_string(jobs) + "_d" +
+            std::to_string(domains) + ".jsonl");
+        parallel::SweepOptions options;
+        options.jobs = jobs;
+        options.domains = domains;
+        parallel::SweepRunner runner(options);
+        addSoakPoints(runner, csr);
+        JsonlCheckpoint ckpt(path, /*resume=*/false);
+        runner.run(ckpt);
+        return slurp(path);
+    };
+    const std::string serial = sweepBytes(1, 1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, sweepBytes(4, 4));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Parallel-mode clock protocol: property/stress tests
+
+/**
+ * A precomputed random message plan: one chain per domain, each hop
+ * recording its execution time on the current domain and posting the
+ * next hop cross-domain (or to itself) at now + delay, where every
+ * delay is a small multiple of the lookahead — so hops posted at
+ * exactly the lookahead boundary are common, delays are exact
+ * doubles, and the expected arrival times can be recomputed serially
+ * with identical rounding.
+ */
+struct MessagePlan
+{
+    double lookaheadNs = 1.0;
+    /// dom[c][i]: domain executing hop i of chain c.
+    std::vector<std::vector<unsigned>> dom;
+    /// delay[c][i]: simulated gap between hop i and hop i+1 of chain
+    /// c (multiples of lookaheadNs; the last hop's delay is unused).
+    std::vector<std::vector<double>> delay;
+    /// startNs[c]: simulated time of chain c's hop 0.
+    std::vector<double> startNs;
+};
+
+MessagePlan
+randomPlan(unsigned domains, unsigned hops, double lookahead_ns,
+           uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    MessagePlan plan;
+    plan.lookaheadNs = lookahead_ns;
+    plan.dom.resize(domains);
+    plan.delay.resize(domains);
+    plan.startNs.resize(domains);
+    for (unsigned c = 0; c < domains; ++c) {
+        plan.startNs[c] = static_cast<double>(c + 1) * lookahead_ns;
+        plan.dom[c].resize(hops);
+        plan.delay[c].resize(hops);
+        plan.dom[c][0] = c;
+        for (unsigned i = 0; i < hops; ++i) {
+            if (i + 1 < hops) {
+                plan.dom[c][i + 1] = static_cast<unsigned>(rng() % domains);
+            }
+            // 1x the lookahead — the adversarial boundary — with
+            // probability 1/2; else 2x or 3x.
+            const uint64_t mult = 1 + (rng() % 2 != 0 ? 0 : rng() % 2 + 1);
+            plan.delay[c][i] = static_cast<double>(mult) * lookahead_ns;
+        }
+    }
+    return plan;
+}
+
+/**
+ * Execute @p plan on a Parallel DomainSet and return the per-domain
+ * execution-time logs. Each domain's log is written only by its own
+ * worker thread; the join inside DomainSet::run orders the reads.
+ */
+std::vector<std::vector<double>>
+runPlan(const MessagePlan &plan)
+{
+    DomainSet::Options opts;
+    opts.domains = static_cast<unsigned>(plan.dom.size());
+    opts.mode = DomainSet::Mode::Parallel;
+    opts.lookaheadNs = plan.lookaheadNs;
+    DomainSet set(opts);
+
+    std::vector<std::vector<double>> times(opts.domains);
+    auto fire = std::make_shared<std::function<void(unsigned, unsigned)>>();
+    *fire = [&set, &plan, &times, fire](unsigned c, unsigned hop) {
+        const unsigned cur = plan.dom[c][hop];
+        times[cur].push_back(set.engine(cur).now());
+        if (hop + 1 < plan.dom[c].size()) {
+            const unsigned nxt = plan.dom[c][hop + 1];
+            set.post(cur, nxt,
+                     set.engine(cur).now() + plan.delay[c][hop],
+                     [fire, c, hop] { (*fire)(c, hop + 1); });
+        }
+    };
+    for (unsigned c = 0; c < opts.domains; ++c) {
+        set.engine(plan.dom[c][0])
+            .schedule(plan.startNs[c],
+                      [fire, c] { (*fire)(c, 0u); });
+    }
+    set.run();
+    return times;
+}
+
+/** Expected per-domain execution times, recomputed serially. */
+std::vector<std::vector<double>>
+expectedTimes(const MessagePlan &plan)
+{
+    std::vector<std::vector<double>> expected(plan.dom.size());
+    for (size_t c = 0; c < plan.dom.size(); ++c) {
+        double t = plan.startNs[c];
+        for (size_t i = 0; i < plan.dom[c].size(); ++i) {
+            expected[plan.dom[c][i]].push_back(t);
+            t += plan.delay[c][i];
+        }
+    }
+    for (auto &v : expected)
+        std::sort(v.begin(), v.end());
+    return expected;
+}
+
+// Randomized micro-topologies: every event must run at exactly its
+// timestamp (bit-exact, since all times are sums of exact multiples
+// of the lookahead accumulated in the same order), and each domain's
+// dispatch log must be non-decreasing — no event ever executes ahead
+// of one with a smaller timestamp on the same domain.
+TEST(DomainParallel, RandomTopologiesExecuteInTimestampOrder)
+{
+    // 1.0 is the 1 ns adversarial lookahead from the issue; 0.5 and
+    // 5.0 vary the boundary's binary representation and magnitude.
+    for (const double lookahead : {1.0, 0.5, 5.0}) {
+        for (uint64_t trial = 0; trial < 6; ++trial) {
+            const unsigned domains = 2 + static_cast<unsigned>(trial % 3);
+            const MessagePlan plan = randomPlan(
+                domains, /*hops=*/40, lookahead, 1000 * trial + 11);
+            SCOPED_TRACE("lookahead=" + std::to_string(lookahead) +
+                         " trial=" + std::to_string(trial) +
+                         " domains=" + std::to_string(domains));
+            std::vector<std::vector<double>> times = runPlan(plan);
+            for (const std::vector<double> &log : times) {
+                for (size_t i = 1; i < log.size(); ++i)
+                    EXPECT_LE(log[i - 1], log[i]);
+            }
+            for (auto &log : times)
+                std::sort(log.begin(), log.end());
+            EXPECT_EQ(times, expectedTimes(plan));
+        }
+    }
+}
+
+// Deterministic ping-pong at exactly the lookahead boundary: 100
+// messages alternating between two domains, every hand-off posted at
+// now + L precisely. The tightest legal schedule the protocol admits.
+TEST(DomainParallel, LookaheadBoundaryPingPong)
+{
+    constexpr double kLookahead = 1.0; // 1 ns
+    DomainSet::Options opts;
+    opts.domains = 2;
+    opts.mode = DomainSet::Mode::Parallel;
+    opts.lookaheadNs = kLookahead;
+    DomainSet set(opts);
+
+    std::vector<std::vector<double>> times(2);
+    auto fire = std::make_shared<std::function<void(unsigned, unsigned)>>();
+    *fire = [&set, &times, fire](unsigned cur, unsigned hop) {
+        times[cur].push_back(set.engine(cur).now());
+        if (hop < 100) {
+            set.post(cur, 1 - cur,
+                     set.engine(cur).now() + kLookahead,
+                     [fire, cur, hop] { (*fire)(1 - cur, hop + 1); });
+        }
+    };
+    set.engine(0).schedule(kLookahead, [fire] { (*fire)(0u, 0u); });
+    const SimTime end = set.run();
+    EXPECT_DOUBLE_EQ(end, 101.0 * kLookahead);
+    ASSERT_EQ(times[0].size(), 51u);
+    ASSERT_EQ(times[1].size(), 50u);
+    for (size_t i = 0; i < times[0].size(); ++i)
+        EXPECT_EQ(times[0][i], (2.0 * static_cast<double>(i) + 1.0));
+    for (size_t i = 0; i < times[1].size(); ++i)
+        EXPECT_EQ(times[1][i], (2.0 * static_cast<double>(i) + 2.0));
+    EXPECT_EQ(set.crossDomainPosts(), 100u);
+}
+
+// Null-message idle-advance: domains with no work (or which finish
+// early) publish +inf and keep the barriers turning; a busy neighbor
+// must run to completion without deadlock.
+TEST(DomainParallel, IdleNeighborDoesNotDeadlock)
+{
+    DomainSet::Options opts;
+    opts.domains = 3;
+    opts.mode = DomainSet::Mode::Parallel;
+    opts.lookaheadNs = 1.0;
+    DomainSet set(opts);
+
+    // Domain 1 finishes at t=3; domain 2 never has any work at all.
+    unsigned busy_fired = 0;
+    auto chain = std::make_shared<std::function<void(unsigned)>>();
+    *chain = [&set, &busy_fired, chain](unsigned remaining) {
+        ++busy_fired;
+        if (remaining > 0) {
+            set.engine(0).schedule(7.0, [chain, remaining] {
+                (*chain)(remaining - 1);
+            });
+        }
+    };
+    set.engine(0).schedule(7.0, [chain] { (*chain)(49u); });
+    bool short_fired = false;
+    set.engine(1).schedule(3.0, [&short_fired] { short_fired = true; });
+
+    const SimTime end = set.run();
+    EXPECT_EQ(busy_fired, 50u);
+    EXPECT_TRUE(short_fired);
+    EXPECT_DOUBLE_EQ(end, 350.0);
+}
+
+Process
+starvedConsumer(Engine &engine, BoundedQueue<int> &queue)
+{
+    co_await engine.announce("node1.starved-consumer");
+    [[maybe_unused]] const int v = co_await queue.pop();
+}
+
+// A deadlock on one domain must surface as SimDeadlockError naming
+// the blocked agent even though other domains drained cleanly — the
+// blocked-agent sweep crosses every domain.
+TEST(DomainParallel, DeadlockNamesAgentsAcrossDomains)
+{
+    DomainSet::Options opts;
+    opts.domains = 2;
+    opts.mode = DomainSet::Mode::Parallel;
+    opts.lookaheadNs = 1.0;
+    DomainSet set(opts);
+
+    BoundedQueue<int> queue(set.engine(1), 4, "node1.orphan.queue");
+    starvedConsumer(set.engine(1), queue);
+    set.engine(0).schedule(5.0, [] {});
+    try {
+        set.run();
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        ASSERT_EQ(e.blocked().size(), 1u);
+        EXPECT_EQ(e.blocked()[0].agent, "node1.starved-consumer");
+        EXPECT_EQ(e.blocked()[0].resource,
+                  "node1.orphan.queue (pop: queue empty)");
+    }
+}
+
+// Same property in the model's Sequenced mode: the agent lives in
+// shard 1's arena, the report must still resolve its name.
+TEST(DomainSequenced, DeadlockNamesAgentsAcrossDomains)
+{
+    DomainSet set(2u);
+    BoundedQueue<int> queue(set.engine(1), 4, "node1.orphan.queue");
+    starvedConsumer(set.engine(1), queue);
+    set.engine(0).schedule(5.0, [] {});
+    try {
+        set.run();
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        ASSERT_EQ(e.blocked().size(), 1u);
+        EXPECT_EQ(e.blocked()[0].agent, "node1.starved-consumer");
+    }
+}
+
+// An exception thrown by one domain's event must propagate out of
+// run() (not hang the barrier protocol, not crash a worker thread).
+TEST(DomainParallel, WorkerExceptionPropagates)
+{
+    DomainSet::Options opts;
+    opts.domains = 2;
+    opts.mode = DomainSet::Mode::Parallel;
+    opts.lookaheadNs = 1.0;
+    DomainSet set(opts);
+
+    auto chain = std::make_shared<std::function<void(unsigned)>>();
+    *chain = [&set, chain](unsigned remaining) {
+        if (remaining > 0) {
+            set.engine(0).schedule(2.0, [chain, remaining] {
+                (*chain)(remaining - 1);
+            });
+        }
+    };
+    set.engine(0).schedule(2.0, [chain] { (*chain)(200u); });
+    set.engine(1).schedule(5.0,
+                           [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(set.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// 4. The (timestamp, domain, sequence) merge tiebreak
+
+// Two cross-domain events with equal timestamps from different source
+// domains: the merge must order by source-domain index, regardless of
+// which worker thread filled its mailbox first. Repeated to let the
+// scheduler jitter the wall-clock arrival order.
+TEST(DomainTiebreak, EqualTimestampsOrderBySourceDomain)
+{
+    for (unsigned iter = 0; iter < 50; ++iter) {
+        DomainSet::Options opts;
+        opts.domains = 3;
+        opts.mode = DomainSet::Mode::Parallel;
+        opts.lookaheadNs = 1.0;
+        DomainSet set(opts);
+
+        std::vector<unsigned> order; // written only by domain 0's thread
+        // Both posts target domain 0 at the identical timestamp 1.0.
+        // Domain 2 gets a head start in wall-clock terms (its event is
+        // scheduled first) — the merge must still run domain 1's
+        // message first.
+        set.engine(2).schedule(0.0, [&set, &order] {
+            set.post(2, 0, 1.0, [&order] { order.push_back(2); });
+        });
+        set.engine(1).schedule(0.0, [&set, &order] {
+            set.post(1, 0, 1.0, [&order] { order.push_back(1); });
+        });
+        set.run();
+        ASSERT_EQ(order.size(), 2u);
+        EXPECT_EQ(order[0], 1u);
+        EXPECT_EQ(order[1], 2u);
+    }
+}
+
+// Equal timestamp, same source domain: source-sequence FIFO.
+TEST(DomainTiebreak, EqualTimestampsSameSourceAreFifo)
+{
+    DomainSet::Options opts;
+    opts.domains = 2;
+    opts.mode = DomainSet::Mode::Parallel;
+    opts.lookaheadNs = 1.0;
+    DomainSet set(opts);
+
+    std::vector<int> order;
+    set.engine(1).schedule(0.0, [&set, &order] {
+        set.post(1, 0, 2.0, [&order] { order.push_back(10); });
+        set.post(1, 0, 2.0, [&order] { order.push_back(11); });
+    });
+    set.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 11}));
+}
+
+// Sequenced mode's tiebreak is the global schedule-time sequence
+// number: two zero-delay cross-domain posts at the same timestamp
+// dispatch in post order even though they land in different shards'
+// arenas.
+TEST(DomainTiebreak, SequencedZeroDelayPostsFollowGlobalOrder)
+{
+    DomainSet set(2u);
+    std::vector<char> order;
+    set.engine(0).schedule(5.0, [&set, &order] {
+        // Zero-delay post into the *other* shard's arena...
+        set.post(0, 1, 5.0, [&order] { order.push_back('A'); });
+        // ...then a zero-delay post into our own arena. A must still
+        // dispatch first: global (when, seq) ignores arena placement.
+        set.post(0, 0, 5.0, [&order] { order.push_back('B'); });
+    });
+    set.run();
+    EXPECT_EQ(order, (std::vector<char>{'A', 'B'}));
+}
+
+// ---------------------------------------------------------------------------
+// 5. Clock plumbing: runUntil strictness and the awaitResponse fast path
+
+TEST(DomainClock, RunUntilDispatchesStrictlyBeforeHorizon)
+{
+    Engine engine;
+    std::vector<int> fired;
+    engine.schedule(5.0, [&fired] { fired.push_back(5); });
+    engine.schedule(10.0, [&fired] { fired.push_back(10); });
+    engine.runUntil(10.0);
+    EXPECT_EQ(fired, (std::vector<int>{5})); // 10.0 is NOT < horizon
+    EXPECT_TRUE(engine.hasPending());
+    engine.run();
+    EXPECT_EQ(fired, (std::vector<int>{5, 10}));
+}
+
+// A response already due must replicate delayUntil's fast path: no
+// suspension, no event, no sequence number consumed.
+TEST(DomainClock, AwaitResponsePastDeadlineConsumesNothing)
+{
+    DomainSet set(2u);
+    bool resumed = false;
+    [](DomainSet &s, bool &done) -> Process {
+        co_await s.awaitResponse(0, 1, -1.0);
+        done = true;
+    }(set, resumed);
+    EXPECT_TRUE(resumed); // never suspended
+    EXPECT_EQ(set.eventsProcessed(), 0u);
+    EXPECT_EQ(set.crossDomainPosts(), 0u);
+}
+
+// A future response must be bit-for-bit the same as delayUntil on a
+// serial engine — including the now + (when - now) rounding, which
+// can differ from `when` by an ulp.
+TEST(DomainClock, AwaitResponseMatchesDelayUntilBitExact)
+{
+    // Values chosen so `when - now` is inexact: the serial engine and
+    // the sharded wake must round identically.
+    const SimTime t0 = 1.0e6 / 3.0;
+    const SimTime when = t0 + 1234.5 / 7.0;
+
+    Engine ref;
+    SimTime ref_at = 0.0;
+    [](Engine &e, SimTime start, SimTime w, SimTime &out) -> Process {
+        co_await e.delay(start);
+        co_await e.delayUntil(w);
+        out = e.now();
+    }(ref, t0, when, ref_at);
+    ref.run();
+
+    DomainSet set(2u);
+    SimTime dom_at = 0.0;
+    [](DomainSet &s, SimTime start, SimTime w, SimTime &out) -> Process {
+        co_await s.engine(1).delay(start);
+        co_await s.awaitResponse(0, 1, w);
+        out = s.engine(1).now();
+    }(set, t0, when, dom_at);
+    set.run();
+
+    EXPECT_EQ(ref_at, dom_at); // exact double equality — bit identity
+    EXPECT_EQ(ref.eventsProcessed(), set.eventsProcessed());
+    EXPECT_EQ(set.crossDomainPosts(), 1u);
+}
+
+// Same-domain wakes are not cross-domain traffic.
+TEST(DomainClock, SameDomainWakeNotCountedAsCrossPost)
+{
+    DomainSet set(2u);
+    [](DomainSet &s) -> Process {
+        co_await s.awaitResponse(1, 1, 4.0);
+    }(set);
+    set.run();
+    EXPECT_EQ(set.crossDomainPosts(), 0u);
+    EXPECT_EQ(set.eventsProcessed(), 1u);
+    EXPECT_DOUBLE_EQ(set.now(), 4.0);
+}
+
+} // namespace

@@ -112,6 +112,15 @@ def is_deterministic(name):
     return not any(s in name for s in ("wall", "per_sec", "host"))
 
 
+def run_domains(entry):
+    """Event-domain count a manifest's run was sharded into.
+
+    Recorded in the manifest's "extra" section (bench_util). Manifests
+    predating the sharded engine carry no record and ran serially.
+    """
+    return str(entry.get("extra", {}).get("domains", "1"))
+
+
 def fmt(value):
     if value is None:
         return "-"
@@ -177,6 +186,9 @@ def cmd_report(args):
             ("config / graph hash",
              f"{entry.get('config_hash', '-')} / "
              f"{entry.get('graph_hash', '-')}"),
+            ("sweep jobs / event domains",
+             f"{entry.get('extra', {}).get('jobs', '-')} / "
+             f"{run_domains(entry)}"),
             ("counter digest", entry["counter_digest"])]
     lines.append(md_table(["provenance", "value"],
                           [[k, str(v)] for k, v in prov]))
@@ -279,6 +291,7 @@ def cmd_check(args):
                        "git_sha": entry["git_sha"],
                        "config_hash": entry.get("config_hash", ""),
                        "graph_hash": entry.get("graph_hash", ""),
+                       "domains": run_domains(entry),
                        "counter_digest": entry["counter_digest"],
                        "metrics": entry["metrics"]}, f, indent=2,
                       sort_keys=True)
@@ -297,6 +310,22 @@ def cmd_check(args):
     except json.JSONDecodeError as e:
         print(f"{args.baseline}: baseline is not valid JSON ({e})",
               file=sys.stderr)
+        sys.exit(2)
+
+    # Refuse apples-to-oranges throughput comparisons outright: the
+    # sharded engine's sequenced merge changes host events/sec (never
+    # simulated output), so a baseline recorded at one --domains count
+    # cannot gate a run at another. This is a usage error, not a
+    # regression — exit 2, like a missing baseline.
+    base_domains = str(base.get("domains", "1"))
+    entry_domains = run_domains(entry)
+    if base_domains != entry_domains:
+        print(f"{args.baseline}: baseline was recorded at "
+              f"--domains {base_domains} but this run used "
+              f"--domains {entry_domains}; host-throughput floors are "
+              f"not comparable across event-domain counts. Re-run "
+              f"with --domains {base_domains}, or refresh the "
+              f"baseline with --update-baseline.", file=sys.stderr)
         sys.exit(2)
 
     failures, checks = [], []
