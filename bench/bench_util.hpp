@@ -104,10 +104,18 @@ struct BenchArgs
     std::string sweepJsonPath;  ///< --sweep-json=: consolidated sweep JSON
     unsigned jobs = 1; ///< --jobs: sweep workers (0 = hw concurrency)
     /// --domains=: event domains each simulated point shards its
-    /// machine into. Output is bit-identical for any value (the CI
-    /// smoke `cmp`s the sweep JSON across counts); composes freely
-    /// with --jobs (points in parallel × domains within a point).
+    /// machine into ("auto" = 0 = pick per point from the simulated
+    /// core count and host concurrency). Output is bit-identical for
+    /// any value and either domain mode (the CI smoke `cmp`s the
+    /// sweep JSON across counts and modes); composes freely with
+    /// --jobs (points in parallel × domains within a point).
     unsigned domains = 1;
+    /// --domain-mode=sequenced|parallel|auto: how domains execute.
+    /// sequenced = single-threaded barrier rotation (the oracle);
+    /// parallel = one host thread per domain under the conservative
+    /// lookahead bound (rejected when the config makes it illegal);
+    /// auto = parallel whenever legal, sequenced otherwise.
+    sim::DomainMode domainMode = sim::DomainMode::Sequenced;
     /// --model-only: skip host-kernel (wall-clock) points; record only
     /// analytic/DES model points. For sanitizer CI runs, where host
     /// timings are meaningless and slow.
@@ -222,6 +230,45 @@ parseFaultSpec(const std::string &spec)
     return cfg;
 }
 
+/** Parse a --domains value: a count, or "auto" (= 0 sentinel). */
+inline unsigned
+parseDomainCount(const std::string &value)
+{
+    if (value == "auto")
+        return 0;
+    return static_cast<unsigned>(std::stoul(value));
+}
+
+/** Parse a --domain-mode value. @throws ConfigError on junk. */
+inline sim::DomainMode
+parseDomainMode(const std::string &value)
+{
+    if (value == "sequenced")
+        return sim::DomainMode::Sequenced;
+    if (value == "parallel")
+        return sim::DomainMode::Parallel;
+    if (value == "auto")
+        return sim::DomainMode::Auto;
+    PGCN_THROW(ConfigError, "--domain-mode: '"
+                                << value
+                                << "' is not sequenced|parallel|auto");
+}
+
+/** Manifest/report spelling of a DomainMode. */
+inline const char *
+domainModeName(sim::DomainMode mode)
+{
+    switch (mode) {
+    case sim::DomainMode::Parallel:
+        return "parallel";
+    case sim::DomainMode::Auto:
+        return "auto";
+    case sim::DomainMode::Sequenced:
+        break;
+    }
+    return "sequenced";
+}
+
 /**
  * Parse positionals + telemetry flags. Unknown --flags are reported
  * and skipped so stale CI invocations fail loudly in the log, not
@@ -259,10 +306,13 @@ parseBenchArgs(int argc, char **argv)
         } else if (arg == "--jobs" && i + 1 < argc) {
             args.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg.rfind("--domains=", 0) == 0) {
-            args.domains =
-                static_cast<unsigned>(std::stoul(arg.substr(10)));
+            args.domains = parseDomainCount(arg.substr(10));
         } else if (arg == "--domains" && i + 1 < argc) {
-            args.domains = static_cast<unsigned>(std::stoul(argv[++i]));
+            args.domains = parseDomainCount(argv[++i]);
+        } else if (arg.rfind("--domain-mode=", 0) == 0) {
+            args.domainMode = parseDomainMode(arg.substr(14));
+        } else if (arg == "--domain-mode" && i + 1 < argc) {
+            args.domainMode = parseDomainMode(argv[++i]);
         } else if (arg == "--model-only") {
             args.modelOnly = true;
         } else if (arg.rfind("--history=", 0) == 0) {
@@ -704,7 +754,11 @@ class SweepDriver
         // pgcn_report's provenance line) but NOT in the sweep JSON —
         // the cross-count `cmp` smoke depends on that.
         m.extra.emplace_back("jobs", std::to_string(runner_.jobs()));
-        m.extra.emplace_back("domains", std::to_string(args_.domains));
+        m.extra.emplace_back("domains", args_.domains == 0
+                                            ? std::string("auto")
+                                            : std::to_string(args_.domains));
+        m.extra.emplace_back("domain_mode",
+                             domainModeName(args_.domainMode));
         for (const auto &kv : manifestExtra_)
             m.extra.push_back(kv);
 
@@ -724,6 +778,7 @@ class SweepDriver
         opt.faults = args.faults;
         opt.pointAttempts = args.pointAttempts;
         opt.domains = args.domains;
+        opt.domainMode = args.domainMode;
         return opt;
     }
 

@@ -31,6 +31,12 @@
  * saturated resource vs latency). --occupancy=<csv> dumps the raw
  * per-resource occupancy timelines; --history=<jsonl> appends the run
  * manifest consumed by tools/pgcn_report.py.
+ *
+ * --mega=<cores> replaces the whole figure with ONE full-machine-scale
+ * DES point (scale-14 RMAT proxy, K=16, DMA SpMM) at the given core
+ * count — the EXPERIMENTS.md big-machine walkthrough, where --domains
+ * and --domain-mode=parallel are measured against the paper's 16K-core
+ * / 1M-thread configuration instead of the figure's 1-32 core column.
  */
 #include <fstream>
 #include <iostream>
@@ -51,10 +57,59 @@ namespace {
 int
 benchMain(int argc, char **argv)
 {
-    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    // Filter the fig8-specific --mega=<cores> flag before the shared
+    // parser (same pattern as fault_envelope's --small/--poison).
+    unsigned mega_cores = 0;
+    std::vector<char *> filtered;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i] != nullptr ? argv[i] : "";
+        if (a.rfind("--mega=", 0) == 0) {
+            mega_cores = static_cast<unsigned>(std::stoul(a.substr(7)));
+            continue;
+        }
+        filtered.push_back(argv[i]);
+    }
+    const bench::BenchArgs args = bench::parseBenchArgs(
+        static_cast<int>(filtered.size()), filtered.data());
     const std::string &csv = args.csvPath;
     bench::SweepDriver driver(args);
     const auto xeon_cfg = xeon::XeonConfig::platinum8380();
+
+    if (mega_cores != 0) {
+        // One fig8-style point at full-machine scale. The graph is the
+        // scale-14 RMAT proxy the sharded-engine measurements have
+        // always used (results/BENCH_PR9 narrative), so sequenced
+        // numbers stay comparable across runs; monitors are left off —
+        // per-core timelines at 16K cores dwarf the simulation itself.
+        const graph::Csr big = graph::normalizedAdjacency(
+            graph::generateRmat(14, 1u << 18, graph::rmatSkewed(), 99));
+        std::cout << "mega proxy: |V|=" << big.numVertices()
+                  << " |E|=" << big.numEdges() << " cores=" << mega_cores
+                  << "\n\n";
+        driver.noteGraph(big);
+        driver.add(
+            "mega/cores=" + std::to_string(mega_cores),
+            [&driver, &big, mega_cores](const parallel::SweepContext &ctx) {
+                piuma::PiumaConfig pcfg;
+                pcfg.numCores = mega_cores;
+                const auto sim =
+                    simulateSpmm(big, 16, pcfg, SpmmAlgorithm::Dma,
+                                 ctx.session, ctx.controls);
+                driver.throughput(ctx).add(sim);
+                return JsonlCheckpoint::Values{
+                    {"gflops", sim.gflops},
+                    {"makespan_ns", sim.makespanNs},
+                    {"sim_events", static_cast<double>(sim.simEvents)},
+                    {"cp_events",
+                     static_cast<double>(sim.criticalPathEvents)},
+                };
+            });
+        driver.run();
+        driver.annotate("graph", "rmat14-mega");
+        driver.annotate("algorithm", "dma");
+        driver.finish();
+        return 0;
+    }
 
     // ---- Left: bandwidth comparison (analytical, no sweep points).
     Table left("Fig 8 (left): system bandwidth vs cores (GB/s)",

@@ -144,6 +144,7 @@ SweepRunner::run(JsonlCheckpoint &ckpt)
                     sim::SimControls controls;
                     controls.limits = options_.limits;
                     controls.domains = options_.domains;
+                    controls.domainMode = options_.domainMode;
                     if (options_.faults) {
                         sim::FaultConfig cfg = *options_.faults;
                         cfg.seed += static_cast<uint64_t>(i);

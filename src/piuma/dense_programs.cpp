@@ -18,7 +18,7 @@ namespace {
 struct DenseContext
 {
     DenseContext(const PiumaConfig &cfg_in)
-        : cfg(cfg_in), memory(engine, cfg_in)
+        : engine(domains.engine(0)), cfg(cfg_in), memory(domains, cfg_in)
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
@@ -26,7 +26,11 @@ struct DenseContext
             mtpIssue.emplace_back(engine, cfg.clockGhz);
     }
 
-    sim::Engine engine;
+    /// Single-domain set: the dense kernel is a calibration-sized
+    /// model (no sharding knob), but the memory system's protocol
+    /// requires a DomainSet to route its request/response events.
+    sim::DomainSet domains{1u};
+    sim::Engine &engine;
     const PiumaConfig &cfg;
     MemorySystem memory;
     std::vector<sim::BandwidthResource> mtpIssue;
@@ -88,10 +92,10 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
         const auto slice = static_cast<unsigned>(
             pgcn::splitMix64(h) % ctx.cfg.numCores);
         // Streamed input row: bandwidth reserved, latency pipelined
-        // behind the previous row's compute.
-        const MemoryAccess read = ctx.memory.readStriped(
+        // behind the previous row's compute (the response only pays
+        // the return hop past bandwidth service).
+        const MemoryAccess read = co_await ctx.memory.readStriped(
             core, slice, in_bytes, /*pipelined=*/true);
-        co_await ctx.engine.delayUntil(read.serviceDoneAt);
         ctx.recoveryNs += read.recoveryNs;
         if (read.failed) [[unlikely]] {
             ctx.recordFault("input-row read", core, slice);
@@ -103,15 +107,14 @@ denseThreadProc(DenseContext &ctx, unsigned tid, uint64_t row_begin,
         co_await issue.transfer(ctx.cfg.issueCostPerMac * macs_per_row +
                                 ctx.cfg.issueCostPerEdge);
 
-        // Posted result-row write: the thread does not wait, but an
-        // unrecoverable drop of it is still a lost result.
-        const MemoryAccess write = ctx.memory.writeStriped(
-            core, slice, out_bytes, /*pipelined=*/true);
-        ctx.recoveryNs += write.recoveryNs;
-        if (write.failed) [[unlikely]] {
-            ctx.recordFault("result-row write", core, slice);
-            co_return;
-        }
+        // Posted result-row write: the thread does not wait, so the
+        // write is request-only traffic — but an unrecoverable drop
+        // of it is still a lost result. Its recovery time and first
+        // failure are recorded slice-side and consumed by
+        // simulateDenseMm after the run drains (postedRecoveryNs /
+        // postedFault).
+        ctx.memory.writeStripedPosted(core, slice, out_bytes,
+                                      /*pipelined=*/true);
     }
 }
 
@@ -131,7 +134,7 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
     if (controls != nullptr) {
         ctx.memory.setFaultInjector(controls->faults);
         ctx.faults = controls->faults;
-        ctx.engine.setRunLimits(controls->limits);
+        ctx.domains.setRunLimits(controls->limits);
     }
 
     if (session != nullptr) {
@@ -152,8 +155,8 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
                 return busy / static_cast<double>(ctx.mtpIssue.size());
             });
         if (session->samplePeriodNs() > 0.0) {
-            ctx.engine.attachObserver(&session->sampler(),
-                                      session->samplePeriodNs());
+            ctx.domains.attachObserver(&session->sampler(),
+                                       session->samplePeriodNs());
         }
     }
 
@@ -166,13 +169,24 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const sim::SimTime makespan = ctx.engine.run();
+    const sim::SimTime makespan = ctx.domains.run();
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
 
     // Typed fault surfaces only after the run drains (coroutines never
-    // throw through the engine).
+    // throw through the engine). Posted result-row writes record their
+    // unrecoverable drops slice-side; the earliest fault of either
+    // kind wins.
+    const PostedFault posted = ctx.memory.postedFault();
+    if (posted.failed &&
+        (!ctx.faulted || posted.whenNs < ctx.faultWhenNs)) {
+        ctx.faulted = true;
+        ctx.faultSite = "core" + std::to_string(posted.core) +
+                        " result-row write on slice " +
+                        std::to_string(posted.slice);
+        ctx.faultWhenNs = posted.whenNs;
+    }
     if (ctx.faulted) {
         throw sim::SimFaultError(
             ctx.faultSite, ctx.faultWhenNs,
@@ -194,12 +208,12 @@ simulateDenseMm(uint64_t num_vertices, uint64_t k_in, uint64_t k_out,
     stats.retries = ctx.memory.retries();
     stats.timeoutsFired = ctx.memory.timeoutsFired() + ctx.stuckResets;
     stats.goodputBytes = ctx.memory.bytesRead() + ctx.memory.bytesWritten();
-    stats.recoveryNs = ctx.recoveryNs;
-    stats.simEvents = ctx.engine.eventsProcessed();
+    stats.recoveryNs = ctx.recoveryNs + ctx.memory.postedRecoveryNs();
+    stats.simEvents = ctx.domains.eventsProcessed();
     stats.wallSeconds = wall;
     stats.eventsPerSec =
         wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
-    stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
+    stats.peakEventQueueDepth = ctx.domains.peakQueueDepth();
 
     if (session != nullptr) {
         telemetry::Registry &reg = session->registry();

@@ -48,14 +48,22 @@ DmaEngine::run()
 {
     co_await engine_.announce("core" + std::to_string(core_) + ".dma");
 
-    // Completion times of the in-flight transfer window. Descriptors
-    // dispatch in strict arrival order, but up to dmaMaxInflight
-    // transfers overlap, which is what makes the engine tolerate
-    // memory latency. Each slot also remembers which domain computed
-    // its completion, so a sharded run routes the wake as a
-    // cross-domain event from the serving slice's domain.
-    std::vector<sim::SimTime> inflight(cfg_.dmaMaxInflight, 0.0);
-    std::vector<unsigned> inflightDom(cfg_.dmaMaxInflight, homeDomain_);
+    // The in-flight transfer window. Descriptors dispatch in strict
+    // arrival order, but up to dmaMaxInflight transfers overlap,
+    // which is what makes the engine tolerate memory latency. Each
+    // slot holds one outstanding access; reusing a slot first awaits
+    // its previous transfer's response (which arrives over the memory
+    // system's keyed response-event path, whatever domain served it)
+    // and only then consumes that transfer's fault/recovery outcome.
+    std::vector<PendingAccess> slots(cfg_.dmaMaxInflight);
+    std::vector<double> slotBytes(cfg_.dmaMaxInflight, 0.0);
+    // Stamp the owning core before the first await: a fresh slot's
+    // default core (0) would route await_ready's clock read to domain
+    // 0's engine — a cross-domain read under Parallel mode.
+    for (auto &pending : slots)
+        pending.core = core_;
+    std::vector<unsigned> slotSlice(cfg_.dmaMaxInflight, 0);
+    std::vector<bool> slotIsRead(cfg_.dmaMaxInflight, false);
     size_t slot = 0;
 
     for (;;) {
@@ -66,8 +74,8 @@ DmaEngine::run()
         const sim::SimTime started = engine_.now();
         // Serial dispatch overhead, then wait for a free window slot.
         double overhead = cfg_.dmaDescriptorOverheadNs;
-        if (faults_ != nullptr) [[unlikely]] {
-            overhead = faults_->dmaOverhead(overhead);
+        if (stream_.has_value()) [[unlikely]] {
+            overhead = stream_->dmaOverhead(overhead);
             // Descriptor fetch/execution faults: re-issue under
             // timeout + exponential backoff, bounded by the retry
             // budget. On exhaustion record the failure and *skip* the
@@ -75,10 +83,10 @@ DmaEngine::run()
             // would wedge its producers, and an unrecoverable fault
             // must surface as SimFaultError, never as a deadlock.
             bool abandoned = false;
-            for (unsigned attempt = 0; faults_->dropDescriptor();
+            for (unsigned attempt = 0; stream_->dropDescriptor();
                  ++attempt) {
                 ++stats_.timeoutsFired;
-                const sim::FaultConfig &fc = faults_->config();
+                const sim::FaultConfig &fc = stream_->config();
                 if (attempt >= fc.maxRetries) {
                     if (!stats_.failed) {
                         stats_.failed = true;
@@ -96,7 +104,7 @@ DmaEngine::run()
                 }
                 const sim::SimTime r0 = engine_.now();
                 co_await engine_.delay(fc.timeoutNs +
-                                       faults_->backoffDelay(attempt));
+                                       stream_->backoffDelay(attempt));
                 stats_.recoveryNs += engine_.now() - r0;
                 ++stats_.retries;
             }
@@ -104,39 +112,38 @@ DmaEngine::run()
                 continue;
         }
         co_await engine_.delay(overhead);
-        if (domains_ != nullptr) {
-            co_await domains_->awaitResponse(inflightDom[slot],
-                                             homeDomain_,
-                                             inflight[slot]);
-        } else {
-            co_await engine_.delayUntil(inflight[slot]);
+
+        // Reclaim the slot: await its previous transfer's response,
+        // consume its outcome, then occupy through the scratchpad
+        // copy-add for reads (the SPAD multiply + accumulate extends
+        // slot occupancy past the data's arrival).
+        const MemoryAccess prev = co_await memory_.await(slots[slot]);
+        if (slotBytes[slot] > 0.0) {
+            if (prev.failed) [[unlikely]]
+                noteTransferFault(slotIsRead[slot] ? "read" : "write",
+                                  slotSlice[slot]);
+            stats_.recoveryNs += prev.recoveryNs;
+            if (slotIsRead[slot]) {
+                co_await engine_.delayUntil(
+                    prev.responseAt +
+                    slotBytes[slot] / cfg_.spadBandwidthGBps);
+            }
         }
 
-        sim::SimTime done;
         if (desc.op == DmaDescriptor::Op::ReadMulAcc) {
-            // Pipelined read: request latency overlaps with earlier
-            // transfers; the in-scratchpad vector multiply + copy-add
-            // extends the slot occupancy.
-            const MemoryAccess acc =
-                memory_.readStriped(core_, desc.slice, desc.bytes,
-                                    /*pipelined=*/true);
-            if (acc.failed) [[unlikely]]
-                noteTransferFault("read", desc.slice);
-            stats_.recoveryNs += acc.recoveryNs;
-            done = acc.serviceDoneAt +
-                   desc.bytes / cfg_.spadBandwidthGBps;
+            // Pipelined read: the DRAM access overlaps the streamed
+            // transfer, so the response only pays the return hop past
+            // bandwidth service.
+            memory_.readStripedAsync(core_, desc.slice, desc.bytes,
+                                     /*pipelined=*/true, slots[slot]);
         } else {
-            const MemoryAccess acc =
-                memory_.writeStriped(core_, desc.slice, desc.bytes,
-                                     /*pipelined=*/true);
-            if (acc.failed) [[unlikely]]
-                noteTransferFault("write", desc.slice);
-            stats_.recoveryNs += acc.recoveryNs;
-            done = acc.serviceDoneAt;
+            memory_.writeStripedAsync(core_, desc.slice, desc.bytes,
+                                      /*pipelined=*/true, slots[slot]);
         }
-        inflight[slot] = done;
-        inflightDom[slot] = sliceDomain(desc.slice);
-        if (++slot == inflight.size())
+        slotBytes[slot] = desc.bytes;
+        slotSlice[slot] = desc.slice;
+        slotIsRead[slot] = desc.op == DmaDescriptor::Op::ReadMulAcc;
+        if (++slot == slots.size())
             slot = 0;
 
         ++stats_.descriptors;
@@ -161,16 +168,21 @@ DmaEngine::run()
     }
 
     // Drain: the engine is not finished until its last transfers
-    // complete, so the simulation makespan covers them.
-    size_t last = 0;
-    for (size_t i = 1; i < inflight.size(); ++i)
-        if (inflight[i] > inflight[last])
-            last = i;
-    if (domains_ != nullptr) {
-        co_await domains_->awaitResponse(inflightDom[last], homeDomain_,
-                                         inflight[last]);
-    } else {
-        co_await engine_.delayUntil(inflight[last]);
+    // complete (and their outcomes are consumed), so the simulation
+    // makespan covers them. Slots are awaited in index order — a
+    // deterministic sweep whose end time is the max over slots.
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const MemoryAccess acc = co_await memory_.await(slots[i]);
+        if (slotBytes[i] <= 0.0)
+            continue;
+        if (acc.failed) [[unlikely]]
+            noteTransferFault(slotIsRead[i] ? "read" : "write",
+                              slotSlice[i]);
+        stats_.recoveryNs += acc.recoveryNs;
+        if (slotIsRead[i]) {
+            co_await engine_.delayUntil(
+                acc.responseAt + slotBytes[i] / cfg_.spadBandwidthGBps);
+        }
     }
 }
 

@@ -21,10 +21,10 @@
 #define PGCN_PIUMA_DMA_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "piuma/memory.hpp"
-#include "sim/domain.hpp"
 #include "sim/queue.hpp"
 #include "telemetry/session.hpp"
 
@@ -109,9 +109,19 @@ class DmaEngine
      * overhead and, when a DMA drop rate is configured, failing
      * descriptors that the engine then re-issues under the modeled
      * timeout/backoff protocol. Null (the default) keeps the
-     * configured overhead and a fault-free descriptor stream.
+     * configured overhead and a fault-free descriptor stream. The
+     * injector is only forked: this engine draws from its own
+     * kSaltDma child stream, so concurrent engines in different
+     * domains never contend on shared generator state.
      */
-    void setFaultInjector(sim::FaultInjector *faults) { faults_ = faults; }
+    void
+    setFaultInjector(sim::FaultInjector *faults)
+    {
+        if (faults != nullptr)
+            stream_.emplace(faults->fork(kSaltDma | core_));
+        else
+            stream_.reset();
+    }
 
     /**
      * Mirror per-descriptor busy spans (the same spans stats_.busyNs
@@ -129,23 +139,12 @@ class DmaEngine
     }
 
     /**
-     * Route this engine's transfer-completion waits through @p set:
-     * a completion computed by a remote DRAM slice wakes this engine
-     * as a cross-domain event from the slice's domain. Unbound (the
-     * default) waits go through the local engine directly — the
-     * timing and event order are identical either way (the domain
-     * router replicates Engine::delayUntil bit-for-bit).
-     */
-    void
-    bindDomains(sim::DomainSet *set, unsigned home_domain)
-    {
-        domains_ = set;
-        homeDomain_ = home_domain;
-    }
-
-    /**
      * Start the consumer process. Runs until a Terminate descriptor
-     * arrives. Call exactly once per simulation.
+     * arrives. Call exactly once per simulation. Transfer responses
+     * arrive over the memory system's request/response event path —
+     * a remote slice's completion reaches this engine as a keyed
+     * cross-domain response event, so no explicit domain routing is
+     * needed here any more.
      */
     sim::Process run();
 
@@ -153,17 +152,6 @@ class DmaEngine
     /** Cold path: record an unrecoverable memory fault of one of this
      *  engine's transfers (first one wins; the run throws anyway). */
     void noteTransferFault(const char *op, unsigned slice);
-
-    /** Domain owning DRAM slice @p slice (slice i lives with core i). */
-    unsigned
-    sliceDomain(unsigned slice) const
-    {
-        return domains_ != nullptr
-                   ? static_cast<unsigned>(static_cast<uint64_t>(slice) *
-                                           domains_->domains() /
-                                           cfg_.numCores)
-                   : 0;
-    }
 
     sim::Engine &engine_;
     MemorySystem &memory_;
@@ -181,11 +169,9 @@ class DmaEngine
 #ifndef PGCN_NO_TELEMETRY
     sim::Timeline *monitor_ = nullptr; ///< busy-span occupancy sink
 #endif
-    /// Fault injector; null keeps the configured dispatch overhead.
-    sim::FaultInjector *faults_ = nullptr;
-    /// Cross-domain wake router; null keeps plain local waits.
-    sim::DomainSet *domains_ = nullptr;
-    unsigned homeDomain_ = 0; ///< domain this engine's core lives in
+    /// Forked per-engine fault stream; empty keeps the configured
+    /// dispatch overhead and a fault-free descriptor stream.
+    std::optional<sim::FaultStream> stream_;
 };
 
 } // namespace pgcn::piuma

@@ -2,27 +2,346 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 
 #include "common/stats.hpp"
 #include "telemetry/session.hpp"
 
 namespace pgcn::piuma {
 
-MemorySystem::MemorySystem(sim::Engine &engine, const PiumaConfig &cfg)
-    : engine_(engine), cfg_(cfg)
+MemorySystem::MemorySystem(sim::DomainSet &domains, const PiumaConfig &cfg)
+    : domains_(domains), cfg_(cfg), numCores_(cfg.numCores),
+      domainCount_(domains.domains())
 {
     cfg.validate();
+    PGCN_ASSERT(domainCount_ >= 1 &&
+                    (domainCount_ <= numCores_ || numCores_ == 0),
+                "domain count " << domainCount_ << " exceeds core count "
+                                << numCores_);
     slices_.reserve(cfg.numCores);
     netPorts_.reserve(cfg.numCores);
     dieOf_.reserve(cfg.numCores);
     for (unsigned c = 0; c < cfg.numCores; ++c) {
-        slices_.emplace_back(engine, cfg.effectiveSliceBandwidth());
-        netPorts_.emplace_back(engine, cfg.netPortBandwidthGBps);
+        // Each slice and its port belong to the domain that owns core
+        // c; reservations only ever happen from that domain's thread.
+        sim::Engine &owner = domains_.engine(domainOf(c));
+        slices_.emplace_back(owner, cfg.effectiveSliceBandwidth());
+        netPorts_.emplace_back(owner, cfg.netPortBandwidthGBps);
         dieOf_.push_back(c / cfg.coresPerDie);
     }
+    issueShards_.resize(cfg.numCores);
+    sliceShards_.resize(cfg.numCores);
     dramLatencyNs_ = cfg.effectiveDramLatencyNs();
     sliceRate_ = cfg.effectiveSliceBandwidth();
     portRate_ = cfg.netPortBandwidthGBps;
+}
+
+double
+MemorySystem::modelLookaheadNs(const PiumaConfig &cfg,
+                               const sim::FaultConfig *faults)
+{
+    if (cfg.numCores <= 1)
+        return std::numeric_limits<double>::infinity();
+    const bool multi_die = cfg.numCores > cfg.coresPerDie;
+    const double min_net =
+        multi_die ? std::min(cfg.netSameDieNs, cfg.netCrossDieNs)
+                  : cfg.netSameDieNs;
+    const double max_net =
+        multi_die ? std::max(cfg.netSameDieNs, cfg.netCrossDieNs)
+                  : cfg.netSameDieNs;
+    const double jitter =
+        faults != nullptr ? faults->networkLatencyJitter : 0.0;
+    double bound = min_net * (1.0 - jitter);
+    if (faults != nullptr &&
+        (faults->dramDropRate > 0.0 || faults->netDropRate > 0.0)) {
+        // A failure notice travels at detect = issue + timeout while
+        // the slice's clock sits at issue + net_in: the edge is the
+        // timeout minus the worst-case already-paid request hop.
+        bound = std::min(bound,
+                         faults->timeoutNs - max_net * (1.0 + jitter));
+    }
+    return bound;
+}
+
+unsigned
+MemorySystem::autoDomainCount(const PiumaConfig &cfg)
+{
+    if (cfg.numCores < 64)
+        return 1;
+    const unsigned host = std::max(1u, std::thread::hardware_concurrency());
+    return std::clamp(std::min(cfg.numCores / 16, host), 1u, 64u);
+}
+
+sim::DomainSet::Options
+MemorySystem::domainPlan(const PiumaConfig &cfg,
+                         const sim::SimControls *controls,
+                         bool sequenced_only)
+{
+    sim::DomainSet::Options opts;
+    opts.domains =
+        controls != nullptr && controls->domains != 0 ? controls->domains
+                                                      : 0;
+    if (opts.domains == 0)
+        opts.domains = autoDomainCount(cfg);
+    opts.domains = std::max(1u, std::min(opts.domains, cfg.numCores));
+    const sim::DomainMode want = controls != nullptr
+                                     ? controls->domainMode
+                                     : sim::DomainMode::Sequenced;
+    const double lookahead = modelLookaheadNs(
+        cfg, controls != nullptr && controls->faults != nullptr
+                 ? &controls->faults->config()
+                 : nullptr);
+    opts.mode = sim::DomainSet::Mode::Sequenced;
+    if (want == sim::DomainMode::Parallel) {
+        if (!(lookahead > 0.0)) {
+            PGCN_THROW(ConfigError,
+                       "--domain-mode=parallel is illegal for this "
+                       "config: the model lookahead bound is "
+                           << lookahead
+                           << " ns (timeout must exceed the worst-case "
+                              "request hop; network jitter must leave "
+                              "the minimum hop positive)");
+        }
+        if (sequenced_only) {
+            warn("domain-mode=parallel downgraded to sequenced: an "
+                 "attached telemetry session or monitor hub shares "
+                 "single-threaded geometry");
+        } else {
+            opts.mode = sim::DomainSet::Mode::Parallel;
+        }
+    } else if (want == sim::DomainMode::Auto) {
+        if (lookahead > 0.0 && opts.domains > 1 && !sequenced_only)
+            opts.mode = sim::DomainSet::Mode::Parallel;
+    }
+    if (opts.mode == sim::DomainSet::Mode::Parallel) {
+        // +inf (single-core) never reaches here with domains > 1
+        // clamped by numCores... except numCores == 1; guard anyway.
+        opts.lookaheadNs = std::min(lookahead, 1e18);
+    }
+    return opts;
+}
+
+void
+MemorySystem::setFaultInjector(sim::FaultInjector *faults)
+{
+    faults_ = faults;
+    dropsEnabled_ =
+        faults != nullptr && (faults->config().dramDropRate > 0.0 ||
+                              faults->config().netDropRate > 0.0);
+    coreStreams_.clear();
+    sliceStreams_.clear();
+    if (faults == nullptr)
+        return;
+    coreStreams_.reserve(numCores_);
+    sliceStreams_.reserve(numCores_);
+    for (unsigned c = 0; c < numCores_; ++c) {
+        coreStreams_.push_back(faults->fork(kSaltCoreNet | c));
+        sliceStreams_.push_back(faults->fork(kSaltSlice | c));
+    }
+}
+
+void
+MemorySystem::issueChunk(unsigned requester_core, unsigned slice,
+                         double bytes, sim::SimTime slice_dur,
+                         sim::SimTime port_dur, bool pipelined,
+                         PendingAccess *pa)
+{
+    PGCN_ASSERT(slice < slices_.size(),
+                "slice " << slice << " out of range");
+    IssueShard &shard = issueShards_[requester_core];
+    ++shard.accesses;
+    const bool remote = requester_core != slice;
+    shard.remoteAccesses += remote;
+
+    if (!remote && !dropsEnabled_) {
+        // Local clean fast path: requester and slice share a domain
+        // for every domain count, so resolving the reservation
+        // synchronously at issue is mode- and count-invariant. Draw
+        // order matches arrive() so a slice's stream advances
+        // identically whichever path its traffic takes.
+        sim::SimTime sd_dur = slice_dur;
+        double dram = dramLatencyNs_;
+        if (faults_ != nullptr) [[unlikely]] {
+            sim::FaultStream &s = sliceStreams_[slice];
+            sd_dur = s.serviceDuration(slice_dur);
+            (void)s.serviceDuration(port_dur);
+            dram = s.dramLatency(dram);
+        }
+        sim::Engine &e = engineOf(requester_core);
+        const sim::SimTime service_done =
+            slices_[slice].reserveFor(bytes, sd_dur, e.now());
+        MemoryAccess chunk{service_done,
+                           pipelined ? service_done
+                                     : service_done + dram};
+        if (pa != nullptr)
+            merge(pa->acc, chunk);
+        return;
+    }
+
+    // Event path: the request bears the (jittered) one-way hop and
+    // arbitrates at the slice in arrival order.
+    const double net_base =
+        remote ? (dieOf_[requester_core] == dieOf_[slice]
+                      ? cfg_.netSameDieNs
+                      : cfg_.netCrossDieNs)
+               : 0.0;
+    double net_in = net_base;
+    if (faults_ != nullptr && net_base > 0.0) [[unlikely]]
+        net_in = coreStreams_[requester_core].networkLatency(net_base);
+
+    sim::Engine &e = engineOf(requester_core);
+    Request r{pa,
+              requester_core,
+              slice,
+              bytes,
+              slice_dur,
+              port_dur,
+              pipelined,
+              net_base,
+              net_in,
+              sim::makeKeyedSeq(sim::kSeqBandRequest, requester_core,
+                                shard.requestStamp++),
+              e.now()};
+    if (pa != nullptr)
+        ++pa->remaining;
+    domains_.postKeyed(domainOf(requester_core), domainOf(slice),
+                       r.issue + net_in, r.seq,
+                       [this, r] { arrive(r); });
+}
+
+void
+MemorySystem::arrive(Request r)
+{
+    // Jitters are drawn once per access, at first arrival, from the
+    // slice's own stream — dispatch order in the slice's domain is
+    // deterministic and identical across modes and domain counts, so
+    // so is the stream.
+    Timing t{r.sliceDur, r.portDur, dramLatencyNs_, r.netBase};
+    if (faults_ != nullptr) [[unlikely]] {
+        sim::FaultStream &s = sliceStreams_[r.slice];
+        t.sliceDur = s.serviceDuration(r.sliceDur);
+        t.portDur = s.serviceDuration(r.portDur);
+        t.dram = s.dramLatency(t.dram);
+        if (r.netBase > 0.0)
+            t.netRet = s.networkLatency(r.netBase);
+    }
+    attempt(r, t, 0, r.issue, MemoryAccess{0.0, 0.0});
+}
+
+void
+MemorySystem::attempt(Request r, Timing t, uint32_t n, sim::SimTime issue,
+                      MemoryAccess chunk)
+{
+    sim::Engine &e = engineOf(r.slice);
+    const bool remote = r.core != r.slice;
+    // Reserve first, then draw the drop: a dropped response was lost
+    // *after* service, so the attempt still consumed slice (and port)
+    // bandwidth — retry amplification is a bandwidth story, not just
+    // a latency story. Arrival-order arbitration falls out of the
+    // dispatch order: every request at this timestamp was filed
+    // before any clock reached it, and keyed seqs rank them.
+    sim::SimTime service_done =
+        slices_[r.slice].reserveFor(r.bytes, t.sliceDur, e.now());
+    if (remote) {
+        service_done = std::max(
+            service_done,
+            netPorts_[r.slice].reserveFor(r.bytes, t.portDur, e.now()));
+    }
+    if (!dropsEnabled_ ||
+        !sliceStreams_[r.slice].dropTransaction(remote)) {
+        chunk.serviceDoneAt = service_done;
+        chunk.responseAt = r.pipelined
+                               ? service_done + t.netRet
+                               : service_done + t.dram + t.netRet;
+        respond(r, chunk);
+        return;
+    }
+
+    // Response lost. The timeout armed at issue fires; the requester
+    // either backs off and re-issues or — once the budget is spent —
+    // learns the fault is unrecoverable via a failure notice.
+    SliceShard &shard = sliceShards_[r.slice];
+    const sim::FaultConfig &fc = faults_->config();
+    ++chunk.timeouts;
+    ++shard.timeouts;
+    const sim::SimTime detect = issue + fc.timeoutNs;
+    if (n >= fc.maxRetries) {
+        chunk.failed = true;
+        chunk.serviceDoneAt = detect;
+        chunk.responseAt = detect;
+        chunk.recoveryNs += fc.timeoutNs;
+        respond(r, chunk);
+        return;
+    }
+    const sim::SimTime backoff =
+        sliceStreams_[r.slice].backoffDelay(n);
+    chunk.recoveryNs += fc.timeoutNs + backoff;
+    ++chunk.retries;
+    ++shard.retries;
+    shard.retriedBytes += r.bytes;
+    // Re-arm as a slice-domain self-event carrying the original
+    // request key: the retry keeps its arbitration priority over
+    // fresher requests arriving at the same instant. Re-arrival
+    // reuses the access's request-hop draw (the old synchronous
+    // chain reused its one network draw the same way), which also
+    // guarantees re-arrival - now = timeout + backoff >= 0.
+    const sim::SimTime re_issue = detect + backoff;
+    const unsigned dom = domainOf(r.slice);
+    domains_.postKeyed(dom, dom, re_issue + r.netIn, r.seq,
+                       [this, r, t, n, re_issue, chunk] {
+                           attempt(r, t, n + 1, re_issue, chunk);
+                       });
+}
+
+void
+MemorySystem::respond(const Request &r, const MemoryAccess &chunk)
+{
+    SliceShard &shard = sliceShards_[r.slice];
+    if (r.pa == nullptr) {
+        // Posted traffic: no response event at all. Recovery and the
+        // first unrecoverable loss are recorded here, slice-side.
+        shard.postedRecoveryNs += chunk.recoveryNs;
+        if (chunk.failed && !shard.postedFault.failed) {
+            shard.postedFault =
+                PostedFault{true, r.core, r.slice, chunk.responseAt};
+        }
+        return;
+    }
+    PendingAccess *pa = r.pa;
+    const uint64_t seq = sim::makeKeyedSeq(
+        sim::kSeqBandResponse, r.slice, shard.responseStamp++);
+    domains_.postKeyed(domainOf(r.slice), domainOf(r.core),
+                       chunk.responseAt, seq,
+                       [this, pa, chunk] { completeChunk(*pa, chunk); });
+}
+
+void
+MemorySystem::completeChunk(PendingAccess &pa, const MemoryAccess &chunk)
+{
+    merge(pa.acc, chunk);
+    PGCN_ASSERT(pa.remaining > 0, "response for a completed access");
+    if (--pa.remaining != 0)
+        return;
+#ifndef PGCN_NO_TELEMETRY
+    if (tlmLatency_ != nullptr) [[unlikely]]
+        noteLatency(pa);
+#endif
+    if (!pa.waiter)
+        return;
+    const std::coroutine_handle<> h = pa.waiter;
+    pa.waiter = {};
+    sim::Engine &e = engineOf(pa.core);
+    const sim::SimTime d = pa.acc.responseAt - e.now();
+    if (d > 0.0) {
+        // A synchronously-resolved local chunk finishes after the
+        // last event chunk: wake at the merged response time,
+        // replicating delayUntil arithmetic.
+        domains_.wakeAt(domainOf(pa.core), pa.acc.responseAt, h);
+    } else {
+        // This response *is* the completion: resume inline, exactly
+        // as the response event's continuation.
+        h.resume();
+    }
 }
 
 double
@@ -69,9 +388,9 @@ MemorySystem::attachTelemetry(telemetry::Session *session)
             [this, i] { return sliceBusyNs(i); });
     }
     reg.registerGauge("piuma.mem.read_gbps", telemetry::GaugeKind::Rate,
-                      [this] { return bytesRead_; });
+                      [this] { return bytesRead(); });
     reg.registerGauge("piuma.mem.write_gbps", telemetry::GaugeKind::Rate,
-                      [this] { return bytesWritten_; });
+                      [this] { return bytesWritten(); });
     reg.registerGauge("piuma.net.port_util", telemetry::GaugeKind::Rate,
                       [this] {
                           double sum = 0.0;
@@ -83,68 +402,20 @@ MemorySystem::attachTelemetry(telemetry::Session *session)
 }
 
 void
-MemorySystem::noteAccess(telemetry::Counter &op, bool local,
-                         const MemoryAccess &acc)
+MemorySystem::noteIssue(telemetry::Counter &op, bool local)
 {
     op.increment();
     if (!local)
         tlmRemote_->increment();
-    tlmLatency_->add(acc.responseAt - engine_.now());
 }
 
-MemoryAccess
-MemorySystem::accessWithRecovery(unsigned requester_core, unsigned slice,
-                                 double bytes, sim::SimTime slice_dur,
-                                 sim::SimTime port_dur, bool pipelined,
-                                 double net_lat, double dram_lat)
+void
+MemorySystem::noteLatency(const PendingAccess &pa)
 {
-    // The drop schedule for one request is fully determined at issue
-    // time (the Bernoulli stream is consumed in model order), so the
-    // entire recovery chain can be laid out synchronously: each
-    // attempt reserves bandwidth at its future issue time, and the
-    // caller co_awaits one final responseAt exactly as on the clean
-    // path. A dropped attempt still consumed slice (and port)
-    // bandwidth — the response was lost *after* service — which is
-    // what makes retry amplification a bandwidth story, not just a
-    // latency story.
-    const bool remote = requester_core != slice;
-    const sim::FaultConfig &fc = faults_->config();
-    sim::SimTime issue = engine_.now();
-    MemoryAccess result{};
-    for (uint32_t attempt = 0;; ++attempt) {
-        const sim::SimTime start = issue + (pipelined ? 0.0 : net_lat);
-        sim::SimTime service_done =
-            slices_[slice].reserveFor(bytes, slice_dur, start);
-        if (remote) {
-            service_done = std::max(
-                service_done,
-                netPorts_[slice].reserveFor(bytes, port_dur, start));
-        }
-        if (!faults_->dropTransaction(remote)) {
-            result.serviceDoneAt = service_done;
-            result.responseAt = service_done + dram_lat + net_lat;
-            return result;
-        }
-        // Response lost. The timeout armed at issue fires, and the
-        // requester either backs off and re-issues or — once the
-        // budget is spent — reports the fault as unrecoverable.
-        ++result.timeouts;
-        ++timeouts_;
-        const sim::SimTime detect = issue + fc.timeoutNs;
-        if (attempt >= fc.maxRetries) {
-            result.failed = true;
-            result.serviceDoneAt = detect;
-            result.responseAt = detect;
-            result.recoveryNs += fc.timeoutNs;
-            return result;
-        }
-        const sim::SimTime backoff = faults_->backoffDelay(attempt);
-        result.recoveryNs += fc.timeoutNs + backoff;
-        ++result.retries;
-        ++retries_;
-        retriedBytes_ += bytes;
-        issue = detect + backoff;
-    }
+    // Histogrammed at completion: under the response-path protocol
+    // the latency isn't known at issue. Sessions force Sequenced
+    // mode, so this only ever runs single-threaded.
+    tlmLatency_->add(pa.acc.responseAt - pa.issuedAt);
 }
 
 double

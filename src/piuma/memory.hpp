@@ -8,15 +8,45 @@
  * bandwidth on the target core's network port. Data placement is
  * modelled logically (callers name the slice), matching how the SpMM
  * kernels interleave CSR lines and feature rows across slices.
+ *
+ * Since PR 10 the model is a two-phase request/response protocol:
+ *
+ *  1. issue (requester's domain): byte/transaction accounting, the
+ *     request-hop network jitter draw, then a *request event* posted
+ *     to the owning slice's domain at the modeled arrival time,
+ *     keyed kSeqBandRequest | (requester core, per-core stamp);
+ *  2. arrival (slice's domain): bandwidth and queueing resolve in
+ *     timestamp order — the request dispatch order IS the
+ *     arbitration — jitters and transaction-drop draws come from the
+ *     slice's own forked fault stream, and retry/backoff chains
+ *     re-arm as slice-domain self-events carrying the original
+ *     request key;
+ *  3. response (requester's domain): a response event keyed
+ *     kSeqBandResponse | (slice, per-slice stamp) merges the chunk's
+ *     timing into the caller's PendingAccess and resumes the parked
+ *     coroutine.
+ *
+ * Because the carried keys decide equal-timestamp dispatch order in
+ * both DomainSet modes, a Parallel run is bit-identical to the
+ * Sequenced merge; and because every cross-domain edge bears at
+ * least modelLookaheadNs() of latency, Parallel mode is legal.
+ * The one synchronous survivor is the clean local fast path
+ * (requester core == slice, no drop classes enabled): same engine,
+ * same domain for any domain count, so resolving it at issue keeps
+ * the common case at zero extra events without touching invariance.
  */
 #ifndef PGCN_PIUMA_MEMORY_HPP
 #define PGCN_PIUMA_MEMORY_HPP
 
 #include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "piuma/config.hpp"
+#include "sim/domain.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/monitor.hpp"
@@ -38,13 +68,14 @@ struct MemoryAccess
     /**
      * Time the slice controller finishes streaming the data
      * (queueing + transfer). A pipelined requester (the DMA engine)
-     * only needs to wait for this.
+     * only needs the return hop past this.
      */
     sim::SimTime serviceDoneAt;
     /**
-     * Time the response reaches the requesting core
-     * (serviceDoneAt + DRAM latency + return network latency).
-     * A stall-on-use MTP thread waits for this.
+     * Time the response reaches the requesting core. Stall-on-use:
+     * serviceDoneAt + DRAM latency + return network latency;
+     * pipelined: serviceDoneAt + return network latency (the DRAM
+     * access overlaps the streamed transfer).
      */
     sim::SimTime responseAt;
 
@@ -65,65 +96,140 @@ struct MemoryAccess
 };
 
 /**
+ * An in-flight (possibly striped) access: the join point where chunk
+ * responses merge and the awaiting coroutine parks. The address must
+ * stay stable from issue until the await resumes — it lives either
+ * inside the caller's coroutine frame (the co_await sugar) or in a
+ * caller-owned slot vector (the DMA engine).
+ */
+struct PendingAccess
+{
+    MemoryAccess acc{0.0, 0.0};
+    sim::SimTime issuedAt = 0.0;
+    unsigned core = 0;       ///< requester core (the await domain)
+    uint32_t remaining = 0;  ///< outstanding event-path chunks
+    std::coroutine_handle<> waiter{}; ///< parked caller, if any
+};
+
+/** First unrecoverable drop of a *posted* write, recorded slice-side. */
+struct PostedFault
+{
+    bool failed = false;
+    unsigned core = 0;  ///< requester of the lost write
+    unsigned slice = 0; ///< slice that exhausted the retry budget
+    sim::SimTime whenNs = 0.0; ///< detection time of the final timeout
+};
+
+/**
  * The DGAS memory model: per-slice controllers plus per-core network
- * ports, with latency composition per access.
+ * ports, with latency composition per access resolved on the
+ * request/response event path described in the file header.
  */
 class MemorySystem
 {
   public:
     /**
-     * @param engine Owning simulation engine.
+     * @param domains Domain set simulating the machine; slice s lives
+     *        in domain domainOf(s), matching the model's core->domain
+     *        map, so every resource is owned by exactly one domain.
      * @param cfg System configuration (bandwidths/latencies).
      */
-    MemorySystem(sim::Engine &engine, const PiumaConfig &cfg);
+    MemorySystem(sim::DomainSet &domains, const PiumaConfig &cfg);
 
     /**
-     * Issue a read of @p bytes from @p slice on behalf of
-     * @p requester_core. Reserves controller (and, if remote,
-     * network-port) bandwidth; returns both completion times.
-     * Does not suspend: callers co_await the time they care about.
+     * The model's conservative-lookahead bound: the minimum modeled
+     * latency any cross-domain edge of the memory protocol can carry.
      *
-     * @param pipelined When true the requester keeps many requests in
-     *        flight (the DMA offload engine), so the one-way request
-     *        latency overlaps with earlier transfers and service can
-     *        start as soon as the controller is free. When false the
-     *        requester is a stall-on-use pipeline whose request must
-     *        first travel to the slice.
+     *   L = min( min_net * (1 - netJitter),
+     *            [drops enabled] timeoutNs - max_net * (1 + netJitter) )
+     *
+     * where min_net/max_net are the applicable one-way network
+     * latencies from @p cfg. The first term bounds request arrivals
+     * and responses; the second bounds failure notices, whose edge is
+     * timeout minus the already-paid request hop. Returns +inf for a
+     * single-core system (no cross-domain edges exist) and a value
+     * <= 0 when a fault config makes Parallel mode illegal.
      */
-    MemoryAccess
-    read(unsigned requester_core, unsigned slice, double bytes,
-         bool pipelined = false)
+    static double modelLookaheadNs(const PiumaConfig &cfg,
+                                   const sim::FaultConfig *faults);
+
+    /**
+     * The `--domains auto` heuristic (DESIGN.md §15): 1 below 64
+     * simulated cores — the sequenced merge / window overhead beats
+     * any win on tiny runs (the BENCH_PR9 0.86x regression) — else
+     * min(numCores / 16, host hardware threads) clamped to [1, 64].
+     */
+    static unsigned autoDomainCount(const PiumaConfig &cfg);
+
+    /**
+     * Resolve SimControls into concrete DomainSet options: expands
+     * the domains==0 auto sentinel via autoDomainCount() and the
+     * DomainMode::Auto policy via modelLookaheadNs(). An explicit
+     * Parallel request with a non-positive lookahead throws
+     * ConfigError; @p sequenced_only (a telemetry session or monitor
+     * hub is attached — shared single-threaded geometry) downgrades
+     * Parallel to Sequenced with a log warning.
+     */
+    static sim::DomainSet::Options
+    domainPlan(const PiumaConfig &cfg, const sim::SimControls *controls,
+               bool sequenced_only);
+
+    /** Domain owning core/slice @p entity under this set's count. */
+    unsigned
+    domainOf(unsigned entity) const
     {
-        bytesRead_ += bytes;
-        const MemoryAccess acc =
-            access(requester_core, slice, bytes, pipelined);
-#ifndef PGCN_NO_TELEMETRY
-        if (tlmReads_ != nullptr) [[unlikely]]
-            noteAccess(*tlmReads_, requester_core == slice, acc);
-#endif
-        return acc;
+        return static_cast<unsigned>(static_cast<uint64_t>(entity) *
+                                     domainCount_ / numCores_);
+    }
+
+    /** Engine backing @p core's domain. */
+    sim::Engine &
+    engineOf(unsigned core)
+    {
+        return domains_.engine(domainOf(core));
     }
 
     /**
-     * Issue a write of @p bytes to @p slice. Writes are posted: the
-     * returned serviceDoneAt is when the controller absorbed the
-     * data; responseAt additionally covers the completion
-     * acknowledgement (needed by atomic read-modify-writes).
+     * Issue a read of @p bytes from @p slice on behalf of
+     * @p requester_core into caller-owned @p pa (address-stable until
+     * the await resumes). Local clean accesses resolve synchronously;
+     * everything else posts a request event. Callers co_await
+     * await(pa) — or use the read() sugar — for the response.
      *
-     * @param pipelined Same meaning as for read().
+     * @param pipelined When true the requester keeps many requests in
+     *        flight (the DMA offload engine): the response skips the
+     *        DRAM latency leg (it overlaps the streamed transfer) but
+     *        still pays both network hops.
      */
-    MemoryAccess
-    write(unsigned requester_core, unsigned slice, double bytes,
-          bool pipelined = false)
+    void
+    readAsync(unsigned requester_core, unsigned slice, double bytes,
+              bool pipelined, PendingAccess &pa)
     {
-        bytesWritten_ += bytes;
-        const MemoryAccess acc =
-            access(requester_core, slice, bytes, pipelined);
+        beginAccess(requester_core, pa);
+        issueShards_[requester_core].bytesRead += bytes;
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmReads_ != nullptr) [[unlikely]]
+            noteIssue(*tlmReads_, requester_core == slice);
+#endif
+        issueChunk(requester_core, slice, bytes, bytes / sliceRate_,
+                   bytes / portRate_, pipelined, &pa);
+        finishIfDone(pa);
+    }
+
+    /** Write counterpart of readAsync(); see it for the contract. */
+    void
+    writeAsync(unsigned requester_core, unsigned slice, double bytes,
+               bool pipelined, PendingAccess &pa)
+    {
+        beginAccess(requester_core, pa);
+        issueShards_[requester_core].bytesWritten += bytes;
 #ifndef PGCN_NO_TELEMETRY
         if (tlmWrites_ != nullptr) [[unlikely]]
-            noteAccess(*tlmWrites_, requester_core == slice, acc);
+            noteIssue(*tlmWrites_, requester_core == slice);
 #endif
-        return acc;
+        issueChunk(requester_core, slice, bytes, bytes / sliceRate_,
+                   bytes / portRate_, pipelined, &pa);
+        finishIfDone(pa);
     }
 
     /**
@@ -133,40 +239,189 @@ class MemorySystem
      * what prevents high-degree hub vertices from turning one DRAM
      * slice into a hotspot). Completion is the slowest chunk.
      */
-    MemoryAccess
-    readStriped(unsigned requester_core, unsigned start_slice, double bytes,
-                bool pipelined = false)
+    void
+    readStripedAsync(unsigned requester_core, unsigned start_slice,
+                     double bytes, bool pipelined, PendingAccess &pa)
     {
-        bytesRead_ += bytes;
-        const MemoryAccess acc =
-            accessStriped(requester_core, start_slice, bytes, pipelined);
+        beginAccess(requester_core, pa);
+        issueShards_[requester_core].bytesRead += bytes;
 #ifndef PGCN_NO_TELEMETRY
         if (tlmReads_ != nullptr) [[unlikely]]
-            noteAccess(*tlmReads_, requester_core == start_slice, acc);
+            noteIssue(*tlmReads_, requester_core == start_slice);
 #endif
-        return acc;
+        issueStriped(requester_core, start_slice, bytes, pipelined, &pa);
+        finishIfDone(pa);
     }
 
-    /** Striped counterpart of write(); see readStriped(). */
-    MemoryAccess
-    writeStriped(unsigned requester_core, unsigned start_slice, double bytes,
-                 bool pipelined = false)
+    /** Striped counterpart of writeAsync(); see readStripedAsync(). */
+    void
+    writeStripedAsync(unsigned requester_core, unsigned start_slice,
+                      double bytes, bool pipelined, PendingAccess &pa)
     {
-        bytesWritten_ += bytes;
-        const MemoryAccess acc =
-            accessStriped(requester_core, start_slice, bytes, pipelined);
+        beginAccess(requester_core, pa);
+        issueShards_[requester_core].bytesWritten += bytes;
 #ifndef PGCN_NO_TELEMETRY
         if (tlmWrites_ != nullptr) [[unlikely]]
-            noteAccess(*tlmWrites_, requester_core == start_slice, acc);
+            noteIssue(*tlmWrites_, requester_core == start_slice);
 #endif
-        return acc;
+        issueStriped(requester_core, start_slice, bytes, pipelined, &pa);
+        finishIfDone(pa);
+    }
+
+    /**
+     * Fire-and-forget striped write: the caller never waits, so no
+     * response events are generated at all (request-only traffic).
+     * Retry/timeout accounting still happens slice-side; a final
+     * unrecoverable drop is recorded in postedFault() — earliest
+     * detection wins, ties to the lowest slice — for entry points
+     * that surface lost posted data as SimFaultError after the run.
+     */
+    void
+    writeStripedPosted(unsigned requester_core, unsigned start_slice,
+                       double bytes, bool pipelined = false)
+    {
+        issueShards_[requester_core].bytesWritten += bytes;
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmWrites_ != nullptr) [[unlikely]]
+            noteIssue(*tlmWrites_, requester_core == start_slice);
+#endif
+        issueStriped(requester_core, start_slice, bytes, pipelined,
+                     nullptr);
+    }
+
+    /**
+     * Awaitable completing when every chunk of @p pa has responded
+     * and its merged responseAt has been reached — the stall-on-use
+     * wait. Replicates Engine::delayUntil timing bit-for-bit when the
+     * access is already complete but its response time lies ahead.
+     */
+    auto
+    await(PendingAccess &pa)
+    {
+        struct Awaiter
+        {
+            MemorySystem &mem;
+            PendingAccess &pa;
+
+            bool
+            await_ready() const noexcept
+            {
+                return pa.remaining == 0 &&
+                       pa.acc.responseAt -
+                               mem.engineOf(pa.core).now() <=
+                           0.0;
+            }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                if (pa.remaining != 0) {
+                    pa.waiter = h;
+                    return;
+                }
+                mem.domains_.wakeAt(mem.domainOf(pa.core),
+                                    pa.acc.responseAt, h);
+            }
+            MemoryAccess await_resume() const noexcept { return pa.acc; }
+        };
+        return Awaiter{*this, pa};
+    }
+
+    /**
+     * One-shot access: issues on co_await and resolves to the merged
+     * MemoryAccess at response time. The request object is
+     * materialized into the awaiting coroutine's frame (guaranteed
+     * prvalue elision), so the embedded PendingAccess is
+     * address-stable for the protocol's whole round trip.
+     */
+    struct [[nodiscard]] AccessRequest
+    {
+        MemorySystem &mem;
+        unsigned core;
+        unsigned slice;
+        double bytes;
+        bool pipelined;
+        bool striped;
+        bool isRead;
+        PendingAccess pa{};
+
+        // Unqualified (not &&-only): `co_await mem.read(...)`
+        // materializes the request into the coroutine frame, where it
+        // outlives the suspension, and a named request awaited later
+        // is equally stable.
+        auto
+        operator co_await()
+        {
+            if (striped) {
+                isRead ? mem.readStripedAsync(core, slice, bytes,
+                                              pipelined, pa)
+                       : mem.writeStripedAsync(core, slice, bytes,
+                                               pipelined, pa);
+            } else {
+                isRead ? mem.readAsync(core, slice, bytes, pipelined, pa)
+                       : mem.writeAsync(core, slice, bytes, pipelined,
+                                        pa);
+            }
+            return mem.await(pa);
+        }
+    };
+
+    /** `co_await mem.read(...)` -> MemoryAccess. See AccessRequest. */
+    AccessRequest
+    read(unsigned requester_core, unsigned slice, double bytes,
+         bool pipelined = false)
+    {
+        return AccessRequest{*this,     requester_core, slice, bytes,
+                             pipelined, false,          true};
+    }
+
+    /** Awaited write; posted writes use writeStripedPosted(). */
+    AccessRequest
+    write(unsigned requester_core, unsigned slice, double bytes,
+          bool pipelined = false)
+    {
+        return AccessRequest{*this,     requester_core, slice, bytes,
+                             pipelined, false,          false};
+    }
+
+    /** Striped read sugar; see readStripedAsync(). */
+    AccessRequest
+    readStriped(unsigned requester_core, unsigned start_slice,
+                double bytes, bool pipelined = false)
+    {
+        return AccessRequest{*this,     requester_core, start_slice,
+                             bytes,     pipelined,      true,
+                             true};
+    }
+
+    /** Striped awaited write sugar; see writeStripedAsync(). */
+    AccessRequest
+    writeStriped(unsigned requester_core, unsigned start_slice,
+                 double bytes, bool pipelined = false)
+    {
+        return AccessRequest{*this,     requester_core, start_slice,
+                             bytes,     pipelined,      true,
+                             false};
     }
 
     /** Total bytes read across all slices. */
-    double bytesRead() const { return bytesRead_; }
+    double
+    bytesRead() const
+    {
+        double total = 0.0;
+        for (const IssueShard &s : issueShards_)
+            total += s.bytesRead;
+        return total;
+    }
 
     /** Total bytes written across all slices. */
-    double bytesWritten() const { return bytesWritten_; }
+    double
+    bytesWritten() const
+    {
+        double total = 0.0;
+        for (const IssueShard &s : issueShards_)
+            total += s.bytesWritten;
+        return total;
+    }
 
     /**
      * Slice transactions issued so far (always on, unlike telemetry).
@@ -174,10 +429,24 @@ class MemorySystem
      * chunk, so the remote fraction reflects where the bytes actually
      * went, not where the object nominally started.
      */
-    uint64_t totalAccesses() const { return accesses_; }
+    uint64_t
+    totalAccesses() const
+    {
+        uint64_t total = 0;
+        for (const IssueShard &s : issueShards_)
+            total += s.accesses;
+        return total;
+    }
 
     /** Transactions whose requester core != serving slice. */
-    uint64_t remoteAccesses() const { return remoteAccesses_; }
+    uint64_t
+    remoteAccesses() const
+    {
+        uint64_t total = 0;
+        for (const IssueShard &s : issueShards_)
+            total += s.remoteAccesses;
+        return total;
+    }
 
     /**
      * Fraction of slice transactions that crossed the network — the
@@ -187,10 +456,10 @@ class MemorySystem
     double
     remoteAccessFraction() const
     {
-        return accesses_ == 0
-                   ? 0.0
-                   : static_cast<double>(remoteAccesses_) /
-                         static_cast<double>(accesses_);
+        const uint64_t total = totalAccesses();
+        return total == 0 ? 0.0
+                          : static_cast<double>(remoteAccesses()) /
+                                static_cast<double>(total);
     }
 
     /** Bytes served by slice @p i (per-slice traffic distribution). */
@@ -214,33 +483,83 @@ class MemorySystem
     }
 
     /** Transaction re-issues after dropped responses (always on). */
-    uint64_t retries() const { return retries_; }
+    uint64_t
+    retries() const
+    {
+        uint64_t total = 0;
+        for (const SliceShard &s : sliceShards_)
+            total += s.retries;
+        return total;
+    }
 
     /** Request timeouts fired, including unrecoverable finals. */
-    uint64_t timeoutsFired() const { return timeouts_; }
+    uint64_t
+    timeoutsFired() const
+    {
+        uint64_t total = 0;
+        for (const SliceShard &s : sliceShards_)
+            total += s.timeouts;
+        return total;
+    }
 
     /**
      * Bytes serviced a second (or later) time because the first
      * response was dropped: the retry-amplification side of the
      * conservation invariant.
      */
-    double retriedBytes() const { return retriedBytes_; }
+    double
+    retriedBytes() const
+    {
+        double total = 0.0;
+        for (const SliceShard &s : sliceShards_)
+            total += s.retriedBytes;
+        return total;
+    }
+
+    /**
+     * Recovery time accumulated by *posted* writes (no caller waits
+     * on them, so the slice side owns the accounting). Entry points
+     * that previously consumed a posted write's recoveryNs at issue
+     * (the dense model) add this after the run drains.
+     */
+    double
+    postedRecoveryNs() const
+    {
+        double total = 0.0;
+        for (const SliceShard &s : sliceShards_)
+            total += s.postedRecoveryNs;
+        return total;
+    }
+
+    /**
+     * First unrecoverable posted-write drop across all slices:
+     * earliest detection wins, ties to the lowest slice id — a
+     * deterministic reduction, independent of domain count and mode.
+     */
+    PostedFault
+    postedFault() const
+    {
+        PostedFault first;
+        for (const SliceShard &s : sliceShards_) {
+            if (!s.postedFault.failed)
+                continue;
+            if (!first.failed || s.postedFault.whenNs < first.whenNs)
+                first = s.postedFault;
+        }
+        return first;
+    }
 
     /**
      * Attach a fault injector perturbing DRAM latency, service
      * durations, and remote-network latency on every access, and —
      * when drop rates are configured — injecting dropped transactions
      * that the modeled timeout/retry/backoff protocol recovers. Null
-     * (the default) restores the exact unperturbed timings.
+     * (the default) restores the exact unperturbed timings. The
+     * injector itself is only forked, never drawn from: each core and
+     * each slice consumes its own child stream, in its own domain's
+     * deterministic dispatch order.
      */
-    void
-    setFaultInjector(sim::FaultInjector *faults)
-    {
-        faults_ = faults;
-        dropsEnabled_ =
-            faults != nullptr && (faults->config().dramDropRate > 0.0 ||
-                                  faults->config().netDropRate > 0.0);
-    }
+    void setFaultInjector(sim::FaultInjector *faults);
 
     /**
      * Mean utilisation of the slice controllers over [0, end].
@@ -264,6 +583,8 @@ class MemorySystem
      * remote_accesses} counters, a piuma.mem.access_latency_ns
      * histogram, per-slice utilisation and aggregate GB/s rate gauges.
      * Pass null (or never call) to leave the hot path untouched.
+     * Sessions are single-threaded: entry points force Sequenced mode
+     * whenever one is attached (see domainPlan()).
      */
     void attachTelemetry(telemetry::Session *session);
 
@@ -271,7 +592,9 @@ class MemorySystem
      * Mirror every slice-controller and network-port reservation onto
      * @p hub's occupancy timelines (one per slice and per port). The
      * hub must already be sized by MonitorHub::beginRun for this
-     * system's core count. No-op under PGCN_NO_TELEMETRY.
+     * system's core count. No-op under PGCN_NO_TELEMETRY. Hubs share
+     * fold geometry across cores: entry points force Sequenced mode
+     * whenever one is attached.
      */
     void
     attachMonitor(sim::MonitorHub *hub)
@@ -302,102 +625,87 @@ class MemorySystem
     double portBusyNs(size_t i) const { return netPorts_[i].busyTime(); }
 
   private:
+    /**
+     * Per-requester-core issue-side accounting. Single writer: only
+     * code running in the core's domain touches its shard (64-byte
+     * aligned so shards on different worker threads never share a
+     * line). Reduced in core-index order by the cold getters, so
+     * every aggregate is independent of domain count and mode.
+     */
+    struct alignas(64) IssueShard
+    {
+        double bytesRead = 0.0;
+        double bytesWritten = 0.0;
+        uint64_t accesses = 0;
+        uint64_t remoteAccesses = 0;
+        uint64_t requestStamp = 0; ///< per-core kSeqBandRequest counter
+    };
+
+    /**
+     * Per-slice response-side accounting: the retry protocol runs in
+     * the slice's domain, so it owns these. Same single-writer and
+     * fixed-order-reduction rules as IssueShard.
+     */
+    struct alignas(64) SliceShard
+    {
+        uint64_t retries = 0;
+        uint64_t timeouts = 0;
+        double retriedBytes = 0.0;
+        double postedRecoveryNs = 0.0;
+        uint64_t responseStamp = 0; ///< per-slice kSeqBandResponse counter
+        PostedFault postedFault{};
+    };
+
+    /** One request's immutable issue-side description. */
+    struct Request
+    {
+        PendingAccess *pa; ///< null for posted (request-only) traffic
+        unsigned core;
+        unsigned slice;
+        double bytes;
+        sim::SimTime sliceDur; ///< unjittered controller service time
+        sim::SimTime portDur;  ///< unjittered port service time
+        bool pipelined;
+        double netBase; ///< unjittered one-way latency (0 = local)
+        double netIn;   ///< jittered request-hop latency
+        uint64_t seq;   ///< carried kSeqBandRequest key (all attempts)
+        sim::SimTime issue; ///< first-attempt issue time
+    };
+
+    /** Jitters drawn once per access at first arrival (slice side). */
+    struct Timing
+    {
+        sim::SimTime sliceDur;
+        sim::SimTime portDur;
+        double dram;
+        double netRet; ///< jittered return-hop latency
+    };
+
+    /** Reset @p pa for a fresh access from @p core. */
+    void
+    beginAccess(unsigned core, PendingAccess &pa)
+    {
+        PGCN_ASSERT(pa.remaining == 0 && !pa.waiter,
+                    "PendingAccess reused while still in flight");
+        pa.acc = MemoryAccess{0.0, 0.0};
+        pa.core = core;
+        pa.issuedAt = engineOf(core).now();
+    }
+
     /** Cold path: count one access into the attached registry. */
-    void noteAccess(telemetry::Counter &op, bool local,
-                    const MemoryAccess &acc);
+    void noteIssue(telemetry::Counter &op, bool local);
 
-    // Defined inline: access() runs once per simulated memory
-    // transaction (millions per run) and every caller lives in
-    // another translation unit.
-    MemoryAccess
-    access(unsigned requester_core, unsigned slice, double bytes,
-           bool pipelined)
+    /** Striped fan-out (or a single chunk when interleave is off). */
+    void
+    issueStriped(unsigned requester_core, unsigned start_slice,
+                 double bytes, bool pipelined, PendingAccess *pa)
     {
-        return accessFor(requester_core, slice, bytes,
-                         bytes / sliceRate_, bytes / portRate_, pipelined);
-    }
-
-    /**
-     * access() with both service durations pre-divided (all slices
-     * and all ports share one rate each, so the striped path computes
-     * each division once instead of per chunk).
-     */
-    MemoryAccess
-    accessFor(unsigned requester_core, unsigned slice, double bytes,
-              sim::SimTime slice_dur, sim::SimTime port_dur,
-              bool pipelined)
-    {
-        PGCN_ASSERT(slice < slices_.size(),
-                    "slice " << slice << " out of range");
-        ++accesses_;
-        remoteAccesses_ += requester_core != slice;
-        // Table-driven oneWayLatencyNs(): two loads instead of two
-        // integer divisions by coresPerDie.
-        double net_lat =
-            requester_core == slice
-                ? 0.0
-                : (dieOf_[requester_core] == dieOf_[slice]
-                       ? cfg_.netSameDieNs
-                       : cfg_.netCrossDieNs);
-        double dram_lat = dramLatencyNs_;
-        if (faults_ != nullptr) [[unlikely]] {
-            // Perturb timings only — the byte amounts below are the
-            // conservation invariant and stay exact.
-            slice_dur = faults_->serviceDuration(slice_dur);
-            port_dur = faults_->serviceDuration(port_dur);
-            dram_lat = faults_->dramLatency(dram_lat);
-            if (net_lat > 0.0)
-                net_lat = faults_->networkLatency(net_lat);
+        if (!cfg_.dgasFineInterleave) {
+            issueChunk(requester_core, start_slice, bytes,
+                       bytes / sliceRate_, bytes / portRate_, pipelined,
+                       pa);
+            return;
         }
-
-        if (dropsEnabled_) [[unlikely]] {
-            return accessWithRecovery(requester_core, slice, bytes,
-                                      slice_dur, port_dur, pipelined,
-                                      net_lat, dram_lat);
-        }
-
-        // A stall-on-use request first travels to the slice; a
-        // pipelined requester has the request in flight already, so
-        // only bandwidth gates the service start. Remote transfers
-        // also occupy the target core's network port for the payload;
-        // port and controller stream concurrently, so completion is
-        // the slower of the two.
-        const sim::SimTime earliest =
-            engine_.now() + (pipelined ? 0.0 : net_lat);
-        sim::SimTime service_done =
-            slices_[slice].reserveFor(bytes, slice_dur, earliest);
-        if (requester_core != slice) {
-            service_done = std::max(
-                service_done,
-                netPorts_[slice].reserveFor(bytes, port_dur, earliest));
-        }
-
-        return MemoryAccess{
-            service_done,
-            service_done + dram_lat + net_lat,
-        };
-    }
-
-    /**
-     * Cold path taken only when transaction-drop rates are enabled:
-     * models the whole drop -> timeout -> backoff -> re-issue chain
-     * synchronously (reservations may start in the simulated future),
-     * so requesters keep co_awaiting a single responseAt.
-     * Defined in memory.cpp.
-     */
-    MemoryAccess
-    accessWithRecovery(unsigned requester_core, unsigned slice,
-                       double bytes, sim::SimTime slice_dur,
-                       sim::SimTime port_dur, bool pipelined,
-                       double net_lat, double dram_lat);
-
-    MemoryAccess
-    accessStriped(unsigned requester_core, unsigned start_slice,
-                  double bytes, bool pipelined)
-    {
-        if (!cfg_.dgasFineInterleave)
-            return access(requester_core, start_slice, bytes, pipelined);
-
         // 8-byte DGAS interleaving: the object spans up to 16
         // consecutive slices (enough to diffuse any hotspot without
         // O(|system|) work per access); each chunk streams
@@ -406,7 +714,6 @@ class MemorySystem
             std::max(1.0, std::min({16.0, bytes / 8.0,
                                     static_cast<double>(cfg_.numCores)})));
         const double chunk = bytes / max_chunks;
-        MemoryAccess result{0.0, 0.0};
         PGCN_ASSERT(start_slice < cfg_.numCores,
                     "start slice " << start_slice << " out of range");
         // One division per striped object, not per chunk.
@@ -414,62 +721,106 @@ class MemorySystem
         const sim::SimTime port_dur = chunk / portRate_;
         unsigned slice = start_slice;
         for (unsigned i = 0; i < max_chunks; ++i) {
-            const MemoryAccess acc = accessFor(
-                requester_core, slice, chunk, slice_dur, port_dur,
-                pipelined);
-            result.serviceDoneAt =
-                std::max(result.serviceDoneAt, acc.serviceDoneAt);
-            result.responseAt = std::max(result.responseAt, acc.responseAt);
-            if (dropsEnabled_) [[unlikely]] {
-                // Chunks recover independently and concurrently: sum
-                // the event counts, but the object's recovery time is
-                // governed by its slowest chunk.
-                result.retries += acc.retries;
-                result.timeouts += acc.timeouts;
-                result.recoveryNs =
-                    std::max(result.recoveryNs, acc.recoveryNs);
-                result.failed = result.failed || acc.failed;
-            }
+            issueChunk(requester_core, slice, chunk, slice_dur, port_dur,
+                       pipelined, pa);
             // Wrap without the per-chunk modulo.
             if (++slice == cfg_.numCores)
                 slice = 0;
         }
-        return result;
     }
 
-    sim::Engine &engine_;
+    /**
+     * Issue-side half of one chunk: accounting, the request-hop
+     * jitter draw, then either the synchronous local fast path or a
+     * keyed request event to the slice's domain. Defined in
+     * memory.cpp together with the slice-side handlers.
+     */
+    void issueChunk(unsigned requester_core, unsigned slice, double bytes,
+                    sim::SimTime slice_dur, sim::SimTime port_dur,
+                    bool pipelined, PendingAccess *pa);
+
+    /** First arrival of a request: draw jitters, run attempt 0. */
+    void arrive(Request r);
+
+    /**
+     * One arbitration attempt, dispatched in the slice's domain in
+     * (timestamp, key) order: reserve bandwidth at arrival — a
+     * dropped response still consumed it — then either respond or
+     * re-arm the retry chain as a self-event carrying the same key.
+     */
+    void attempt(Request r, Timing t, uint32_t n, sim::SimTime issue,
+                 MemoryAccess chunk);
+
+    /** Post (or record, for posted traffic) one chunk's outcome. */
+    void respond(const Request &r, const MemoryAccess &chunk);
+
+    /** Merge one chunk into the caller's join point; maybe resume. */
+    void completeChunk(PendingAccess &pa, const MemoryAccess &chunk);
+
+    /** Striped-object merge: slowest chunk wins, events sum. */
+    static void
+    merge(MemoryAccess &into, const MemoryAccess &chunk)
+    {
+        into.serviceDoneAt = std::max(into.serviceDoneAt,
+                                      chunk.serviceDoneAt);
+        into.responseAt = std::max(into.responseAt, chunk.responseAt);
+        into.retries += chunk.retries;
+        into.timeouts += chunk.timeouts;
+        into.recoveryNs = std::max(into.recoveryNs, chunk.recoveryNs);
+        into.failed = into.failed || chunk.failed;
+    }
+
+    /** Access fully resolved at issue (all chunks local & clean). */
+    void
+    finishIfDone(PendingAccess &pa)
+    {
+        if (pa.remaining != 0)
+            return;
+#ifndef PGCN_NO_TELEMETRY
+        if (tlmLatency_ != nullptr) [[unlikely]]
+            noteLatency(pa);
+#endif
+    }
+
+    /** Cold path: histogram the completed access's latency. */
+    void noteLatency(const PendingAccess &pa);
+
+    sim::DomainSet &domains_;
     const PiumaConfig &cfg_;
-    // Stored flat (no indirection): access() runs once per simulated
-    // memory transaction.
+    unsigned numCores_;
+    unsigned domainCount_;
+    // Stored flat (no indirection): one controller + port per slice,
+    // each bound to its owning domain's engine.
     std::vector<sim::BandwidthResource> slices_;
     std::vector<sim::BandwidthResource> netPorts_;
-    std::vector<unsigned> dieOf_;  ///< core -> die id lookup
-    double dramLatencyNs_ = 0.0;   ///< cached effectiveDramLatencyNs()
-    double sliceRate_ = 1.0;       ///< cached effectiveSliceBandwidth()
-    double portRate_ = 1.0;        ///< cached netPortBandwidthGBps
-    double bytesRead_ = 0.0;
-    double bytesWritten_ = 0.0;
-    // Always-on transaction counters (two integer adds per access;
-    // cheap enough to live outside the telemetry gate).
-    uint64_t accesses_ = 0;
-    uint64_t remoteAccesses_ = 0;
-    // Recovery accounting, touched only on the accessWithRecovery
-    // cold path (always zero when drops are disabled).
-    uint64_t retries_ = 0;
-    uint64_t timeouts_ = 0;
-    double retriedBytes_ = 0.0;
-    // Telemetry sinks; null (the default) keeps the access hot path
+    std::vector<unsigned> dieOf_; ///< core -> die id lookup
+    double dramLatencyNs_ = 0.0;  ///< cached effectiveDramLatencyNs()
+    double sliceRate_ = 1.0;      ///< cached effectiveSliceBandwidth()
+    double portRate_ = 1.0;       ///< cached netPortBandwidthGBps
+    std::vector<IssueShard> issueShards_; ///< per requester core
+    std::vector<SliceShard> sliceShards_; ///< per slice
+    // Telemetry sinks; null (the default) keeps the issue hot path
     // to one predictable branch per wrapper.
     telemetry::Counter *tlmReads_ = nullptr;
     telemetry::Counter *tlmWrites_ = nullptr;
     telemetry::Counter *tlmRemote_ = nullptr;
     Histogram *tlmLatency_ = nullptr;
-    /// Fault injector; null (the default) keeps timings exact.
+    /// Fault injector (fork source only); null keeps timings exact.
     sim::FaultInjector *faults_ = nullptr;
+    /// Per-requester-core request-hop jitter streams.
+    std::vector<sim::FaultStream> coreStreams_;
+    /// Per-slice service/DRAM/return-hop jitter + drop streams.
+    std::vector<sim::FaultStream> sliceStreams_;
     /// Cached "any transaction-drop class enabled" test so the hot
     /// path pays one predictable branch, not three config loads.
     bool dropsEnabled_ = false;
 };
+
+/// Fork-salt classes for the model's per-entity fault streams (the
+/// DMA engine owns the kSaltDma class; see dma.cpp).
+constexpr uint64_t kSaltCoreNet = uint64_t{1} << 32;
+constexpr uint64_t kSaltSlice = uint64_t{2} << 32;
+constexpr uint64_t kSaltDma = uint64_t{3} << 32;
 
 } // namespace pgcn::piuma
 

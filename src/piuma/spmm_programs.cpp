@@ -74,22 +74,59 @@ constexpr double kNnzBytesPerEdge = 8.0; // 4B column + 4B value
  * Sharding layout: cores are split into `domains` contiguous groups
  * (a domain stands in for one PIUMA node / DRAM-slice group); every
  * core's agents, issue resources and DMA queue live on the core's
- * domain engine, and memory-response wakes are routed from the
- * serving slice's domain to the requester's. The set runs in
- * Sequenced mode — one shared clock and sequence counter — so the
- * event order, every stat and every output byte are identical for
- * any domain count (see sim/domain.hpp for why the PIUMA model
- * cannot shard with true threads without breaking bit-identity).
+ * domain engine, and memory requests/responses travel between
+ * domains as keyed events (see piuma/memory.hpp). The set runs
+ * Sequenced or Parallel per MemorySystem::domainPlan — the carried
+ * keys make both modes dispatch identically, so the event order,
+ * every always-on stat and every output byte are identical for any
+ * domain count and either mode (the differential tests pin this).
+ *
+ * Every mutable accumulator is sharded per core (single writer: only
+ * code running in the core's domain touches the core's shard) and
+ * reduced in core-index order after the run, so aggregates are
+ * domain-count- and mode-invariant.
  *
  * Declared first so the engines outlive every queue/resource/monitor
  * that registers against them.
  */
 struct RunContext
 {
+    /// Per-core accumulator shard, cache-line aligned so shards on
+    /// different worker threads never share a line.
+    struct alignas(64) CoreStats
+    {
+        // Stall attribution by wait site.
+        double nnzStallNs = 0.0;
+        double rowOffsetStallNs = 0.0;
+        double featureStallNs = 0.0;
+        double dmaQueueStallNs = 0.0;
+        double issueNs = 0.0;
+        // Taxonomy re-bucketing of the same waits by where they were
+        // served (always on: one branch + one add per wait).
+        double stallMemNs = 0.0;
+        double stallNetNs = 0.0;
+        double nnzLatencySum = 0.0;
+        uint64_t nnzReads = 0;
+        // Recovery accounting: thread time inside the modeled
+        // protocol (timeout + backoff + watchdog resets), carved out
+        // of the memory/network stall taxonomy so hidden retries and
+        // exposed retries stay distinguishable.
+        double recoveryStallNs = 0.0;
+        uint64_t stuckResets = 0;
+        // First unrecoverable fault seen by this core's threads. A
+        // coroutine cannot throw through the engine, so it records
+        // the fault, bails out of its work loop, and simulateSpmm
+        // reduces the shards (earliest detection wins, ties to the
+        // lowest core) and raises SimFaultError after the run.
+        bool faulted = false;
+        std::string faultSite;
+        sim::SimTime faultWhenNs = 0.0;
+    };
+
     RunContext(const Csr &csr_in, unsigned k_in, const PiumaConfig &cfg_in,
-               unsigned domain_count)
-        : domains(domain_count), engine(domains.engine(0)), csr(csr_in),
-          k(k_in), cfg(cfg_in), memory(engine, cfg_in)
+               const sim::DomainSet::Options &opts)
+        : domains(opts), engine(domains.engine(0)), csr(csr_in),
+          k(k_in), cfg(cfg_in), memory(domains, cfg_in)
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
@@ -98,6 +135,7 @@ struct RunContext
                                   cfg.clockGhz);
         liveThreadsPerCore.assign(cfg.numCores,
                                   cfg.mtpsPerCore * cfg.threadsPerMtp);
+        coreStats.resize(cfg.numCores);
     }
 
     /// Domain owning @p core (and DRAM slice `core`, the slices being
@@ -116,19 +154,8 @@ struct RunContext
         return domains.engine(domainOfCore(core));
     }
 
-    /// Await a memory response due at absolute time @p when: the wake
-    /// is routed from the serving slice's domain to the requesting
-    /// core's domain (bit-identical to Engine::delayUntil by the
-    /// DomainSet contract).
-    auto
-    awaitMem(unsigned core, unsigned slice, sim::SimTime when)
-    {
-        return domains.awaitResponse(domainOfCore(slice),
-                                     domainOfCore(core), when);
-    }
-
     sim::DomainSet domains;
-    sim::Engine &engine; ///< domain 0's engine (shared clock access)
+    sim::Engine &engine; ///< domain 0's engine (setup/sequenced use)
     const Csr &csr;
     unsigned k;
     const PiumaConfig &cfg;
@@ -136,38 +163,17 @@ struct RunContext
     std::vector<sim::BandwidthResource> mtpIssue;
     std::vector<DmaEngine> dmaEngines;
     std::vector<unsigned> liveThreadsPerCore;
+    std::vector<CoreStats> coreStats;
+    /// Pre-drawn stuck-core hazards per thread id. Drawn before the
+    /// workers spawn (the main injector stays single-threaded); empty
+    /// when fault injection is off.
+    std::vector<char> stuckAtStart;
     /// Occupancy/stall monitor; null leaves the wait sites at one
-    /// predictable branch each.
+    /// predictable branch each. Attaching one forces Sequenced mode.
     sim::MonitorHub *monitor = nullptr;
-    /// Fault injector shared with memory/DMA; null disables the
-    /// stuck-core hazard draw at thread start.
+    /// Fault injector shared with memory/DMA (fork source); null
+    /// disables the stuck-core hazard draw at thread start.
     sim::FaultInjector *faults = nullptr;
-
-    // Stall attribution, summed over threads.
-    double nnzStallNs = 0.0;
-    double rowOffsetStallNs = 0.0;
-    double featureStallNs = 0.0;
-    double dmaQueueStallNs = 0.0;
-    double issueNs = 0.0;
-    // Taxonomy re-bucketing of the same waits by where they were
-    // served (always on: one branch + one add per wait).
-    double stallMemNs = 0.0;
-    double stallNetNs = 0.0;
-    double nnzLatencySum = 0.0;
-    uint64_t nnzReads = 0;
-    // Recovery accounting: thread time inside the modeled protocol
-    // (timeout + backoff + watchdog resets), carved out of the
-    // memory/network stall taxonomy so hidden retries and exposed
-    // retries stay distinguishable.
-    double recoveryStallNs = 0.0;
-    uint64_t stuckResets = 0;
-    // First unrecoverable fault of the run. Coroutines must never
-    // throw through the engine, so the thread that hits a failed
-    // access records it here, bails out of its work loop, and
-    // simulateSpmm raises SimFaultError after the run drains.
-    bool faulted = false;
-    std::string faultSite;
-    sim::SimTime faultWhenNs = 0.0;
 
     /// Credit a resolved memory wait to the locality taxonomy and,
     /// when a monitor is attached, to the core's stall timeline.
@@ -175,13 +181,15 @@ struct RunContext
     /// recovery portion of the wait (timeout/backoff re-issues) is
     /// credited to RecoveryWait instead of memory/network, so the
     /// taxonomy reads: site sums == memory + network + recovery.
+    /// @p now is the core's domain clock at resolution time.
     void
     noteMemWait(unsigned core, unsigned slice, sim::SimTime t0,
-                double waited, double recovery)
+                sim::SimTime now, double waited, double recovery)
     {
+        CoreStats &cs = coreStats[core];
         const bool local = slice == core;
-        (local ? stallMemNs : stallNetNs) += waited - recovery;
-        recoveryStallNs += recovery;
+        (local ? cs.stallMemNs : cs.stallNetNs) += waited - recovery;
+        cs.recoveryStallNs += recovery;
 #ifndef PGCN_NO_TELEMETRY
         if (monitor != nullptr) [[unlikely]] {
             if (recovery > 0.0)
@@ -189,40 +197,43 @@ struct RunContext
             monitor->endWait(core,
                              local ? sim::StallCause::MemoryWait
                                    : sim::StallCause::NetworkWait,
-                             t0 + recovery, engine.now());
+                             t0 + recovery, now);
         }
 #else
         (void)t0;
+        (void)now;
 #endif
     }
 
     /// Close a stuck-core watchdog-reset wait (RecoveryWait cause).
     void
-    noteStuckReset(unsigned core, sim::SimTime t0)
+    noteStuckReset(unsigned core, sim::SimTime t0, sim::SimTime now)
     {
-        recoveryStallNs += engine.now() - t0;
-        ++stuckResets;
+        CoreStats &cs = coreStats[core];
+        cs.recoveryStallNs += now - t0;
+        ++cs.stuckResets;
 #ifndef PGCN_NO_TELEMETRY
         if (monitor != nullptr) [[unlikely]] {
             monitor->endWait(core, sim::StallCause::RecoveryWait, t0,
-                             engine.now());
+                             now);
         }
 #else
-        (void)core;
         (void)t0;
+        (void)now;
 #endif
     }
 
-    /// Record the run's first unrecoverable fault (cold path).
+    /// Record this core's first unrecoverable fault (cold path).
     void
     recordFault(const char *what, unsigned core, unsigned slice)
     {
-        if (faulted)
+        CoreStats &cs = coreStats[core];
+        if (cs.faulted)
             return;
-        faulted = true;
-        faultSite = "core" + std::to_string(core) + " " + what +
-                    " on slice " + std::to_string(slice);
-        faultWhenNs = engine.now();
+        cs.faulted = true;
+        cs.faultSite = "core" + std::to_string(core) + " " + what +
+                       " on slice " + std::to_string(slice);
+        cs.faultWhenNs = engineOfCore(core).now();
     }
 
     /// Monitor hook before a blocking wait begins (no-op unattached).
@@ -240,15 +251,15 @@ struct RunContext
 
     /// Close a queue-full backpressure wait on the monitor.
     void
-    noteQueueWait(unsigned core, sim::SimTime t0)
+    noteQueueWait(unsigned core, sim::SimTime t0, sim::SimTime now)
     {
 #ifndef PGCN_NO_TELEMETRY
         if (monitor != nullptr) [[unlikely]]
-            monitor->endWait(core, sim::StallCause::QueueFull, t0,
-                             engine.now());
+            monitor->endWait(core, sim::StallCause::QueueFull, t0, now);
 #else
         (void)core;
         (void)t0;
+        (void)now;
 #endif
     }
 
@@ -355,15 +366,14 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
     const auto &offsets = ctx.csr.rowOffsets();
     const auto &cols = ctx.csr.cols();
 
-    if (ctx.faults != nullptr) [[unlikely]] {
-        if (ctx.faults->stuckCore()) {
-            // Stuck hardware context: the watchdog resets it before
-            // it can issue its first instruction.
-            const sim::SimTime t0 = ctx.engine.now();
-            ctx.beginWait(core, t0);
-            co_await eng.delay(ctx.faults->config().stuckResetNs);
-            ctx.noteStuckReset(core, t0);
-        }
+    if (!ctx.stuckAtStart.empty() && ctx.stuckAtStart[tid]) [[unlikely]] {
+        // Stuck hardware context: the watchdog resets it before it
+        // can issue its first instruction (hazard pre-drawn in tid
+        // order before the workers spawned).
+        const sim::SimTime t0 = eng.now();
+        ctx.beginWait(core, t0);
+        co_await eng.delay(ctx.faults->config().stuckResetNs);
+        ctx.noteStuckReset(core, t0, eng.now());
     }
 
     // Set when a memory access exhausts its retry budget: the thread
@@ -385,14 +395,14 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             const uint64_t line =
                 pgcn::splitMix64(probe_seed) % row_lines;
             const unsigned slice = ctx.lineSlice(line);
-            const sim::SimTime t0 = ctx.engine.now();
+            const sim::SimTime t0 = eng.now();
             ctx.beginWait(core, t0);
-            const MemoryAccess acc = ctx.memory.read(
+            const MemoryAccess acc = co_await ctx.memory.read(
                 core, slice, ctx.cfg.cacheLineBytes);
-            co_await ctx.awaitMem(core, slice, acc.responseAt);
-            const double waited = ctx.engine.now() - t0;
-            ctx.rowOffsetStallNs += waited;
-            ctx.noteMemWait(core, slice, t0, waited, acc.recoveryNs);
+            const double waited = eng.now() - t0;
+            ctx.coreStats[core].rowOffsetStallNs += waited;
+            ctx.noteMemWait(core, slice, t0, eng.now(), waited,
+                            acc.recoveryNs);
             if (acc.failed) [[unlikely]] {
                 ctx.recordFault("row-offset read", core, slice);
                 dead = true;
@@ -420,16 +430,16 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                 cur_nnz_line = line;
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
                 const unsigned slice = ctx.lineSlice(line);
-                const sim::SimTime t0 = ctx.engine.now();
+                const sim::SimTime t0 = eng.now();
                 ctx.beginWait(core, t0);
-                const MemoryAccess acc = ctx.memory.read(
+                const MemoryAccess acc = co_await ctx.memory.read(
                     core, slice, ctx.cfg.cacheLineBytes);
-                co_await ctx.awaitMem(core, slice, acc.responseAt);
-                const double waited = ctx.engine.now() - t0;
-                ctx.nnzStallNs += waited;
-                ctx.nnzLatencySum += waited;
-                ++ctx.nnzReads;
-                ctx.noteMemWait(core, slice, t0, waited,
+                const double waited = eng.now() - t0;
+                RunContext::CoreStats &cs = ctx.coreStats[core];
+                cs.nnzStallNs += waited;
+                cs.nnzLatencySum += waited;
+                ++cs.nnzReads;
+                ctx.noteMemWait(core, slice, t0, eng.now(), waited,
                                 acc.recoveryNs);
                 if (acc.failed) [[unlikely]] {
                     ctx.recordFault("nnz read", core, slice);
@@ -442,13 +452,13 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             // writeback descriptor), advance the row cursor.
             while (e >= offsets[u + 1]) {
                 co_await issue.transfer(ctx.cfg.issueCostPerDescriptor);
-                sim::SimTime t0 = ctx.engine.now();
+                sim::SimTime t0 = eng.now();
                 ctx.beginWait(core, t0);
                 co_await queue.push(DmaDescriptor{
                     DmaDescriptor::Op::WriteRow, ctx.rowSlice(u),
                     row_bytes});
-                ctx.dmaQueueStallNs += ctx.engine.now() - t0;
-                ctx.noteQueueWait(core, t0);
+                ctx.coreStats[core].dmaQueueStallNs += eng.now() - t0;
+                ctx.noteQueueWait(core, t0, eng.now());
                 ++u;
                 const uint64_t rl = (u + 1) / rows_per_line;
                 if (rl != cur_row_line) {
@@ -456,14 +466,13 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
                     co_await issue.transfer(
                         ctx.cfg.issueCostPerLineLoad);
                     const unsigned slice = ctx.lineSlice(rl);
-                    t0 = ctx.engine.now();
+                    t0 = eng.now();
                     ctx.beginWait(core, t0);
-                    const MemoryAccess acc = ctx.memory.read(
+                    const MemoryAccess acc = co_await ctx.memory.read(
                         core, slice, ctx.cfg.cacheLineBytes);
-                    co_await ctx.awaitMem(core, slice, acc.responseAt);
-                    const double waited = ctx.engine.now() - t0;
-                    ctx.rowOffsetStallNs += waited;
-                    ctx.noteMemWait(core, slice, t0, waited,
+                    const double waited = eng.now() - t0;
+                    ctx.coreStats[core].rowOffsetStallNs += waited;
+                    ctx.noteMemWait(core, slice, t0, eng.now(), waited,
                                     acc.recoveryNs);
                     if (acc.failed) [[unlikely]] {
                         ctx.recordFault("row-offset read", core, slice);
@@ -478,13 +487,13 @@ dmaThreadProc(RunContext &ctx, unsigned tid)
             // Emit the read-multiply-accumulate descriptor.
             co_await issue.transfer(ctx.cfg.issueCostPerEdge +
                                     ctx.cfg.issueCostPerDescriptor);
-            const sim::SimTime t0 = ctx.engine.now();
+            const sim::SimTime t0 = eng.now();
             ctx.beginWait(core, t0);
             co_await queue.push(DmaDescriptor{
                 DmaDescriptor::Op::ReadMulAcc, ctx.rowSlice(cols[e]),
                 row_bytes});
-            ctx.dmaQueueStallNs += ctx.engine.now() - t0;
-            ctx.noteQueueWait(core, t0);
+            ctx.coreStats[core].dmaQueueStallNs += eng.now() - t0;
+            ctx.noteQueueWait(core, t0, eng.now());
         }
 
         if (!dead) {
@@ -521,13 +530,11 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
     const auto &offsets = ctx.csr.rowOffsets();
     const auto &cols = ctx.csr.cols();
 
-    if (ctx.faults != nullptr) [[unlikely]] {
-        if (ctx.faults->stuckCore()) {
-            const sim::SimTime t0 = ctx.engine.now();
-            ctx.beginWait(core, t0);
-            co_await eng.delay(ctx.faults->config().stuckResetNs);
-            ctx.noteStuckReset(core, t0);
-        }
+    if (!ctx.stuckAtStart.empty() && ctx.stuckAtStart[tid]) [[unlikely]] {
+        const sim::SimTime t0 = eng.now();
+        ctx.beginWait(core, t0);
+        co_await eng.delay(ctx.faults->config().stuckResetNs);
+        ctx.noteStuckReset(core, t0, eng.now());
     }
 
     bool dead = false;
@@ -543,14 +550,14 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             const uint64_t line =
                 pgcn::splitMix64(probe_seed) % row_lines;
             const unsigned slice = ctx.lineSlice(line);
-            const sim::SimTime t0 = ctx.engine.now();
+            const sim::SimTime t0 = eng.now();
             ctx.beginWait(core, t0);
-            const MemoryAccess acc = ctx.memory.read(
+            const MemoryAccess acc = co_await ctx.memory.read(
                 core, slice, ctx.cfg.cacheLineBytes);
-            co_await ctx.awaitMem(core, slice, acc.responseAt);
-            const double waited = ctx.engine.now() - t0;
-            ctx.rowOffsetStallNs += waited;
-            ctx.noteMemWait(core, slice, t0, waited, acc.recoveryNs);
+            const double waited = eng.now() - t0;
+            ctx.coreStats[core].rowOffsetStallNs += waited;
+            ctx.noteMemWait(core, slice, t0, eng.now(), waited,
+                            acc.recoveryNs);
             if (acc.failed) [[unlikely]] {
                 ctx.recordFault("row-offset read", core, slice);
                 dead = true;
@@ -575,16 +582,16 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                 cur_nnz_line = line;
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
                 const unsigned slice = ctx.lineSlice(line);
-                const sim::SimTime t0 = ctx.engine.now();
+                const sim::SimTime t0 = eng.now();
                 ctx.beginWait(core, t0);
-                const MemoryAccess acc = ctx.memory.read(
+                const MemoryAccess acc = co_await ctx.memory.read(
                     core, slice, ctx.cfg.cacheLineBytes);
-                co_await ctx.awaitMem(core, slice, acc.responseAt);
-                const double waited = ctx.engine.now() - t0;
-                ctx.nnzStallNs += waited;
-                ctx.nnzLatencySum += waited;
-                ++ctx.nnzReads;
-                ctx.noteMemWait(core, slice, t0, waited,
+                const double waited = eng.now() - t0;
+                RunContext::CoreStats &cs = ctx.coreStats[core];
+                cs.nnzStallNs += waited;
+                cs.nnzLatencySum += waited;
+                ++cs.nnzReads;
+                ctx.noteMemWait(core, slice, t0, eng.now(), waited,
                                 acc.recoveryNs);
                 if (acc.failed) [[unlikely]] {
                     ctx.recordFault("nnz read", core, slice);
@@ -593,10 +600,15 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             }
 
             while (e >= offsets[u + 1]) {
-                // Atomic row writeback with posted remote stores.
+                // Atomic row writeback with posted remote stores: the
+                // thread never waits on it, so it is request-only
+                // traffic (an unrecoverable drop would have been lost
+                // silently here before PR 10 too — the accumulated
+                // row was already discarded).
                 co_await issue.transfer(
                     static_cast<double>(lines_per_row));
-                ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
+                ctx.memory.writeStripedPosted(core, ctx.rowSlice(u),
+                                              row_bytes);
                 ++u;
                 const uint64_t rl = (u + 1) / rows_per_line;
                 if (rl != cur_row_line) {
@@ -604,14 +616,13 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                     co_await issue.transfer(
                         ctx.cfg.issueCostPerLineLoad);
                     const unsigned slice = ctx.lineSlice(rl);
-                    const sim::SimTime t0 = ctx.engine.now();
+                    const sim::SimTime t0 = eng.now();
                     ctx.beginWait(core, t0);
-                    const MemoryAccess acc = ctx.memory.read(
+                    const MemoryAccess acc = co_await ctx.memory.read(
                         core, slice, ctx.cfg.cacheLineBytes);
-                    co_await ctx.awaitMem(core, slice, acc.responseAt);
-                    const double waited = ctx.engine.now() - t0;
-                    ctx.rowOffsetStallNs += waited;
-                    ctx.noteMemWait(core, slice, t0, waited,
+                    const double waited = eng.now() - t0;
+                    ctx.coreStats[core].rowOffsetStallNs += waited;
+                    ctx.noteMemWait(core, slice, t0, eng.now(), waited,
                                     acc.recoveryNs);
                     if (acc.failed) [[unlikely]] {
                         ctx.recordFault("row-offset read", core, slice);
@@ -629,7 +640,7 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
             // them.
             for (unsigned l = 0; l < lines_per_row; ++l) {
                 co_await issue.transfer(ctx.cfg.issueCostPerLineLoad);
-                const sim::SimTime t0 = ctx.engine.now();
+                const sim::SimTime t0 = eng.now();
                 const double chunk =
                     std::min<double>(ctx.cfg.cacheLineBytes,
                                      row_bytes -
@@ -645,12 +656,11 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                         ? (ctx.rowSlice(cols[e]) + l) % ctx.cfg.numCores
                         : ctx.rowSlice(cols[e]);
                 ctx.beginWait(core, t0);
-                const MemoryAccess acc =
+                const MemoryAccess acc = co_await
                     ctx.memory.readStriped(core, line_slice, chunk);
-                co_await ctx.awaitMem(core, line_slice, acc.responseAt);
-                const double waited = ctx.engine.now() - t0;
-                ctx.featureStallNs += waited;
-                ctx.noteMemWait(core, line_slice, t0, waited,
+                const double waited = eng.now() - t0;
+                ctx.coreStats[core].featureStallNs += waited;
+                ctx.noteMemWait(core, line_slice, t0, eng.now(), waited,
                                 acc.recoveryNs);
                 if (acc.failed) [[unlikely]] {
                     ctx.recordFault("feature read", core, line_slice);
@@ -662,16 +672,17 @@ loopUnrolledThreadProc(RunContext &ctx, unsigned tid)
                 break;
 
             // Scale-and-accumulate on the scalar pipeline.
-            const sim::SimTime t0 = ctx.engine.now();
+            const sim::SimTime t0 = eng.now();
             co_await issue.transfer(ctx.cfg.issueCostPerEdge +
                                     ctx.cfg.issueCostPerMac * ctx.k);
-            ctx.issueNs += ctx.engine.now() - t0;
+            ctx.coreStats[core].issueNs += eng.now() - t0;
         }
 
         if (!dead) {
             // Final row flush.
             co_await issue.transfer(static_cast<double>(lines_per_row));
-            ctx.memory.writeStriped(core, ctx.rowSlice(u), row_bytes);
+            ctx.memory.writeStripedPosted(core, ctx.rowSlice(u),
+                                          row_bytes);
         }
     }
 
@@ -709,17 +720,36 @@ attachRunGauges(RunContext &ctx, telemetry::Session &session)
                           return busy /
                                  static_cast<double>(ctx.mtpIssue.size());
                       });
+    // Shard-summing stall gauges: sessions force Sequenced mode, so
+    // sampling these mid-run never races a writer.
     reg.registerGauge("piuma.mtp.stall.nnz", telemetry::GaugeKind::Rate,
-                      [&ctx] { return ctx.nnzStallNs; });
+                      [&ctx] {
+                          double sum = 0.0;
+                          for (const auto &cs : ctx.coreStats)
+                              sum += cs.nnzStallNs;
+                          return sum;
+                      });
     reg.registerGauge("piuma.mtp.stall.row_offset",
-                      telemetry::GaugeKind::Rate,
-                      [&ctx] { return ctx.rowOffsetStallNs; });
+                      telemetry::GaugeKind::Rate, [&ctx] {
+                          double sum = 0.0;
+                          for (const auto &cs : ctx.coreStats)
+                              sum += cs.rowOffsetStallNs;
+                          return sum;
+                      });
     reg.registerGauge("piuma.mtp.stall.feature",
-                      telemetry::GaugeKind::Rate,
-                      [&ctx] { return ctx.featureStallNs; });
+                      telemetry::GaugeKind::Rate, [&ctx] {
+                          double sum = 0.0;
+                          for (const auto &cs : ctx.coreStats)
+                              sum += cs.featureStallNs;
+                          return sum;
+                      });
     reg.registerGauge("piuma.mtp.stall.dma_queue",
-                      telemetry::GaugeKind::Rate,
-                      [&ctx] { return ctx.dmaQueueStallNs; });
+                      telemetry::GaugeKind::Rate, [&ctx] {
+                          double sum = 0.0;
+                          for (const auto &cs : ctx.coreStats)
+                              sum += cs.dmaQueueStallNs;
+                          return sum;
+                      });
 }
 
 /** Publish the run's final aggregates as registry counters. */
@@ -760,9 +790,15 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     if (csr.numVertices() == 0)
         PGCN_THROW(ShapeError, "cannot simulate SpMM on an empty matrix");
 
-    const unsigned domain_count =
-        controls != nullptr ? std::max(1u, controls->domains) : 1;
-    RunContext ctx(csr, embedding_dim, cfg, domain_count);
+    // A telemetry session or monitor hub shares single-threaded
+    // geometry with the run; their presence downgrades Parallel mode
+    // (domainPlan warns when the request was explicit).
+    const bool sequenced_only =
+        session != nullptr ||
+        (controls != nullptr && controls->monitor != nullptr);
+    const sim::DomainSet::Options opts =
+        MemorySystem::domainPlan(cfg, controls, sequenced_only);
+    RunContext ctx(csr, embedding_dim, cfg, opts);
 
     if (controls != nullptr) {
         ctx.memory.setFaultInjector(controls->faults);
@@ -794,13 +830,21 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
         attachRunGauges(ctx, *session);
     }
 
+    // Pre-draw the stuck-core hazards in tid order while the main
+    // injector is still single-threaded: the run itself only ever
+    // touches forked per-entity streams, so Parallel mode never
+    // contends on shared generator state.
+    if (ctx.faults != nullptr) {
+        ctx.stuckAtStart.resize(cfg.totalThreads());
+        for (auto &s : ctx.stuckAtStart)
+            s = ctx.faults->stuckCore() ? 1 : 0;
+    }
+
     if (alg == SpmmAlgorithm::Dma) {
         ctx.dmaEngines.reserve(cfg.numCores);
         for (unsigned c = 0; c < cfg.numCores; ++c) {
             ctx.dmaEngines.emplace_back(ctx.engineOfCore(c), ctx.memory,
                                         cfg, c);
-            ctx.dmaEngines.back().bindDomains(&ctx.domains,
-                                              ctx.domainOfCore(c));
         }
         // Attach after every engine is emplaced: the gauges capture
         // `this`, which must not move again.
@@ -846,10 +890,20 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     // never throw through the engine (that would std::terminate), they
     // record the fault, bail, and let the entry point raise the typed
     // error here. The queues were drained on the way out, so there is
-    // no deadlock to race against.
-    if (ctx.faulted) {
+    // no deadlock to race against. The per-core fault shards reduce
+    // deterministically: earliest detection wins, ties to the lowest
+    // core — the same answer for every domain count and mode.
+    const RunContext::CoreStats *first_fault = nullptr;
+    for (const RunContext::CoreStats &cs : ctx.coreStats) {
+        if (!cs.faulted)
+            continue;
+        if (first_fault == nullptr ||
+            cs.faultWhenNs < first_fault->faultWhenNs)
+            first_fault = &cs;
+    }
+    if (first_fault != nullptr) {
         throw sim::SimFaultError(
-            ctx.faultSite, ctx.faultWhenNs,
+            first_fault->faultSite, first_fault->faultWhenNs,
             ctx.faults != nullptr ? ctx.faults->config().maxRetries + 1
                                   : 1);
     }
@@ -883,13 +937,25 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
             max_slice * static_cast<double>(ctx.memory.numSlices()) /
             stats.bytesServed;
     }
-    stats.nnzStallNs = ctx.nnzStallNs;
-    stats.rowOffsetStallNs = ctx.rowOffsetStallNs;
-    stats.featureStallNs = ctx.featureStallNs;
-    stats.dmaQueueStallNs = ctx.dmaQueueStallNs;
-    stats.issueNs = ctx.issueNs;
-    stats.stallMemoryNs = ctx.stallMemNs;
-    stats.stallNetworkNs = ctx.stallNetNs;
+    // Reduce the per-core shards in core-index order (a fixed-order
+    // sum, so the floating-point result is domain/mode-invariant).
+    double nnz_latency_sum = 0.0;
+    uint64_t nnz_reads = 0;
+    double recovery_stall = 0.0;
+    uint64_t stuck_resets = 0;
+    for (const RunContext::CoreStats &cs : ctx.coreStats) {
+        stats.nnzStallNs += cs.nnzStallNs;
+        stats.rowOffsetStallNs += cs.rowOffsetStallNs;
+        stats.featureStallNs += cs.featureStallNs;
+        stats.dmaQueueStallNs += cs.dmaQueueStallNs;
+        stats.issueNs += cs.issueNs;
+        stats.stallMemoryNs += cs.stallMemNs;
+        stats.stallNetworkNs += cs.stallNetNs;
+        nnz_latency_sum += cs.nnzLatencySum;
+        nnz_reads += cs.nnzReads;
+        recovery_stall += cs.recoveryStallNs;
+        stuck_resets += cs.stuckResets;
+    }
     if (makespan > 0.0) {
         double issue_busy = 0.0;
         for (const auto &r : ctx.mtpIssue)
@@ -906,10 +972,10 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
                 (static_cast<double>(ctx.dmaEngines.size()) * makespan);
         }
     }
-    stats.criticalPathEvents = ctx.engine.criticalPathEvents();
+    stats.criticalPathEvents = ctx.domains.criticalPathEvents();
     stats.criticalPathParallelism =
         stats.criticalPathEvents > 0
-            ? static_cast<double>(ctx.engine.eventsProcessed()) /
+            ? static_cast<double>(ctx.domains.eventsProcessed()) /
                   static_cast<double>(stats.criticalPathEvents)
             : 0.0;
 #ifndef PGCN_NO_TELEMETRY
@@ -920,10 +986,10 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
         stats.exposedStallNs = rep.exposedStallNs;
     }
 #endif
-    stats.nnzReads = ctx.nnzReads;
+    stats.nnzReads = nnz_reads;
     stats.avgNnzLatencyNs =
-        ctx.nnzReads ? ctx.nnzLatencySum / static_cast<double>(ctx.nnzReads)
-                     : 0.0;
+        nnz_reads ? nnz_latency_sum / static_cast<double>(nnz_reads)
+                  : 0.0;
     for (const auto &engine : ctx.dmaEngines)
         stats.dmaDescriptors += engine.stats().descriptors;
     // Recovery accounting: memory counters own transaction-level
@@ -933,8 +999,8 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     // invariant bytesServed == goodputBytes + retriedBytes is what
     // the soak test pins.
     stats.retries = ctx.memory.retries();
-    stats.timeoutsFired = ctx.memory.timeoutsFired() + ctx.stuckResets;
-    stats.recoveryNs = ctx.recoveryStallNs;
+    stats.timeoutsFired = ctx.memory.timeoutsFired() + stuck_resets;
+    stats.recoveryNs = recovery_stall + ctx.memory.postedRecoveryNs();
     for (const auto &engine : ctx.dmaEngines) {
         stats.retries += engine.stats().retries;
         stats.timeoutsFired += engine.stats().timeoutsFired;
@@ -942,12 +1008,12 @@ simulateSpmm(const Csr &csr, unsigned embedding_dim, const PiumaConfig &cfg,
     }
     stats.retriedBytes = ctx.memory.retriedBytes();
     stats.goodputBytes = stats.bytesRead + stats.bytesWritten;
-    stats.stuckResets = ctx.stuckResets;
-    stats.simEvents = ctx.engine.eventsProcessed();
+    stats.stuckResets = stuck_resets;
+    stats.simEvents = ctx.domains.eventsProcessed();
     stats.wallSeconds = wall;
     stats.eventsPerSec =
         wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
-    stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
+    stats.peakEventQueueDepth = ctx.domains.peakQueueDepth();
 
     if (session != nullptr) {
         publishRunCounters(stats, session->registry());

@@ -20,7 +20,8 @@ namespace {
 struct WalkContext
 {
     WalkContext(const Csr &csr_in, const PiumaConfig &cfg_in)
-        : csr(csr_in), cfg(cfg_in), memory(engine, cfg_in)
+        : engine(domains.engine(0)), csr(csr_in), cfg(cfg_in),
+          memory(domains, cfg_in)
     {
         const unsigned total_mtps = cfg.numCores * cfg.mtpsPerCore;
         mtpIssue.reserve(total_mtps);
@@ -28,7 +29,10 @@ struct WalkContext
             mtpIssue.emplace_back(engine, cfg.clockGhz);
     }
 
-    sim::Engine engine;
+    /// Single-domain set (the walk microbenchmark has no sharding
+    /// knob); the memory protocol routes its events through it.
+    sim::DomainSet domains{1u};
+    sim::Engine &engine;
     const Csr &csr;
     const PiumaConfig &cfg;
     MemorySystem memory;
@@ -75,9 +79,8 @@ walkThreadProc(WalkContext &ctx, unsigned tid, uint64_t walk_begin,
             // not pay line-fill bandwidth).
             co_await issue.transfer(2.0);
             const uint64_t off_line = v / rows_per_line;
-            auto acc =
-                ctx.memory.read(core, ctx.lineSlice(off_line), 16.0);
-            co_await ctx.engine.delayUntil(acc.responseAt);
+            MemoryAccess acc = co_await ctx.memory.read(
+                core, ctx.lineSlice(off_line), 16.0);
 
             const EdgeId deg = offsets[v + 1] - offsets[v];
             if (deg == 0) {
@@ -89,9 +92,8 @@ walkThreadProc(WalkContext &ctx, unsigned tid, uint64_t walk_begin,
                 const EdgeId e = offsets[v] + rng.uniformInt(deg);
                 co_await issue.transfer(2.0);
                 const uint64_t col_line = e / edges_per_line;
-                acc = ctx.memory.read(core, ctx.lineSlice(col_line),
-                                      8.0);
-                co_await ctx.engine.delayUntil(acc.responseAt);
+                acc = co_await ctx.memory.read(
+                    core, ctx.lineSlice(col_line), 8.0);
                 v = cols[e];
             }
             ++ctx.stepsDone;
@@ -123,7 +125,7 @@ simulateRandomWalk(const Csr &csr, uint64_t num_walks,
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const sim::SimTime makespan = ctx.engine.run();
+    const sim::SimTime makespan = ctx.domains.run();
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
@@ -138,11 +140,11 @@ simulateRandomWalk(const Csr &csr, uint64_t num_walks,
                             static_cast<double>(ctx.stepsDone)
                       : 0.0;
     stats.memUtilization = ctx.memory.averageSliceUtilization(makespan);
-    stats.simEvents = ctx.engine.eventsProcessed();
+    stats.simEvents = ctx.domains.eventsProcessed();
     stats.wallSeconds = wall;
     stats.eventsPerSec =
         wall > 0.0 ? static_cast<double>(stats.simEvents) / wall : 0.0;
-    stats.peakEventQueueDepth = ctx.engine.peakQueueDepth();
+    stats.peakEventQueueDepth = ctx.domains.peakQueueDepth();
     return stats;
 }
 

@@ -129,7 +129,34 @@ DomainSet::post(unsigned src_domain, unsigned dst_domain, SimTime when,
     const unsigned d = domains();
     boxes_[static_cast<size_t>(src_domain) * d + dst_domain].push(
         Msg{when, src_domain, postSeq_[src_domain]++,
-            src.ctx_->curDepth + 1, std::move(fn)});
+            src.ctx_->curDepth + 1, 0, std::move(fn)});
+    ++crossPosts_[src_domain];
+}
+
+void
+DomainSet::postKeyed(unsigned src_domain, unsigned dst_domain,
+                     SimTime when, uint64_t keyed_seq,
+                     std::function<void()> fn)
+{
+    PGCN_ASSERT(keyed_seq >= kSeqBandRequest,
+                "keyed post without a band bit (seq=" << keyed_seq << ")");
+    if (mode_ == Mode::Sequenced || src_domain == dst_domain) {
+        Engine &e = engine(dst_domain);
+        e.injectKeyed(when, e.internCallback(std::move(fn)), keyed_seq,
+                      e.ctx_->curDepth + 1);
+        if (src_domain != dst_domain)
+            ++crossPosts_[src_domain];
+        return;
+    }
+    Engine &src = engine(src_domain);
+    PGCN_ASSERT(when + 1e-9 >= src.now() + lookaheadNs_,
+                "keyed cross-domain post at t="
+                    << when << " violates lookahead " << lookaheadNs_
+                    << " (src clock t=" << src.now() << ")");
+    const unsigned d = domains();
+    boxes_[static_cast<size_t>(src_domain) * d + dst_domain].push(
+        Msg{when, src_domain, postSeq_[src_domain]++,
+            src.ctx_->curDepth + 1, keyed_seq, std::move(fn)});
     ++crossPosts_[src_domain];
 }
 
@@ -154,9 +181,19 @@ DomainSet::drainInbox(unsigned dst, std::vector<Msg> &scratch)
                   return a.srcSeq < b.srcSeq;
               });
     Engine &e = engine(dst);
-    for (Msg &m : scratch)
-        e.injectAbsolute(m.when, e.internCallback(std::move(m.fn)),
-                         m.depth);
+    for (Msg &m : scratch) {
+        // A keyed message carries its own (band, entity, stamp) sort
+        // key; an unkeyed one takes a fresh engine sequence number, so
+        // its injection order here (the sort above) is its dispatch
+        // tiebreak.
+        if (m.keyedSeq != 0) {
+            e.injectKeyed(m.when, e.internCallback(std::move(m.fn)),
+                          m.keyedSeq, m.depth);
+        } else {
+            e.injectAbsolute(m.when, e.internCallback(std::move(m.fn)),
+                             m.depth);
+        }
+    }
 }
 
 void
@@ -345,6 +382,28 @@ DomainSet::eventsProcessed() const
     for (const auto &e : engines_)
         total += e->eventsProcessed();
     return total;
+}
+
+uint64_t
+DomainSet::criticalPathEvents() const
+{
+    if (mode_ == Mode::Sequenced)
+        return shared_.maxDepth;
+    uint64_t depth = 0;
+    for (const auto &e : engines_)
+        depth = std::max(depth, e->criticalPathEvents());
+    return depth;
+}
+
+size_t
+DomainSet::peakQueueDepth() const
+{
+    if (mode_ == Mode::Sequenced)
+        return shared_.peakQueueDepth;
+    size_t peak = 0;
+    for (const auto &e : engines_)
+        peak = std::max(peak, e->peakQueueDepth());
+    return peak;
 }
 
 uint64_t

@@ -36,16 +36,22 @@
  *    participating in the barriers — the null-message/idle-advance
  *    path — so a neighbor going quiet can never deadlock the set.
  *
- * Why the PIUMA model uses Sequenced mode: MemorySystem::accessFor
- * resolves DRAM-slice and network-port bandwidth reservations
- * *synchronously at issue time* (the PR 8 recovery protocol depends
- * on this), which is a zero-lookahead coupling between any two
- * domains that share a resource. True parallel execution would have
- * to either break bit-identity or serialize on every access — so the
- * model keeps the sequenced merge (same event count, same output
- * bytes) and the Parallel mode serves message-coupled workloads
- * whose cross-domain interactions all carry real latency. See
- * DESIGN.md §15 for the full argument.
+ * When the PIUMA model runs Parallel: since the memory system moved
+ * to a two-phase request/response protocol (PR 10), every
+ * cross-domain interaction is a posted event bearing real modeled
+ * latency — the DGAS network hop on requests and responses, the
+ * timeout margin on failure notices — so the model's lookahead bound
+ * (MemorySystem::modelLookaheadNs) is positive and Parallel mode is
+ * legal. Bit-identity across modes *and* domain counts rests on
+ * *keyed sequence numbers*: requests and responses carry canonical
+ * (band, entity, stamp) sort keys assigned from per-entity counters
+ * (kSeqBandRequest / kSeqBandResponse below), so the dispatch order
+ * at equal timestamps is a property of the messages themselves, not
+ * of which counter happened to stamp them. Ordinary events keep
+ * their small engine-local sequence numbers and therefore always
+ * dispatch before keyed messages at the same timestamp — a uniform
+ * rule both modes share. See DESIGN.md §15 for the lookahead-bound
+ * derivation and the auto-mode rules.
  */
 #ifndef PGCN_SIM_DOMAIN_HPP
 #define PGCN_SIM_DOMAIN_HPP
@@ -59,6 +65,41 @@
 #include "sim/engine.hpp"
 
 namespace pgcn::sim {
+
+/**
+ * Canonical sequence-key bands for keyed cross-domain messages.
+ * Engine-local sequence counters never reach 2^62 in practice, so:
+ *
+ *   band 0 (seq < 2^62)  — ordinary events; dispatch first at equal
+ *                          timestamps, ordered by their engine-local
+ *                          creation order (identical in both modes);
+ *   kSeqBandRequest      — memory request arrivals, keyed by
+ *                          (requester entity, per-entity stamp): the
+ *                          arrival-order arbitration rule;
+ *   kSeqBandResponse     — responses / failure notices, keyed by
+ *                          (serving entity, per-entity stamp).
+ *
+ * Retried requests re-carry their original key, giving an in-flight
+ * retry arbitration priority over fresher requests that arrive at
+ * the same instant (attempts of one request are serial in time, so a
+ * key is never pending twice).
+ */
+constexpr uint64_t kSeqBandRequest = uint64_t{1} << 62;
+constexpr uint64_t kSeqBandResponse = uint64_t{1} << 63;
+/// Entity id field width: bits [kSeqEntityShift, 62) — 2^18 entities.
+constexpr unsigned kSeqEntityShift = 44;
+
+/** Compose a keyed sequence number: band | entity | stamp. */
+inline uint64_t
+makeKeyedSeq(uint64_t band, unsigned entity, uint64_t stamp)
+{
+    PGCN_ASSERT(entity < (1u << (62 - kSeqEntityShift)),
+                "keyed-seq entity " << entity << " out of range");
+    PGCN_ASSERT(stamp < (uint64_t{1} << kSeqEntityShift),
+                "keyed-seq stamp overflow");
+    return band | (static_cast<uint64_t>(entity) << kSeqEntityShift) |
+           stamp;
+}
 
 /**
  * A set of event domains simulating one machine. Owns one Engine per
@@ -190,6 +231,29 @@ class DomainSet
               std::function<void()> fn);
 
     /**
+     * Deliver @p fn to domain @p dst_domain at absolute time @p when
+     * carrying the canonical sequence key @p keyed_seq (see the band
+     * constants above). Unlike post(), whose events are stamped with
+     * fresh engine sequence numbers at injection, a keyed message's
+     * equal-timestamp dispatch order is decided by the carried key —
+     * identical in Sequenced and Parallel mode by construction. Same
+     * thread/lookahead rules as post().
+     */
+    void postKeyed(unsigned src_domain, unsigned dst_domain, SimTime when,
+                   uint64_t keyed_seq, std::function<void()> fn);
+
+    /**
+     * File a delayUntil-replica wake for @p h in domain @p dom at
+     * absolute time @p when (must be strictly after dom's clock).
+     * A self-post: usable from dom's own thread in any mode.
+     */
+    void
+    wakeAt(unsigned dom, SimTime when, std::coroutine_handle<> h)
+    {
+        postWake(dom, dom, when, h);
+    }
+
+    /**
      * Arm watchdog budgets. Sequenced mode arms the shared block
      * (any domain's dispatch can trip it); Parallel mode arms every
      * domain independently.
@@ -210,6 +274,23 @@ class DomainSet
     uint64_t eventsProcessed() const;
 
     /**
+     * Longest dependency chain dispatched anywhere in the set (the
+     * event-graph critical path). Every message carries its depth
+     * across domain boundaries, so the value is identical in
+     * Sequenced and Parallel mode.
+     */
+    uint64_t criticalPathEvents() const;
+
+    /**
+     * High-water mark of pending events. In Sequenced mode this is
+     * the shared block's global peak (bit-identical across domain
+     * counts); in Parallel mode the maximum per-domain peak — a
+     * host-scheduling-dependent quantity, deliberately excluded from
+     * cross-mode differential checks.
+     */
+    size_t peakQueueDepth() const;
+
+    /**
      * Cross-domain wakes and posts delivered so far. Deliberately
      * kept out of SpmmRunStats and telemetry counters: it depends on
      * the domain count, and everything in those channels must be
@@ -225,6 +306,7 @@ class DomainSet
         unsigned srcDomain;
         uint64_t srcSeq; ///< per-source post counter: the merge tiebreak
         uint32_t depth;
+        uint64_t keyedSeq; ///< carried sequence key; 0 = unkeyed post
         std::function<void()> fn;
     };
 

@@ -781,6 +781,29 @@ class Engine
     }
 
     /**
+     * File an event at absolute time @p when carrying a
+     * *caller-chosen* sequence number — the keyed-message path
+     * (DomainSet::postKeyed). Banded keys (sim/domain.hpp) make the
+     * equal-timestamp dispatch order a property of the message itself
+     * instead of the scheduling history, which is what keeps the
+     * sequenced merge and the threaded Parallel mode bit-identical
+     * for the memory request/response protocol. Always files into
+     * the far wheel: the now queue's FIFO is only correct when seq
+     * order equals insertion order, which carried keys deliberately
+     * violate (farPush pulls the dispatch cursor back for when==now).
+     */
+    void
+    injectKeyed(SimTime when, Payload p, uint64_t seq, uint32_t depth)
+    {
+        PGCN_ASSERT(when >= ctx_->now,
+                    "keyed event at t=" << when
+                        << " is behind the clock t=" << ctx_->now);
+        farPush(Key{when, seq}, p, depth);
+        ++ctx_->pending;
+        ctx_->peakQueueDepth = std::max(ctx_->peakQueueDepth, ctx_->pending);
+    }
+
+    /**
      * Sort key of this engine's earliest local event (now queue vs far
      * wheel). Requires hasPending().
      */

@@ -19,6 +19,7 @@
 #ifndef PGCN_SIM_FAULT_HPP
 #define PGCN_SIM_FAULT_HPP
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -133,11 +134,15 @@ struct FaultConfig
     }
 };
 
+class FaultStream;
+
 /**
- * The seeded perturbation stream. One injector is shared by all hooks
- * of one simulation run; draws are consumed in deterministic model
- * order (the engine is single-threaded), so a given (seed, workload)
- * pair always produces the same perturbed timings.
+ * The seeded perturbation stream. One injector is shared by the
+ * single-threaded hooks of one simulation run (pre-run stuck-core
+ * draws, the dense/walk models); the sharded memory/DMA paths fork
+ * per-entity FaultStream children instead (see fork()), so that each
+ * event domain consumes only its own streams and the draw order is
+ * independent of the domain count and execution mode.
  */
 class FaultInjector
 {
@@ -153,8 +158,14 @@ class FaultInjector
     /** The active configuration. */
     const FaultConfig &config() const { return cfg_; }
 
-    /** Perturbation draws consumed so far. */
-    uint64_t draws() const { return draws_; }
+    /** Perturbation draws consumed so far, across every forked
+     * per-entity stream (relaxed tally; the total is deterministic,
+     * only the interleaving of increments is not). */
+    uint64_t
+    draws() const
+    {
+        return draws_ + childDraws_.load(std::memory_order_relaxed);
+    }
 
     /** Perturbed DRAM access latency. */
     double
@@ -204,6 +215,16 @@ class FaultInjector
 
     /** Is this hardware context stuck at start (watchdog reset)? */
     bool stuckCore() { return bernoulli(cfg_.stuckCoreRate); }
+
+    /**
+     * Derive an independent per-entity draw stream. The child's state
+     * depends only on (seed, salt), never on how many draws the parent
+     * or any sibling has consumed — the property that makes sharded
+     * fault draws invariant across domain counts and execution modes.
+     * Salts must be unique per (entity, draw-site class); see
+     * piuma/memory.cpp for the salt layout the model uses.
+     */
+    FaultStream fork(uint64_t salt) const;
 
     /**
      * Backoff before re-issue number @p attempt (0-based): exponential
@@ -256,6 +277,149 @@ class FaultInjector
     FaultConfig cfg_;
     uint64_t state_;
     uint64_t draws_ = 0;
+    /// Draws consumed by forked FaultStreams (see fork()); mutable +
+    /// atomic because fork() is const and streams draw from their
+    /// owning domains' threads in Parallel mode.
+    mutable std::atomic<uint64_t> childDraws_{0};
+};
+
+/**
+ * A forked per-entity perturbation stream (see FaultInjector::fork).
+ * Holds a reference to the parent's configuration plus its own
+ * splitmix64 state; draw semantics match the parent exactly. One
+ * stream is owned and consumed by exactly one event domain, so the
+ * sharded model never races on draw state and every stream's sequence
+ * depends only on that entity's own deterministic dispatch order.
+ */
+class FaultStream
+{
+  public:
+    FaultStream(const FaultConfig &cfg, uint64_t state,
+                std::atomic<uint64_t> *draw_tally = nullptr)
+        : cfg_(&cfg), state_(state), drawTally_(draw_tally)
+    {
+        next(); // decorrelate small/nearby fork salts
+    }
+
+    const FaultConfig &config() const { return *cfg_; }
+
+    /** Perturbed DRAM access latency. */
+    double dramLatency(double ns) { return jitter(ns, cfg_->dramLatencyJitter); }
+
+    /** Perturbed bandwidth service duration (slice or port). */
+    double
+    serviceDuration(double ns)
+    {
+        return jitter(ns, cfg_->serviceRateJitter);
+    }
+
+    /** Perturbed remote-network one-way latency. */
+    double
+    networkLatency(double ns)
+    {
+        return jitter(ns, cfg_->networkLatencyJitter);
+    }
+
+    /** Perturbed DMA descriptor dispatch overhead. */
+    double dmaOverhead(double ns) { return jitter(ns, cfg_->dmaOverheadJitter); }
+
+    /** Did a memory transaction lose its response? (See parent.) */
+    bool
+    dropTransaction(bool remote)
+    {
+        bool dropped = bernoulli(cfg_->dramDropRate);
+        if (remote)
+            dropped = bernoulli(cfg_->netDropRate) || dropped;
+        return dropped;
+    }
+
+    /** Did a DMA descriptor fault on fetch/execution? */
+    bool dropDescriptor() { return bernoulli(cfg_->dmaDropRate); }
+
+    /** Backoff before re-issue @p attempt; same policy as the parent. */
+    double
+    backoffDelay(unsigned attempt) const
+    {
+        const double scale =
+            static_cast<double>(uint64_t{1} << (attempt < 32 ? attempt : 32));
+        return cfg_->backoffNs * scale;
+    }
+
+  private:
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        tally();
+        return nextUnit() < p;
+    }
+
+    double
+    jitter(double v, double j)
+    {
+        if (j <= 0.0)
+            return v;
+        tally();
+        const double u = 2.0 * nextUnit() - 1.0;
+        return v * (1.0 + j * u);
+    }
+
+    void
+    tally()
+    {
+        if (drawTally_ != nullptr)
+            drawTally_->fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    double nextUnit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    const FaultConfig *cfg_;
+    uint64_t state_;
+    std::atomic<uint64_t> *drawTally_;
+};
+
+inline FaultStream
+FaultInjector::fork(uint64_t salt) const
+{
+    // Mix seed and salt through one splitmix step so children of
+    // adjacent salts (entity ids) start decorrelated. Independent of
+    // state_: forking never consumes parent draws.
+    uint64_t z = cfg_.seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return FaultStream(cfg_, z ^ (z >> 31), &childDraws_);
+}
+
+/**
+ * How a sharded model run executes its event domains. Mirrors
+ * DomainSet::Mode plus an Auto policy; defined here (not in
+ * domain.hpp) so SimControls stays includable without the DomainSet
+ * machinery.
+ */
+enum class DomainMode
+{
+    /// Deterministic single-threaded K-way merge (the bit-identity
+    /// oracle; output identical to a serial engine).
+    Sequenced,
+    /// One thread per domain under conservative-lookahead windows.
+    /// Requires the model's lookahead bound to be positive; results
+    /// are bit-identical to Sequenced by the keyed-seq construction.
+    Parallel,
+    /// Pick per run: Parallel when the lookahead bound is positive,
+    /// more than one domain is in play, and no sequenced-only
+    /// attachment (telemetry session / monitor hub) is present;
+    /// Sequenced otherwise.
+    Auto,
 };
 
 /**
@@ -273,8 +437,12 @@ struct SimControls
     /// calls MonitorHub::beginRun and wires every resource itself.
     MonitorHub *monitor = nullptr;
     /// Event domains to shard the simulated machine into (>= 1).
+    /// 0 means "auto": derive the count from the simulated core count
+    /// and the host's hardware concurrency (see DESIGN.md §15).
     /// Output is bit-identical for any value (see sim/domain.hpp).
     unsigned domains = 1;
+    /// Execution mode for the domain set (see DomainMode).
+    DomainMode domainMode = DomainMode::Sequenced;
 };
 
 } // namespace pgcn::sim

@@ -75,13 +75,13 @@ TEST(Determinism, GoldenDmaSpmm)
     const SpmmRunStats s =
         simulateSpmm(csr, 16, twoCores(), SpmmAlgorithm::Dma);
 
-    EXPECT_DOUBLE_EQ(s.makespanNs, 10732.8571428572);
-    EXPECT_EQ(s.simEvents, 14444u);
+    EXPECT_DOUBLE_EQ(s.makespanNs, 10712.857142857198);
+    EXPECT_EQ(s.simEvents, 22697u);
     EXPECT_EQ(s.dmaDescriptors, 3142u);
-    EXPECT_DOUBLE_EQ(s.nnzStallNs, 444798.86607144319);
-    EXPECT_DOUBLE_EQ(s.rowOffsetStallNs, 325573.85714286141);
+    EXPECT_DOUBLE_EQ(s.nnzStallNs, 444165.11607144284);
+    EXPECT_DOUBLE_EQ(s.rowOffsetStallNs, 323628.40178571834);
     EXPECT_DOUBLE_EQ(s.featureStallNs, 0.0);
-    EXPECT_DOUBLE_EQ(s.dmaQueueStallNs, 223379.10714288783);
+    EXPECT_DOUBLE_EQ(s.dmaQueueStallNs, 231330.3839286021);
     EXPECT_DOUBLE_EQ(s.issueNs, 0.0);
     EXPECT_DOUBLE_EQ(s.bytesRead, 274048.0);
     EXPECT_DOUBLE_EQ(s.bytesWritten, 23936.0);
@@ -94,10 +94,10 @@ TEST(Determinism, GoldenLoopUnrolledSpmm)
     const SpmmRunStats s =
         simulateSpmm(csr, 8, twoCores(), SpmmAlgorithm::LoopUnrolled);
 
-    EXPECT_DOUBLE_EQ(s.makespanNs, 7286.7142857139115);
-    EXPECT_EQ(s.simEvents, 11706u);
-    EXPECT_DOUBLE_EQ(s.nnzStallNs, 77743.714285708033);
-    EXPECT_DOUBLE_EQ(s.featureStallNs, 471508.42857138568);
+    EXPECT_DOUBLE_EQ(s.makespanNs, 7327.1428571425176);
+    EXPECT_EQ(s.simEvents, 16987u);
+    EXPECT_DOUBLE_EQ(s.nnzStallNs, 76212.714285708993);
+    EXPECT_DOUBLE_EQ(s.featureStallNs, 464774.14285710535);
 }
 
 // Golden 3: the random-walk program (latency-bound pointer chasing).
@@ -107,8 +107,8 @@ TEST(Determinism, GoldenRandomWalk)
     const graph::Csr csr = goldenGraph(9, 4000, 31);
     const WalkRunStats s = simulateRandomWalk(csr, 128, 8, twoCores(), 5);
 
-    EXPECT_DOUBLE_EQ(s.makespanNs, 1506.42857142857);
-    EXPECT_EQ(s.simEvents, 4096u);
+    EXPECT_DOUBLE_EQ(s.makespanNs, 1499.5714285714287);
+    EXPECT_EQ(s.simEvents, 5113u);
     EXPECT_EQ(s.totalSteps, 1024u);
 }
 
@@ -117,8 +117,8 @@ TEST(Determinism, GoldenDenseMm)
 {
     const DenseRunStats s = simulateDenseMm(1u << 10, 64, 64, twoCores());
 
-    EXPECT_DOUBLE_EQ(s.makespanNs, 263433.14285714284);
-    EXPECT_EQ(s.simEvents, 2048u);
+    EXPECT_DOUBLE_EQ(s.makespanNs, 263473.14285714284);
+    EXPECT_EQ(s.simEvents, 4096u);
 }
 
 } // namespace

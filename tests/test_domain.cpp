@@ -35,8 +35,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <thread>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -49,6 +51,7 @@
 #include "graph/generators.hpp"
 #include "graph/normalize.hpp"
 #include "parallel/sweep_runner.hpp"
+#include "piuma/memory.hpp"
 #include "piuma/spmm_programs.hpp"
 #include "sim/domain.hpp"
 #include "sim/queue.hpp"
@@ -81,11 +84,13 @@ SpmmRunStats
 runSharded(const graph::Csr &csr, unsigned k, const PiumaConfig &cfg,
            SpmmAlgorithm alg, unsigned domains,
            const FaultConfig *fault_cfg = nullptr,
-           telemetry::Session *session = nullptr)
+           telemetry::Session *session = nullptr,
+           DomainMode mode = DomainMode::Sequenced)
 {
     std::optional<FaultInjector> faults;
     SimControls controls;
     controls.domains = domains;
+    controls.domainMode = mode;
     if (fault_cfg != nullptr) {
         faults.emplace(*fault_cfg);
         controls.faults = &*faults;
@@ -96,10 +101,15 @@ runSharded(const graph::Csr &csr, unsigned k, const PiumaConfig &cfg,
 /**
  * Every deterministic SpmmRunStats field must match bit for bit
  * (EXPECT_EQ on double is exact equality, not a tolerance). Only the
- * host-measured fields (wallSeconds, eventsPerSec) are exempt.
+ * host-measured fields (wallSeconds, eventsPerSec) are exempt —
+ * plus, when @p same_mode is false, peakEventQueueDepth: Parallel
+ * mode snapshots queue depths per worker round, so its peak is a
+ * wall-clock artifact, not a simulated result (everything else,
+ * including the event count and critical path, must still agree).
  */
 void
-expectStatsIdentical(const SpmmRunStats &a, const SpmmRunStats &b)
+expectStatsIdentical(const SpmmRunStats &a, const SpmmRunStats &b,
+                     bool same_mode = true)
 {
     EXPECT_EQ(a.makespanNs, b.makespanNs);
     EXPECT_EQ(a.flop, b.flop);
@@ -138,7 +148,9 @@ expectStatsIdentical(const SpmmRunStats &a, const SpmmRunStats &b)
     EXPECT_EQ(a.goodputBytes, b.goodputBytes);
     EXPECT_EQ(a.retriedBytes, b.retriedBytes);
     EXPECT_EQ(a.recoveryNs, b.recoveryNs);
-    EXPECT_EQ(a.peakEventQueueDepth, b.peakEventQueueDepth);
+    if (same_mode) {
+        EXPECT_EQ(a.peakEventQueueDepth, b.peakEventQueueDepth);
+    }
 }
 
 std::string
@@ -160,13 +172,13 @@ TEST(DomainSequenced, GoldenDmaSpmmAtFourDomains)
     const SpmmRunStats s =
         runSharded(csr, 16, twoCores(), SpmmAlgorithm::Dma, 4);
 
-    EXPECT_DOUBLE_EQ(s.makespanNs, 10732.8571428572);
-    EXPECT_EQ(s.simEvents, 14444u);
+    EXPECT_DOUBLE_EQ(s.makespanNs, 10712.857142857198);
+    EXPECT_EQ(s.simEvents, 22697u);
     EXPECT_EQ(s.dmaDescriptors, 3142u);
-    EXPECT_DOUBLE_EQ(s.nnzStallNs, 444798.86607144319);
-    EXPECT_DOUBLE_EQ(s.rowOffsetStallNs, 325573.85714286141);
+    EXPECT_DOUBLE_EQ(s.nnzStallNs, 444165.11607144284);
+    EXPECT_DOUBLE_EQ(s.rowOffsetStallNs, 323628.40178571834);
     EXPECT_DOUBLE_EQ(s.featureStallNs, 0.0);
-    EXPECT_DOUBLE_EQ(s.dmaQueueStallNs, 223379.10714288783);
+    EXPECT_DOUBLE_EQ(s.dmaQueueStallNs, 231330.3839286021);
     EXPECT_DOUBLE_EQ(s.issueNs, 0.0);
     EXPECT_DOUBLE_EQ(s.bytesRead, 274048.0);
     EXPECT_DOUBLE_EQ(s.bytesWritten, 23936.0);
@@ -398,6 +410,208 @@ TEST(DomainSoak, ComposesWithParallelSweepJobs)
     const std::string serial = sweepBytes(1, 1);
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, sweepBytes(4, 4));
+}
+
+// ---------------------------------------------------------------------------
+// 2b. Parallel domain mode on the PIUMA model itself
+//
+// The latency-bearing memory response path makes every cross-domain
+// event carry at least MemorySystem::modelLookaheadNs() of simulated
+// latency, so the threaded Parallel mode is legal for the full model.
+// These differentials are the proof obligation: Parallel must agree
+// with the Sequenced oracle on every deterministic stat, clean and
+// under the full fault machinery, at every domain count.
+
+TEST(DomainModeParallel, BitIdenticalToSequencedAcrossDomainCounts)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    PiumaConfig cfg;
+    cfg.numCores = 8; // so 2, 4, and 8 domains all shard for real
+    for (const SpmmAlgorithm alg :
+         {SpmmAlgorithm::Dma, SpmmAlgorithm::LoopUnrolled}) {
+        const unsigned k = alg == SpmmAlgorithm::Dma ? 16u : 8u;
+        const SpmmRunStats serial = runSharded(csr, k, cfg, alg, 1);
+        for (const unsigned d : {2u, 4u, 8u}) {
+            SCOPED_TRACE("alg=" + std::string(spmmAlgorithmName(alg)) +
+                         " domains=" + std::to_string(d));
+            const SpmmRunStats seq = runSharded(csr, k, cfg, alg, d);
+            const SpmmRunStats par =
+                runSharded(csr, k, cfg, alg, d, nullptr, nullptr,
+                           DomainMode::Parallel);
+            expectStatsIdentical(serial, seq);
+            expectStatsIdentical(seq, par, /*same_mode=*/false);
+        }
+    }
+}
+
+TEST(DomainModeParallel, BitIdenticalToSequencedWithFaultsInjected)
+{
+    const graph::Csr csr = goldenGraph(8, 2000, 99);
+    PiumaConfig cfg;
+    cfg.numCores = 8;
+    FaultConfig fc;
+    fc.seed = 17;
+    fc.dramLatencyJitter = 0.2;
+    fc.serviceRateJitter = 0.1;
+    fc.networkLatencyJitter = 0.2;
+    fc.dmaOverheadJitter = 0.1;
+    fc.dramDropRate = 0.02;
+    fc.dmaDropRate = 0.01;
+    const SpmmRunStats serial =
+        runSharded(csr, 16, cfg, SpmmAlgorithm::Dma, 1, &fc);
+    EXPECT_GT(serial.retries, 0u); // the recovery protocol must fire
+    for (const unsigned d : {2u, 4u, 8u}) {
+        SCOPED_TRACE("domains=" + std::to_string(d));
+        const SpmmRunStats seq =
+            runSharded(csr, 16, cfg, SpmmAlgorithm::Dma, d, &fc);
+        const SpmmRunStats par =
+            runSharded(csr, 16, cfg, SpmmAlgorithm::Dma, d, &fc, nullptr,
+                       DomainMode::Parallel);
+        expectStatsIdentical(serial, seq);
+        expectStatsIdentical(seq, par, /*same_mode=*/false);
+    }
+}
+
+// Checkpoint JSONL bytes — what the CI fig8 smoke cmp's — must be
+// identical between a sequenced and a parallel sweep, faults off and
+// on (the parallel file is produced by threaded domain execution).
+TEST(DomainModeParallel, CheckpointBytesMatchSequencedSweep)
+{
+    const graph::Csr csr = goldenGraph(7, 1200, 3);
+    for (const bool faulted : {false, true}) {
+        std::vector<std::string> bytes;
+        for (const DomainMode mode :
+             {DomainMode::Sequenced, DomainMode::Parallel}) {
+            const std::string path = pgcn_test::testPath(
+                std::string("mode_") +
+                (mode == DomainMode::Parallel ? "par" : "seq") +
+                (faulted ? "_faulted" : "_clean") + ".jsonl");
+            parallel::SweepOptions options;
+            options.jobs = 1;
+            options.domains = 4;
+            options.domainMode = mode;
+            if (faulted) {
+                FaultConfig fc;
+                fc.seed = 7;
+                fc.dramLatencyJitter = 0.15;
+                fc.dramDropRate = 0.01;
+                fc.dmaDropRate = 0.01;
+                options.faults = fc;
+            }
+            parallel::SweepRunner runner(options);
+            addSoakPoints(runner, csr);
+            JsonlCheckpoint ckpt(path, /*resume=*/false);
+            const parallel::SweepRunner::Outcome out = runner.run(ckpt);
+            EXPECT_EQ(out.computed, soakConfigs().size());
+            EXPECT_TRUE(out.errors.empty());
+            bytes.push_back(slurp(path));
+        }
+        SCOPED_TRACE(faulted ? "faulted" : "clean");
+        EXPECT_FALSE(bytes[0].empty());
+        EXPECT_EQ(bytes[0], bytes[1]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2c. The domain plan: lookahead bound, auto heuristic, legality
+
+TEST(DomainPlan, LookaheadBoundFollowsModelLatencies)
+{
+    PiumaConfig cfg;
+    cfg.numCores = 8; // single die
+    // Clean config: the bound is the min one-way network latency.
+    EXPECT_DOUBLE_EQ(MemorySystem::modelLookaheadNs(cfg, nullptr),
+                     cfg.netSameDieNs);
+    // Jitter shrinks it to the worst-case early arrival.
+    FaultConfig fc;
+    fc.networkLatencyJitter = 0.5;
+    EXPECT_DOUBLE_EQ(MemorySystem::modelLookaheadNs(cfg, &fc),
+                     cfg.netSameDieNs * 0.5);
+    // Drops arm timeouts at the *issue* timestamp, so the detection
+    // edge bounds lookahead too: timeout - max request hop.
+    fc.dramDropRate = 0.01;
+    fc.timeoutNs = 500.0;
+    PiumaConfig multi = cfg;
+    multi.numCores = 16; // two dies: max hop is netCrossDieNs
+    const double drop_edge = fc.timeoutNs - multi.netCrossDieNs * 1.5;
+    EXPECT_DOUBLE_EQ(MemorySystem::modelLookaheadNs(multi, &fc),
+                     std::min(multi.netSameDieNs * 0.5, drop_edge));
+    // A single-core machine has no cross-domain traffic at all.
+    PiumaConfig one;
+    one.numCores = 1;
+    EXPECT_TRUE(std::isinf(MemorySystem::modelLookaheadNs(one, nullptr)));
+}
+
+TEST(DomainPlan, AutoCountKeepsTinyRunsSerial)
+{
+    // The BENCH_PR9 lesson: sharding a 2-core model cost 14% wall
+    // clock. Below 64 simulated cores auto must pick 1 domain.
+    PiumaConfig cfg;
+    cfg.numCores = 2;
+    EXPECT_EQ(MemorySystem::autoDomainCount(cfg), 1u);
+    cfg.numCores = 63;
+    EXPECT_EQ(MemorySystem::autoDomainCount(cfg), 1u);
+    cfg.numCores = 256;
+    const unsigned host =
+        std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_EQ(MemorySystem::autoDomainCount(cfg),
+              std::clamp(std::min(256u / 16u, host), 1u, 64u));
+
+    // Through domainPlan: domains == 0 expands via the heuristic and
+    // Auto mode turns Parallel only when the plan shards at all.
+    PiumaConfig tiny;
+    tiny.numCores = 2;
+    SimControls controls;
+    controls.domains = 0;
+    controls.domainMode = DomainMode::Auto;
+    const DomainSet::Options plan =
+        MemorySystem::domainPlan(tiny, &controls, false);
+    EXPECT_EQ(plan.domains, 1u);
+    EXPECT_EQ(plan.mode, DomainSet::Mode::Sequenced);
+}
+
+TEST(DomainPlan, AutoModeGoesParallelWhenLegal)
+{
+    PiumaConfig cfg;
+    cfg.numCores = 8;
+    SimControls controls;
+    controls.domains = 4;
+    controls.domainMode = DomainMode::Auto;
+    const DomainSet::Options plan =
+        MemorySystem::domainPlan(cfg, &controls, false);
+    EXPECT_EQ(plan.domains, 4u);
+    EXPECT_EQ(plan.mode, DomainSet::Mode::Parallel);
+    EXPECT_DOUBLE_EQ(plan.lookaheadNs, cfg.netSameDieNs);
+    // A sequenced-only attachment (telemetry session, monitor hub)
+    // downgrades without error.
+    const DomainSet::Options down =
+        MemorySystem::domainPlan(cfg, &controls, true);
+    EXPECT_EQ(down.mode, DomainSet::Mode::Sequenced);
+}
+
+TEST(DomainPlan, ExplicitParallelThrowsWhenModelMakesItIllegal)
+{
+    // Two dies + drops with a timeout shorter than the cross-die hop:
+    // a retry re-arrival can precede the window edge, so the bound is
+    // non-positive and an explicit --domain-mode=parallel must be a
+    // loud ConfigError, never a silent downgrade.
+    PiumaConfig cfg;
+    cfg.numCores = 16;
+    FaultConfig fc;
+    fc.dramDropRate = 0.5;
+    fc.timeoutNs = 100.0; // < netCrossDieNs = 250
+    FaultInjector faults(fc);
+    SimControls controls;
+    controls.faults = &faults;
+    controls.domains = 4;
+    controls.domainMode = DomainMode::Parallel;
+    EXPECT_THROW(MemorySystem::domainPlan(cfg, &controls, false),
+                 ConfigError);
+    // Auto with the same config quietly falls back to Sequenced.
+    controls.domainMode = DomainMode::Auto;
+    const DomainSet::Options plan =
+        MemorySystem::domainPlan(cfg, &controls, false);
+    EXPECT_EQ(plan.mode, DomainSet::Mode::Sequenced);
 }
 
 // ---------------------------------------------------------------------------

@@ -269,9 +269,9 @@ TEST(MonitorBitIdentity, DmaGoldenUnchangedWithMonitorAttached)
 
     // Same golden constants test_determinism pins for this workload:
     // the monitor observed the run without perturbing it.
-    EXPECT_DOUBLE_EQ(plain.makespanNs, 10732.8571428572);
+    EXPECT_DOUBLE_EQ(plain.makespanNs, 10712.857142857198);
     EXPECT_DOUBLE_EQ(monitored.makespanNs, plain.makespanNs);
-    EXPECT_EQ(plain.simEvents, 14444u);
+    EXPECT_EQ(plain.simEvents, 22697u);
     EXPECT_EQ(monitored.simEvents, plain.simEvents);
     EXPECT_EQ(monitored.dmaDescriptors, plain.dmaDescriptors);
     EXPECT_EQ(monitored.nnzStallNs, plain.nnzStallNs);
@@ -301,8 +301,8 @@ TEST(MonitorBitIdentity, LoopUnrolledGoldenUnchangedWithMonitor)
     const piuma::SpmmRunStats monitored =
         simulateSpmm(csr, 8, cfg, piuma::SpmmAlgorithm::LoopUnrolled,
                      nullptr, &controls);
-    EXPECT_DOUBLE_EQ(monitored.makespanNs, 7286.7142857139115);
-    EXPECT_EQ(monitored.simEvents, 11706u);
+    EXPECT_DOUBLE_EQ(monitored.makespanNs, 7327.1428571425176);
+    EXPECT_EQ(monitored.simEvents, 16987u);
 }
 
 // ------------------------------------------- taxonomy and CP metrics

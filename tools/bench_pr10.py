@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Parallel-domain gate: stat-identity plus a parallel-vs-sequenced
+events/sec record.
+
+PR 10 moved bandwidth resolution out of issue time and onto the memory
+*response* path, so every cross-slice access bears at least the local
+network latency and the PIUMA model gained a positive conservative
+lookahead bound (piuma::MemorySystem::modelLookaheadNs, DESIGN.md
+S15). That makes `--domain-mode=parallel` legal for the model: one
+host thread per event domain instead of the single-threaded sequenced
+merge. This tool distils the contract into BENCH_PR10.json:
+
+  1. GATE — identity: at every domain count, the checkpoint JSONL and
+     consolidated sweep JSON of the parallel run must be byte-identical
+     to the sequenced run (which is itself byte-identical to serial,
+     bench_pr9.py's gate). Parallel execution may only change wall
+     clock, never a single output byte.
+
+  2. RECORD — events/sec for sequenced vs parallel at domains 1, 2
+     and 4. Deliberately *not* gated on a speedup: parallel mode's win
+     is one host thread per domain, and CI runners (and the recording
+     container, which has a single core) cannot demonstrate it — the
+     barrier rotation then costs a little instead. The numbers are
+     recorded so multi-core hosts have a baseline, and so a regression
+     that *slows the sequenced path* still shows up in bench_pr9's
+     record next to this one.
+
+  3. RECORD — the large-calendar pair: one full-machine-scale point
+     (fig8 --mega) run sequenced and parallel at the same domain
+     count, byte-compared and timed. This is where the mode actually
+     matters — the stock sweep's calendars are tiny, the mega point
+     keeps millions of events in flight and parallel mode beats the
+     sequenced K-way merge even on a single host core (EXPERIMENTS.md
+     "big machines" table). --mega 0 skips it.
+
+Usage: bench_pr10.py --fig8 <fig8_strong_scaling binary>
+                     --out <BENCH_PR10.json>
+                     [--domains 1 2 4] [--workdir DIR]
+                     [--mega 1024] [--mega-domains 16]
+"""
+
+import argparse
+import filecmp
+import json
+import os
+import subprocess
+import sys
+
+
+def run_fig8(binary, workdir, mode, domains, mega=0):
+    """Run one fig8 sweep in the given domain mode; return paths."""
+    tag = f"pr10_{'mega%d_' % mega if mega else ''}{mode}_d{domains}"
+    paths = {
+        "throughput": os.path.join(workdir, f"{tag}_throughput.json"),
+        "checkpoint": os.path.join(workdir, f"{tag}.jsonl"),
+        "sweep": os.path.join(workdir, f"{tag}.json"),
+    }
+    # Bare leaf CSV name (the bench prefixes it per table); run from
+    # the workdir so everything lands together.
+    # --no-monitors on every run: an attached MonitorHub shares
+    # single-threaded timeline geometry with the simulation, so its
+    # presence downgrades parallel mode to sequenced (domainPlan).
+    # The sequenced runs drop them too, keeping the byte-compare and
+    # the events/sec comparison apples-to-apples.
+    cmd = [
+        os.path.abspath(binary),
+        f"{tag}.csv",
+        f"{tag}_throughput.json",
+        f"--domain-mode={mode}",
+        f"--domains={domains}",
+        "--no-monitors",
+        f"--checkpoint={tag}.jsonl",
+        f"--sweep-json={tag}.json",
+    ]
+    if mega:
+        cmd.append(f"--mega={mega}")
+    print(f"+ (cd {workdir}) {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, check=True, cwd=workdir)
+    return paths
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--fig8", required=True,
+                        help="fig8_strong_scaling binary (Release)")
+    parser.add_argument("--out", required=True,
+                        help="BENCH_PR10.json output path")
+    parser.add_argument("--domains", type=int, nargs="+",
+                        default=[1, 2, 4],
+                        help="domain counts to compare at")
+    parser.add_argument("--workdir", default=".",
+                        help="where the per-run artefacts land")
+    parser.add_argument("--mega", type=int, default=1024,
+                        help="simulated cores for the large-calendar "
+                             "pair (0 skips it)")
+    parser.add_argument("--mega-domains", type=int, default=16,
+                        help="domain count for the large-calendar pair")
+    args = parser.parse_args(argv[1:])
+
+    os.makedirs(args.workdir, exist_ok=True)
+    failures = []
+    record = {}
+    reference = None
+    for domains in args.domains:
+        for mode in ("sequenced", "parallel"):
+            paths = run_fig8(args.fig8, args.workdir, mode, domains)
+            with open(paths["throughput"]) as f:
+                throughput = json.load(f)
+            record[f"{mode}_d{domains}"] = {
+                "events": throughput["events"],
+                "wall_seconds": throughput["wall_seconds"],
+                "events_per_sec": throughput["events_per_sec"],
+                "runs": throughput["runs"],
+            }
+            if reference is None:
+                reference = paths
+                continue
+            for kind in ("checkpoint", "sweep"):
+                if not filecmp.cmp(reference[kind], paths[kind],
+                                   shallow=False):
+                    failures.append(
+                        f"--domain-mode={mode} --domains {domains}: "
+                        f"{kind} file differs from the sequenced "
+                        f"--domains {args.domains[0]} reference "
+                        f"({paths[kind]} vs {reference[kind]})")
+
+    # Parallel-vs-sequenced at the SAME domain count: the apples-to-
+    # apples number (both pay the sharded calendar; only the execution
+    # strategy differs).
+    speedup = {}
+    for domains in args.domains:
+        seq = record[f"sequenced_d{domains}"]["events_per_sec"]
+        par = record[f"parallel_d{domains}"]["events_per_sec"]
+        speedup[str(domains)] = par / seq if seq > 0.0 else 0.0
+
+    events = {v["events"] for v in record.values()}
+    if len(events) != 1:
+        failures.append(f"event counts diverge across runs: "
+                        f"{sorted(events)}")
+
+    # Large-calendar pair: the full-machine-scale point where the
+    # execution mode actually moves the needle.
+    mega_record = {}
+    if args.mega:
+        mega_ref = None
+        for mode in ("sequenced", "parallel"):
+            paths = run_fig8(args.fig8, args.workdir, mode,
+                             args.mega_domains, mega=args.mega)
+            with open(paths["throughput"]) as f:
+                throughput = json.load(f)
+            mega_record[mode] = {
+                "events": throughput["events"],
+                "wall_seconds": throughput["wall_seconds"],
+                "events_per_sec": throughput["events_per_sec"],
+            }
+            if mega_ref is None:
+                mega_ref = paths
+                continue
+            for kind in ("checkpoint", "sweep"):
+                if not filecmp.cmp(mega_ref[kind], paths[kind],
+                                   shallow=False):
+                    failures.append(
+                        f"mega --domain-mode={mode}: {kind} file "
+                        f"differs from sequenced "
+                        f"({paths[kind]} vs {mega_ref[kind]})")
+        seq = mega_record["sequenced"]["events_per_sec"]
+        par = mega_record["parallel"]["events_per_sec"]
+        mega_record["cores"] = args.mega
+        mega_record["domains"] = args.mega_domains
+        mega_record["parallel_speedup"] = par / seq if seq > 0.0 else 0.0
+
+    report = {
+        "bit_identical": not any("differs" in f for f in failures),
+        "runs": record,
+        "mega": mega_record,
+        "parallel_speedup_vs_sequenced": speedup,
+        "gate": "byte-identity across modes and domain counts (hard); "
+                "events/sec recorded, not gated: the parallel win "
+                "needs one host core per domain and CI runners are "
+                "core-starved — see DESIGN.md S15",
+        "pass": not failures,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for domains in args.domains:
+        seq = record[f"sequenced_d{domains}"]
+        par = record[f"parallel_d{domains}"]
+        print(f"--domains {domains}: sequenced "
+              f"{seq['events_per_sec'] / 1e6:.2f} M ev/s, parallel "
+              f"{par['events_per_sec'] / 1e6:.2f} M ev/s "
+              f"({speedup[str(domains)]:.2f}x)")
+    if mega_record:
+        print(f"--mega={args.mega} --domains {args.mega_domains}: "
+              f"sequenced "
+              f"{mega_record['sequenced']['events_per_sec'] / 1e6:.2f} "
+              f"M ev/s, parallel "
+              f"{mega_record['parallel']['events_per_sec'] / 1e6:.2f} "
+              f"M ev/s ({mega_record['parallel_speedup']:.2f}x)")
+    if failures:
+        print("\ngate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("\ngate passed: parallel runs byte-identical to sequenced")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
